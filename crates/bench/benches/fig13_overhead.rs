@@ -1,0 +1,39 @@
+//! Fig. 13 as a criterion bench: executes each protection variant of each
+//! benchmark program end-to-end on the simulator. The *simulated-cycle*
+//! overheads (the figure's metric) are printed once per program; criterion
+//! tracks the harness' own wall time, which is useful for catching
+//! performance regressions of the simulator/translator themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hauberk_bench::perf::measure_overheads;
+use hauberk_benchmarks::{hpc_suite, ProblemScale};
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_overhead");
+    g.sample_size(10);
+    for prog in hpc_suite(ProblemScale::Quick) {
+        // Print the figure's row once.
+        let row = measure_overheads(prog.as_ref());
+        println!(
+            "fig13 {:<8} R-Naive {:.1}% R-Scatter {} Hauberk-NL {:.1}% Hauberk-L {:.1}% Hauberk {:.1}%",
+            row.program,
+            row.r_naive,
+            row.r_scatter
+                .map(|v| format!("{v:.1}%"))
+                .unwrap_or_else(|| "N/A".into()),
+            row.hauberk_nl,
+            row.hauberk_l,
+            row.hauberk
+        );
+        g.bench_with_input(
+            BenchmarkId::new("measure", row.program),
+            &prog,
+            |b, p| b.iter(|| black_box(measure_overheads(p.as_ref()))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §IX.D — Hauberk instrumentation time.
+//!
+//! The paper reports ~0.7 s per kernel for the transformation proper (the
+//! 81 s average includes C preprocessing and parsing of full CUDA sources).
+//! This bench times our equivalents per benchmark kernel: parsing the
+//! mini-CUDA source, the FT derivation (non-loop + loop passes including the
+//! dataflow analyses), and the FI mutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk_benchmarks::{hpc_suite, ProblemScale};
+use std::hint::black_box;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrumentation_time");
+    for prog in hpc_suite(ProblemScale::Quick) {
+        let kernel = prog.build_kernel();
+        g.bench_with_input(
+            BenchmarkId::new("ft_derivation", prog.name()),
+            &kernel,
+            |b, k| {
+                b.iter(|| {
+                    build(black_box(k), BuildVariant::Ft(FtOptions::default())).unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fi_mutation", prog.name()),
+            &kernel,
+            |b, k| b.iter(|| build(black_box(k), BuildVariant::Fi).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    use hauberk_kir::parser::parse_kernel;
+    c.bench_function("parse_cp_source", |b| {
+        b.iter(|| parse_kernel(black_box(hauberk_benchmarks::cp::KERNEL_SRC)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_instrumentation, bench_parse);
+criterion_main!(benches);

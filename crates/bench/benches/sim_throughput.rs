@@ -1,0 +1,57 @@
+//! Simulator throughput: how fast the warp-lockstep interpreter retires
+//! simulated instructions. Fault-injection campaigns run thousands of
+//! launches, so this number bounds the whole evaluation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{PrimTy, Value};
+use hauberk_sim::{Device, Launch, NullRuntime};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let kernel = parse_kernel(
+        r#"kernel spin(out: *global f32, x: *global f32, n: i32) {
+            let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+            let acc: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + load(x, i) * 1.0001 + 0.5;
+            }
+            store(out, tid, acc);
+        }"#,
+    )
+    .unwrap();
+
+    // Count the simulated ops of one launch for the throughput denominator.
+    let ops = {
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::F32, 512);
+        let x = dev.alloc(PrimTy::F32, 256);
+        let r = dev.launch(
+            &kernel,
+            &[Value::Ptr(out), Value::Ptr(x), Value::I32(256)],
+            &Launch::grid1d(16, 32),
+            &mut NullRuntime,
+        );
+        r.completed_stats().unwrap().total_ops()
+    };
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("fp_loop_16x32", |b| {
+        b.iter(|| {
+            let mut dev = Device::small_gpu();
+            let out = dev.alloc(PrimTy::F32, 512);
+            let x = dev.alloc(PrimTy::F32, 256);
+            black_box(dev.launch(
+                &kernel,
+                &[Value::Ptr(out), Value::Ptr(x), Value::I32(256)],
+                &Launch::grid1d(16, 32),
+                &mut NullRuntime,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

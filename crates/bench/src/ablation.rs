@@ -1,0 +1,266 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! * **`Maxvar`** — how many loop variables to protect: coverage vs.
+//!   overhead (the paper's tunable, §V.B step i).
+//! * **Dual-issue pairing** — the cost-model mechanism behind Hauberk's
+//!   cheap in-loop instructions; disabling it shows how much of the
+//!   overhead story depends on it.
+//! * **`PROFILE_MARGIN`** — the finite-sample range inflation: its effect
+//!   on fault-free false positives across fresh datasets.
+
+use crate::report;
+use hauberk::builds::{build, r_naive_cycles, BuildVariant, FtOptions};
+use hauberk::program::{run_program, HostProgram};
+use hauberk::ranges::{profile_ranges, profile_ranges_unpadded, RangeSet};
+use hauberk::runtime::{FtRuntime, ProfilerRuntime};
+use hauberk::ControlBlock;
+use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_sim::{Device, LaunchOutcome, NullRuntime};
+
+/// One Maxvar sweep point.
+#[derive(Debug, Clone)]
+pub struct MaxvarPoint {
+    /// Protected variables per loop.
+    pub max_var: usize,
+    /// Detection coverage.
+    pub coverage: f64,
+    /// Hauberk overhead (%).
+    pub overhead: f64,
+    /// Detectors actually placed.
+    pub detectors: usize,
+}
+
+fn trained(prog: &dyn HostProgram, opts: FtOptions) -> Vec<RangeSet> {
+    let profiler = build(&prog.build_kernel(), BuildVariant::Profiler(opts)).unwrap();
+    let mut pr = ProfilerRuntime::default();
+    let run = run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+    assert!(run.outcome.is_completed());
+    (0..profiler.detectors.len())
+        .map(|d| profile_ranges(pr.samples(d as u32)))
+        .collect()
+}
+
+fn overhead_pct(prog: &dyn HostProgram, opts: FtOptions, ranges: &[RangeSet]) -> f64 {
+    let base_run = run_program(prog, &prog.build_kernel(), 0, &mut NullRuntime, u64::MAX);
+    let base = base_run.outcome.completed_stats().unwrap().kernel_cycles;
+    let ft = build(&prog.build_kernel(), BuildVariant::Ft(opts)).unwrap();
+    let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges.to_vec()));
+    match run_program(prog, &ft.kernel, 0, &mut rt, u64::MAX).outcome {
+        LaunchOutcome::Completed(s) => {
+            assert!(!rt.cb.sdc_flag);
+            (s.kernel_cycles as f64 / base as f64 - 1.0) * 100.0
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Sweep `Maxvar` on one program.
+pub fn maxvar_sweep(name: &str, masks: usize) -> Vec<MaxvarPoint> {
+    let prog = program_by_name(name, ProblemScale::Quick).expect("known program");
+    (1..=4usize)
+        .map(|max_var| {
+            let opts = FtOptions {
+                nonloop: true,
+                loops: true,
+                max_var,
+            };
+            let ranges = trained(prog.as_ref(), opts);
+            let overhead = overhead_pct(prog.as_ref(), opts, &ranges);
+            let cfg = CampaignConfig {
+                plan: PlanConfig {
+                    vars_per_program: 10,
+                    masks_per_var: masks,
+                    bit_counts: vec![1, 3, 6],
+                    scheduler_per_mille: 0,
+                    register_per_mille: 0,
+                },
+                ..Default::default()
+            };
+            let r = run_coverage_campaign(prog.as_ref(), opts, &cfg);
+            MaxvarPoint {
+                max_var,
+                coverage: r.coverage(),
+                overhead,
+                detectors: r.detectors,
+            }
+        })
+        .collect()
+}
+
+/// Measured effect of disabling dual-issue pairing on the Fig. 13 story:
+/// returns (hauberk overhead %, r-scatter overhead %) with and without
+/// pairing, for one program.
+pub fn dual_issue_ablation(name: &str) -> [(bool, f64, f64); 2] {
+    let prog = program_by_name(name, ProblemScale::Quick).expect("known program");
+    let prog = prog.as_ref();
+    let mut out = [(true, 0.0, 0.0), (false, 0.0, 0.0)];
+    for (i, dual) in [true, false].into_iter().enumerate() {
+        let mut cfg = prog.device_config();
+        cfg.cost.dual_issue = dual;
+        let run_cycles = |kernel: &hauberk_kir::KernelDef,
+                          rt: &mut dyn hauberk_sim::HookRuntime|
+         -> u64 {
+            let mut dev = Device::new(cfg.clone());
+            let args = prog.setup(&mut dev, 0);
+            let launch = prog.launch();
+            match dev.launch(kernel, &args, &launch, rt) {
+                LaunchOutcome::Completed(s) => s.kernel_cycles,
+                other => panic!("{other:?}"),
+            }
+        };
+        let base = run_cycles(&prog.build_kernel(), &mut NullRuntime);
+        let ranges = trained(prog, FtOptions::default());
+        let ft = build(&prog.build_kernel(), BuildVariant::Ft(FtOptions::default())).unwrap();
+        let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+        let hauberk = run_cycles(&ft.kernel, &mut rt) as f64 / base as f64 * 100.0 - 100.0;
+        let rs = build(&prog.build_kernel(), BuildVariant::RScatter).unwrap();
+        let rscatter =
+            run_cycles(&rs.kernel, &mut NullRuntime) as f64 / base as f64 * 100.0 - 100.0;
+        out[i] = (dual, hauberk, rscatter);
+    }
+    let _ = r_naive_cycles(1); // keep the baseline helper linked/documented
+    out
+}
+
+/// Fault-free false-positive count across fresh datasets, with and without
+/// the finite-sample profile margin.
+pub fn margin_ablation(name: &str, train_sets: usize, test_sets: usize) -> [(bool, usize); 2] {
+    let prog = program_by_name(name, ProblemScale::Quick).expect("known program");
+    let prog = prog.as_ref();
+    let profiler = build(
+        &prog.build_kernel(),
+        BuildVariant::Profiler(FtOptions::default()),
+    )
+    .unwrap();
+    let n_det = profiler.detectors.len();
+
+    // Per-dataset samples.
+    let sample_sets: Vec<Vec<Vec<f64>>> = (0..(train_sets + test_sets) as u64)
+        .map(|ds| {
+            let mut pr = ProfilerRuntime::default();
+            let run = run_program(prog, &profiler.kernel, ds, &mut pr, u64::MAX);
+            assert!(run.outcome.is_completed());
+            (0..n_det).map(|d| pr.samples(d as u32).to_vec()).collect()
+        })
+        .collect();
+
+    let mut out = [(true, 0usize), (false, 0usize)];
+    for (i, padded) in [true, false].into_iter().enumerate() {
+        let mut merged = vec![RangeSet::default(); n_det];
+        for ds in 0..train_sets {
+            for d in 0..n_det {
+                let rs = if padded {
+                    profile_ranges(&sample_sets[ds][d])
+                } else {
+                    profile_ranges_unpadded(&sample_sets[ds][d])
+                };
+                merged[d].merge(&rs);
+            }
+        }
+        let mut fp = 0;
+        for ds in train_sets..train_sets + test_sets {
+            let alarm = (0..n_det)
+                .any(|d| sample_sets[ds][d].iter().any(|v| !merged[d].contains(*v)));
+            if alarm {
+                fp += 1;
+            }
+        }
+        out[i] = (padded, fp);
+    }
+    out
+}
+
+/// Render all three ablations for the report.
+pub fn render(program: &str) -> String {
+    let mut out = format!("Ablations on {program}\n\n");
+
+    out.push_str("Maxvar sweep (coverage vs overhead):\n");
+    let rows: Vec<Vec<String>> = maxvar_sweep(program, 8)
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.max_var.to_string(),
+                p.detectors.to_string(),
+                report::pct(p.coverage),
+                format!("{:.1}", p.overhead),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["Maxvar", "detectors", "coverage %", "overhead %"],
+        &rows,
+    ));
+
+    out.push_str("\nDual-issue pairing (the overhead mechanism):\n");
+    let rows: Vec<Vec<String>> = dual_issue_ablation(program)
+        .into_iter()
+        .map(|(dual, h, rs)| {
+            vec![
+                dual.to_string(),
+                format!("{h:.1}"),
+                format!("{rs:.1}"),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["dual-issue", "Hauberk %", "R-Scatter %"],
+        &rows,
+    ));
+
+    out.push_str("\nProfile margin on PNS (false positives over 6 fresh datasets):\n");
+    let rows: Vec<Vec<String>> = margin_ablation("PNS", 6, 6)
+        .into_iter()
+        .map(|(padded, fp)| vec![padded.to_string(), fp.to_string()])
+        .collect();
+    out.push_str(&report::table(&["margin", "false positives"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxvar_trades_overhead_for_coverage() {
+        let pts = maxvar_sweep("MRI-Q", 6);
+        assert_eq!(pts.len(), 4);
+        // More protected variables never place fewer detectors and never
+        // get cheaper.
+        for w in pts.windows(2) {
+            assert!(w[1].detectors >= w[0].detectors);
+            assert!(w[1].overhead >= w[0].overhead - 0.2);
+        }
+        // The second accumulator matters for MRI-Q.
+        assert!(
+            pts[1].coverage >= pts[0].coverage,
+            "Maxvar=2 ({:.2}) >= Maxvar=1 ({:.2})",
+            pts[1].coverage,
+            pts[0].coverage
+        );
+    }
+
+    #[test]
+    fn disabling_dual_issue_raises_hauberk_overhead() {
+        let r = dual_issue_ablation("CP");
+        let (_, h_on, rs_on) = r[0];
+        let (_, h_off, _) = r[1];
+        assert!(
+            h_off > h_on,
+            "pairing is what makes the in-loop adds cheap: {h_off:.1} vs {h_on:.1}"
+        );
+        assert!(rs_on > 40.0, "R-Scatter stays expensive either way");
+    }
+
+    #[test]
+    fn margin_reduces_false_positives_on_stable_programs() {
+        let r = margin_ablation("PNS", 6, 6);
+        let (_, fp_padded) = r[0];
+        let (_, fp_raw) = r[1];
+        assert!(
+            fp_padded <= fp_raw,
+            "padding can only reduce false positives: {fp_padded} vs {fp_raw}"
+        );
+    }
+}

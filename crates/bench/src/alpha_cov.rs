@@ -1,0 +1,86 @@
+//! §IX.C — the impact of the `alpha` range widening on detection coverage:
+//! widening by up to ~10³ costs almost nothing (faults change FP values by
+//! orders of magnitude, Fig. 15), while very large factors (10⁴, 10⁵) start
+//! letting smaller corruptions escape.
+
+use crate::report;
+use hauberk::builds::FtOptions;
+use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+use hauberk_swifi::plan::PlanConfig;
+
+/// The alpha values of the paper's sweep.
+pub const ALPHAS: [f64; 4] = [1.0, 1e3, 1e4, 1e5];
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct AlphaPoint {
+    /// Widening factor.
+    pub alpha: f64,
+    /// Measured coverage.
+    pub coverage: f64,
+}
+
+/// Run the sweep on MRI-FHD.
+pub fn run(scale: ProblemScale, vars: usize, masks: usize) -> Vec<AlphaPoint> {
+    let prog = program_by_name("MRI-FHD", scale).expect("MRI-FHD exists");
+    ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let cfg = CampaignConfig {
+                plan: PlanConfig {
+                    vars_per_program: vars,
+                    masks_per_var: masks,
+                    bit_counts: vec![1, 3, 6],
+                    scheduler_per_mille: 0,
+                    register_per_mille: 0,
+                },
+                alpha,
+                ..Default::default()
+            };
+            let r = run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg);
+            AlphaPoint {
+                alpha,
+                coverage: r.coverage(),
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(points: &[AlphaPoint]) -> String {
+    let mut out =
+        String::from("§IX.C — MRI-FHD detection coverage vs. alpha (paper: 95 / 95 / 82.8 / 81.6%)\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![format!("{:.0}", p.alpha), report::pct(p.coverage)])
+        .collect();
+    out.push_str(&report::table(&["alpha", "coverage %"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderate_alpha_is_cheap_huge_alpha_costs_coverage() {
+        let pts = run(ProblemScale::Quick, 6, 9);
+        let cov = |a: f64| pts.iter().find(|p| p.alpha == a).unwrap().coverage;
+        // alpha = 1000 loses little coverage relative to alpha = 1 ...
+        assert!(
+            cov(1e3) >= cov(1.0) - 0.06,
+            "alpha=1e3: {:.3} vs alpha=1: {:.3}",
+            cov(1e3),
+            cov(1.0)
+        );
+        // ... and coverage is non-increasing in alpha overall.
+        assert!(cov(1e5) <= cov(1.0) + 1e-9);
+        assert!(
+            cov(1e5) <= cov(1e3),
+            "very large alpha lets more SDCs escape: {:.3} vs {:.3}",
+            cov(1e5),
+            cov(1e3)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! `campaign` — run a fault-injection campaign on one benchmark and write
+//! per-experiment CSV records plus a summary (the file-based analogue of the
+//! paper's GUI controller, §IV.B).
+//!
+//! ```text
+//! campaign <program> [--sensitivity|--coverage] [--vars N] [--masks N]
+//!          [--alpha F] [--csv PATH]
+//! ```
+
+use hauberk::builds::FtOptions;
+use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_swifi::campaign::{run_coverage_campaign, run_sensitivity_campaign, CampaignConfig};
+use hauberk_swifi::mask::PAPER_BIT_COUNTS;
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::report::{summarize, to_csv};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "CP".to_string());
+    let sensitivity = args.iter().any(|a| a == "--sensitivity");
+    let vars: usize = arg_value(&args, "--vars")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let masks: usize = arg_value(&args, "--masks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let alpha: f64 = arg_value(&args, "--alpha")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let csv_path = arg_value(&args, "--csv");
+
+    let prog = program_by_name(&name, ProblemScale::Quick)
+        .unwrap_or_else(|| panic!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)"));
+    let cfg = CampaignConfig {
+        plan: PlanConfig {
+            vars_per_program: vars,
+            masks_per_var: masks,
+            bit_counts: PAPER_BIT_COUNTS.to_vec(),
+            scheduler_per_mille: 60,
+            register_per_mille: 60,
+        },
+        alpha,
+        ..Default::default()
+    };
+
+    let result = if sensitivity {
+        println!("running baseline-sensitivity campaign on {name}...");
+        run_sensitivity_campaign(prog.as_ref(), &cfg)
+    } else {
+        println!("running coverage campaign (FI&FT) on {name} (alpha={alpha})...");
+        run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg)
+    };
+
+    print!("{}", summarize(&result));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, to_csv(&result)).expect("write CSV");
+        println!("wrote {} records to {path}", result.results.len());
+    }
+}

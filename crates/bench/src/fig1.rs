@@ -1,0 +1,176 @@
+//! Fig. 1 — average error sensitivity of HPC GPU programs, graphics GPU
+//! programs, and CPU programs, by the data type of the corrupted state.
+
+use crate::report;
+use hauberk_benchmarks::{cpu_suite, graphics_suite, hpc_suite, ProblemScale};
+use hauberk_kir::types::DataClass;
+use hauberk_swifi::campaign::{run_sensitivity_campaign, CampaignConfig};
+use hauberk_swifi::classify::FiOutcome;
+use hauberk_swifi::cpu_study::run_cpu_study;
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::stats::{by_class, OutcomeCounts};
+use std::collections::BTreeMap;
+
+/// One stacked row of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// Program group.
+    pub group: &'static str,
+    /// Data-type label.
+    pub class: String,
+    /// Outcome counts.
+    pub counts: OutcomeCounts,
+}
+
+impl Fig1Row {
+    /// Crash/hang ratio.
+    pub fn failure(&self) -> f64 {
+        self.counts.ratio(FiOutcome::Failure)
+    }
+
+    /// SDC ratio (undetected violations; no detectors in this study).
+    pub fn sdc(&self) -> f64 {
+        self.counts.ratio(FiOutcome::Undetected)
+    }
+
+    /// Not-manifested ratio.
+    pub fn not_manifested(&self) -> f64 {
+        1.0 - self.failure() - self.sdc()
+    }
+}
+
+fn campaign_cfg(masks_per_var: usize) -> CampaignConfig {
+    CampaignConfig {
+        plan: PlanConfig {
+            vars_per_program: 20,
+            masks_per_var,
+            bit_counts: vec![1],
+            scheduler_per_mille: 60,
+            register_per_mille: 60,
+        },
+        ..Default::default()
+    }
+}
+
+/// Run the full Fig. 1 study. `masks_per_var` scales the experiment count
+/// (paper: 50).
+pub fn run(scale: ProblemScale, masks_per_var: usize) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+
+    for (group, suite) in [
+        ("GPU HPC", hpc_suite(scale)),
+        ("GPU graphics", graphics_suite(scale)),
+    ] {
+        let mut per_class: BTreeMap<DataClass, OutcomeCounts> = BTreeMap::new();
+        for prog in &suite {
+            let r = run_sensitivity_campaign(prog.as_ref(), &campaign_cfg(masks_per_var));
+            for (class, counts) in by_class(&r.results) {
+                per_class.entry(class).or_default().merge(&counts);
+            }
+        }
+        for class in [DataClass::Float, DataClass::Integer, DataClass::Pointer] {
+            if let Some(counts) = per_class.get(&class) {
+                rows.push(Fig1Row {
+                    group,
+                    class: class.to_string(),
+                    counts: *counts,
+                });
+            }
+        }
+    }
+
+    // CPU rows: stack / data / code.
+    let mut stack = OutcomeCounts::default();
+    let mut data = OutcomeCounts::default();
+    let mut code = OutcomeCounts::default();
+    for (i, prog) in cpu_suite(scale).iter().enumerate() {
+        let r = run_cpu_study(prog.as_ref(), masks_per_var * 2, 100 + i as u64);
+        stack.merge(&r.stack);
+        data.merge(&r.data);
+        code.merge(&r.code);
+    }
+    for (label, counts) in [("stack", stack), ("data", data), ("code", code)] {
+        rows.push(Fig1Row {
+            group: "CPU",
+            class: label.to_string(),
+            counts,
+        });
+    }
+    rows
+}
+
+/// Render the figure as text.
+pub fn render(rows: &[Fig1Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.to_string(),
+                r.class.clone(),
+                report::pct(r.failure()),
+                report::pct(r.sdc()),
+                report::pct(r.not_manifested()),
+                format!("{}", r.counts.total()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Fig. 1 — error sensitivity by program type / corrupted data type\n");
+    out.push_str(&report::table(
+        &[
+            "group",
+            "data type",
+            "crash/hang %",
+            "SDC %",
+            "not manifested %",
+            "n",
+        ],
+        &body,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_orderings() {
+        let rows = run(ProblemScale::Quick, 6);
+        let find = |g: &str, c: &str| {
+            rows.iter()
+                .find(|r| r.group == g && r.class == c)
+                .unwrap_or_else(|| panic!("row {g}/{c}"))
+        };
+
+        let hpc_fp = find("GPU HPC", "floating-point");
+        let hpc_int = find("GPU HPC", "integer");
+
+        // Observation 1: substantial SDC ratios in HPC GPU programs.
+        assert!(hpc_fp.sdc() > 0.10, "FP SDC {}", hpc_fp.sdc());
+        assert!(hpc_int.sdc() > 0.10, "int SDC {}", hpc_int.sdc());
+
+        // Observation 2: FP faults rarely crash; integer/pointer faults do.
+        assert!(hpc_fp.failure() < 0.05, "FP failure {}", hpc_fp.failure());
+        assert!(
+            hpc_int.failure() > hpc_fp.failure(),
+            "int faults crash more than FP"
+        );
+
+        // Graphics: single-bit faults are not user-noticeable.
+        for r in rows.iter().filter(|r| r.group == "GPU graphics") {
+            assert!(r.sdc() < 0.05, "graphics {}: sdc {}", r.class, r.sdc());
+        }
+
+        // CPU: SDC far below the GPU HPC level; crashes common.
+        let cpu_sdc_max = rows
+            .iter()
+            .filter(|r| r.group == "CPU")
+            .map(|r| r.sdc())
+            .fold(0.0f64, f64::max);
+        let gpu_sdc_avg = (hpc_fp.sdc() + hpc_int.sdc()) / 2.0;
+        assert!(
+            cpu_sdc_max < gpu_sdc_avg,
+            "CPU SDC ({cpu_sdc_max:.2}) below GPU HPC SDC ({gpu_sdc_avg:.2})"
+        );
+    }
+}

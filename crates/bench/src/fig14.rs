@@ -1,0 +1,149 @@
+//! Fig. 14 — error-detection coverage of Hauberk per benchmark and error-bit
+//! count, in the paper's five-way outcome taxonomy.
+
+use crate::report;
+use hauberk::builds::FtOptions;
+use hauberk_benchmarks::{hpc_suite, ProblemScale};
+use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+use hauberk_swifi::classify::FiOutcome;
+use hauberk_swifi::mask::PAPER_BIT_COUNTS;
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::stats::{by_bits, multi_fault_coverage, OutcomeCounts};
+
+/// One (program, bit-count) cell.
+#[derive(Debug, Clone)]
+pub struct Fig14Cell {
+    /// Program name.
+    pub program: &'static str,
+    /// Error-mask bit count.
+    pub bits: u32,
+    /// Outcome counts.
+    pub counts: OutcomeCounts,
+}
+
+/// Run the coverage study. `masks_per_var` experiments per selected
+/// variable, cycling through the paper's bit counts.
+pub fn run(scale: ProblemScale, vars_per_program: usize, masks_per_var: usize) -> Vec<Fig14Cell> {
+    let mut cells = Vec::new();
+    for prog in hpc_suite(scale) {
+        let cfg = CampaignConfig {
+            plan: PlanConfig {
+                vars_per_program,
+                masks_per_var,
+                bit_counts: PAPER_BIT_COUNTS.to_vec(),
+                scheduler_per_mille: 60,
+                register_per_mille: 60,
+            },
+            ..Default::default()
+        };
+        let r = run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg);
+        for (bits, counts) in by_bits(&r.results) {
+            cells.push(Fig14Cell {
+                program: r.program,
+                bits,
+                counts,
+            });
+        }
+    }
+    cells
+}
+
+/// Average outcome ratios for one bit count across programs.
+pub fn average_for_bits(cells: &[Fig14Cell], bits: u32) -> OutcomeCounts {
+    let mut agg = OutcomeCounts::default();
+    for c in cells.iter().filter(|c| c.bits == bits) {
+        agg.merge(&c.counts);
+    }
+    agg
+}
+
+/// Render the figure plus the headline coverage numbers.
+pub fn render(cells: &[Fig14Cell]) -> String {
+    let mut out = String::from("Fig. 14 — error detection coverage of Hauberk\n");
+    let body: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.program.to_string(),
+                c.bits.to_string(),
+                report::pct(c.counts.ratio(FiOutcome::Failure)),
+                report::pct(c.counts.ratio(FiOutcome::Masked)),
+                report::pct(c.counts.ratio(FiOutcome::DetectedMasked)),
+                report::pct(c.counts.ratio(FiOutcome::Detected)),
+                report::pct(c.counts.ratio(FiOutcome::Undetected)),
+                c.counts.total().to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &[
+            "program",
+            "bits",
+            "failure %",
+            "masked %",
+            "det&masked %",
+            "detected %",
+            "undetected %",
+            "n",
+        ],
+        &body,
+    ));
+
+    let mut overall = OutcomeCounts::default();
+    for c in cells {
+        overall.merge(&c.counts);
+    }
+    let single = average_for_bits(cells, 1);
+    out.push_str(&format!(
+        "\naverage detection coverage: {:.1}% (SDC escape {:.1}%)\n",
+        overall.coverage() * 100.0,
+        overall.sdc_ratio() * 100.0
+    ));
+    out.push_str(&format!(
+        "single-bit averages: failure {:.1}%, masked {:.1}%, det&masked {:.1}%, detected {:.1}%, undetected {:.1}%\n",
+        single.ratio(FiOutcome::Failure) * 100.0,
+        single.ratio(FiOutcome::Masked) * 100.0,
+        single.ratio(FiOutcome::DetectedMasked) * 100.0,
+        single.ratio(FiOutcome::Detected) * 100.0,
+        single.ratio(FiOutcome::Undetected) * 100.0,
+    ));
+    out.push_str(&format!(
+        "two-independent-fault coverage: {:.1}% (paper: 1-(1-0.868)^2 = 98.3%)\n",
+        multi_fault_coverage(overall.coverage(), 2) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_coverage_and_multibit_trends() {
+        // Small campaign: 7 programs x 6 vars x 10 masks (+scheduler).
+        let cells = run(ProblemScale::Quick, 6, 10);
+        let mut overall = OutcomeCounts::default();
+        for c in &cells {
+            overall.merge(&c.counts);
+        }
+        assert!(
+            overall.coverage() > 0.75,
+            "headline coverage (paper ~86.8%): {:.3}",
+            overall.coverage()
+        );
+
+        // Multi-bit faults fail more and mask less than single-bit faults.
+        let one = average_for_bits(&cells, 1);
+        let fifteen = average_for_bits(&cells, 15);
+        assert!(
+            fifteen.ratio(FiOutcome::Masked) < one.ratio(FiOutcome::Masked),
+            "masked: 15-bit {:.2} < 1-bit {:.2}",
+            fifteen.ratio(FiOutcome::Masked),
+            one.ratio(FiOutcome::Masked)
+        );
+        assert!(
+            fifteen.ratio(FiOutcome::Failure) >= one.ratio(FiOutcome::Failure),
+            "failures grow with bit count"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 2 — data type vs. memory size per program group (log scale in the
+//! paper; we report bytes and the FP:other ratio).
+
+use crate::report;
+use hauberk::program::MemBreakdown;
+use hauberk_benchmarks::{graphics_suite, hpc_suite, ProblemScale};
+
+/// One group's aggregated footprint.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Group label.
+    pub group: &'static str,
+    /// Aggregate breakdown.
+    pub mem: MemBreakdown,
+}
+
+impl Fig2Row {
+    /// Orders of magnitude by which FP data exceeds pointer+integer data.
+    pub fn fp_dominance_orders(&self) -> f64 {
+        let other = (self.mem.int_bytes + self.mem.ptr_bytes).max(1) as f64;
+        (self.mem.fp_bytes as f64 / other).log10()
+    }
+}
+
+/// Compute the figure. Memory accounting involves no simulation, so the
+/// paper-scale datasets are always used (the quick-scale inputs compress
+/// the FP dominance the paper reports at 3-6 orders of magnitude).
+pub fn run(_scale: ProblemScale) -> Vec<Fig2Row> {
+    let scale = ProblemScale::Paper;
+    let mut rows = Vec::new();
+    let mut fp_total = MemBreakdown::default();
+    let mut int_prog = MemBreakdown::default();
+    for p in hpc_suite(scale) {
+        let m = p.memory_breakdown();
+        if m.fp_bytes == 0 {
+            int_prog.fp_bytes += m.fp_bytes;
+            int_prog.int_bytes += m.int_bytes;
+            int_prog.ptr_bytes += m.ptr_bytes;
+        } else {
+            fp_total.fp_bytes += m.fp_bytes;
+            fp_total.int_bytes += m.int_bytes;
+            fp_total.ptr_bytes += m.ptr_bytes;
+        }
+    }
+    let mut gfx = MemBreakdown::default();
+    for p in graphics_suite(scale) {
+        let m = p.memory_breakdown();
+        gfx.fp_bytes += m.fp_bytes;
+        gfx.int_bytes += m.int_bytes;
+        gfx.ptr_bytes += m.ptr_bytes;
+    }
+    rows.push(Fig2Row {
+        group: "HPC FP programs",
+        mem: fp_total,
+    });
+    rows.push(Fig2Row {
+        group: "HPC integer program",
+        mem: int_prog,
+    });
+    rows.push(Fig2Row {
+        group: "3D graphics programs",
+        mem: gfx,
+    });
+    rows
+}
+
+/// Render as text.
+pub fn render(rows: &[Fig2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.to_string(),
+                r.mem.fp_bytes.to_string(),
+                r.mem.int_bytes.to_string(),
+                r.mem.ptr_bytes.to_string(),
+                format!("{:+.1}", r.fp_dominance_orders()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Fig. 2 — data type vs. memory size\n");
+    out.push_str(&report::table(
+        &[
+            "program type",
+            "FP bytes",
+            "int bytes",
+            "ptr bytes",
+            "log10(FP/other)",
+        ],
+        &body,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_programs_are_fp_dominated_by_orders_of_magnitude() {
+        let rows = run(ProblemScale::Quick);
+        let fp = rows.iter().find(|r| r.group == "HPC FP programs").unwrap();
+        assert!(
+            fp.fp_dominance_orders() > 1.5,
+            "FP dominance: {:+.1} orders",
+            fp.fp_dominance_orders()
+        );
+        let int = rows
+            .iter()
+            .find(|r| r.group == "HPC integer program")
+            .unwrap();
+        assert_eq!(int.mem.fp_bytes, 0);
+        assert!(int.mem.int_bytes > 0);
+    }
+}

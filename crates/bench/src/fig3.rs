@@ -1,0 +1,128 @@
+//! Fig. 3 — impact of transient vs. intermittent faults on a 3D graphics
+//! program (ocean-flow): one corrupted input value is an invisible spike;
+//! a 10,000-value burst is a user-noticeable stripe.
+//!
+//! The burst length is the paper's model of an intermittent fault lasting
+//! 80 µs on a 250 MHz FPU at 1 IPC with 50% FP instructions:
+//! `250e6 × 80e-6 × 0.5 = 10,000` corrupted values.
+
+use hauberk::program::HostProgram;
+use hauberk_benchmarks::ocean::Ocean;
+use hauberk_benchmarks::ProblemScale;
+use hauberk_sim::{Device, MemoryBurst, NullRuntime};
+
+/// The paper's intermittent-fault value count.
+pub fn paper_burst_words() -> u32 {
+    let clock_hz = 250e6;
+    let duration_s = 80e-6;
+    let fpu_share = 0.5;
+    (clock_hz * duration_s * fpu_share) as u32
+}
+
+/// One corrupted-frame experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Corrupted input words.
+    pub burst_words: u32,
+    /// Frame pixels deviating beyond the per-pixel tolerance.
+    pub bad_pixels: usize,
+    /// Whether the frame counts as user-noticeably corrupted (SDC).
+    pub noticeable: bool,
+    /// ASCII rendering of the |frame - golden| map (one char per block).
+    pub diff_map: String,
+}
+
+/// Corrupt `burst_words` of the ocean input stream and render the damage.
+pub fn run_one(scale: ProblemScale, burst_words: u32) -> Fig3Result {
+    let prog = Ocean::new(scale);
+    let kernel = prog.build_kernel();
+    let (golden, _) = hauberk::program::golden_run(&prog, 0);
+
+    let mut dev = Device::new(prog.device_config());
+    let args = prog.setup(&mut dev, 0);
+    let base = prog.base_field_ptr(&args);
+    dev.inject_memory_burst(&MemoryBurst {
+        space: hauberk_kir::MemSpace::Global,
+        addr: base.addr,
+        words: burst_words,
+        mask: 1 << 30,
+    });
+    let outcome = dev.launch(&kernel, &args, &prog.launch(), &mut NullRuntime);
+    assert!(outcome.is_completed(), "{outcome:?}");
+    let frame = prog.read_output(&dev, &args);
+
+    let spec = prog.spec();
+    let bad = spec.violations(&golden, &frame);
+    let noticeable = spec.is_violation(&golden, &frame);
+
+    // ASCII difference map, downsampled to at most 64 columns.
+    let w = prog.width as usize;
+    let h = prog.height as usize;
+    let step = (w / 64).max(1);
+    let mut map = String::new();
+    for y in (0..h).step_by(step) {
+        for x in (0..w).step_by(step) {
+            let d = (frame[y * w + x] - golden[y * w + x]).abs();
+            map.push(if d > 1.0 {
+                '#'
+            } else if d > 0.02 {
+                '+'
+            } else {
+                '.'
+            });
+        }
+        map.push('\n');
+    }
+
+    Fig3Result {
+        burst_words,
+        bad_pixels: bad,
+        noticeable,
+        diff_map: map,
+    }
+}
+
+/// Both panels of Fig. 3 (the intermittent burst scaled to the frame size at
+/// quick scale).
+pub fn run(scale: ProblemScale) -> (Fig3Result, Fig3Result) {
+    let burst = match scale {
+        ProblemScale::Quick => 800,
+        ProblemScale::Paper => paper_burst_words(),
+    };
+    (run_one(scale, 1), run_one(scale, burst))
+}
+
+/// Render both panels.
+pub fn render(transient: &Fig3Result, intermittent: &Fig3Result) -> String {
+    let mut out = String::from("Fig. 3 — fault impact on the ocean-flow frame\n\n");
+    for (label, r) in [
+        ("(a) transient fault (1 value error)", transient),
+        ("(b) intermittent fault (burst of value errors)", intermittent),
+    ] {
+        out.push_str(&format!(
+            "{label}: {} corrupted input words -> {} bad pixels, user-noticeable: {}\n{}\n",
+            r.burst_words, r.bad_pixels, r.noticeable, r.diff_map
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_burst_arithmetic() {
+        assert_eq!(paper_burst_words(), 10_000);
+    }
+
+    #[test]
+    fn transient_invisible_intermittent_noticeable() {
+        let (t, i) = run(ProblemScale::Quick);
+        assert!(!t.noticeable, "single spike unnoticed ({} px)", t.bad_pixels);
+        assert!(t.bad_pixels >= 1);
+        assert!(i.noticeable, "stripe noticed ({} px)", i.bad_pixels);
+        assert!(i.bad_pixels > 50 * t.bad_pixels);
+        assert!(i.diff_map.contains('#'), "visible stripe:\n{}", i.diff_map);
+    }
+}

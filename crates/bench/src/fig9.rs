@@ -1,0 +1,73 @@
+//! Fig. 9 — the dataflow graph of the coulombic-potential loop, with the
+//! cumulative backward dataflow dependencies that drive protection-target
+//! selection, plus the generated detector code (the paper's §V.B listing).
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::program::HostProgram;
+use hauberk_benchmarks::cp::Cp;
+use hauberk_benchmarks::ProblemScale;
+use hauberk_kir::analysis::{render_dataflow, select_protection_targets, LoopDataflow};
+use hauberk_kir::printer::print_kernel;
+
+/// Produce the Fig. 9 report: the dataflow graph, the selected protection
+/// target, and the instrumented loop code.
+pub fn run() -> String {
+    let prog = Cp::new(ProblemScale::Quick);
+    let kernel = prog.build_kernel();
+    let loop_stmt = kernel
+        .body
+        .0
+        .iter()
+        .find(|s| s.is_loop())
+        .expect("CP has a loop");
+    let df = LoopDataflow::of(&kernel, loop_stmt);
+    let mut out = String::from("Fig. 9 — CP loop dataflow and detector derivation\n\n");
+    out.push_str(&render_dataflow(&kernel, &df));
+
+    let iterator = kernel.var_by_name("atomid");
+    let sel = select_protection_targets(&kernel, &df, iterator, 1);
+    out.push_str(&format!(
+        "\nselected protection target (Maxvar=1): {}\n",
+        sel.iter()
+            .map(|v| kernel.vars[*v as usize].name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    let ft = build(&kernel, BuildVariant::Ft(FtOptions::l_only())).expect("FT build");
+    out.push_str("\ninstrumented kernel (Hauberk-L):\n");
+    out.push_str(&print_kernel(&ft.kernel));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_report_contains_selection_and_checks() {
+        let r = run();
+        assert!(r.contains("energyx1"));
+        assert!(r.contains("energyx2"));
+        assert!(r.contains("self-accumulating"));
+        // One of the self-accumulating energies is selected.
+        assert!(r.contains("selected protection target (Maxvar=1): energyx"));
+        assert!(r.contains("@check_range"));
+        assert!(r.contains("@check_equal"));
+        // The counter increments inside the loop body: two added additions.
+        assert!(r.contains("__cnt_0 = __cnt_0 + 1;"));
+    }
+
+    #[test]
+    fn energyx2_has_strictly_larger_dependency_than_energyx1() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let kernel = prog.build_kernel();
+        let loop_stmt = kernel.body.0.iter().find(|s| s.is_loop()).unwrap();
+        let df = LoopDataflow::of(&kernel, loop_stmt);
+        let e1 = kernel.var_by_name("energyx1").unwrap();
+        let e2 = kernel.var_by_name("energyx2").unwrap();
+        // The paper counts 12 vs 13; the exact numbers depend on temporary
+        // naming, but the strict ordering is the load-bearing property.
+        assert!(df.cumulative_backward(e2) > df.cumulative_backward(e1));
+    }
+}

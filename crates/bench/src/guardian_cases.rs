@@ -1,0 +1,190 @@
+//! §IX.B — the failure cases only the guardian catches: GPU kernel hangs
+//! from corrupted control state, undetectable by R-Naïve or R-Scatter
+//! (re-executing a hung kernel hangs again; duplicated computation inside a
+//! hung kernel never reaches its comparison).
+//!
+//! * **Corrupted loop iterator** — a sign-flipped iterator makes a counting
+//!   loop run ~2³¹ iterations.
+//! * **TPACF's corrupted write address** — the write-and-verify retry loop
+//!   spins forever when the corrupted histogram address lands in unallocated
+//!   memory, where "the corrupted address never returns the write requested
+//!   value".
+
+use hauberk::builds::{build, BuildVariant};
+use hauberk::program::{run_program, HostProgram};
+use hauberk::runtime::FiRuntime;
+use hauberk_benchmarks::{cp::Cp, tpacf::Tpacf, ProblemScale};
+use hauberk_sim::fault::{ArmedFault, FaultSite};
+use hauberk_sim::LaunchOutcome;
+
+/// One demonstrated hang case.
+#[derive(Debug, Clone)]
+pub struct HangCase {
+    /// Scenario label.
+    pub label: &'static str,
+    /// Whether the un-guarded kernel hung (budget exhausted).
+    pub hangs: bool,
+    /// Cycles burned before the watchdog cut it off.
+    pub cycles_at_kill: u64,
+    /// The fault-free kernel time for comparison.
+    pub golden_cycles: u64,
+}
+
+/// The corrupted-loop-iterator case on CP: flip the iterator's sign bit so
+/// `atomid < natoms` stays true for ~2³¹ iterations.
+pub fn iterator_hang(scale: ProblemScale) -> HangCase {
+    let prog = Cp::new(scale);
+    let base = prog.build_kernel();
+    let fi = build(&base, BuildVariant::Fi).expect("FI build");
+    let (_, golden_cycles) = hauberk::program::golden_run(&prog, 0);
+    let loop_site = fi.fi.loops.first().expect("CP has a loop");
+    let fault = ArmedFault {
+        site: FaultSite::LoopIterator {
+            loop_id: loop_site.loop_id,
+        },
+        thread: 0,
+        occurrence: 3,
+        mask: 1 << 31, // sign flip: iterator becomes hugely negative
+    };
+    let budget = golden_cycles * 10;
+    let mut rt = FiRuntime::new(Some(fault));
+    let run = run_program(&prog, &fi.kernel, 0, &mut rt, budget);
+    HangCase {
+        label: "CP: corrupted loop iterator (sign flip)",
+        hangs: matches!(run.outcome, LaunchOutcome::Hang { .. }),
+        cycles_at_kill: run.outcome.stats().work_cycles,
+        golden_cycles,
+    }
+}
+
+/// The TPACF write-retry case: corrupt the histogram bin index into
+/// unallocated memory; the verify read never observes the written value.
+pub fn tpacf_retry_hang(scale: ProblemScale) -> HangCase {
+    let prog = Tpacf::new(scale);
+    let base = prog.build_kernel();
+    let fi = build(&base, BuildVariant::Fi).expect("FI build");
+    let (_, golden_cycles) = hauberk::program::golden_run(&prog, 0);
+    // Corrupt the *final* definition of the bin index (after the clamp),
+    // right before the write-and-verify loop uses it as an address.
+    let bin_site = fi
+        .fi
+        .sites
+        .iter()
+        .filter(|s| s.var_name == "bin" && s.in_loop)
+        .next_back()
+        .expect("TPACF has the bin variable");
+    let fault = ArmedFault {
+        site: FaultSite::HookTarget {
+            site: bin_site.site,
+        },
+        thread: 7,
+        occurrence: 10,
+        // Push the bin index deep into unallocated address space (still
+        // inside the device's mapped range, so no crash — just lost writes).
+        mask: 1 << 16,
+    };
+    let budget = golden_cycles * 10;
+    let mut rt = FiRuntime::new(Some(fault));
+    let run = run_program(&prog, &fi.kernel, 0, &mut rt, budget);
+    HangCase {
+        label: "TPACF: corrupted write address in the write-and-verify loop",
+        hangs: matches!(run.outcome, LaunchOutcome::Hang { .. }),
+        cycles_at_kill: run.outcome.stats().work_cycles,
+        golden_cycles,
+    }
+}
+
+/// Both cases, plus a demonstration that the guardian recovers the TPACF
+/// case end-to-end on a transiently faulty device.
+pub fn run(scale: ProblemScale) -> Vec<HangCase> {
+    vec![iterator_hang(scale), tpacf_retry_hang(scale)]
+}
+
+/// Render the cases.
+pub fn render(cases: &[HangCase]) -> String {
+    let mut out = String::from(
+        "§IX.B — hang/delay failures detected only by the guardian watchdog\n\
+         (R-Naïve re-executes the hang; R-Scatter's in-kernel comparison is never reached)\n\n",
+    );
+    for c in cases {
+        out.push_str(&format!(
+            "{}\n  hangs: {} (killed after {} cycles; fault-free run: {} cycles)\n",
+            c.label, c.hangs, c.cycles_at_kill, c.golden_cycles
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::builds::FtOptions;
+    use hauberk_guardian::{Cluster, FaultRegime, Guardian, GuardianConfig, GuardianEvent, ManagedGpu, RecoveryOutcome};
+
+    #[test]
+    fn corrupted_iterator_hangs_cp() {
+        let c = iterator_hang(ProblemScale::Quick);
+        assert!(c.hangs, "{c:?}");
+        assert!(c.cycles_at_kill >= c.golden_cycles * 9);
+    }
+
+    #[test]
+    fn corrupted_write_address_hangs_tpacf() {
+        let c = tpacf_retry_hang(ProblemScale::Quick);
+        assert!(c.hangs, "{c:?}");
+    }
+
+    #[test]
+    fn guardian_recovers_the_tpacf_hang() {
+        let prog = Tpacf::new(ProblemScale::Quick);
+        let base = prog.build_kernel();
+        let fift = build(&base, BuildVariant::FiFt(FtOptions::default())).unwrap();
+        let bin_site = fift
+            .fi
+            .sites
+            .iter()
+            .filter(|s| s.var_name == "bin" && s.in_loop)
+            .next_back()
+            .unwrap();
+        let fault = ArmedFault {
+            site: FaultSite::HookTarget {
+                site: bin_site.site,
+            },
+            thread: 7,
+            occurrence: 10,
+            mask: 1 << 16,
+        };
+        let (golden, golden_cycles) = hauberk::program::golden_run(&prog, 0);
+
+        let mut cluster = Cluster::healthy(2);
+        cluster.gpus[0] =
+            ManagedGpu::faulty(0, FaultRegime::Transient { remaining: 1 }, fault);
+        let mut g = Guardian::new(
+            GuardianConfig {
+                watchdog_floor: golden_cycles * 10,
+                ..Default::default()
+            },
+            cluster,
+        );
+        // Train nothing: empty ranges would alarm, so train on the dataset.
+        let mut ranges = {
+            let profiler = build(&base, BuildVariant::Profiler(FtOptions::default())).unwrap();
+            let mut pr = hauberk::runtime::ProfilerRuntime::default();
+            let r = run_program(&prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+            assert!(r.outcome.is_completed());
+            (0..profiler.detectors.len())
+                .map(|d| hauberk::ranges::profile_ranges(pr.samples(d as u32)))
+                .collect::<Vec<_>>()
+        };
+        match g.run_protected(&prog, &fift.kernel, &mut ranges, 0) {
+            RecoveryOutcome::Success { output, .. } => assert_eq!(output, golden),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            g.events.contains(&GuardianEvent::HangKilled),
+            "watchdog fired: {:?}",
+            g.events
+        );
+        assert!(g.events.contains(&GuardianEvent::Restarted));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # hauberk-bench — regeneration of every table and figure
+//!
+//! Each module reproduces one experiment of the paper's evaluation; the
+//! `figures` binary drives them and prints the same rows/series the paper
+//! reports. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+
+pub mod ablation;
+pub mod alpha_cov;
+pub mod fig1;
+pub mod fig14;
+pub mod fig16;
+pub mod fig2;
+pub mod fig3;
+pub mod fig9;
+pub mod fig10;
+pub mod guardian_cases;
+pub mod perf;
+pub mod report;

@@ -1,0 +1,198 @@
+//! CP — coulombic potential (the kernel of the paper's Fig. 9).
+//!
+//! Each thread evaluates the electrostatic potential at two neighbouring
+//! grid points (`energyx1`, `energyx2` — the ×2 x-unrolling of the original
+//! Parboil kernel) by summing `q / sqrt(dx² + dy² + z²)` over all atoms.
+//! Both energies are *self-accumulating*, so Hauberk-L protects CP without
+//! adding any accumulator code inside the loop (§IX.A: CP's Hauberk-L
+//! overhead is small for exactly this reason).
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// The CP kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel cp(energygrid: *global f32, atominfo: *global f32, natoms: i32, gridspacing: f32, width: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let xidx: i32 = tid % width;
+    let yidx: i32 = tid / width;
+    let coorx: f32 = gridspacing * cast<f32>(xidx) * 2.0;
+    let coory: f32 = gridspacing * cast<f32>(yidx);
+    let gridspacing_u: f32 = gridspacing;
+    let energyx1: f32 = 0.0;
+    let energyx2: f32 = 0.0;
+    for (atomid = 0; atomid < natoms; atomid = atomid + 1) {
+        let arow: *global f32 = atominfo + atomid * 4;
+        let dy: f32 = coory - load(arow, 1);
+        let dyz2: f32 = dy * dy + load(arow, 2);
+        let dx1: f32 = coorx - load(arow, 0);
+        let dx2: f32 = dx1 + gridspacing_u;
+        let charge: f32 = load(arow, 3);
+        energyx1 = energyx1 + charge / sqrt(dx1 * dx1 + dyz2);
+        energyx2 = energyx2 + charge / sqrt(dx2 * dx2 + dyz2);
+    }
+    store(energygrid, tid * 2, energyx1);
+    store(energygrid, tid * 2 + 1, energyx2);
+}
+"#;
+
+/// The CP benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Cp {
+    /// Grid width in thread columns (each thread covers 2 x-points).
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Number of atoms (inner-loop trip count).
+    pub natoms: u32,
+}
+
+impl Cp {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Cp {
+                width: 32,
+                height: 16,
+                natoms: 96,
+            },
+            ProblemScale::Paper => Cp {
+                width: 64,
+                height: 64,
+                natoms: 256,
+            },
+        }
+    }
+
+    fn threads(&self) -> u32 {
+        self.width * self.height
+    }
+}
+
+impl HostProgram for Cp {
+    fn name(&self) -> &'static str {
+        "CP"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("CP kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.threads().div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng("cp", dataset);
+        let energygrid = dev.alloc(PrimTy::F32, self.threads() * 2);
+        let atominfo = dev.alloc(PrimTy::F32, self.natoms * 4);
+        let mut atoms = Vec::with_capacity((self.natoms * 4) as usize);
+        for _ in 0..self.natoms {
+            atoms.push(rng.gen_range(0.0f32..16.0)); // x
+            atoms.push(rng.gen_range(0.0f32..16.0)); // y
+            atoms.push(rng.gen_range(0.25f32..4.0)); // z^2 (precomputed)
+            // Positive point charges, like the benchmark's atoms: the
+            // potential sums grow with the atom count instead of cancelling.
+            atoms.push(rng.gen_range(0.25f32..2.0));
+        }
+        dev.mem.copy_in_f32(atominfo, &atoms);
+        vec![
+            Value::Ptr(energygrid),
+            Value::Ptr(atominfo),
+            Value::I32(self.natoms as i32),
+            Value::F32(0.5),
+            Value::I32(self.width as i32),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args[0].as_ptr().expect("arg 0 is the energy grid");
+        dev.mem
+            .copy_out_f32(out, self.threads() * 2)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        CorrectnessSpec::RelAbs {
+            rel: 0.01,
+            abs: 1e-4,
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: (self.threads() * 2 + self.natoms * 4) as u64 * 4,
+            int_bytes: 2 * 4, // natoms, width
+            ptr_bytes: 2 * 4, // energygrid, atominfo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn golden_run_completes_and_is_deterministic() {
+        let cp = Cp::new(ProblemScale::Quick);
+        let (out1, cycles1) = golden_run(&cp, 0);
+        let (out2, cycles2) = golden_run(&cp, 0);
+        assert_eq!(out1, out2);
+        assert_eq!(cycles1, cycles2);
+        assert_eq!(out1.len(), (cp.threads() * 2) as usize);
+        assert!(out1.iter().any(|v| *v != 0.0));
+        assert!(out1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_datasets_differ() {
+        let cp = Cp::new(ProblemScale::Quick);
+        let (a, _) = golden_run(&cp, 0);
+        let (b, _) = golden_run(&cp, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn loop_dominates_execution_time() {
+        let cp = Cp::new(ProblemScale::Quick);
+        let kernel = cp.build_kernel();
+        let run = hauberk::program::run_program(
+            &cp,
+            &kernel,
+            0,
+            &mut hauberk_sim::NullRuntime,
+            hauberk_sim::Launch::DEFAULT_BUDGET,
+        );
+        let stats = run.outcome.completed_stats().unwrap();
+        assert!(
+            stats.loop_fraction() > 0.95,
+            "CP is loop-dominant: {}",
+            stats.loop_fraction()
+        );
+    }
+
+    #[test]
+    fn fig9_dataflow_ranks_energyx2_over_energyx1() {
+        use hauberk_kir::analysis::LoopDataflow;
+        let k = Cp::new(ProblemScale::Quick).build_kernel();
+        let loop_stmt = k.body.0.iter().find(|s| s.is_loop()).unwrap();
+        let df = LoopDataflow::of(&k, loop_stmt);
+        let e1 = k.var_by_name("energyx1").unwrap();
+        let e2 = k.var_by_name("energyx2").unwrap();
+        assert!(df.self_accumulating.contains(&e1));
+        assert!(df.self_accumulating.contains(&e2));
+        assert!(
+            df.cumulative_backward(e2) > df.cumulative_backward(e1),
+            "energyx2 ({}) depends on dx2 -> dx1, exceeding energyx1 ({})",
+            df.cumulative_backward(e2),
+            df.cumulative_backward(e1)
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! CPU-mode programs for the paper's Fig. 1 CPU rows.
+//!
+//! These run on the *strict* (page-protected) device: a single lane, out of
+//! bounds traps, integer division by zero traps. Fault categories for the
+//! CPU study are **stack** (local variables — ordinary FI sites), **data**
+//! (memory words — [`hauberk_sim::MemoryBurst`]), and **code** (instruction
+//! corruption — AST operator mutation, implemented in `hauberk-swifi`).
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// Which CPU program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuKind {
+    /// Dense matrix multiplication (FP data, integer indexing).
+    MatMul,
+    /// Insertion sort (integer, index/control heavy).
+    Sort,
+    /// Taylor-series evaluation (FP).
+    Series,
+}
+
+/// A CPU-mode benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuProgram {
+    /// Which program.
+    pub kind: CpuKind,
+    /// Problem size (matrix dimension / element count).
+    pub n: u32,
+}
+
+/// Matrix multiplication source.
+pub const MATMUL_SRC: &str = r#"
+kernel cpu_matmul(c: *global f32, a: *global f32, b: *global f32, n: i32) {
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            let s: f32 = 0.0;
+            for (k = 0; k < n; k = k + 1) {
+                s = s + load(a, i * n + k) * load(b, k * n + j);
+            }
+            store(c, i * n + j, s);
+        }
+    }
+}
+"#;
+
+/// Insertion sort source.
+pub const SORT_SRC: &str = r#"
+kernel cpu_sort(v: *global i32, n: i32) {
+    for (i = 1; i < n; i = i + 1) {
+        let key: i32 = load(v, i);
+        let j: i32 = i - 1;
+        let done: bool = false;
+        while (!done) {
+            if (j < 0) {
+                done = true;
+            } else {
+                if (load(v, j) > key) {
+                    store(v, j + 1, load(v, j));
+                    j = j - 1;
+                } else {
+                    done = true;
+                }
+            }
+        }
+        store(v, j + 1, key);
+    }
+}
+"#;
+
+/// Taylor-series source.
+pub const SERIES_SRC: &str = r#"
+kernel cpu_series(out: *global f32, xs: *global f32, n: i32, terms: i32) {
+    for (i = 0; i < n; i = i + 1) {
+        let x: f32 = load(xs, i);
+        let term: f32 = 1.0;
+        let sum: f32 = 1.0;
+        for (t = 1; t < terms; t = t + 1) {
+            term = term * x / cast<f32>(t);
+            sum = sum + term;
+        }
+        store(out, i, sum);
+    }
+}
+"#;
+
+impl CpuProgram {
+    /// Construct at `scale`.
+    pub fn new(kind: CpuKind, scale: ProblemScale) -> Self {
+        let n = match (kind, scale) {
+            (CpuKind::MatMul, ProblemScale::Quick) => 10,
+            (CpuKind::MatMul, ProblemScale::Paper) => 24,
+            (CpuKind::Sort, ProblemScale::Quick) => 64,
+            (CpuKind::Sort, ProblemScale::Paper) => 256,
+            (CpuKind::Series, ProblemScale::Quick) => 64,
+            (CpuKind::Series, ProblemScale::Paper) => 512,
+        };
+        CpuProgram { kind, n }
+    }
+
+    /// All three programs at `scale`.
+    pub fn suite(scale: ProblemScale) -> Vec<CpuProgram> {
+        [CpuKind::MatMul, CpuKind::Sort, CpuKind::Series]
+            .into_iter()
+            .map(|k| CpuProgram::new(k, scale))
+            .collect()
+    }
+}
+
+impl HostProgram for CpuProgram {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            CpuKind::MatMul => "cpu-matmul",
+            CpuKind::Sort => "cpu-sort",
+            CpuKind::Series => "cpu-series",
+        }
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        let src = match self.kind {
+            CpuKind::MatMul => MATMUL_SRC,
+            CpuKind::Sort => SORT_SRC,
+            CpuKind::Series => SERIES_SRC,
+        };
+        parse_kernel(src).expect("CPU kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(1, 1)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng(self.name(), dataset);
+        // Data-segment ballast: a real CPU process carries heap/data far
+        // exceeding the working set a short kernel touches, so most "data"
+        // faults of the Fig. 1 CPU study land in state that is never read
+        // (not manifested). Allocate a cold region 4x the live data.
+        let _ballast = dev.alloc(PrimTy::I32, self.n * self.n.max(8) / 2 * 8);
+        match self.kind {
+            CpuKind::MatMul => {
+                let n = self.n;
+                let c = dev.alloc(PrimTy::F32, n * n);
+                let a = dev.alloc(PrimTy::F32, n * n);
+                let b = dev.alloc(PrimTy::F32, n * n);
+                let ad: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let bd: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                dev.mem.copy_in_f32(a, &ad);
+                dev.mem.copy_in_f32(b, &bd);
+                vec![
+                    Value::Ptr(c),
+                    Value::Ptr(a),
+                    Value::Ptr(b),
+                    Value::I32(n as i32),
+                ]
+            }
+            CpuKind::Sort => {
+                let v = dev.alloc(PrimTy::I32, self.n);
+                let data: Vec<i32> = (0..self.n).map(|_| rng.gen_range(-1000..1000)).collect();
+                dev.mem.copy_in_i32(v, &data);
+                vec![Value::Ptr(v), Value::I32(self.n as i32)]
+            }
+            CpuKind::Series => {
+                let out = dev.alloc(PrimTy::F32, self.n);
+                let xs = dev.alloc(PrimTy::F32, self.n);
+                let data: Vec<f32> = (0..self.n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+                dev.mem.copy_in_f32(xs, &data);
+                vec![
+                    Value::Ptr(out),
+                    Value::Ptr(xs),
+                    Value::I32(self.n as i32),
+                    Value::I32(12),
+                ]
+            }
+        }
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args[0].as_ptr().expect("arg 0 is the output");
+        match self.kind {
+            CpuKind::MatMul => dev
+                .mem
+                .copy_out_f32(out, self.n * self.n)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect(),
+            CpuKind::Sort => dev
+                .mem
+                .copy_out_i32(out, self.n)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect(),
+            CpuKind::Series => dev
+                .mem
+                .copy_out_f32(out, self.n)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect(),
+        }
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        match self.kind {
+            CpuKind::Sort => CorrectnessSpec::Exact,
+            _ => CorrectnessSpec::RelAbs {
+                rel: 0.01,
+                abs: 1e-5,
+            },
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        match self.kind {
+            CpuKind::MatMul => MemBreakdown {
+                fp_bytes: (3 * self.n * self.n) as u64 * 4,
+                int_bytes: 4,
+                ptr_bytes: 3 * 4,
+            },
+            CpuKind::Sort => MemBreakdown {
+                fp_bytes: 0,
+                int_bytes: self.n as u64 * 4 + 4,
+                ptr_bytes: 4,
+            },
+            CpuKind::Series => MemBreakdown {
+                fp_bytes: (2 * self.n) as u64 * 4,
+                int_bytes: 8,
+                ptr_bytes: 2 * 4,
+            },
+        }
+    }
+
+    fn is_cpu(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn matmul_matches_host_reference() {
+        let p = CpuProgram::new(CpuKind::MatMul, ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        // Recompute on the host.
+        let mut rng = dataset_rng("cpu-matmul", 0);
+        let n = p.n as usize;
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for k in 0..n {
+                    s += a[i * n + k] * b[k * n + j];
+                }
+                assert!(
+                    (out[i * n + j] - s as f64).abs() < 1e-5,
+                    "({i},{j}): {} vs {s}",
+                    out[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sort_sorts() {
+        let p = CpuProgram::new(CpuKind::Sort, ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 5);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "{out:?}");
+    }
+
+    #[test]
+    fn series_approximates_exp() {
+        let p = CpuProgram::new(CpuKind::Series, ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        let mut rng = dataset_rng("cpu-series", 0);
+        for o in out.iter().take(16) {
+            let x: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!(
+                (o - (x as f64).exp()).abs() < 0.05 * (x as f64).exp().abs() + 0.05,
+                "exp({x}) ~ {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_programs_run_on_strict_device() {
+        for p in CpuProgram::suite(ProblemScale::Quick) {
+            assert!(p.is_cpu());
+            assert!(p.device_config().strict_memory);
+            let (out, _) = golden_run(&p, 0);
+            assert!(!out.is_empty());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # hauberk-benchmarks — the evaluation workloads
+//!
+//! KIR re-implementations of the benchmark programs the paper evaluates:
+//!
+//! | Program  | Domain                                   | Data     | Notes |
+//! |----------|------------------------------------------|----------|-------|
+//! | CP       | coulombic potential (Fig. 9's kernel)    | FP       | self-accumulating energies, loop-dominant |
+//! | MRI-FHD  | MRI reconstruction (FHd)                 | FP       | vector inputs → imprecise range detectors (Fig. 16) |
+//! | MRI-Q    | MRI reconstruction (Q)                   | FP       | the Fig. 10 value-distribution subject |
+//! | PNS      | stochastic Petri-net simulation          | integer  | the one integer program; tight ranges |
+//! | RPES     | two-electron repulsion integrals         | FP       | ~75% *non-loop* execution time |
+//! | SAD      | sum of absolute differences (H.264)      | integer  | exact output-correctness requirement |
+//! | TPACF    | two-point angular correlation function   | FP/int   | >½ shared memory; write-and-verify retry loop |
+//! | ocean    | ocean-flow rendering (graphics)          | FP       | Fig. 3's corrupted-frame subject |
+//! | ray      | sphere ray-tracer (graphics)             | FP       | second graphics program |
+//! | cpu-*    | CPU-mode programs (matmul, sort, series) | mixed    | Fig. 1's CPU rows |
+//!
+//! Every program implements [`hauberk::HostProgram`]: a baseline kernel in
+//! mini-CUDA source (visible via `KERNEL_SRC` constants), a seeded dataset
+//! generator (each `dataset` value is a distinct input set; 52 are used for
+//! the false-positive study), launch geometry, output read-back, the paper's
+//! output-correctness spec, and the Fig. 2 memory breakdown.
+
+pub mod cp;
+pub mod cpu;
+pub mod mri_fhd;
+pub mod mri_q;
+pub mod ocean;
+pub mod pns;
+pub mod raytrace;
+pub mod rpes;
+pub mod sad;
+pub mod suite;
+pub mod tpacf;
+
+pub use suite::{all_programs, cpu_suite, graphics_suite, hpc_suite, program_by_name};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for program `name`, dataset `dataset`.
+pub(crate) fn dataset_rng(name: &str, dataset: u64) -> SmallRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(h ^ dataset.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Problem scale: `Quick` keeps fault-injection campaigns fast (default for
+/// tests and figures); `Paper` approaches the paper's workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProblemScale {
+    /// Small inputs for fast campaigns.
+    #[default]
+    Quick,
+    /// Larger inputs.
+    Paper,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_rng_is_deterministic_and_program_specific() {
+        use rand::Rng;
+        let a: u64 = dataset_rng("cp", 0).gen();
+        let b: u64 = dataset_rng("cp", 0).gen();
+        let c: u64 = dataset_rng("cp", 1).gen();
+        let d: u64 = dataset_rng("sad", 0).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,200 @@
+//! Ocean-flow — the graphics program of the paper's Fig. 3.
+//!
+//! Each thread renders one pixel of a water-height frame: a per-pixel base
+//! height (the corruptible *input data stream*) plus a sum of sinusoidal
+//! wave components. Fault experiments corrupt the base-field words directly
+//! ([`hauberk_sim::MemoryBurst`]): one corrupted value produces the paper's
+//! single spike; 10,000 produce the visible stripe.
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// The ocean-flow kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel ocean(frame: *global f32, base: *global f32, waves: *global f32, nwaves: i32, width: i32, t: f32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let px: i32 = tid % width;
+    let py: i32 = tid / width;
+    let h: f32 = load(base, tid);
+    for (w = 0; w < nwaves; w = w + 1) {
+        let kx: f32 = load(waves, w * 4);
+        let ky: f32 = load(waves, w * 4 + 1);
+        let amp: f32 = load(waves, w * 4 + 2);
+        let om: f32 = load(waves, w * 4 + 3);
+        h = h + amp * sin(kx * cast<f32>(px) + ky * cast<f32>(py) + om * t);
+    }
+    store(frame, tid, h * 0.25 + 0.5);
+}
+"#;
+
+/// The ocean-flow graphics program.
+#[derive(Debug, Clone, Copy)]
+pub struct Ocean {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Wave components.
+    pub nwaves: u32,
+}
+
+impl Ocean {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Ocean {
+                width: 64,
+                height: 32,
+                nwaves: 8,
+            },
+            ProblemScale::Paper => Ocean {
+                width: 256,
+                height: 128,
+                nwaves: 16,
+            },
+        }
+    }
+
+    /// Pixels per frame.
+    pub fn pixels(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// The device address of the base-field input stream for dataset
+    /// `dataset` setups (first allocation after the frame).
+    pub fn base_field_ptr(&self, args: &[Value]) -> hauberk_kir::PtrVal {
+        args[1].as_ptr().expect("arg 1 is the base field")
+    }
+}
+
+impl HostProgram for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean-flow"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("ocean kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.pixels().div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng("ocean", dataset);
+        let frame = dev.alloc(PrimTy::F32, self.pixels());
+        let base = dev.alloc(PrimTy::F32, self.pixels());
+        let waves = dev.alloc(PrimTy::F32, self.nwaves * 4);
+        let basedata: Vec<f32> = (0..self.pixels())
+            .map(|_| rng.gen_range(-0.1f32..0.1))
+            .collect();
+        dev.mem.copy_in_f32(base, &basedata);
+        let mut wavedata = Vec::with_capacity((self.nwaves * 4) as usize);
+        for _ in 0..self.nwaves {
+            wavedata.push(rng.gen_range(0.05f32..0.6)); // kx
+            wavedata.push(rng.gen_range(0.05f32..0.6)); // ky
+            wavedata.push(rng.gen_range(0.02f32..0.2)); // amplitude
+            wavedata.push(rng.gen_range(0.5f32..2.0)); // omega
+        }
+        dev.mem.copy_in_f32(waves, &wavedata);
+        vec![
+            Value::Ptr(frame),
+            Value::Ptr(base),
+            Value::Ptr(waves),
+            Value::I32(self.nwaves as i32),
+            Value::I32(self.width as i32),
+            Value::F32(1.5),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let frame = args[0].as_ptr().expect("arg 0 is the frame");
+        dev.mem
+            .copy_out_f32(frame, self.pixels())
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        // A corruption is an SDC only when user-noticeable (§II.A).
+        CorrectnessSpec::GraphicsNoticeable {
+            pixel_tol: 0.02,
+            min_bad_pixels: 64,
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: (self.pixels() * 2 + self.nwaves * 4) as u64 * 4 + 4,
+            int_bytes: 2 * 4,
+            ptr_bytes: 3 * 4,
+        }
+    }
+
+    fn is_graphics(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+    use hauberk_sim::{MemoryBurst, NullRuntime};
+
+    #[test]
+    fn renders_a_frame() {
+        let p = Ocean::new(ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        assert_eq!(out.len(), p.pixels() as usize);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_value_corruption_is_one_spike_not_noticeable() {
+        let p = Ocean::new(ProblemScale::Quick);
+        let (golden, _) = golden_run(&p, 0);
+        // Re-run with one corrupted input word (Fig. 3a).
+        let kernel = p.build_kernel();
+        let mut dev = Device::new(p.device_config());
+        let args = p.setup(&mut dev, 0);
+        let base = p.base_field_ptr(&args);
+        dev.inject_memory_burst(&MemoryBurst::transient(base.addr + 400, 1 << 30));
+        let outcome = dev.launch(&kernel, &args, &p.launch(), &mut NullRuntime);
+        assert!(outcome.is_completed());
+        let frame = p.read_output(&dev, &args);
+        let spec = p.spec();
+        let bad = spec.violations(&golden, &frame);
+        assert!(bad >= 1 && bad < 64, "one spike: {bad} bad pixels");
+        assert!(!spec.is_violation(&golden, &frame), "not user-noticeable");
+    }
+
+    #[test]
+    fn burst_corruption_is_a_noticeable_stripe() {
+        let p = Ocean::new(ProblemScale::Quick);
+        let (golden, _) = golden_run(&p, 0);
+        let kernel = p.build_kernel();
+        let mut dev = Device::new(p.device_config());
+        let args = p.setup(&mut dev, 0);
+        let base = p.base_field_ptr(&args);
+        // Corrupt 500 consecutive input values (scaled-down Fig. 3b).
+        dev.inject_memory_burst(&MemoryBurst {
+            space: hauberk_kir::MemSpace::Global,
+            addr: base.addr,
+            words: 500,
+            mask: 1 << 30,
+        });
+        let outcome = dev.launch(&kernel, &args, &p.launch(), &mut NullRuntime);
+        assert!(outcome.is_completed());
+        let frame = p.read_output(&dev, &args);
+        assert!(
+            p.spec().is_violation(&golden, &frame),
+            "stripe is user-noticeable"
+        );
+    }
+}

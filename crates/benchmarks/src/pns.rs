@@ -1,0 +1,173 @@
+//! PNS — stochastic Petri-net simulation (the suite's integer program).
+//!
+//! Each thread simulates a small cyclic Petri net with an inline LCG; the
+//! program reports the ensemble transition throughput per thread block (a
+//! stochastic simulation's output is an aggregate statistic, not raw
+//! per-trajectory noise). The protected variables
+//! are integers, and the program's inputs are "parameters of a fixed
+//! simulation model", so the range detectors converge after a handful of
+//! training sets (§IX.C / Fig. 16) and Hauberk-L's overhead is the smallest
+//! of the suite ("thanks to the fast integer arithmetic speed", §IX.A).
+
+use crate::ProblemScale;
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+
+/// The PNS kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel pns(out: *global i32, steps: i32, seed0: i32, m0: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let seed: i32 = seed0 + tid * 9973;
+    let p0: i32 = m0;
+    let p1: i32 = 0;
+    let p2: i32 = 0;
+    let fired: i32 = 0;
+    for (s = 0; s < steps; s = s + 1) {
+        seed = seed * 1103515245 + 12345;
+        let r: i32 = (seed >> 16) & 3;
+        if (r == 0) {
+            if (p0 > 0) {
+                p0 = p0 - 1;
+                p1 = p1 + 1;
+                fired = fired + 1;
+            }
+        }
+        if (r == 1) {
+            if (p1 > 0) {
+                p1 = p1 - 1;
+                p2 = p2 + 1;
+                fired = fired + 1;
+            }
+        }
+        if (r == 2) {
+            if (p2 > 0) {
+                p2 = p2 - 1;
+                p0 = p0 + 1;
+                fired = fired + 1;
+            }
+        }
+    }
+    store(out, tid, fired);
+}
+"#;
+
+/// The PNS benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Pns {
+    /// Concurrent net instances (threads).
+    pub threads: u32,
+    /// Simulation steps per instance (loop trip count).
+    pub steps: u32,
+    /// Initial marking of place 0 (the fixed model parameter).
+    pub marking: i32,
+}
+
+impl Pns {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Pns {
+                threads: 256,
+                steps: 200,
+                marking: 8,
+            },
+            ProblemScale::Paper => Pns {
+                threads: 1024,
+                steps: 1000,
+                marking: 8,
+            },
+        }
+    }
+}
+
+impl HostProgram for Pns {
+    fn name(&self) -> &'static str {
+        "PNS"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("PNS kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.threads.div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let out = dev.alloc(PrimTy::I32, self.threads);
+        // Different datasets = different RNG streams of the SAME model.
+        let seed0 = (dataset as i32).wrapping_mul(2_654_435) + 1;
+        vec![
+            Value::Ptr(out),
+            Value::I32(self.steps as i32),
+            Value::I32(seed0),
+            Value::I32(self.marking),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args[0].as_ptr().expect("arg 0 is the output");
+        let per_thread = dev.mem.copy_out_i32(out, self.threads);
+        // The program's output is the ensemble statistic per thread block:
+        // the block's total transition throughput.
+        let blocks = self.threads.div_ceil(32) as usize;
+        let mut agg = vec![0f64; blocks];
+        for t in 0..self.threads as usize {
+            agg[t / 32] += per_thread[t] as f64;
+        }
+        agg
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        // Max{0.01, 1%|GRi|} — §IX.B.
+        CorrectnessSpec::RelAbs {
+            rel: 0.01,
+            abs: 0.01,
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: 0,
+            int_bytes: self.threads as u64 * 4 + 3 * 4,
+            ptr_bytes: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn throughput_is_positive_and_bounded() {
+        let p = Pns::new(ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        let blocks = (p.threads / 32) as usize;
+        assert_eq!(out.len(), blocks);
+        for b in 0..blocks {
+            let fired = out[b] as i64;
+            assert!(fired > 0, "the net fires");
+            assert!(fired <= (p.steps as i64) * 32, "bounded by steps x lanes");
+        }
+    }
+
+    #[test]
+    fn different_seeds_same_model_statistics() {
+        let p = Pns::new(ProblemScale::Quick);
+        let avg_fired = |d: u64| {
+            let (out, _) = golden_run(&p, d);
+            out.iter().sum::<f64>() / p.threads as f64
+        };
+        let a = avg_fired(0);
+        let b = avg_fired(7);
+        assert!(a > 0.0);
+        assert!(
+            (a - b).abs() / a < 0.1,
+            "fixed model => stable statistics: {a} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Ray-trace — the second graphics program (a sphere ray-caster).
+//!
+//! Each thread casts one primary ray through its pixel, intersects a small
+//! scene of spheres, and shades by depth + Lambert term. A transient fault
+//! perturbs at most a pixel; like ocean-flow, no single-bit fault is a
+//! *user-noticeable* corruption.
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// The ray-trace kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel raytrace(frame: *global f32, spheres: *global f32, nspheres: i32, width: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let px: i32 = tid % width;
+    let py: i32 = tid / width;
+    let dirx: f32 = (cast<f32>(px) - cast<f32>(width) * 0.5) * 0.05;
+    let diry: f32 = (cast<f32>(py) - 16.0) * 0.05;
+    let dirz: f32 = 1.0;
+    let invn: f32 = rsqrt(dirx * dirx + diry * diry + 1.0);
+    let dx: f32 = dirx * invn;
+    let dy: f32 = diry * invn;
+    let dz: f32 = dirz * invn;
+    let best: f32 = 1000000.0;
+    let shade: f32 = 0.05;
+    for (s = 0; s < nspheres; s = s + 1) {
+        let cx: f32 = load(spheres, s * 4);
+        let cy: f32 = load(spheres, s * 4 + 1);
+        let cz: f32 = load(spheres, s * 4 + 2);
+        let rad: f32 = load(spheres, s * 4 + 3);
+        let b: f32 = dx * cx + dy * cy + dz * cz;
+        let c: f32 = cx * cx + cy * cy + cz * cz - rad * rad;
+        let disc: f32 = b * b - c;
+        if (disc > 0.0) {
+            let tdist: f32 = b - sqrt(disc);
+            if (tdist > 0.0) {
+                if (tdist < best) {
+                    best = tdist;
+                    shade = min(1.0, max(0.1, 1.0 - tdist * 0.05) + rad * 0.1);
+                }
+            }
+        }
+    }
+    store(frame, tid, shade);
+}
+"#;
+
+/// The ray-trace graphics program.
+#[derive(Debug, Clone, Copy)]
+pub struct Raytrace {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Scene spheres.
+    pub nspheres: u32,
+}
+
+impl Raytrace {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Raytrace {
+                width: 64,
+                height: 32,
+                nspheres: 6,
+            },
+            ProblemScale::Paper => Raytrace {
+                width: 256,
+                height: 128,
+                nspheres: 16,
+            },
+        }
+    }
+
+    fn pixels(&self) -> u32 {
+        self.width * self.height
+    }
+}
+
+impl HostProgram for Raytrace {
+    fn name(&self) -> &'static str {
+        "ray-trace"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("raytrace kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.pixels().div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng("raytrace", dataset);
+        let frame = dev.alloc(PrimTy::F32, self.pixels());
+        let spheres = dev.alloc(PrimTy::F32, self.nspheres * 4);
+        let mut data = Vec::with_capacity((self.nspheres * 4) as usize);
+        for _ in 0..self.nspheres {
+            data.push(rng.gen_range(-3.0f32..3.0)); // cx
+            data.push(rng.gen_range(-2.0f32..2.0)); // cy
+            data.push(rng.gen_range(4.0f32..12.0)); // cz (in front)
+            data.push(rng.gen_range(0.5f32..2.0)); // radius
+        }
+        dev.mem.copy_in_f32(spheres, &data);
+        vec![
+            Value::Ptr(frame),
+            Value::Ptr(spheres),
+            Value::I32(self.nspheres as i32),
+            Value::I32(self.width as i32),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let frame = args[0].as_ptr().expect("arg 0 is the frame");
+        dev.mem
+            .copy_out_f32(frame, self.pixels())
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        CorrectnessSpec::GraphicsNoticeable {
+            pixel_tol: 0.02,
+            min_bad_pixels: 64,
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: (self.pixels() + self.nspheres * 4) as u64 * 4,
+            int_bytes: 2 * 4,
+            ptr_bytes: 2 * 4,
+        }
+    }
+
+    fn is_graphics(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn renders_spheres_with_varied_shading() {
+        let p = Raytrace::new(ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+        let distinct = {
+            let mut v: Vec<u64> = out.iter().map(|x| (x * 1e6) as u64).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct > 10, "scene has visible structure: {distinct}");
+    }
+}

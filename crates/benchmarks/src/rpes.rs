@@ -1,0 +1,180 @@
+//! RPES — two-electron repulsion integrals over shell pairs.
+//!
+//! The defining property from the paper: RPES is the outlier whose GPU code
+//! is mostly *sequential* (non-loop) — ~75% of its execution time is spent
+//! outside loops (Fig. 4) — which makes Hauberk-NL's overhead exceptionally
+//! high for it and lifts the suite-average Hauberk overhead from ~8.9% to
+//! ~15.3% (§IX.A). The kernel therefore evaluates a long straight-line
+//! Gaussian-integral prefactor chain (exp/sqrt/div-heavy) followed by a
+//! short contraction loop. (The paper notes RPES was later dropped from
+//! Parboil for exactly this shape.)
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// The RPES kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel rpes(out: *global f32, shells: *global f32, ncontr: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let ax: f32 = load(shells, tid * 8);
+    let ay: f32 = load(shells, tid * 8 + 1);
+    let az: f32 = load(shells, tid * 8 + 2);
+    let aa: f32 = load(shells, tid * 8 + 3);
+    let bx: f32 = load(shells, tid * 8 + 4);
+    let by: f32 = load(shells, tid * 8 + 5);
+    let bz: f32 = load(shells, tid * 8 + 6);
+    let ab: f32 = load(shells, tid * 8 + 7);
+    let zeta: f32 = aa + ab;
+    let xi: f32 = aa * ab / zeta;
+    let dx: f32 = ax - bx;
+    let dy: f32 = ay - by;
+    let dz: f32 = az - bz;
+    let rab2: f32 = dx * dx + dy * dy + dz * dz;
+    let kab: f32 = exp(0.0 - xi * rab2) / zeta;
+    let px: f32 = (aa * ax + ab * bx) / zeta;
+    let py: f32 = (aa * ay + ab * by) / zeta;
+    let pz: f32 = (aa * az + ab * bz) / zeta;
+    let rho: f32 = zeta * 0.5;
+    let tparam: f32 = rho * (px * px + py * py + pz * pz);
+    let f0a: f32 = exp(0.0 - tparam * 0.25);
+    let f0b: f32 = sqrt(3.1415927 / (tparam + 0.5));
+    let f0c: f32 = 1.0 / sqrt(tparam + 1.0);
+    let f1a: f32 = exp(0.0 - tparam * 0.125) * f0c;
+    let f1b: f32 = sqrt(tparam + 2.0) / (tparam + 1.0);
+    let theta: f32 = sqrt(rho / 3.1415927);
+    let omega: f32 = 34.986836 * kab * kab * theta;
+    let pref1: f32 = omega * f0a * f0b;
+    let pref2: f32 = omega * f1a * f1b;
+    let damp: f32 = exp(0.0 - rab2 / (zeta * 4.0));
+    let gnorm: f32 = sqrt(sqrt(2.0 * xi / 3.1415927));
+    let base: f32 = (pref1 + pref2 * 0.5) * damp * gnorm;
+    let acc: f32 = 0.0;
+    for (m = 0; m < ncontr; m = m + 1) {
+        acc = acc + base * exp(0.0 - cast<f32>(m) * 0.3) / (cast<f32>(m) + 1.0);
+    }
+    let scaled: f32 = acc * theta + base * 0.001;
+    store(out, tid, scaled);
+}
+"#;
+
+/// The RPES benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Rpes {
+    /// Shell pairs (threads).
+    pub pairs: u32,
+    /// Contraction depth (loop trip count; deliberately small).
+    pub ncontr: u32,
+}
+
+impl Rpes {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Rpes {
+                pairs: 512,
+                ncontr: 4,
+            },
+            ProblemScale::Paper => Rpes {
+                pairs: 2048,
+                ncontr: 4,
+            },
+        }
+    }
+}
+
+impl HostProgram for Rpes {
+    fn name(&self) -> &'static str {
+        "RPES"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("RPES kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.pairs.div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng("rpes", dataset);
+        let out = dev.alloc(PrimTy::F32, self.pairs);
+        let shells = dev.alloc(PrimTy::F32, self.pairs * 8);
+        let mut data = Vec::with_capacity((self.pairs * 8) as usize);
+        for _ in 0..self.pairs {
+            for _ in 0..2 {
+                data.push(rng.gen_range(-2.0f32..2.0)); // x
+                data.push(rng.gen_range(-2.0f32..2.0)); // y
+                data.push(rng.gen_range(-2.0f32..2.0)); // z
+                data.push(rng.gen_range(0.3f32..3.0)); // exponent
+            }
+        }
+        dev.mem.copy_in_f32(shells, &data);
+        vec![
+            Value::Ptr(out),
+            Value::Ptr(shells),
+            Value::I32(self.ncontr as i32),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args[0].as_ptr().expect("arg 0 is the output");
+        dev.mem
+            .copy_out_f32(out, self.pairs)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        // 2%|GRi| + 1e-9 — §IX.B.
+        CorrectnessSpec::RelPlusEps {
+            rel: 0.02,
+            eps: 1e-9,
+        }
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: (self.pairs * 9) as u64 * 4,
+            int_bytes: 4,
+            ptr_bytes: 2 * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn golden_run_is_finite_nonzero() {
+        let p = Rpes::new(ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert!(out.iter().any(|v| v.abs() > 0.0));
+    }
+
+    #[test]
+    fn non_loop_code_dominates() {
+        let p = Rpes::new(ProblemScale::Quick);
+        let kernel = p.build_kernel();
+        let run = hauberk::program::run_program(
+            &p,
+            &kernel,
+            0,
+            &mut hauberk_sim::NullRuntime,
+            hauberk_sim::Launch::DEFAULT_BUDGET,
+        );
+        let stats = run.outcome.completed_stats().unwrap();
+        let f = stats.loop_fraction();
+        assert!(
+            f < 0.5,
+            "RPES must be non-loop dominated (paper: ~25% loop time), got {f}"
+        );
+    }
+}

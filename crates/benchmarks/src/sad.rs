@@ -1,0 +1,162 @@
+//! SAD — sum of absolute differences (H.264 motion estimation).
+//!
+//! The suite's *exact-output* integer program: each thread computes the SADs
+//! of one 4×4 macroblock against a 3×3 search window. "It does not allow
+//! value errors in the output" (§IX.B), so its detected-&-masked ratio is
+//! the lowest of the suite.
+
+use crate::{dataset_rng, ProblemScale};
+use hauberk::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, Launch};
+use rand::Rng;
+
+/// The SAD kernel in mini-CUDA.
+pub const KERNEL_SRC: &str = r#"
+kernel sad(sads: *global i32, cur: *global i32, reff: *global i32, width: i32, height: i32, mbw: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let mbx: i32 = (tid % mbw) * 4;
+    let mby: i32 = (tid / mbw) * 4;
+    for (pos = 0; pos < 9; pos = pos + 1) {
+        let ox: i32 = pos % 3 - 1;
+        let oy: i32 = pos / 3 - 1;
+        let s: i32 = 0;
+        for (py = 0; py < 4; py = py + 1) {
+            for (px = 0; px < 4; px = px + 1) {
+                let cx: i32 = mbx + px;
+                let cy: i32 = mby + py;
+                let rx: i32 = min(max(cx + ox, 0), width - 1);
+                let ry: i32 = min(max(cy + oy, 0), height - 1);
+                let currow: *global i32 = cur + cy * width;
+                let refrow: *global i32 = reff + ry * width;
+                let c: i32 = load(currow, cx);
+                let rr: i32 = load(refrow, rx);
+                s = s + abs(c - rr);
+            }
+        }
+        store(sads, tid * 9 + pos, s);
+    }
+}
+"#;
+
+/// The SAD benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Sad {
+    /// Frame width in pixels (multiple of 4).
+    pub width: u32,
+    /// Frame height in pixels (multiple of 4).
+    pub height: u32,
+}
+
+impl Sad {
+    /// Construct at `scale`.
+    pub fn new(scale: ProblemScale) -> Self {
+        match scale {
+            ProblemScale::Quick => Sad {
+                width: 64,
+                height: 32,
+            },
+            ProblemScale::Paper => Sad {
+                width: 128,
+                height: 96,
+            },
+        }
+    }
+
+    fn macroblocks(&self) -> u32 {
+        (self.width / 4) * (self.height / 4)
+    }
+}
+
+impl HostProgram for Sad {
+    fn name(&self) -> &'static str {
+        "SAD"
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        parse_kernel(KERNEL_SRC).expect("SAD kernel parses")
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::grid1d(self.macroblocks().div_ceil(32), 32)
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut rng = dataset_rng("sad", dataset);
+        let npix = self.width * self.height;
+        let sads = dev.alloc(PrimTy::I32, self.macroblocks() * 9);
+        let cur = dev.alloc(PrimTy::I32, npix);
+        let reff = dev.alloc(PrimTy::I32, npix);
+        // A reference frame plus a shifted/noised current frame (video-like).
+        let refdata: Vec<i32> = (0..npix).map(|_| rng.gen_range(0..256)).collect();
+        let curdata: Vec<i32> = (0..npix)
+            .map(|i| {
+                let v = refdata[((i + 1) % npix) as usize] + rng.gen_range(-8..8);
+                v.clamp(0, 255)
+            })
+            .collect();
+        dev.mem.copy_in_i32(cur, &curdata);
+        dev.mem.copy_in_i32(reff, &refdata);
+        vec![
+            Value::Ptr(sads),
+            Value::Ptr(cur),
+            Value::Ptr(reff),
+            Value::I32(self.width as i32),
+            Value::I32(self.height as i32),
+            Value::I32((self.width / 4) as i32),
+        ]
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args[0].as_ptr().expect("arg 0 is the SAD table");
+        dev.mem
+            .copy_out_i32(out, self.macroblocks() * 9)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        CorrectnessSpec::Exact
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        MemBreakdown {
+            fp_bytes: 0,
+            int_bytes: (self.width * self.height * 2 + self.macroblocks() * 9) as u64 * 4 + 3 * 4,
+            ptr_bytes: 3 * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::program::golden_run;
+
+    #[test]
+    fn sads_are_nonnegative_and_bounded() {
+        let p = Sad::new(ProblemScale::Quick);
+        let (out, _) = golden_run(&p, 0);
+        assert_eq!(out.len(), (p.macroblocks() * 9) as usize);
+        // 16 pixels * max diff 255.
+        assert!(out.iter().all(|v| *v >= 0.0 && *v <= 16.0 * 255.0));
+        assert!(out.iter().any(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn loop_fraction_high() {
+        let p = Sad::new(ProblemScale::Quick);
+        let kernel = p.build_kernel();
+        let run = hauberk::program::run_program(
+            &p,
+            &kernel,
+            0,
+            &mut hauberk_sim::NullRuntime,
+            hauberk_sim::Launch::DEFAULT_BUDGET,
+        );
+        let stats = run.outcome.completed_stats().unwrap();
+        assert!(stats.loop_fraction() > 0.9, "{}", stats.loop_fraction());
+    }
+}

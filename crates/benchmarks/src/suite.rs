@@ -1,0 +1,121 @@
+//! Benchmark registry.
+
+use crate::cp::Cp;
+use crate::cpu::CpuProgram;
+use crate::mri_fhd::MriFhd;
+use crate::mri_q::MriQ;
+use crate::ocean::Ocean;
+use crate::pns::Pns;
+use crate::raytrace::Raytrace;
+use crate::rpes::Rpes;
+use crate::sad::Sad;
+use crate::tpacf::Tpacf;
+use crate::ProblemScale;
+use hauberk::program::HostProgram;
+
+/// The seven HPC programs, in the paper's order
+/// (CP, MRI-FHD, MRI-Q, PNS, RPES, SAD, TPACF).
+pub fn hpc_suite(scale: ProblemScale) -> Vec<Box<dyn HostProgram>> {
+    vec![
+        Box::new(Cp::new(scale)),
+        Box::new(MriFhd::new(scale)),
+        Box::new(MriQ::new(scale)),
+        Box::new(Pns::new(scale)),
+        Box::new(Rpes::new(scale)),
+        Box::new(Sad::new(scale)),
+        Box::new(Tpacf::new(scale)),
+    ]
+}
+
+/// The two graphics programs (ray-trace, ocean-flow).
+pub fn graphics_suite(scale: ProblemScale) -> Vec<Box<dyn HostProgram>> {
+    vec![Box::new(Raytrace::new(scale)), Box::new(Ocean::new(scale))]
+}
+
+/// The CPU-mode programs (Fig. 1's CPU rows).
+pub fn cpu_suite(scale: ProblemScale) -> Vec<Box<dyn HostProgram>> {
+    CpuProgram::suite(scale)
+        .into_iter()
+        .map(|p| Box::new(p) as Box<dyn HostProgram>)
+        .collect()
+}
+
+/// Every program.
+pub fn all_programs(scale: ProblemScale) -> Vec<Box<dyn HostProgram>> {
+    let mut v = hpc_suite(scale);
+    v.extend(graphics_suite(scale));
+    v.extend(cpu_suite(scale));
+    v
+}
+
+/// Look up a program by its paper name (case-insensitive).
+pub fn program_by_name(name: &str, scale: ProblemScale) -> Option<Box<dyn HostProgram>> {
+    all_programs(scale)
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_composition() {
+        assert_eq!(hpc_suite(ProblemScale::Quick).len(), 7);
+        assert_eq!(graphics_suite(ProblemScale::Quick).len(), 2);
+        assert_eq!(cpu_suite(ProblemScale::Quick).len(), 3);
+        assert_eq!(all_programs(ProblemScale::Quick).len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program_by_name("cp", ProblemScale::Quick).is_some());
+        assert!(program_by_name("MRI-Q", ProblemScale::Quick).is_some());
+        assert!(program_by_name("nope", ProblemScale::Quick).is_none());
+    }
+
+    #[test]
+    fn every_program_has_a_valid_kernel() {
+        for p in all_programs(ProblemScale::Quick) {
+            let k = p.build_kernel();
+            hauberk_kir::validate::validate_kernel(&k)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(k.n_params > 0);
+        }
+    }
+
+    #[test]
+    fn every_program_builds_all_hauberk_variants() {
+        use hauberk::builds::{build, BuildVariant, FtOptions};
+        for p in all_programs(ProblemScale::Quick) {
+            let k = p.build_kernel();
+            for v in [
+                BuildVariant::Profiler(FtOptions::default()),
+                BuildVariant::Ft(FtOptions::default()),
+                BuildVariant::Fi,
+                BuildVariant::FiFt(FtOptions::default()),
+                BuildVariant::RScatter,
+            ] {
+                build(&k, v).unwrap_or_else(|e| panic!("{} {v:?}: {e}", p.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn hpc_fp_programs_have_fp_dominated_memory() {
+        // Fig. 2: FP data dominates by orders of magnitude in FP programs.
+        for name in ["CP", "MRI-Q", "MRI-FHD", "RPES"] {
+            let p = program_by_name(name, ProblemScale::Quick).unwrap();
+            let m = p.memory_breakdown();
+            assert!(
+                m.fp_bytes > 50 * (m.int_bytes + m.ptr_bytes),
+                "{name}: fp={} int={} ptr={}",
+                m.fp_bytes,
+                m.int_bytes,
+                m.ptr_bytes
+            );
+        }
+        let pns = program_by_name("PNS", ProblemScale::Quick).unwrap();
+        assert_eq!(pns.memory_breakdown().fp_bytes, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The control block: the object the CPU side allocates, copies to the GPU,
+//! and reads back after the kernel completes (§V.A).
+//!
+//! It carries the loop detectors' configured value ranges *into* the kernel
+//! and the detection results, outliers, and profiling state *out of* it. In
+//! the simulator the block is held by the library runtime and handed back to
+//! the host flow after the launch, rather than being marshalled through
+//! device memory — the information flow is identical.
+
+use crate::ranges::RangeSet;
+
+/// One raised SDC alarm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alarm {
+    /// Which detector raised it (loop-detector index, or `usize::MAX` for
+    /// the non-loop checksum/duplication detectors).
+    pub detector: usize,
+    /// What kind of check fired.
+    pub kind: AlarmKind,
+    /// The observed offending value (averaged accumulator for range checks,
+    /// observed count for trip-count checks, checksum for checksum failures).
+    pub observed: f64,
+}
+
+/// The check that raised an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// `HauberkCheckRange`: averaged accumulator outside profiled ranges.
+    RangeCheck,
+    /// `HauberkCheckEqual`: loop trip count differed from the invariant.
+    TripCount,
+    /// Kernel-exit XOR checksum was non-zero.
+    Checksum,
+    /// Non-loop duplication mismatch (`orig != dup`).
+    NlMismatch,
+}
+
+/// Identifier used for alarms raised by non-loop detectors.
+pub const NON_LOOP_DETECTOR: usize = usize::MAX;
+
+/// The control block.
+#[derive(Debug, Clone, Default)]
+pub struct ControlBlock {
+    /// Configured value ranges, one per loop detector (from profiling).
+    pub ranges: Vec<RangeSet>,
+    /// Whether any SDC error bit was set during the launch.
+    pub sdc_flag: bool,
+    /// All alarms raised (deferred reporting: the detectors record here and
+    /// the host inspects after kernel completion, §IV.A principle 3).
+    pub alarms: Vec<Alarm>,
+    /// Out-of-range values observed by range checks, per detector — the
+    /// candidate range updates the recovery engine applies when it diagnoses
+    /// a false positive (on-line learning, §V.B step iv).
+    pub outliers: Vec<(usize, f64)>,
+}
+
+impl ControlBlock {
+    /// A control block configured with `ranges` (one per loop detector).
+    pub fn with_ranges(ranges: Vec<RangeSet>) -> Self {
+        ControlBlock {
+            ranges,
+            ..Default::default()
+        }
+    }
+
+    /// Record an alarm and set the SDC bit.
+    pub fn raise(&mut self, detector: usize, kind: AlarmKind, observed: f64) {
+        self.sdc_flag = true;
+        // Deduplicate identical alarms from the many threads of a launch;
+        // keep one record per (detector, kind).
+        if !self
+            .alarms
+            .iter()
+            .any(|a| a.detector == detector && a.kind == kind)
+        {
+            self.alarms.push(Alarm {
+                detector,
+                kind,
+                observed,
+            });
+        }
+    }
+
+    /// Record an out-of-range observation for later on-line learning.
+    pub fn record_outlier(&mut self, detector: usize, value: f64) {
+        if self.outliers.len() < 4096 {
+            self.outliers.push((detector, value));
+        }
+    }
+
+    /// Fold the recorded outliers into the configured ranges (called by the
+    /// recovery engine once a false positive is diagnosed).
+    pub fn learn_outliers(&mut self) {
+        let outliers = std::mem::take(&mut self.outliers);
+        for (det, v) in outliers {
+            if let Some(rs) = self.ranges.get_mut(det) {
+                rs.learn(v);
+            }
+        }
+    }
+
+    /// Clear per-run state (keep the configured ranges).
+    pub fn reset_run(&mut self) {
+        self.sdc_flag = false;
+        self.alarms.clear();
+        self.outliers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::profile_ranges;
+
+    #[test]
+    fn raise_sets_flag_and_dedups() {
+        let mut cb = ControlBlock::default();
+        assert!(!cb.sdc_flag);
+        cb.raise(0, AlarmKind::RangeCheck, 5.0);
+        cb.raise(0, AlarmKind::RangeCheck, 6.0);
+        cb.raise(0, AlarmKind::TripCount, 3.0);
+        assert!(cb.sdc_flag);
+        assert_eq!(cb.alarms.len(), 2);
+    }
+
+    #[test]
+    fn learn_outliers_extends_ranges() {
+        let mut cb = ControlBlock::with_ranges(vec![profile_ranges(&[1.0, 2.0])]);
+        assert!(!cb.ranges[0].contains(50.0));
+        cb.record_outlier(0, 50.0);
+        cb.learn_outliers();
+        assert!(cb.ranges[0].contains(50.0));
+        assert!(cb.outliers.is_empty());
+    }
+
+    #[test]
+    fn reset_run_preserves_ranges() {
+        let mut cb = ControlBlock::with_ranges(vec![profile_ranges(&[1.0])]);
+        cb.raise(0, AlarmKind::Checksum, 1.0);
+        cb.record_outlier(0, 9.0);
+        cb.reset_run();
+        assert!(!cb.sdc_flag);
+        assert!(cb.alarms.is_empty());
+        assert!(cb.outliers.is_empty());
+        assert_eq!(cb.ranges.len(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! The full compilation & evaluation flow of the paper's Fig. 7, as a
+//! reusable pipeline: from one baseline kernel, produce the five program
+//! binaries (baseline / profiler / FT / FI / FI&FT), run the profiler over
+//! training datasets, persist the learned value ranges to a file (the FT
+//! library "loads the profiled value range from a file" at `main()` entry
+//! and "stores the updated value ranges to the same file" at exit, §V.B),
+//! and hand back a ready-to-run protected program.
+
+use crate::builds::{build, BuildVariant, FtOptions, Instrumented};
+use crate::control::ControlBlock;
+use crate::program::{run_program, HostProgram, ProgramRun};
+use crate::ranges::{profile_ranges, ranges_from_string, ranges_to_string, RangeSet};
+use crate::runtime::{FtRuntime, ProfilerRuntime};
+use hauberk_kir::validate::ValidateError;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The five build artifacts of Fig. 7.
+#[derive(Debug)]
+pub struct BuildSet {
+    /// Unmodified kernel (baseline performance, golden runs).
+    pub baseline: Instrumented,
+    /// Profiler-library build.
+    pub profiler: Instrumented,
+    /// FT-library build.
+    pub ft: Instrumented,
+    /// FI-library build (baseline sensitivity).
+    pub fi: Instrumented,
+    /// FI&FT build (coverage evaluation).
+    pub fi_ft: Instrumented,
+}
+
+/// Produce all five builds from the program's baseline kernel.
+pub fn build_all(prog: &dyn HostProgram, opts: FtOptions) -> Result<BuildSet, ValidateError> {
+    let k = prog.build_kernel();
+    Ok(BuildSet {
+        baseline: build(&k, BuildVariant::Baseline)?,
+        profiler: build(&k, BuildVariant::Profiler(opts))?,
+        ft: build(&k, BuildVariant::Ft(opts))?,
+        fi: build(&k, BuildVariant::Fi)?,
+        fi_ft: build(&k, BuildVariant::FiFt(opts))?,
+    })
+}
+
+/// A program protected by Hauberk, with persisted value ranges.
+pub struct ProtectedProgram<'p> {
+    /// The supervised program.
+    pub prog: &'p dyn HostProgram,
+    /// The build artifacts.
+    pub builds: BuildSet,
+    /// The loop detectors' learned ranges (kept in sync with
+    /// [`ProtectedProgram::ranges_path`]).
+    pub ranges: Vec<RangeSet>,
+    /// Where the ranges are persisted (none = in-memory only).
+    pub ranges_path: Option<PathBuf>,
+}
+
+impl<'p> ProtectedProgram<'p> {
+    /// Build and train a protected program: produce the five builds, run the
+    /// profiler over `training_datasets`, and learn the value ranges. When
+    /// `ranges_path` exists it is loaded instead of re-profiling (and kept
+    /// updated by [`ProtectedProgram::save_ranges`]).
+    pub fn prepare(
+        prog: &'p dyn HostProgram,
+        opts: FtOptions,
+        training_datasets: &[u64],
+        ranges_path: Option<&Path>,
+    ) -> io::Result<Self> {
+        let builds = build_all(prog, opts)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let n_det = builds.ft.detectors.len();
+
+        let ranges = match ranges_path {
+            Some(p) if p.exists() => {
+                let text = std::fs::read_to_string(p)?;
+                let loaded = ranges_from_string(&text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if loaded.len() != n_det {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "ranges file has {} detectors, the FT build has {n_det}",
+                            loaded.len()
+                        ),
+                    ));
+                }
+                loaded
+            }
+            _ => {
+                let mut merged = vec![RangeSet::default(); n_det];
+                for &ds in training_datasets {
+                    let mut pr = ProfilerRuntime::default();
+                    let run = run_program(prog, &builds.profiler.kernel, ds, &mut pr, u64::MAX);
+                    if !run.outcome.is_completed() {
+                        return Err(io::Error::other(format!(
+                            "profiling run on dataset {ds} failed"
+                        )));
+                    }
+                    for (d, m) in merged.iter_mut().enumerate() {
+                        m.merge(&profile_ranges(pr.samples(d as u32)));
+                    }
+                }
+                merged
+            }
+        };
+
+        let pp = ProtectedProgram {
+            prog,
+            builds,
+            ranges,
+            ranges_path: ranges_path.map(Path::to_path_buf),
+        };
+        pp.save_ranges()?;
+        Ok(pp)
+    }
+
+    /// Persist the current ranges (no-op without a path).
+    pub fn save_ranges(&self) -> io::Result<()> {
+        if let Some(p) = &self.ranges_path {
+            std::fs::write(p, ranges_to_string(&self.ranges))?;
+        }
+        Ok(())
+    }
+
+    /// Run the FT build once, fault-free, on `dataset`; returns the run and
+    /// whether the detectors raised an alarm (a false positive on a clean
+    /// device). On a false positive the outliers are folded into the ranges
+    /// and persisted (on-line learning, §V.B step iv).
+    pub fn run_protected(&mut self, dataset: u64) -> io::Result<(ProgramRun, bool)> {
+        let mut rt = FtRuntime::new(ControlBlock::with_ranges(self.ranges.clone()));
+        let run = run_program(self.prog, &self.builds.ft.kernel, dataset, &mut rt, u64::MAX);
+        let alarm = rt.cb.sdc_flag;
+        if alarm {
+            rt.cb.learn_outliers();
+            self.ranges = rt.cb.ranges;
+            self.save_ranges()?;
+        }
+        Ok((run, alarm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::parser::parse_kernel;
+    use hauberk_kir::{KernelDef, PrimTy, Value};
+    use hauberk_sim::{Device, Launch};
+
+    /// A tiny self-contained HostProgram for pipeline tests.
+    struct Toy;
+
+    impl HostProgram for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn build_kernel(&self) -> KernelDef {
+            parse_kernel(
+                r#"kernel toy(out: *global f32, x: *global f32, n: i32, scale: f32) {
+                    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+                    let acc: f32 = 0.0;
+                    for (i = 0; i < n; i = i + 1) {
+                        acc = acc + load(x, i) * scale;
+                    }
+                    store(out, tid, acc);
+                }"#,
+            )
+            .unwrap()
+        }
+        fn launch(&self) -> Launch {
+            Launch::grid1d(1, 32)
+        }
+        fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+            let out = dev.alloc(PrimTy::F32, 32);
+            let x = dev.alloc(PrimTy::F32, 16);
+            let data: Vec<f32> = (0..16).map(|i| (i + 1) as f32 * 0.1).collect();
+            dev.mem.copy_in_f32(x, &data);
+            // Dataset 9 is a deliberate outlier (different scale).
+            let scale = if dataset == 9 { 100.0 } else { 1.0 + dataset as f32 * 0.01 };
+            vec![
+                Value::Ptr(out),
+                Value::Ptr(x),
+                Value::I32(16),
+                Value::F32(scale),
+            ]
+        }
+        fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+            dev.mem
+                .copy_out_f32(args[0].as_ptr().unwrap(), 32)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect()
+        }
+        fn spec(&self) -> crate::program::CorrectnessSpec {
+            crate::program::CorrectnessSpec::RelAbs {
+                rel: 0.01,
+                abs: 1e-6,
+            }
+        }
+        fn memory_breakdown(&self) -> crate::program::MemBreakdown {
+            crate::program::MemBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn build_all_produces_consistent_detector_layouts() {
+        let b = build_all(&Toy, FtOptions::default()).unwrap();
+        assert_eq!(b.profiler.detectors.len(), b.ft.detectors.len());
+        assert_eq!(b.ft.detectors.len(), b.fi_ft.detectors.len());
+        assert!(b.fi.fi.sites.len() > 0);
+        assert!(b.baseline.fi.sites.is_empty());
+    }
+
+    #[test]
+    fn pipeline_trains_saves_loads_and_learns() {
+        let dir = std::env::temp_dir().join(format!("hauberk_pipeline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.ranges");
+        let _ = std::fs::remove_file(&path);
+
+        // Train on datasets 0..3 and persist.
+        let mut pp =
+            ProtectedProgram::prepare(&Toy, FtOptions::default(), &[0, 1, 2], Some(&path))
+                .unwrap();
+        assert!(path.exists());
+        let (run, alarm) = pp.run_protected(1).unwrap();
+        assert!(run.outcome.is_completed());
+        assert!(!alarm, "trained dataset runs clean");
+
+        // An outlier dataset raises a false positive and is learned.
+        let (_, alarm) = pp.run_protected(9).unwrap();
+        assert!(alarm, "outlier dataset alarms");
+        let (_, alarm2) = pp.run_protected(9).unwrap();
+        assert!(!alarm2, "on-line learning absorbed the outlier");
+
+        // A fresh pipeline loads the persisted (learned) ranges from disk.
+        let mut pp2 =
+            ProtectedProgram::prepare(&Toy, FtOptions::default(), &[], Some(&path)).unwrap();
+        let (_, alarm3) = pp2.run_protected(9).unwrap();
+        assert!(!alarm3, "persisted ranges include the learned outlier");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn stale_ranges_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("hauberk_pipeline_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ranges");
+        std::fs::write(&path, "detector 0 t=1e-5 n=1 neg=none zero=none pos=1 2\ndetector 1 t=1e-5 n=1 neg=none zero=none pos=1 2\ndetector 2 t=1e-5 n=1 neg=none zero=none pos=1 2\n").unwrap();
+        let r = ProtectedProgram::prepare(&Toy, FtOptions::default(), &[], Some(&path));
+        assert!(r.is_err(), "detector count mismatch must be rejected");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

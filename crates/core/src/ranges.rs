@@ -1,0 +1,503 @@
+//! The value-range model of the Hauberk loop detector (§V.B).
+//!
+//! The paper's measurement (Fig. 10) shows that values computed for a single
+//! program variable cluster around **up to three correlation points**: one
+//! near zero and one each in the negative and positive magnitudes. The
+//! profiling algorithm here learns such a three-cluster [`RangeSet`] by
+//! splitting samples at a near-zero threshold and hill-climbing the threshold
+//! (×10 / ×0.1) to minimize the total covered *value space*, measured in
+//! IEEE-754 bit space (the count of representable `f32` values covered — the
+//! honest notion of "fraction of the available FP value space", §V.B).
+//!
+//! The recovery engine widens ranges by a multiplicative `alpha` when the
+//! observed false-positive ratio is too high, and re-tightens it when low
+//! (§VI iii); [`RangeSet::apply_alpha`] implements the widening.
+
+use std::fmt;
+
+/// A closed interval `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub min: f64,
+    /// Upper bound (inclusive).
+    pub max: f64,
+}
+
+impl Range {
+    /// Point range.
+    pub fn point(v: f64) -> Range {
+        Range { min: v, max: v }
+    }
+
+    /// Whether `v` lies inside.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+
+    /// Extend to include `v`.
+    pub fn extend(&mut self, v: f64) {
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Union of two ranges.
+    pub fn union(a: Range, b: Range) -> Range {
+        Range {
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+}
+
+/// Monotonic order-preserving map from `f32` to `u64` bit space (positive
+/// floats sort by bit pattern; negatives are flipped below zero).
+fn f32_order(x: f32) -> i64 {
+    let b = x.to_bits() as i64;
+    if x.is_sign_negative() {
+        // Negative floats: larger bit pattern = more negative.
+        -(b & 0x7FFF_FFFF)
+    } else {
+        b
+    }
+}
+
+/// Bit-space width of a closed interval: how many representable `f32` values
+/// it covers (saturating at the f32 boundary behaviour for f64 inputs).
+fn bit_space(r: &Range) -> u64 {
+    let lo = f32_order(r.min as f32);
+    let hi = f32_order(r.max as f32);
+    (hi - lo).unsigned_abs() + 1
+}
+
+/// Up to three value clusters for one protected variable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RangeSet {
+    /// Negative-magnitude cluster (values ≤ −threshold).
+    pub neg: Option<Range>,
+    /// Near-zero cluster (−threshold, +threshold) — the paper's correlation
+    /// point at zero.
+    pub zero: Option<Range>,
+    /// Positive-magnitude cluster (values ≥ +threshold).
+    pub pos: Option<Range>,
+    /// The near-zero threshold the clusters were split at.
+    pub zero_threshold: f64,
+    /// Number of samples this set was trained on.
+    pub samples: u64,
+}
+
+impl RangeSet {
+    /// Whether `v` is inside any cluster. NaN is never contained (a NaN
+    /// average is always an alarm).
+    pub fn contains(&self, v: f64) -> bool {
+        if v.is_nan() {
+            return false;
+        }
+        self.neg.map(|r| r.contains(v)).unwrap_or(false)
+            || self.zero.map(|r| r.contains(v)).unwrap_or(false)
+            || self.pos.map(|r| r.contains(v)).unwrap_or(false)
+    }
+
+    /// Whether any training data was ever folded in.
+    pub fn is_trained(&self) -> bool {
+        self.samples > 0
+    }
+
+    /// Total covered value space, in f32 bit-space units.
+    pub fn value_space(&self) -> u64 {
+        self.neg.as_ref().map(bit_space).unwrap_or(0)
+            + self.zero.as_ref().map(bit_space).unwrap_or(0)
+            + self.pos.as_ref().map(bit_space).unwrap_or(0)
+    }
+
+    /// Extend the nearest cluster to include `v` (online learning after a
+    /// diagnosed false positive, §VI ii.a).
+    pub fn learn(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.samples += 1;
+        let t = if self.zero_threshold > 0.0 {
+            self.zero_threshold
+        } else {
+            DEFAULT_ZERO_THRESHOLD
+        };
+        let slot = if v <= -t {
+            &mut self.neg
+        } else if v >= t {
+            &mut self.pos
+        } else {
+            &mut self.zero
+        };
+        match slot {
+            Some(r) => r.extend(v),
+            None => *slot = Some(Range::point(v)),
+        }
+    }
+
+    /// Merge another trained set into this one (multi-dataset training).
+    pub fn merge(&mut self, other: &RangeSet) {
+        fn m(a: &mut Option<Range>, b: Option<Range>) {
+            *a = match (*a, b) {
+                (Some(x), Some(y)) => Some(Range::union(x, y)),
+                (x, None) => x,
+                (None, y) => y,
+            };
+        }
+        m(&mut self.neg, other.neg);
+        m(&mut self.zero, other.zero);
+        m(&mut self.pos, other.pos);
+        self.samples += other.samples;
+        if self.zero_threshold == 0.0 {
+            self.zero_threshold = other.zero_threshold;
+        }
+    }
+
+    /// Widen every cluster by the multiplicative factor `alpha ≥ 1` (§VI
+    /// iii): magnitudes of outer bounds grow by `alpha`, magnitudes of inner
+    /// bounds shrink by `alpha`.
+    pub fn apply_alpha(&self, alpha: f64) -> RangeSet {
+        assert!(alpha >= 1.0, "alpha must be >= 1");
+        let widen = |r: Range| -> Range {
+            let lo = widen_bound(r.min, alpha, false);
+            let hi = widen_bound(r.max, alpha, true);
+            Range { min: lo, max: hi }
+        };
+        RangeSet {
+            neg: self.neg.map(widen),
+            zero: self.zero.map(widen),
+            pos: self.pos.map(widen),
+            zero_threshold: self.zero_threshold,
+            samples: self.samples,
+        }
+    }
+}
+
+/// Widen one bound away from zero (`outward=true` pushes `max` up /
+/// `outward=false` pushes `min` down).
+fn widen_bound(b: f64, alpha: f64, upper: bool) -> f64 {
+    if b == 0.0 {
+        return 0.0;
+    }
+    let grows_magnitude = (b > 0.0) == upper;
+    if grows_magnitude {
+        b * alpha
+    } else {
+        b / alpha
+    }
+}
+
+/// Default near-zero threshold of the profiling sweep (the paper's example
+/// default of ±10⁻⁵).
+pub const DEFAULT_ZERO_THRESHOLD: f64 = 1e-5;
+
+/// Cluster `values` at threshold `t`.
+fn cluster(values: &[f64], t: f64) -> RangeSet {
+    let mut rs = RangeSet {
+        zero_threshold: t,
+        ..RangeSet::default()
+    };
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        rs.samples += 1;
+        let slot = if v <= -t {
+            &mut rs.neg
+        } else if v >= t {
+            &mut rs.pos
+        } else {
+            &mut rs.zero
+        };
+        match slot {
+            Some(r) => r.extend(v),
+            None => *slot = Some(Range::point(v)),
+        }
+    }
+    rs
+}
+
+/// Relative inflation applied to profiled cluster bounds: a finite sample
+/// of per-thread values underestimates the true envelope, so the profiler
+/// widens each cluster's magnitude bounds by this factor (tiny compared to
+/// the orders-of-magnitude changes faults cause — Fig. 15 — so it costs no
+/// measurable coverage, but it lets stable programs like PNS converge to
+/// zero false positives after a handful of training sets, Fig. 16).
+pub const PROFILE_MARGIN: f64 = 1.05;
+
+/// The paper's value-range profiling algorithm: cluster at the default
+/// threshold, sweep the threshold ×10 / ×0.1 while the covered value space
+/// shrinks, then inflate by [`PROFILE_MARGIN`].
+pub fn profile_ranges(values: &[f64]) -> RangeSet {
+    profile_ranges_unpadded(values).apply_alpha(PROFILE_MARGIN)
+}
+
+/// [`profile_ranges`] without the finite-sample margin.
+pub fn profile_ranges_unpadded(values: &[f64]) -> RangeSet {
+    let mut t = DEFAULT_ZERO_THRESHOLD;
+    let mut best = cluster(values, t);
+    let mut best_space = best.value_space();
+    for _ in 0..60 {
+        let up = cluster(values, t * 10.0);
+        let down = cluster(values, t * 0.1);
+        let (cand, cand_t) = if up.value_space() <= down.value_space() {
+            (up, t * 10.0)
+        } else {
+            (down, t * 0.1)
+        };
+        if cand.value_space() < best_space {
+            best_space = cand.value_space();
+            best = cand;
+            t = cand_t;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = |r: &Option<Range>| match r {
+            Some(r) => format!("[{:.3e}, {:.3e}]", r.min, r.max),
+            None => "-".to_string(),
+        };
+        write!(
+            f,
+            "neg={} zero={} pos={} (t={:.0e}, n={})",
+            p(&self.neg),
+            p(&self.zero),
+            p(&self.pos),
+            self.zero_threshold,
+            self.samples
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (the profiled-ranges file of Fig. 7, hand-rolled line format)
+// ---------------------------------------------------------------------------
+
+/// Serialize a list of per-detector range sets to a line-oriented text form.
+pub fn ranges_to_string(sets: &[RangeSet]) -> String {
+    let mut out = String::new();
+    for (i, rs) in sets.iter().enumerate() {
+        let r = |x: &Option<Range>| match x {
+            Some(r) => format!("{:?} {:?}", r.min, r.max),
+            None => "none".to_string(),
+        };
+        out.push_str(&format!(
+            "detector {i} t={:?} n={} neg={} zero={} pos={}\n",
+            rs.zero_threshold,
+            rs.samples,
+            r(&rs.neg),
+            r(&rs.zero),
+            r(&rs.pos)
+        ));
+    }
+    out
+}
+
+/// Parse the output of [`ranges_to_string`].
+pub fn ranges_from_string(s: &str) -> Result<Vec<RangeSet>, String> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rs = RangeSet::default();
+        let mut fields = line.split_whitespace();
+        let tag = fields.next().ok_or("empty line")?;
+        if tag != "detector" {
+            return Err(format!("expected `detector`, got `{tag}`"));
+        }
+        let _idx = fields.next().ok_or("missing index")?;
+        let mut rest: Vec<&str> = fields.collect();
+        // Re-join and parse key=value groups; range values contain a space.
+        let joined = rest.join(" ");
+        rest.clear();
+        let parse_range = |v: &str| -> Result<Option<Range>, String> {
+            if v == "none" {
+                return Ok(None);
+            }
+            let mut it = v.split(' ');
+            let min: f64 = it
+                .next()
+                .ok_or("missing min")?
+                .parse()
+                .map_err(|e| format!("bad min: {e}"))?;
+            let max: f64 = it
+                .next()
+                .ok_or("missing max")?
+                .parse()
+                .map_err(|e| format!("bad max: {e}"))?;
+            Ok(Some(Range { min, max }))
+        };
+        for key in ["t=", "n=", "neg=", "zero=", "pos="] {
+            let start = joined
+                .find(key)
+                .ok_or_else(|| format!("missing `{key}`"))?;
+            let after = &joined[start + key.len()..];
+            let end = ["t=", "n=", "neg=", "zero=", "pos="]
+                .iter()
+                .filter_map(|k| after.find(k))
+                .min()
+                .unwrap_or(after.len());
+            let val = after[..end].trim();
+            match key {
+                "t=" => rs.zero_threshold = val.parse().map_err(|e| format!("bad t: {e}"))?,
+                "n=" => rs.samples = val.parse().map_err(|e| format!("bad n: {e}"))?,
+                "neg=" => rs.neg = parse_range(val)?,
+                "zero=" => rs.zero = parse_range(val)?,
+                "pos=" => rs.pos = parse_range(val)?,
+                _ => unreachable!(),
+            }
+        }
+        out.push(rs);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_cluster_profile_matches_fig10_shape() {
+        // FP variable with three correlation points: ±~1e3 and ~0.
+        let mut vals = Vec::new();
+        for i in 0..100 {
+            vals.push(1.0e3 + i as f64);
+            vals.push(-1.0e3 - i as f64);
+            vals.push(1.0e-9 * i as f64);
+        }
+        let rs = profile_ranges(&vals);
+        assert!(rs.neg.is_some() && rs.zero.is_some() && rs.pos.is_some());
+        assert!(rs.contains(1050.0));
+        assert!(rs.contains(-1050.0));
+        assert!(rs.contains(5e-8));
+        assert!(!rs.contains(1.0), "gap between clusters is not covered");
+        assert!(!rs.contains(1e9));
+        assert!(!rs.contains(f64::NAN));
+    }
+
+    #[test]
+    fn profiling_covers_every_training_sample() {
+        let vals: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761u64) % 1000) as f64 / 7.0 - 60.0)
+            .collect();
+        let rs = profile_ranges(&vals);
+        for v in &vals {
+            assert!(rs.contains(*v), "sample {v} must be covered");
+        }
+    }
+
+    #[test]
+    fn threshold_sweep_reduces_value_space() {
+        // All values cluster tightly around ±1e-3: a smaller threshold than
+        // the default 1e-5 cannot help, but a larger one (1e-2) merges the
+        // clusters into zero; the sweep should pick whichever covers less
+        // bit space than the default split.
+        let mut vals = Vec::new();
+        for i in 0..50 {
+            vals.push(1.0e-3 + 1.0e-6 * i as f64);
+            vals.push(-1.0e-3 - 1.0e-6 * i as f64);
+        }
+        let default = cluster(&vals, DEFAULT_ZERO_THRESHOLD);
+        let swept = profile_ranges_unpadded(&vals);
+        assert!(swept.value_space() <= default.value_space());
+    }
+
+    #[test]
+    fn alpha_widens_and_keeps_containment() {
+        let mut vals = Vec::new();
+        for i in 1..100 {
+            vals.push(i as f64);
+        }
+        let rs = profile_ranges(&vals);
+        assert!(!rs.contains(500.0));
+        let wide = rs.apply_alpha(10.0);
+        assert!(wide.contains(500.0));
+        assert!(wide.contains(50.0), "widening never loses containment");
+        assert!(!wide.contains(10_000.0));
+    }
+
+    #[test]
+    fn alpha_widening_is_monotone_in_alpha() {
+        let vals: Vec<f64> = (1..50).map(|i| -(i as f64) * 3.0).collect();
+        let rs = profile_ranges(&vals);
+        for &v in &[-500.0, -1000.0, -10_000.0] {
+            let a10 = rs.apply_alpha(10.0).contains(v);
+            let a100 = rs.apply_alpha(100.0).contains(v);
+            assert!(!a10 || a100, "alpha=100 covers at least what alpha=10 does");
+        }
+    }
+
+    #[test]
+    fn learn_extends_nearest_cluster() {
+        let mut rs = profile_ranges(&[10.0, 20.0, 30.0]);
+        assert!(!rs.contains(100.0));
+        rs.learn(100.0);
+        assert!(rs.contains(100.0));
+        assert!(rs.contains(60.0), "learning extends the range, not a point");
+        rs.learn(-5.0);
+        assert!(rs.contains(-5.0));
+    }
+
+    #[test]
+    fn merge_unions_clusters() {
+        let a = profile_ranges(&[1.0, 2.0]);
+        let b = profile_ranges(&[-4.0, -3.0]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.contains(1.5) && m.contains(-3.5));
+        assert_eq!(m.samples, a.samples + b.samples);
+    }
+
+    #[test]
+    fn untrained_set_contains_nothing() {
+        let rs = RangeSet::default();
+        assert!(!rs.is_trained());
+        assert!(!rs.contains(0.0));
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let sets = vec![
+            profile_ranges(&[1.0, 2.0, -7.5, 1e-8]),
+            RangeSet::default(),
+            profile_ranges(&[-1e20, 1e20, 0.0]),
+        ];
+        let s = ranges_to_string(&sets);
+        let back = ranges_from_string(&s).unwrap();
+        assert_eq!(sets, back, "serialized:\n{s}");
+    }
+
+    #[test]
+    fn bit_space_orders_magnitudes() {
+        let narrow = Range { min: 1.0, max: 2.0 };
+        let wide = Range {
+            min: 1.0,
+            max: 1e30,
+        };
+        assert!(bit_space(&narrow) < bit_space(&wide));
+        let cross = Range {
+            min: -1.0,
+            max: 1.0,
+        };
+        assert!(bit_space(&cross) > bit_space(&narrow));
+    }
+
+    #[test]
+    fn f32_order_is_monotonic() {
+        let xs = [-1e30f32, -1.0, -1e-20, 0.0, 1e-20, 1.0, 1e30];
+        for w in xs.windows(2) {
+            assert!(f32_order(w[0]) < f32_order(w[1]), "{} < {}", w[0], w[1]);
+        }
+    }
+}

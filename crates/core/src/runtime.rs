@@ -1,0 +1,361 @@
+//! The four Hauberk library runtimes of Fig. 7, as [`HookRuntime`]
+//! implementations: profiler, FT (fault tolerance), FI (fault injector), and
+//! FI&FT.
+
+use crate::control::{AlarmKind, ControlBlock, NON_LOOP_DETECTOR};
+use hauberk_kir::stmt::{LoopId, SiteId};
+use hauberk_kir::Hook;
+use hauberk_kir::HookKind;
+use hauberk_sim::fault::{ArmedFault, FaultArm};
+use hauberk_sim::hooks::{HookCtx, HookRuntime, LoopCheckCtx};
+use std::collections::HashMap;
+
+/// Cap on recorded per-site value samples (Fig. 10 tracing).
+const SITE_SAMPLE_CAP: usize = 8192;
+
+/// The profiler library: records the averaged-accumulator samples the
+/// FT build later range-checks, per-site execution counts (to enumerate and
+/// weight fault-injection targets), and per-site value samples (Fig. 10).
+#[derive(Debug, Default)]
+pub struct ProfilerRuntime {
+    /// Per-detector samples of the averaged accumulator value.
+    pub detector_samples: HashMap<u32, Vec<f64>>,
+    /// Dynamic execution count per (site, thread).
+    pub exec_counts: HashMap<(SiteId, u32), u64>,
+    /// Value samples per site (the defined variable's value), capped.
+    pub site_samples: HashMap<SiteId, Vec<f64>>,
+}
+
+impl ProfilerRuntime {
+    /// Samples for detector `det` (empty slice if none).
+    pub fn samples(&self, det: u32) -> &[f64] {
+        self.detector_samples
+            .get(&det)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total dynamic executions of `site` across threads.
+    pub fn total_execs(&self, site: SiteId) -> u64 {
+        self.exec_counts
+            .iter()
+            .filter(|((s, _), _)| *s == site)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Threads that executed `site`, with their counts, in thread order.
+    pub fn threads_of(&self, site: SiteId) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .exec_counts
+            .iter()
+            .filter(|((s, _), _)| *s == site)
+            .map(|((_, t), c)| (*t, *c))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl HookRuntime for ProfilerRuntime {
+    fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        match &hook.kind {
+            HookKind::Profile { detector } => {
+                let samples = self.detector_samples.entry(*detector).or_default();
+                let lanes: Vec<u32> = ctx.active_lanes().collect();
+                for lane in lanes {
+                    samples.push(ctx.args[0][lane as usize].as_numeric_f64());
+                }
+            }
+            HookKind::CountExec => {
+                let lanes: Vec<u32> = ctx.active_lanes().collect();
+                for lane in lanes {
+                    let t = ctx.thread_of(lane);
+                    *self.exec_counts.entry((hook.site, t)).or_insert(0) += 1;
+                    if let Some(target) = ctx.target.as_deref() {
+                        let s = self.site_samples.entry(hook.site).or_default();
+                        if s.len() < SITE_SAMPLE_CAP {
+                            s.push(target[lane as usize].as_numeric_f64());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The FT library: checks values against the control block's configured
+/// ranges and records alarms with deferred reporting.
+#[derive(Debug, Default)]
+pub struct FtRuntime {
+    /// The control block (configure ranges before launch; read alarms after).
+    pub cb: ControlBlock,
+}
+
+impl FtRuntime {
+    /// An FT runtime configured with profiled ranges.
+    pub fn new(cb: ControlBlock) -> Self {
+        FtRuntime { cb }
+    }
+}
+
+impl HookRuntime for FtRuntime {
+    fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        ft_dispatch(&mut self.cb, hook, ctx);
+    }
+}
+
+fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
+    match &hook.kind {
+        HookKind::CheckRange { detector } => {
+            let det = *detector as usize;
+            let lanes: Vec<u32> = ctx.active_lanes().collect();
+            for lane in lanes {
+                let v = ctx.args[0][lane as usize].as_numeric_f64();
+                let inside = cb.ranges.get(det).map(|r| r.contains(v)).unwrap_or(false);
+                if !inside {
+                    cb.raise(det, AlarmKind::RangeCheck, v);
+                    cb.record_outlier(det, v);
+                }
+            }
+        }
+        HookKind::CheckEqual { detector } => {
+            let det = *detector as usize;
+            let lanes: Vec<u32> = ctx.active_lanes().collect();
+            for lane in lanes {
+                let a = ctx.args[0][lane as usize].as_numeric_f64();
+                let b = ctx.args[1][lane as usize].as_numeric_f64();
+                if a != b {
+                    cb.raise(det, AlarmKind::TripCount, a);
+                }
+            }
+        }
+        HookKind::ChecksumCheck => {
+            let lanes: Vec<u32> = ctx.active_lanes().collect();
+            for lane in lanes {
+                let chk = ctx.args[0][lane as usize].to_bits();
+                if chk != 0 {
+                    cb.raise(NON_LOOP_DETECTOR, AlarmKind::Checksum, chk as f64);
+                }
+            }
+        }
+        HookKind::NlMismatch => {
+            // Reached only inside `if (orig != dup)`.
+            cb.raise(NON_LOOP_DETECTOR, AlarmKind::NlMismatch, 0.0);
+        }
+        _ => {}
+    }
+}
+
+/// The FI library: delivers one armed fault into the architecture state.
+#[derive(Debug, Default)]
+pub struct FiRuntime {
+    /// Fault arming/delivery state.
+    pub arm: FaultArm,
+}
+
+impl FiRuntime {
+    /// Arm `fault`.
+    pub fn new(fault: Option<ArmedFault>) -> Self {
+        FiRuntime {
+            arm: FaultArm::new(fault),
+        }
+    }
+}
+
+impl HookRuntime for FiRuntime {
+    fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        if matches!(hook.kind, HookKind::FiPoint { .. }) {
+            self.arm.at_hook(hook.site, ctx);
+        }
+    }
+
+    fn on_loop_check(&mut self, loop_id: LoopId, ctx: &mut LoopCheckCtx<'_>) {
+        self.arm.at_loop_check(loop_id, ctx);
+    }
+
+    fn register_corruption(
+        &mut self,
+        hook: &Hook,
+        first_thread: u32,
+        active: u32,
+    ) -> Option<hauberk_sim::RegCorruption> {
+        if !matches!(hook.kind, HookKind::FiPoint { .. }) {
+            return None;
+        }
+        self.arm.poll_register(hook.site, first_thread, active, 32)
+    }
+}
+
+/// The FI&FT library: injects one fault *and* runs the FT detectors, for
+/// measuring the error-detection coverage of the placed detectors.
+#[derive(Debug, Default)]
+pub struct FiFtRuntime {
+    /// Fault arming/delivery state.
+    pub arm: FaultArm,
+    /// FT control block.
+    pub cb: ControlBlock,
+}
+
+impl FiFtRuntime {
+    /// Arm `fault` with the FT detectors configured from `cb`.
+    pub fn new(fault: Option<ArmedFault>, cb: ControlBlock) -> Self {
+        FiFtRuntime {
+            arm: FaultArm::new(fault),
+            cb,
+        }
+    }
+}
+
+impl HookRuntime for FiFtRuntime {
+    fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        match hook.kind {
+            HookKind::FiPoint { .. } => self.arm.at_hook(hook.site, ctx),
+            _ => ft_dispatch(&mut self.cb, hook, ctx),
+        }
+    }
+
+    fn on_loop_check(&mut self, loop_id: LoopId, ctx: &mut LoopCheckCtx<'_>) {
+        self.arm.at_loop_check(loop_id, ctx);
+    }
+
+    fn register_corruption(
+        &mut self,
+        hook: &Hook,
+        first_thread: u32,
+        active: u32,
+    ) -> Option<hauberk_sim::RegCorruption> {
+        if !matches!(hook.kind, HookKind::FiPoint { .. }) {
+            return None;
+        }
+        self.arm.poll_register(hook.site, first_thread, active, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::profile_ranges;
+    use hauberk_kir::Value;
+
+    fn mk_ctx<'a>(args: &'a [Vec<Value>]) -> HookCtx<'a> {
+        HookCtx {
+            block_id: 0,
+            warp_id: 0,
+            active: 0b1,
+            warp_width: 1,
+            first_thread: 0,
+            args,
+            target: None,
+        }
+    }
+
+    #[test]
+    fn ft_range_check_raises_on_outlier() {
+        let cb = ControlBlock::with_ranges(vec![profile_ranges(&[1.0, 2.0, 3.0])]);
+        let mut ft = FtRuntime::new(cb);
+        let hook = Hook {
+            kind: HookKind::CheckRange { detector: 0 },
+            site: 0,
+            args: vec![],
+            target: None,
+        };
+        let args = vec![vec![Value::F32(2.5)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(!ft.cb.sdc_flag, "in-range value: no alarm");
+        let args = vec![vec![Value::F32(1.0e9)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(ft.cb.sdc_flag);
+        assert_eq!(ft.cb.alarms.len(), 1);
+        assert_eq!(ft.cb.outliers.len(), 1);
+    }
+
+    #[test]
+    fn ft_trip_count_mismatch_raises() {
+        let mut ft = FtRuntime::new(ControlBlock::with_ranges(vec![]));
+        let hook = Hook {
+            kind: HookKind::CheckEqual { detector: 0 },
+            site: 0,
+            args: vec![],
+            target: None,
+        };
+        let args = vec![vec![Value::I32(10)], vec![Value::I32(10)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(!ft.cb.sdc_flag);
+        let args = vec![vec![Value::I32(9)], vec![Value::I32(10)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(ft.cb.sdc_flag);
+        assert_eq!(ft.cb.alarms[0].kind, AlarmKind::TripCount);
+    }
+
+    #[test]
+    fn ft_checksum_nonzero_raises() {
+        let mut ft = FtRuntime::default();
+        let hook = Hook {
+            kind: HookKind::ChecksumCheck,
+            site: 0,
+            args: vec![],
+            target: None,
+        };
+        let args = vec![vec![Value::U32(0)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(!ft.cb.sdc_flag);
+        let args = vec![vec![Value::U32(0xDEAD)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(ft.cb.sdc_flag);
+        assert_eq!(ft.cb.alarms[0].kind, AlarmKind::Checksum);
+    }
+
+    #[test]
+    fn nan_average_is_always_an_alarm() {
+        let cb = ControlBlock::with_ranges(vec![profile_ranges(&[1.0])]);
+        let mut ft = FtRuntime::new(cb);
+        let hook = Hook {
+            kind: HookKind::CheckRange { detector: 0 },
+            site: 0,
+            args: vec![],
+            target: None,
+        };
+        let args = vec![vec![Value::F32(f32::NAN)]];
+        ft.on_hook(&hook, &mut mk_ctx(&args));
+        assert!(ft.cb.sdc_flag);
+    }
+
+    #[test]
+    fn profiler_records_samples_and_counts() {
+        let mut pr = ProfilerRuntime::default();
+        let hook = Hook {
+            kind: HookKind::Profile { detector: 2 },
+            site: 5,
+            args: vec![],
+            target: None,
+        };
+        let args = vec![vec![Value::F32(7.5)]];
+        pr.on_hook(&hook, &mut mk_ctx(&args));
+        pr.on_hook(&hook, &mut mk_ctx(&args));
+        assert_eq!(pr.samples(2), &[7.5, 7.5]);
+
+        let count_hook = Hook {
+            kind: HookKind::CountExec,
+            site: 9,
+            args: vec![],
+            target: None,
+        };
+        let mut target = vec![Value::I32(42)];
+        let args: Vec<Vec<Value>> = vec![];
+        let mut ctx = HookCtx {
+            block_id: 0,
+            warp_id: 0,
+            active: 1,
+            warp_width: 1,
+            first_thread: 3,
+            args: &args,
+            target: Some(&mut target),
+        };
+        pr.on_hook(&count_hook, &mut ctx);
+        assert_eq!(pr.total_execs(9), 1);
+        assert_eq!(pr.threads_of(9), vec![(3, 1)]);
+        assert_eq!(pr.site_samples[&9], vec![42.0]);
+    }
+}

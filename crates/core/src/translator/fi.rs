@@ -1,0 +1,297 @@
+//! The SWIFI mutation pass (§VII, Fig. 12): insert a fault-injection hook
+//! after every state-changing statement, carrying the defined variable, its
+//! data type, and the hardware component the statement exercised.
+//!
+//! In *count mode* the same sites carry execution-count hooks instead — the
+//! profiler build uses them to enumerate fault-injection targets and their
+//! per-thread dynamic execution counts (needed to arm the k-th occurrence of
+//! a site deterministically).
+
+use crate::translator::{FiMap, FiSite, LoopSite};
+use hauberk_kir::expr::{Expr, VarId};
+use hauberk_kir::stmt::{Block, Hook, HookKind, Stmt};
+use hauberk_kir::types::PrimTy;
+use hauberk_kir::{HwComponent, KernelDef, Ty};
+
+/// Options for the FI pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FiPassOptions {
+    /// Only variables with id `< var_bound` are instrumented — pass the
+    /// original variable count so translator-introduced state (checksums,
+    /// duplicates, accumulators) is not an injection target, exactly like
+    /// the paper injects into the *target program's* virtual variables.
+    pub var_bound: VarId,
+    /// Emit `CountExec` hooks instead of `FiPoint` hooks.
+    pub count_mode: bool,
+    /// Compile-time target selection (the paper's §VII footnote: when a
+    /// device cannot afford a hook after *every* statement, "the variable
+    /// identifier of a fault injection target is given as input of the
+    /// HAUBERK translator that adds only one call statement"). When set,
+    /// only definitions of the named variable are instrumented.
+    pub only_var: Option<String>,
+}
+
+/// Statically derive the hardware component a definition exercises
+/// ("e.g., ALU and FPU for integer and FP expressions, respectively";
+/// loads exercise the memory path).
+fn classify_hw(k: &KernelDef, var: VarId, value: &Expr) -> HwComponent {
+    if value.load_count() > 0 {
+        return HwComponent::Mem;
+    }
+    let uses_sfu = {
+        let mut found = false;
+        value.walk(&mut |e| {
+            if matches!(
+                e,
+                Expr::Call(
+                    hauberk_kir::MathFn::Sqrt
+                        | hauberk_kir::MathFn::Rsqrt
+                        | hauberk_kir::MathFn::Sin
+                        | hauberk_kir::MathFn::Cos
+                        | hauberk_kir::MathFn::Exp
+                        | hauberk_kir::MathFn::Log,
+                    _
+                )
+            ) {
+                found = true;
+            }
+        });
+        found
+    };
+    if uses_sfu {
+        return HwComponent::Sfu;
+    }
+    match k.var_ty(var) {
+        Ty::Prim(PrimTy::F32) => HwComponent::Fpu,
+        _ => HwComponent::IAlu,
+    }
+}
+
+/// Apply the FI pass in place; returns the injection surface.
+pub fn instrument_fi(k: &mut KernelDef, opts: FiPassOptions) -> FiMap {
+    let mut map = FiMap::default();
+    let mut next_site: u32 = 0;
+    let body = std::mem::take(&mut k.body);
+    let snapshot = k.clone();
+    k.body = walk(&snapshot, body, &opts, &mut map, &mut next_site, false);
+    // Enumerate loops for scheduler faults.
+    collect_loops(&k.body, &mut map.loops);
+    map
+}
+
+fn walk(
+    k: &KernelDef,
+    block: Block,
+    opts: &FiPassOptions,
+    map: &mut FiMap,
+    next_site: &mut u32,
+    in_loop: bool,
+) -> Block {
+    let mut out = Vec::with_capacity(block.0.len() * 2);
+    for s in block.0 {
+        match s {
+            Stmt::Assign { var, value } => {
+                let instrument = var < opts.var_bound
+                    && opts
+                        .only_var
+                        .as_deref()
+                        .map(|n| k.vars[var as usize].name == n)
+                        .unwrap_or(true);
+                let hw = classify_hw(k, var, &value);
+                out.push(Stmt::Assign { var, value });
+                if instrument {
+                    let site = *next_site;
+                    *next_site += 1;
+                    let kind = if opts.count_mode {
+                        HookKind::CountExec
+                    } else {
+                        HookKind::FiPoint { hw }
+                    };
+                    out.push(Stmt::Hook(Hook {
+                        kind,
+                        site,
+                        args: vec![],
+                        target: Some(var),
+                    }));
+                    map.sites.push(FiSite {
+                        site,
+                        var,
+                        var_name: k.vars[var as usize].name.clone(),
+                        class: k.var_ty(var).data_class(),
+                        hw,
+                        in_loop,
+                    });
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                out.push(Stmt::If {
+                    cond,
+                    then_blk: walk(k, then_blk, opts, map, next_site, in_loop),
+                    else_blk: walk(k, else_blk, opts, map, next_site, in_loop),
+                });
+            }
+            Stmt::For {
+                id,
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                out.push(Stmt::For {
+                    id,
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body: walk(k, body, opts, map, next_site, true),
+                });
+            }
+            Stmt::While { id, cond, body } => {
+                out.push(Stmt::While {
+                    id,
+                    cond,
+                    body: walk(k, body, opts, map, next_site, true),
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    Block(out)
+}
+
+fn collect_loops(block: &Block, out: &mut Vec<LoopSite>) {
+    hauberk_kir::visit::for_each_stmt(block, &mut |s| match s {
+        Stmt::For { id, .. } => out.push(LoopSite {
+            loop_id: *id,
+            has_iterator: true,
+        }),
+        Stmt::While { id, .. } => out.push(LoopSite {
+            loop_id: *id,
+            has_iterator: false,
+        }),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::parser::parse_kernel;
+    use hauberk_kir::printer::print_kernel;
+    use hauberk_kir::types::DataClass;
+    use hauberk_kir::validate::validate_kernel;
+
+    const SRC: &str = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+        let p: *global f32 = x + 4;
+        let scale: f32 = sqrt(2.0);
+        let acc: f32 = 0.0;
+        for (i = 0; i < n; i = i + 1) {
+            let v: f32 = load(p, i);
+            acc = acc + v * scale;
+        }
+        store(out, 0, acc);
+    }"#;
+
+    fn instrumented() -> (KernelDef, FiMap) {
+        let mut k = parse_kernel(SRC).unwrap();
+        let bound = k.vars.len() as u32;
+        let map = instrument_fi(
+            &mut k,
+            FiPassOptions {
+                var_bound: bound,
+                count_mode: false,
+                only_var: None,
+            },
+        );
+        k.renumber();
+        validate_kernel(&k).unwrap();
+        (k, map)
+    }
+
+    #[test]
+    fn every_definition_gets_a_site() {
+        let (k, map) = instrumented();
+        // Defs: p, scale, acc, v, acc-in-loop = 5 sites.
+        assert_eq!(map.sites.len(), 5);
+        let p = print_kernel(&k);
+        assert_eq!(p.matches("@fi_point").count(), 5);
+    }
+
+    #[test]
+    fn classification_matches_types_and_ops() {
+        let (_, map) = instrumented();
+        let by_name = |n: &str| map.sites.iter().find(|s| s.var_name == n).unwrap();
+        assert_eq!(by_name("p").class, DataClass::Pointer);
+        assert_eq!(by_name("p").hw, HwComponent::IAlu);
+        assert_eq!(by_name("scale").class, DataClass::Float);
+        assert_eq!(by_name("scale").hw, HwComponent::Sfu);
+        assert_eq!(by_name("v").hw, HwComponent::Mem);
+        assert!(by_name("v").in_loop);
+        assert!(!by_name("scale").in_loop);
+        // The in-loop accumulation of acc: FPU.
+        let acc_sites: Vec<_> = map.sites.iter().filter(|s| s.var_name == "acc").collect();
+        assert_eq!(acc_sites.len(), 2);
+        assert!(acc_sites.iter().any(|s| s.in_loop && s.hw == HwComponent::Fpu));
+    }
+
+    #[test]
+    fn loops_are_enumerated_for_scheduler_faults() {
+        let (_, map) = instrumented();
+        assert_eq!(map.loops.len(), 1);
+        assert!(map.loops[0].has_iterator);
+    }
+
+    #[test]
+    fn var_bound_excludes_translator_state() {
+        let mut k = parse_kernel(SRC).unwrap();
+        let bound = 4; // only the three params + first local
+        let map = instrument_fi(
+            &mut k,
+            FiPassOptions {
+                var_bound: bound,
+                count_mode: false,
+                only_var: None,
+            },
+        );
+        assert!(map.sites.iter().all(|s| s.var < bound));
+        assert_eq!(map.sites.len(), 1); // only `p`
+    }
+
+    #[test]
+    fn count_mode_emits_count_hooks() {
+        let mut k = parse_kernel(SRC).unwrap();
+        let bound = k.vars.len() as u32;
+        instrument_fi(
+            &mut k,
+            FiPassOptions {
+                var_bound: bound,
+                count_mode: true,
+                only_var: None,
+            },
+        );
+        let p = print_kernel(&k);
+        assert!(p.contains("@count_exec"));
+        assert!(!p.contains("@fi_point"));
+    }
+
+    #[test]
+    fn compile_time_target_selection_instruments_one_variable() {
+        let mut k = parse_kernel(SRC).unwrap();
+        let bound = k.vars.len() as u32;
+        let map = instrument_fi(
+            &mut k,
+            FiPassOptions {
+                var_bound: bound,
+                count_mode: false,
+                only_var: Some("acc".to_string()),
+            },
+        );
+        assert_eq!(map.sites.len(), 2, "both defs of `acc`, nothing else");
+        assert!(map.sites.iter().all(|s| s.var_name == "acc"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Hauberk-L: accumulation-based value-range checking for loop code (§V.B).
+//!
+//! For each outermost loop the pass
+//!
+//! 1. selects protection targets via
+//!    [`hauberk_kir::analysis::select_protection_targets`] (self-accumulators
+//!    first, then largest cumulative backward dataflow dependency, up to
+//!    `max_var`);
+//! 2. adds a per-target accumulator (`float __acc_k = 0;` before the loop,
+//!    `__acc_k += target;` after the target's definition inside the loop) —
+//!    skipped for self-accumulators;
+//! 3. adds one shared iteration counter (`int __cnt_k = 0;` before,
+//!    `__cnt_k = __cnt_k + 1;` at the top of the body);
+//! 4. after the loop, calls `HauberkCheckRange(cb, det, acc / max(cnt,1))`
+//!    and, when the trip count is statically derivable,
+//!    `HauberkCheckEqual(cb, det, cnt, expected)`.
+//!
+//! In *profile mode* the range check is replaced by a profiler recording
+//! hook; everything else is identical, so the profiled value is exactly the
+//! value the FT build later checks.
+
+use crate::translator::LoopDetectorSpec;
+use hauberk_kir::analysis::{derive_trip_count, select_protection_targets, LoopDataflow};
+use hauberk_kir::expr::{Expr, MathFn, VarId};
+use hauberk_kir::stmt::{Block, Hook, HookKind, Stmt};
+use hauberk_kir::types::PrimTy;
+use hauberk_kir::{KernelDef, Ty};
+
+/// Options for the loop pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPassOptions {
+    /// Maximum number of protected variables per loop (the paper's
+    /// `Maxvar`; the evaluation uses 1).
+    pub max_var: usize,
+    /// Emit profiler recording hooks instead of FT checking hooks.
+    pub profile_mode: bool,
+}
+
+impl Default for LoopPassOptions {
+    fn default() -> Self {
+        LoopPassOptions {
+            max_var: 1,
+            profile_mode: false,
+        }
+    }
+}
+
+struct LoopPlan {
+    loop_id: u32,
+    targets: Vec<VarId>,
+    self_acc: Vec<bool>,
+    trip: Option<Expr>,
+    iterator: Option<VarId>,
+}
+
+/// Apply the loop-detector pass in place; returns the placed detectors.
+pub fn instrument_loops(k: &mut KernelDef, opts: LoopPassOptions) -> Vec<LoopDetectorSpec> {
+    // Analysis phase on a pristine snapshot.
+    let snapshot = k.clone();
+    let mut plans: Vec<LoopPlan> = Vec::new();
+    collect_outermost_loops(&snapshot.body, &mut |loop_stmt| {
+        let df = LoopDataflow::of(&snapshot, loop_stmt);
+        let (loop_id, iterator) = match loop_stmt {
+            Stmt::For { id, var, .. } => (*id, Some(*var)),
+            Stmt::While { id, .. } => (*id, None),
+            _ => unreachable!("collect_outermost_loops yields loops"),
+        };
+        let targets = select_protection_targets(&snapshot, &df, iterator, opts.max_var);
+        let self_acc = targets
+            .iter()
+            .map(|t| df.self_accumulating.contains(t))
+            .collect();
+        let trip = derive_trip_count(loop_stmt);
+        plans.push(LoopPlan {
+            loop_id,
+            targets,
+            self_acc,
+            trip,
+            iterator,
+        });
+    });
+
+    // Transform phase.
+    let mut specs: Vec<LoopDetectorSpec> = Vec::new();
+    let body = std::mem::take(&mut k.body);
+    let mut next_site: u32 = 20_000; // loop-detector sites in their own space
+    k.body = transform_block(k, body, &plans, &mut specs, opts, &mut next_site);
+    specs
+}
+
+/// Call `f` on every outermost loop (top level and inside `if` arms, but not
+/// inside other loops).
+fn collect_outermost_loops<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.0 {
+        match s {
+            Stmt::For { .. } | Stmt::While { .. } => f(s),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_outermost_loops(then_blk, f);
+                collect_outermost_loops(else_blk, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn as_f32(k: &KernelDef, v: VarId) -> Expr {
+    if k.var_ty(v) == Ty::F32 {
+        Expr::var(v)
+    } else {
+        Expr::Cast(PrimTy::F32, Box::new(Expr::var(v)))
+    }
+}
+
+fn transform_block(
+    k: &mut KernelDef,
+    block: Block,
+    plans: &[LoopPlan],
+    specs: &mut Vec<LoopDetectorSpec>,
+    opts: LoopPassOptions,
+    next_site: &mut u32,
+) -> Block {
+    let mut out = Vec::with_capacity(block.0.len());
+    for s in block.0 {
+        match s {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let then_blk = transform_block(k, then_blk, plans, specs, opts, next_site);
+                let else_blk = transform_block(k, else_blk, plans, specs, opts, next_site);
+                out.push(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                });
+            }
+            Stmt::For { id, .. } | Stmt::While { id, .. }
+                if plans.iter().any(|p| p.loop_id == id_of(&s)) =>
+            {
+                let _ = id;
+                let plan = plans
+                    .iter()
+                    .find(|p| p.loop_id == id_of(&s))
+                    .expect("checked in guard");
+                instrument_one_loop(k, s, plan, specs, opts, next_site, &mut out);
+            }
+            other => out.push(other),
+        }
+    }
+    Block(out)
+}
+
+fn id_of(s: &Stmt) -> u32 {
+    match s {
+        Stmt::For { id, .. } | Stmt::While { id, .. } => *id,
+        _ => u32::MAX,
+    }
+}
+
+fn instrument_one_loop(
+    k: &mut KernelDef,
+    loop_stmt: Stmt,
+    plan: &LoopPlan,
+    specs: &mut Vec<LoopDetectorSpec>,
+    opts: LoopPassOptions,
+    next_site: &mut u32,
+    out: &mut Vec<Stmt>,
+) {
+    let n = specs.len();
+    // Shared iteration counter.
+    let cnt = k.add_local(format!("__cnt_{n}"), Ty::I32);
+    out.push(Stmt::assign(cnt, Expr::i32(0)));
+
+    // Per-target accumulators.
+    let mut accs: Vec<(VarId, VarId, bool)> = Vec::new(); // (target, acc, self_acc)
+    for (ti, &target) in plan.targets.iter().enumerate() {
+        let self_acc = plan.self_acc[ti];
+        if self_acc {
+            accs.push((target, target, true));
+        } else {
+            let tgt_ty = k.var_ty(target);
+            let acc_ty = if tgt_ty == Ty::F32 { Ty::F32 } else { tgt_ty };
+            let acc = k.add_local(format!("__acc_{}_{}", n, ti), acc_ty);
+            out.push(Stmt::assign(acc, Expr::Lit(hauberk_kir::Value::zero_of(acc_ty))));
+            accs.push((target, acc, false));
+        }
+    }
+
+    // Expected trip count (evaluated before the loop; loop-invariant).
+    let expect = plan.trip.as_ref().map(|tc| {
+        let e = k.add_local(format!("__exp_{n}"), Ty::I32);
+        out.push(Stmt::assign(e, tc.clone()));
+        e
+    });
+
+    // Rewrite the loop body: counter increment at the top, accumulation
+    // after the *last* definition of each protected target.
+    let mut loop_stmt = loop_stmt;
+    {
+        let body = match &mut loop_stmt {
+            Stmt::For { body, .. } | Stmt::While { body, .. } => body,
+            _ => unreachable!("instrument_one_loop requires a loop"),
+        };
+        let taken = std::mem::take(body);
+        let mut new_body = vec![Stmt::assign(
+            cnt,
+            Expr::add(Expr::var(cnt), Expr::i32(1)),
+        )];
+        // Find the index of the last top-level statement that (recursively)
+        // defines each non-self-accumulating target.
+        let mut acc_after: Vec<Option<usize>> = accs
+            .iter()
+            .map(|(target, _, self_acc)| {
+                if *self_acc {
+                    return None;
+                }
+                taken
+                    .0
+                    .iter()
+                    .rposition(|st| st.assigns_var_recursively(*target))
+            })
+            .collect();
+        for (i, st) in taken.0.into_iter().enumerate() {
+            new_body.push(st);
+            for (ai, (target, acc, _)) in accs.iter().enumerate() {
+                if acc_after[ai] == Some(i) {
+                    new_body.push(Stmt::assign(
+                        *acc,
+                        Expr::add(Expr::var(*acc), Expr::var(*target)),
+                    ));
+                    acc_after[ai] = None;
+                }
+            }
+        }
+        *body = Block(new_body);
+    }
+    out.push(loop_stmt);
+
+    // Post-loop checks.
+    let mut first_det_for_loop: Option<usize> = None;
+    for (ti, (target, acc, self_acc)) in accs.iter().enumerate() {
+        let det = specs.len();
+        first_det_for_loop.get_or_insert(det);
+        // averaged = acc / max(cnt, 1)   (as f32; guards empty loops)
+        let avg = Expr::div(
+            as_f32(k, *acc),
+            Expr::call(
+                MathFn::Max,
+                vec![Expr::Cast(PrimTy::F32, Box::new(Expr::var(cnt))), Expr::f32(1.0)],
+            ),
+        );
+        let kind = if opts.profile_mode {
+            HookKind::Profile {
+                detector: det as u32,
+            }
+        } else {
+            HookKind::CheckRange {
+                detector: det as u32,
+            }
+        };
+        out.push(Stmt::Hook(Hook {
+            kind,
+            site: *next_site,
+            args: vec![avg],
+            target: None,
+        }));
+        *next_site += 1;
+        specs.push(LoopDetectorSpec {
+            id: det,
+            loop_id: plan.loop_id,
+            var: *target,
+            var_name: k.vars[*target as usize].name.clone(),
+            self_accumulating: *self_acc,
+            trip_checked: plan.trip.is_some(),
+        });
+        let _ = ti;
+    }
+
+    // Trip-count invariant (FT mode only; it needs no profiling).
+    if let (Some(e), false) = (expect, opts.profile_mode) {
+        let det = first_det_for_loop.unwrap_or(specs.len().saturating_sub(1));
+        out.push(Stmt::Hook(Hook {
+            kind: HookKind::CheckEqual { detector: det as u32 },
+            site: *next_site,
+            args: vec![Expr::var(cnt), Expr::var(e)],
+            target: None,
+        }));
+        *next_site += 1;
+    }
+    let _ = plan.iterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::parser::parse_kernel;
+    use hauberk_kir::printer::print_kernel;
+    use hauberk_kir::validate::validate_kernel;
+
+    fn instrument(src: &str, opts: LoopPassOptions) -> (KernelDef, Vec<LoopDetectorSpec>) {
+        let mut k = parse_kernel(src).unwrap();
+        let specs = instrument_loops(&mut k, opts);
+        k.renumber();
+        validate_kernel(&k).expect("instrumented kernel must validate");
+        (k, specs)
+    }
+
+    const DOT: &str = r#"kernel dot(out: *global f32, x: *global f32, n: i32) {
+        let acc: f32 = 0.0;
+        for (i = 0; i < n; i = i + 1) {
+            acc = acc + load(x, i) * load(x, i);
+        }
+        store(out, thread_idx_x(), acc);
+    }"#;
+
+    #[test]
+    fn self_accumulator_needs_no_in_loop_accumulator() {
+        let (k, specs) = instrument(DOT, LoopPassOptions::default());
+        assert_eq!(specs.len(), 1);
+        assert!(specs[0].self_accumulating);
+        assert_eq!(specs[0].var_name, "acc");
+        assert!(specs[0].trip_checked);
+        let p = print_kernel(&k);
+        assert!(!p.contains("__acc_"), "no extra accumulator:\n{p}");
+        assert!(p.contains("__cnt_0 = __cnt_0 + 1;"));
+        assert!(p.contains("@check_range"));
+        assert!(p.contains("@check_equal"));
+    }
+
+    #[test]
+    fn non_self_accumulating_target_gets_accumulator() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            let last: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                last = load(x, i) * 2.0 + 1.0;
+                store(out, i, last);
+            }
+        }"#;
+        let (k, specs) = instrument(src, LoopPassOptions::default());
+        assert_eq!(specs.len(), 1);
+        assert!(!specs[0].self_accumulating);
+        let p = print_kernel(&k);
+        assert!(p.contains("__acc_0_0 = __acc_0_0 + last;"));
+        // Accumulation statement appears after the definition of `last`.
+        let def = p.find("last = load(x, i)").unwrap();
+        let acc = p.find("__acc_0_0 = __acc_0_0 + last;").unwrap();
+        assert!(acc > def);
+    }
+
+    #[test]
+    fn profile_mode_emits_profile_hooks_only() {
+        let (k, _) = instrument(
+            DOT,
+            LoopPassOptions {
+                max_var: 1,
+                profile_mode: true,
+            },
+        );
+        let p = print_kernel(&k);
+        assert!(p.contains("@profile"));
+        assert!(!p.contains("@check_range"));
+        assert!(!p.contains("@check_equal"));
+    }
+
+    #[test]
+    fn two_loops_two_detectors() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            let a: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                a = a + load(x, i);
+            }
+            let b: f32 = 0.0;
+            for (j = 0; j < n; j = j + 1) {
+                b = b + load(x, j) * load(x, j);
+            }
+            store(out, 0, a + b);
+        }"#;
+        let (_, specs) = instrument(src, LoopPassOptions::default());
+        assert_eq!(specs.len(), 2);
+        assert_ne!(specs[0].loop_id, specs[1].loop_id);
+        assert_eq!(specs[0].id, 0);
+        assert_eq!(specs[1].id, 1);
+    }
+
+    #[test]
+    fn maxvar_two_protects_two_variables() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            let e1: f32 = 0.0;
+            let e2: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                let d: f32 = load(x, i);
+                e1 = e1 + d;
+                e2 = e2 + d * d;
+            }
+            store(out, 0, e1 + e2);
+        }"#;
+        let (_, specs) = instrument(
+            src,
+            LoopPassOptions {
+                max_var: 2,
+                profile_mode: false,
+            },
+        );
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.self_accumulating));
+    }
+
+    #[test]
+    fn while_loop_gets_counter_but_no_trip_check() {
+        let src = r#"kernel t(out: *global i32, n: i32) {
+            let c: i32 = 0;
+            while (c < n) {
+                c = c + 1;
+            }
+            store(out, 0, c);
+        }"#;
+        let (k, specs) = instrument(src, LoopPassOptions::default());
+        let p = print_kernel(&k);
+        assert!(p.contains("__cnt_0"));
+        assert!(!p.contains("@check_equal"), "{p}");
+        // `c` is self-accumulating and is the only candidate.
+        assert_eq!(specs.len(), 1);
+        assert!(!specs[0].trip_checked);
+    }
+
+    #[test]
+    fn nested_loops_protected_once_at_outermost() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            let s: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                for (j = 0; j < n; j = j + 1) {
+                    s = s + load(x, i + j);
+                }
+            }
+            store(out, 0, s);
+        }"#;
+        let (k, specs) = instrument(src, LoopPassOptions::default());
+        assert_eq!(specs.len(), 1);
+        let p = print_kernel(&k);
+        // Only one counter (outer loop), one range check.
+        assert_eq!(p.matches("@check_range").count(), 1);
+        assert_eq!(p.matches("let __cnt_").count(), 1, "one counter:\n{p}");
+        assert_eq!(p.matches("__cnt_0 = __cnt_0 + 1;").count(), 1);
+    }
+
+    #[test]
+    fn loop_in_if_arm_is_found() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            if (n > 0) {
+                let s: f32 = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    s = s + load(x, i);
+                }
+                store(out, 0, s);
+            }
+        }"#;
+        let (_, specs) = instrument(src, LoopPassOptions::default());
+        assert_eq!(specs.len(), 1);
+    }
+}

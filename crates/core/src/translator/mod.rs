@@ -1,0 +1,77 @@
+//! The Hauberk source-to-source translator (over KIR).
+//!
+//! Each pass is a pure AST→AST rewrite, mirroring the CETUS-based source
+//! mutation of the paper (Table I):
+//!
+//! * [`nonloop`] — duplication + XOR-checksum protection of virtual variables
+//!   defined outside loops (Hauberk-NL, §V.A).
+//! * [`loops`] — accumulation-based value-range checking of selected loop
+//!   variables plus the loop trip-count invariant (Hauberk-L, §V.B); also
+//!   used in *profile mode* to emit the profiler library's recording hooks.
+//! * [`fi`] — the SWIFI mutation: a fault-injection point after every
+//!   state-changing statement (§VII, Fig. 12); also used in *count mode* to
+//!   emit execution-count hooks that enumerate and weight injection targets.
+//! * [`rscatter`] — the R-Scatter comparison baseline: full statement
+//!   duplication inside the kernel, doubling shared-memory use.
+
+pub mod fi;
+pub mod loops;
+pub mod nonloop;
+pub mod rscatter;
+
+use hauberk_kir::stmt::{LoopId, SiteId};
+use hauberk_kir::types::DataClass;
+use hauberk_kir::{HwComponent, VarId};
+
+/// Description of one placed loop detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopDetectorSpec {
+    /// Detector index (slot in the control block's range table).
+    pub id: usize,
+    /// The loop it protects.
+    pub loop_id: LoopId,
+    /// The protected virtual variable (original kernel numbering).
+    pub var: VarId,
+    /// Its source name.
+    pub var_name: String,
+    /// Whether the variable was self-accumulating (no accumulator code was
+    /// added inside the loop).
+    pub self_accumulating: bool,
+    /// Whether a loop trip-count invariant check was also placed.
+    pub trip_checked: bool,
+}
+
+/// One fault-injection point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiSite {
+    /// Site id carried by the hook.
+    pub site: SiteId,
+    /// The variable whose definition this site follows.
+    pub var: VarId,
+    /// Its source name.
+    pub var_name: String,
+    /// The paper's pointer/integer/FP classification of the variable.
+    pub class: DataClass,
+    /// Hardware component exercised by the defining statement.
+    pub hw: HwComponent,
+    /// Whether the definition sits inside a loop.
+    pub in_loop: bool,
+}
+
+/// One loop available for scheduler-fault targeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSite {
+    /// Loop id.
+    pub loop_id: LoopId,
+    /// Whether the loop is a `for` with a corruptible iterator.
+    pub has_iterator: bool,
+}
+
+/// The fault-injection surface of an instrumented kernel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FiMap {
+    /// Injection points after state-changing statements.
+    pub sites: Vec<FiSite>,
+    /// Loops for scheduler-fault emulation.
+    pub loops: Vec<LoopSite>,
+}

@@ -1,0 +1,363 @@
+//! Hauberk-NL: duplication + XOR-checksum protection of non-loop code (§V.A).
+//!
+//! For every virtual variable defined outside loops the pass emits
+//!
+//! ```text
+//! __dup_k = <rhs>;            // (ii)  duplicate the computation (first, so
+//! v       = <rhs>;            //       self-referential defs compare fairly)
+//! __chk   = __chk ^ bits(v);  // (i)   fold the defined value into the checksum
+//! if (v != __dup_k) {         // (iii) immediate comparison
+//!     @nl_mismatch;           //       -> sets the SDC bit in the control block
+//! }
+//! ...
+//! __chk   = __chk ^ bits(v);  // (iv)  second fold after the last use (or
+//!                             //       before the loop that modifies v)
+//! ...
+//! if at kernel exit: @checksum_check(__chk)   // (v) must be zero
+//! ```
+//!
+//! The duplicated variable lives for exactly two statements, and a single
+//! checksum variable is shared by every protected definition, so register
+//! pressure stays flat — the paper's central argument against naïve
+//! variable-granularity duplication.
+//!
+//! Placement of the second fold (step iv) follows the paper: after the last
+//! use within the defining block; after a loop that uses but does not modify
+//! the variable; before a loop (or any compound statement) that modifies it
+//! (accepting the "uncovered window" — such variables are protected by the
+//! loop detectors instead). Kernel parameters are folded at entry and again
+//! at exit (unmodified) or right before their first redefinition.
+
+use hauberk_kir::expr::{BinOp, Expr, UnOp, VarId};
+use hauberk_kir::stmt::{Block, Hook, HookKind, Stmt};
+use hauberk_kir::{KernelDef, Ty};
+
+/// Statistics of one non-loop instrumentation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NlReport {
+    /// Definitions protected by duplication + checksum.
+    pub protected_defs: usize,
+    /// Parameters protected by entry/exit checksum folds.
+    pub protected_params: usize,
+}
+
+/// `chk = chk ^ bits(v)`
+fn xor_fold(chk: VarId, v: VarId) -> Stmt {
+    Stmt::assign(
+        chk,
+        Expr::bin(
+            BinOp::Xor,
+            Expr::var(chk),
+            Expr::Un(UnOp::BitsOf, Box::new(Expr::var(v))),
+        ),
+    )
+}
+
+/// Apply the non-loop detector pass in place.
+pub fn instrument_nonloop(k: &mut KernelDef) -> NlReport {
+    let mut report = NlReport::default();
+    let chk = k.add_local(k.fresh_name("__chk"), Ty::U32);
+    let body = std::mem::take(&mut k.body);
+    let mut next_site: u32 = 10_000; // NL sites live in their own id space
+    let mut next_dup: usize = 0;
+
+    // Parameters: entry folds; find the first statement (if any) that
+    // redefines each parameter, and schedule the closing fold before it.
+    let mut prologue: Vec<Stmt> = vec![Stmt::assign(chk, Expr::u32(0))];
+    let mut open_params: Vec<VarId> = Vec::new();
+    for p in 0..k.n_params as VarId {
+        prologue.push(xor_fold(chk, p));
+        open_params.push(p);
+        report.protected_params += 1;
+    }
+
+    let mut out = process_block(
+        k,
+        chk,
+        body,
+        &mut next_site,
+        &mut next_dup,
+        &mut report,
+        Some(&mut open_params),
+    );
+
+    // Close still-open parameters and validate the checksum at kernel exit.
+    let mut epilogue: Vec<Stmt> = open_params.iter().map(|p| xor_fold(chk, *p)).collect();
+    epilogue.push(Stmt::Hook(Hook {
+        kind: HookKind::ChecksumCheck,
+        site: next_site,
+        args: vec![Expr::var(chk)],
+        target: None,
+    }));
+
+    let mut stmts = prologue;
+    stmts.append(&mut out.0);
+    stmts.append(&mut epilogue);
+    k.body = Block(stmts);
+    report
+}
+
+/// Process one non-loop block. `open_params` is only threaded at the top
+/// level (parameter folds close before their first redefinition anywhere).
+fn process_block(
+    k: &mut KernelDef,
+    chk: VarId,
+    block: Block,
+    next_site: &mut u32,
+    next_dup: &mut usize,
+    report: &mut NlReport,
+    mut open_params: Option<&mut Vec<VarId>>,
+) -> Block {
+    let stmts = block.0;
+    let n = stmts.len();
+
+    // Pass 1: for every definition at index i, decide where its second
+    // checksum fold goes: (position, before?) on ORIGINAL indices.
+    let mut fold_before: Vec<Vec<Stmt>> = vec![Vec::new(); n + 1];
+    let mut fold_after: Vec<Vec<Stmt>> = vec![Vec::new(); n];
+    for (i, s) in stmts.iter().enumerate() {
+        let Stmt::Assign { var, .. } = s else {
+            continue;
+        };
+        let var = *var;
+        let mut placed = false;
+        let mut last_use: usize = i;
+        for (j, later) in stmts.iter().enumerate().skip(i + 1) {
+            if later.assigns_var_recursively(var) {
+                // Live range ends here; close before the redefinition
+                // (covers the "updated inside a loop" rule).
+                // A use inside the same statement (e.g. `v = v + 1`, or a
+                // loop that reads then writes) is part of the closing
+                // window either way.
+                fold_before[j].push(xor_fold(chk, var));
+                placed = true;
+                break;
+            }
+            if later.uses_var_recursively(var) {
+                last_use = j;
+            }
+        }
+        if !placed {
+            if last_use == i {
+                // No later use in this block: close immediately after the
+                // definition triplet.
+                fold_after[i].push(xor_fold(chk, var));
+            } else {
+                fold_after[last_use].push(xor_fold(chk, var));
+            }
+        }
+    }
+
+    // Parameter closing folds (top level only).
+    if let Some(params) = open_params.as_deref_mut() {
+        params.retain(|p| {
+            match stmts.iter().position(|s| s.assigns_var_recursively(*p)) {
+                Some(j) => {
+                    fold_before[j].push(xor_fold(chk, *p));
+                    false // closed
+                }
+                None => true, // stays open until kernel exit
+            }
+        });
+    }
+
+    // Pass 2: emit.
+    let mut out: Vec<Stmt> = Vec::with_capacity(n * 2);
+    for (i, s) in stmts.into_iter().enumerate() {
+        out.append(&mut fold_before[i]);
+        match s {
+            Stmt::Assign { var, value } => {
+                report.protected_defs += 1;
+                let dup_ty = k.var_ty(var);
+                let dup = k.add_local(format!("__dup_{}", *next_dup), dup_ty);
+                *next_dup += 1;
+                // (ii) duplicate first (fair comparison for self-referential
+                // right-hand sides), then the original definition.
+                out.push(Stmt::assign(dup, value.clone()));
+                out.push(Stmt::assign(var, value));
+                // (i) first checksum fold.
+                out.push(xor_fold(chk, var));
+                // (iii) immediate comparison.
+                out.push(Stmt::If {
+                    cond: Expr::bin(BinOp::Ne, Expr::var(var), Expr::var(dup)),
+                    then_blk: Block(vec![Stmt::Hook(Hook {
+                        kind: HookKind::NlMismatch,
+                        site: *next_site,
+                        args: vec![],
+                        target: None,
+                    })]),
+                    else_blk: Block::new(),
+                });
+                *next_site += 1;
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                // Non-loop code inside conditionals is protected too.
+                let then_blk =
+                    process_block(k, chk, then_blk, next_site, next_dup, report, None);
+                let else_blk =
+                    process_block(k, chk, else_blk, next_site, next_dup, report, None);
+                out.push(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                });
+            }
+            // Loops are the loop detector's domain: leave them untouched.
+            other => out.push(other),
+        }
+        out.append(&mut fold_after[i]);
+    }
+    out.append(&mut fold_before[n]);
+    Block(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::parser::parse_kernel;
+    use hauberk_kir::printer::print_kernel;
+    use hauberk_kir::validate::validate_kernel;
+
+    fn instrument(src: &str) -> (KernelDef, NlReport) {
+        let mut k = parse_kernel(src).unwrap();
+        let r = instrument_nonloop(&mut k);
+        k.renumber();
+        validate_kernel(&k).expect("instrumented kernel must validate");
+        (k, r)
+    }
+
+    #[test]
+    fn straight_line_defs_get_triplets_and_folds() {
+        let (k, r) = instrument(
+            r#"kernel t(p: *global f32, n: i32) {
+                let a: f32 = 2.0;
+                let b: f32 = a * 3.0;
+                store(p, 0, b);
+            }"#,
+        );
+        assert_eq!(r.protected_defs, 2);
+        assert_eq!(r.protected_params, 2);
+        let printed = print_kernel(&k);
+        // One dup + compare per def.
+        assert_eq!(printed.matches("__dup_0").count(), 2);
+        assert!(printed.contains("@nl_mismatch"));
+        assert!(printed.contains("@checksum_check"));
+        // Each protected value is folded exactly twice; params twice; plus
+        // the initial chk = 0 assignment.
+        let folds = printed.matches("__chk = __chk ^ bits(").count();
+        assert_eq!(folds, 2 * 2 + 2 * 2);
+    }
+
+    #[test]
+    fn second_fold_goes_after_loop_that_reads() {
+        let (k, _) = instrument(
+            r#"kernel t(out: *global f32, n: i32) {
+                let scale: f32 = 2.5;
+                let acc: f32 = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    acc = acc + scale;
+                }
+                store(out, 0, acc);
+            }"#,
+        );
+        let printed = print_kernel(&k);
+        // `scale` is read in the loop but not modified: its closing fold
+        // must appear after the loop; `acc` is modified in the loop: its
+        // closing fold must appear before the loop.
+        let loop_pos = printed.find("for (").unwrap();
+        let scale_folds: Vec<usize> = printed
+            .match_indices("__chk = __chk ^ bits(scale)")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(scale_folds.len(), 2);
+        assert!(scale_folds[1] > loop_pos, "closing fold after the loop");
+        let acc_folds: Vec<usize> = printed
+            .match_indices("__chk = __chk ^ bits(acc)")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(acc_folds.len(), 2);
+        assert!(
+            acc_folds[1] < loop_pos,
+            "closing fold before the modifying loop:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn redefinition_closes_previous_virtual_variable() {
+        let (k, r) = instrument(
+            r#"kernel t(n: i32) {
+                let x: i32 = 1;
+                let y: i32 = x + 1;
+                x = 5;
+            }"#,
+        );
+        assert_eq!(r.protected_defs, 3);
+        let printed = print_kernel(&k);
+        // x is folded 4 times total: twice per definition.
+        assert_eq!(printed.matches("__chk = __chk ^ bits(x)").count(), 4);
+        let _ = k;
+    }
+
+    #[test]
+    fn modified_param_closes_before_first_write() {
+        let (k, _) = instrument(
+            r#"kernel t(n: i32) {
+                let a: i32 = 3;
+                n = n + a;
+            }"#,
+        );
+        let printed = print_kernel(&k);
+        // Param `n`: entry fold + closing fold before `n = n + a`, and the
+        // redefinition of n is itself a protected def (2 more folds).
+        assert_eq!(printed.matches("__chk = __chk ^ bits(n)").count(), 4);
+    }
+
+    #[test]
+    fn defs_inside_if_arms_are_protected() {
+        let (_, r) = instrument(
+            r#"kernel t(n: i32) {
+                if (n > 0) {
+                    let a: i32 = n * 2;
+                } else {
+                    let b: i32 = n * 3;
+                }
+            }"#,
+        );
+        assert_eq!(r.protected_defs, 2);
+    }
+
+    #[test]
+    fn loop_bodies_are_left_untouched() {
+        let (k, r) = instrument(
+            r#"kernel t(n: i32) {
+                for (i = 0; i < n; i = i + 1) {
+                    let body_var: i32 = i * 2;
+                }
+            }"#,
+        );
+        assert_eq!(r.protected_defs, 0);
+        let printed = print_kernel(&k);
+        assert!(!printed.contains("__dup"));
+        assert!(printed.contains("@checksum_check"));
+    }
+
+    #[test]
+    fn self_referential_def_does_not_false_alarm_in_shape() {
+        // dup is computed before the original assignment, so both read the
+        // same operand values.
+        let (k, _) = instrument(
+            r#"kernel t(n: i32) {
+                let x: i32 = 1;
+                x = x + 1;
+            }"#,
+        );
+        let printed = print_kernel(&k);
+        let dup1 = printed.find("let __dup_1: i32 = x + 1;").unwrap();
+        let orig = printed.find("\n    x = x + 1;").unwrap();
+        assert!(dup1 < orig, "duplicate evaluated first:\n{printed}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Adaptive range recalibration (§VI iii): the recovery engine widens the
+//! detector ranges (multiplies by `alpha`) when the diagnosed false-positive
+//! ratio is too high, and tightens when it is comfortably low.
+
+/// Controller thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaConfig {
+    /// Widen (×`step`) when the FP ratio exceeds this (paper: 10%).
+    pub high_threshold: f64,
+    /// Tighten (÷`step`) when the FP ratio is below this (paper: 5%).
+    pub low_threshold: f64,
+    /// Multiplicative adjustment step (paper: 10).
+    pub step: f64,
+    /// Diagnoses per adjustment window.
+    pub window: usize,
+}
+
+impl Default for AlphaConfig {
+    fn default() -> Self {
+        AlphaConfig {
+            high_threshold: 0.10,
+            low_threshold: 0.05,
+            step: 10.0,
+            window: 20,
+        }
+    }
+}
+
+/// The `alpha` controller.
+#[derive(Debug, Clone)]
+pub struct AlphaController {
+    cfg: AlphaConfig,
+    alpha: f64,
+    window_runs: usize,
+    window_false_positives: usize,
+}
+
+impl AlphaController {
+    /// Start at `alpha = 1`.
+    pub fn new(cfg: AlphaConfig) -> Self {
+        AlphaController {
+            cfg,
+            alpha: 1.0,
+            window_runs: 0,
+            window_false_positives: 0,
+        }
+    }
+
+    /// Current multiplier.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Record one completed run and whether it was diagnosed as a false
+    /// positive; adjusts `alpha` at the end of each window. Returns the new
+    /// alpha if it changed.
+    pub fn observe(&mut self, false_positive: bool) -> Option<f64> {
+        self.window_runs += 1;
+        if false_positive {
+            self.window_false_positives += 1;
+        }
+        if self.window_runs < self.cfg.window {
+            return None;
+        }
+        let ratio = self.window_false_positives as f64 / self.window_runs as f64;
+        self.window_runs = 0;
+        self.window_false_positives = 0;
+        if ratio > self.cfg.high_threshold {
+            self.alpha *= self.cfg.step;
+            Some(self.alpha)
+        } else if ratio < self.cfg.low_threshold && self.alpha > 1.0 {
+            self.alpha = (self.alpha / self.cfg.step).max(1.0);
+            Some(self.alpha)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widens_under_high_fp_ratio() {
+        let mut c = AlphaController::new(AlphaConfig {
+            window: 10,
+            ..Default::default()
+        });
+        for i in 0..10 {
+            let changed = c.observe(i < 3); // 30% FP ratio
+            if i < 9 {
+                assert!(changed.is_none());
+            }
+        }
+        assert_eq!(c.alpha(), 10.0);
+    }
+
+    #[test]
+    fn tightens_when_fp_ratio_drops_but_never_below_one() {
+        let mut c = AlphaController::new(AlphaConfig {
+            window: 5,
+            ..Default::default()
+        });
+        // Drive alpha up.
+        for _ in 0..5 {
+            c.observe(true);
+        }
+        assert_eq!(c.alpha(), 10.0);
+        // Clean window: tighten back.
+        for _ in 0..5 {
+            c.observe(false);
+        }
+        assert_eq!(c.alpha(), 1.0);
+        // Another clean window: stays at the floor.
+        for _ in 0..5 {
+            c.observe(false);
+        }
+        assert_eq!(c.alpha(), 1.0);
+    }
+
+    #[test]
+    fn mid_band_is_stable() {
+        let mut c = AlphaController::new(AlphaConfig {
+            window: 100,
+            ..Default::default()
+        });
+        for i in 0..100 {
+            c.observe(i % 14 == 0); // ~7% FP: between the thresholds
+        }
+        assert_eq!(c.alpha(), 1.0);
+    }
+}

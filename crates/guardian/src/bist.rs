@@ -1,0 +1,123 @@
+//! Built-in self test (§VI ii.c): a program "specifically designed to
+//! produce multiple sets of output data by examining various parts of GPU
+//! hardware".
+//!
+//! The probe runs a small FI-instrumented exercise kernel (FP, integer, and
+//! memory paths) on a fresh simulated device with the managed GPU's fault
+//! regime applied, and compares against the known-good output.
+
+use crate::cluster::ManagedGpu;
+use hauberk::builds::{build, BuildVariant};
+use hauberk::runtime::FiRuntime;
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::fault::{ArmedFault, FaultSite};
+use hauberk_sim::{Device, Launch, NullRuntime};
+
+/// The BIST exercise kernel: FP chain, integer chain, memory round-trip.
+pub const BIST_SRC: &str = r#"
+kernel bist(out: *global f32, scratch: *global i32, n: i32) {
+    let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+    let f: f32 = cast<f32>(tid) * 0.5 + 1.0;
+    let g: f32 = sqrt(f * f + 3.0) - f;
+    let acc: f32 = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + g * cast<f32>(i + 1);
+    }
+    let iv: i32 = tid * 2654435 + 17;
+    let iw: i32 = (iv ^ (iv >> 7)) & 65535;
+    store(scratch, tid, iw);
+    let back: i32 = load(scratch, tid);
+    store(out, tid, acc + cast<f32>(back) * 0.001);
+}
+"#;
+
+fn bist_kernel() -> KernelDef {
+    parse_kernel(BIST_SRC).expect("BIST kernel parses")
+}
+
+fn run_once(fault: Option<ArmedFault>) -> Option<Vec<f32>> {
+    let base = bist_kernel();
+    let instr = build(&base, BuildVariant::Fi).expect("BIST FI build");
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 64);
+    let scratch = dev.alloc(PrimTy::I32, 64);
+    let launch = Launch::grid1d(2, 32).with_budget(10_000_000);
+    let args = [Value::Ptr(out), Value::Ptr(scratch), Value::I32(16)];
+    let outcome = if let Some(f) = fault {
+        let mut rt = FiRuntime::new(Some(f));
+        dev.launch(&instr.kernel, &args, &launch, &mut rt)
+    } else {
+        dev.launch(&instr.kernel, &args, &launch, &mut NullRuntime)
+    };
+    outcome
+        .is_completed()
+        .then(|| dev.mem.copy_out_f32(out, 64))
+}
+
+/// Run the self test against a managed GPU's current regime at time `now`.
+/// Returns `true` when the device looks healthy.
+pub fn run_bist(gpu: &ManagedGpu, now: u64) -> bool {
+    let golden = run_once(None).expect("fault-free BIST completes");
+    // Probe several sites so the exercise covers FP, integer, and memory
+    // paths — a faulty device corrupts at least one of them.
+    for probe in 0..4u32 {
+        let fault = gpu.fault_for_run(now).map(|f| ArmedFault {
+            site: FaultSite::HookTarget {
+                site: probe % 6,
+            },
+            thread: (probe as u32 * 17) % 64,
+            occurrence: 1,
+            mask: f.mask.rotate_left(probe),
+        });
+        if fault.is_none() {
+            return true; // regime inactive: healthy
+        }
+        match run_once(fault) {
+            Some(out) if out == golden => continue, // this probe masked it
+            _ => return false,                      // corrupted or crashed
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regime::FaultRegime;
+
+    fn fault() -> ArmedFault {
+        ArmedFault {
+            site: FaultSite::HookTarget { site: 0 },
+            thread: 0,
+            occurrence: 1,
+            mask: 1 << 23,
+        }
+    }
+
+    #[test]
+    fn healthy_device_passes() {
+        let g = ManagedGpu::healthy(0);
+        assert!(run_bist(&g, 0));
+    }
+
+    #[test]
+    fn permanently_faulty_device_fails() {
+        let g = ManagedGpu::faulty(0, FaultRegime::Permanent, fault());
+        assert!(!run_bist(&g, 0));
+    }
+
+    #[test]
+    fn expired_intermittent_passes() {
+        let g = ManagedGpu::faulty(0, FaultRegime::Intermittent { until: 10 }, fault());
+        assert!(!run_bist(&g, 5));
+        assert!(run_bist(&g, 11));
+    }
+
+    #[test]
+    fn bist_is_deterministic() {
+        let a = run_once(None).unwrap();
+        let b = run_once(None).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Checkpointing (§VI i, after CheCUDA \[25\]): snapshot device memory before
+//! a kernel launch so a failed run can be retried from identical state — a
+//! kernel that mutates its inputs in place (TPACF's histogram, the sort
+//! programs) cannot simply be re-launched on dirty memory.
+
+use hauberk_sim::memory::MemRegion;
+use hauberk_sim::Device;
+
+/// A snapshot of a device's global memory.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    mem: MemRegion,
+}
+
+impl Checkpoint {
+    /// Capture the device's current global memory (allocations + contents).
+    pub fn capture(dev: &Device) -> Checkpoint {
+        Checkpoint {
+            mem: dev.mem.clone(),
+        }
+    }
+
+    /// Restore the snapshot onto the device.
+    pub fn restore(&self, dev: &mut Device) {
+        dev.mem = self.mem.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::PrimTy;
+
+    #[test]
+    fn capture_restore_round_trips_memory() {
+        let mut dev = Device::small_gpu();
+        let p = dev.alloc(PrimTy::I32, 8);
+        dev.mem.copy_in_i32(p, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let ckpt = Checkpoint::capture(&dev);
+
+        // Kernel-side mutation.
+        dev.mem.copy_in_i32(p, &[9, 9, 9, 9, 9, 9, 9, 9]);
+        assert_eq!(dev.mem.copy_out_i32(p, 3), vec![9, 9, 9]);
+
+        ckpt.restore(&mut dev);
+        assert_eq!(dev.mem.copy_out_i32(p, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        // Allocator state restored too: the next alloc lands after p's block.
+        let q = dev.alloc(PrimTy::I32, 1);
+        assert!(q.addr > p.addr);
+    }
+}

@@ -1,0 +1,201 @@
+//! The simulated multi-GPU node: device management, disabling, migration,
+//! and the doubling-back-off probe daemon (§VI ii.c).
+
+use crate::bist::run_bist;
+use crate::regime::FaultRegime;
+use hauberk_sim::fault::ArmedFault;
+
+/// One managed GPU in the node.
+#[derive(Debug, Clone)]
+pub struct ManagedGpu {
+    /// Device index within the node.
+    pub id: usize,
+    /// Current health regime.
+    pub regime: FaultRegime,
+    /// Whether the scheduler may place work here.
+    pub enabled: bool,
+    /// Fault delivered into programs while the regime is active (the
+    /// template's mask is varied per run so an intermittent fault corrupts
+    /// each execution differently).
+    pub fault_template: Option<ArmedFault>,
+    /// Next time the back-off daemon probes this device (when disabled).
+    pub next_probe: u64,
+    /// Current probe back-off (doubles after every failed probe).
+    pub backoff: u64,
+    /// Completed program runs on this device.
+    pub runs: u64,
+}
+
+impl ManagedGpu {
+    /// A healthy device.
+    pub fn healthy(id: usize) -> Self {
+        ManagedGpu {
+            id,
+            regime: FaultRegime::Healthy,
+            enabled: true,
+            fault_template: None,
+            next_probe: 0,
+            backoff: INITIAL_BACKOFF,
+            runs: 0,
+        }
+    }
+
+    /// A device with a fault regime and the fault it injects while active.
+    pub fn faulty(id: usize, regime: FaultRegime, fault: ArmedFault) -> Self {
+        ManagedGpu {
+            regime,
+            fault_template: Some(fault),
+            ..ManagedGpu::healthy(id)
+        }
+    }
+
+    /// The fault (if any) affecting a run starting now. Varies the mask by
+    /// the run counter so repeated executions corrupt differently.
+    pub fn fault_for_run(&self, now: u64) -> Option<ArmedFault> {
+        if !self.regime.active(now) {
+            return None;
+        }
+        let t = self.fault_template?;
+        let rot = (self.runs % 13) as u32;
+        Some(ArmedFault {
+            mask: t.mask.rotate_left(rot).max(1),
+            ..t
+        })
+    }
+
+    /// Account for one completed (or killed) run.
+    pub fn note_run(&mut self) {
+        self.runs += 1;
+        self.regime.consume_run();
+    }
+}
+
+/// Initial probe back-off, in simulated cycles.
+pub const INITIAL_BACKOFF: u64 = 1_000_000;
+
+/// A node with several GPUs and a simulated clock.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The devices.
+    pub gpus: Vec<ManagedGpu>,
+    /// Simulated time (advanced by executed kernel cycles).
+    pub now: u64,
+}
+
+impl Cluster {
+    /// A node of `n` healthy GPUs.
+    pub fn healthy(n: usize) -> Self {
+        Cluster {
+            gpus: (0..n).map(ManagedGpu::healthy).collect(),
+            now: 0,
+        }
+    }
+
+    /// Pick the first enabled device.
+    pub fn pick_enabled(&self) -> Option<usize> {
+        self.gpus.iter().find(|g| g.enabled).map(|g| g.id)
+    }
+
+    /// Disable a device and schedule its first back-off probe.
+    pub fn disable(&mut self, id: usize) {
+        let g = &mut self.gpus[id];
+        g.enabled = false;
+        g.backoff = INITIAL_BACKOFF;
+        g.next_probe = self.now + g.backoff;
+    }
+
+    /// Advance the clock.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// The back-off daemon: probe every disabled device whose probe time has
+    /// arrived; re-enable those whose BIST passes, double the back-off of
+    /// those still failing (§VI: "Tbackoff is doubled after every execution
+    /// of this program"). Returns the ids re-enabled.
+    pub fn backoff_daemon_tick(&mut self) -> Vec<usize> {
+        let now = self.now;
+        let mut reenabled = Vec::new();
+        for g in &mut self.gpus {
+            if g.enabled || now < g.next_probe {
+                continue;
+            }
+            if run_bist(g, now) {
+                g.enabled = true;
+                reenabled.push(g.id);
+            } else {
+                g.backoff = g.backoff.saturating_mul(2);
+                g.next_probe = now + g.backoff;
+            }
+        }
+        reenabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_sim::fault::FaultSite;
+
+    fn fault() -> ArmedFault {
+        ArmedFault {
+            site: FaultSite::HookTarget { site: 0 },
+            thread: 0,
+            occurrence: 1,
+            mask: 0b100,
+        }
+    }
+
+    #[test]
+    fn fault_varies_by_run_while_active() {
+        let mut g = ManagedGpu::faulty(0, FaultRegime::Permanent, fault());
+        let m0 = g.fault_for_run(0).unwrap().mask;
+        g.note_run();
+        let m1 = g.fault_for_run(0).unwrap().mask;
+        assert_ne!(m0, m1, "intermittent/permanent faults vary per run");
+        let h = ManagedGpu::healthy(1);
+        assert!(h.fault_for_run(0).is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_until_fault_clears() {
+        let mut c = Cluster::healthy(1);
+        c.gpus[0] = ManagedGpu::faulty(
+            0,
+            FaultRegime::Intermittent {
+                until: 5 * INITIAL_BACKOFF,
+            },
+            fault(),
+        );
+        c.disable(0);
+        assert_eq!(c.pick_enabled(), None);
+
+        // First probe: still faulty.
+        c.advance(INITIAL_BACKOFF);
+        assert!(c.backoff_daemon_tick().is_empty());
+        assert_eq!(c.gpus[0].backoff, 2 * INITIAL_BACKOFF);
+
+        // Second probe (after doubled backoff): still faulty.
+        c.advance(2 * INITIAL_BACKOFF);
+        assert!(c.backoff_daemon_tick().is_empty());
+        assert_eq!(c.gpus[0].backoff, 4 * INITIAL_BACKOFF);
+
+        // Third probe: the fault has expired; device re-enabled.
+        c.advance(4 * INITIAL_BACKOFF);
+        assert_eq!(c.backoff_daemon_tick(), vec![0]);
+        assert_eq!(c.pick_enabled(), Some(0));
+    }
+
+    #[test]
+    fn permanent_fault_never_reenabled() {
+        let mut c = Cluster::healthy(2);
+        c.gpus[0] = ManagedGpu::faulty(0, FaultRegime::Permanent, fault());
+        c.disable(0);
+        assert_eq!(c.pick_enabled(), Some(1), "work migrates to device 1");
+        for _ in 0..6 {
+            c.advance(c.gpus[0].backoff);
+            assert!(c.backoff_daemon_tick().is_empty());
+        }
+        assert!(!c.gpus[0].enabled);
+    }
+}

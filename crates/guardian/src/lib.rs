@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # hauberk-guardian — retry-based error recovery (§VI)
+//!
+//! The guardian program of the Hauberk framework: a supervisor that runs the
+//! instrumented GPU program, diagnoses raised SDC alarms by re-execution
+//! (Fig. 11), identifies false positives and feeds them back into the value
+//! ranges (on-line learning), kills hung kernels via a `T×previous` watchdog,
+//! diagnoses devices with a built-in self test (BIST), disables faulty
+//! devices and migrates work across a simulated multi-GPU node with a
+//! doubling probe back-off, and recalibrates detector ranges via the `alpha`
+//! multiplier when the observed false-positive ratio drifts.
+//!
+//! In the original system the guardian is a parent OS process notified via
+//! `SIGCHLD`; here the supervised "process" is a simulated program run whose
+//! outcome is a value, so the diagnosis *algorithm* is identical while the
+//! transport is an in-process call.
+
+pub mod alpha;
+pub mod bist;
+pub mod checkpoint;
+pub mod cluster;
+pub mod guardian;
+pub mod regime;
+
+pub use alpha::{AlphaConfig, AlphaController};
+pub use checkpoint::Checkpoint;
+pub use cluster::{Cluster, ManagedGpu};
+pub use guardian::{Guardian, GuardianConfig, GuardianEvent, RecoveryOutcome};
+pub use regime::FaultRegime;

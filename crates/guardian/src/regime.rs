@@ -1,0 +1,73 @@
+//! Device fault regimes: the transient / intermittent / permanent taxonomy
+//! the recovery engine diagnoses (§VI ii).
+
+/// The health regime of one simulated GPU device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRegime {
+    /// No hardware fault.
+    Healthy,
+    /// A transient fault affecting the next `remaining` program run(s) —
+    /// typically 1: gone by the diagnostic re-execution.
+    Transient {
+        /// Runs still affected.
+        remaining: u32,
+    },
+    /// An intermittent fault active until simulated time `until` — both the
+    /// first execution and the re-execution are corrupted (differently), but
+    /// the fault eventually clears and the back-off daemon re-enables the
+    /// device.
+    Intermittent {
+        /// Simulated-cycle timestamp at which the fault disappears.
+        until: u64,
+    },
+    /// A permanent fault: every run and every BIST probe fails.
+    Permanent,
+}
+
+impl FaultRegime {
+    /// Whether a run starting at simulated time `now` is affected.
+    pub fn active(&self, now: u64) -> bool {
+        match self {
+            FaultRegime::Healthy => false,
+            FaultRegime::Transient { remaining } => *remaining > 0,
+            FaultRegime::Intermittent { until } => now < *until,
+            FaultRegime::Permanent => true,
+        }
+    }
+
+    /// Account for one affected run (consumes transient charges).
+    pub fn consume_run(&mut self) {
+        if let FaultRegime::Transient { remaining } = self {
+            *remaining = remaining.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_clears_after_consumption() {
+        let mut r = FaultRegime::Transient { remaining: 1 };
+        assert!(r.active(0));
+        r.consume_run();
+        assert!(!r.active(0));
+        r.consume_run(); // idempotent at zero
+        assert!(!r.active(0));
+    }
+
+    #[test]
+    fn intermittent_clears_with_time() {
+        let r = FaultRegime::Intermittent { until: 100 };
+        assert!(r.active(50));
+        assert!(!r.active(100));
+    }
+
+    #[test]
+    fn permanent_never_clears() {
+        let mut r = FaultRegime::Permanent;
+        r.consume_run();
+        assert!(r.active(u64::MAX - 1));
+    }
+}

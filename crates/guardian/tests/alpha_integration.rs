@@ -1,0 +1,94 @@
+//! Integration of the alpha controller with the guardian's diagnosis loop:
+//! a stream of executions over drifting datasets drives the false-positive
+//! ratio up, the controller widens the ranges (×10), and subsequent runs
+//! stop alarming — the closed control loop of §VI (iii).
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::program::{run_program, HostProgram};
+use hauberk::ranges::{profile_ranges, RangeSet};
+use hauberk::runtime::ProfilerRuntime;
+use hauberk_benchmarks::mri_fhd::MriFhd;
+use hauberk_benchmarks::ProblemScale;
+use hauberk_guardian::{Cluster, Guardian, GuardianConfig, GuardianEvent, RecoveryOutcome};
+
+fn train(prog: &MriFhd, datasets: &[u64]) -> (hauberk_kir::KernelDef, Vec<RangeSet>) {
+    let base = prog.build_kernel();
+    let profiler = build(&base, BuildVariant::Profiler(FtOptions::default())).unwrap();
+    let n = profiler.detectors.len();
+    let mut merged = vec![RangeSet::default(); n];
+    for &ds in datasets {
+        let mut pr = ProfilerRuntime::default();
+        let run = run_program(prog, &profiler.kernel, ds, &mut pr, u64::MAX);
+        assert!(run.outcome.is_completed());
+        for (d, m) in merged.iter_mut().enumerate() {
+            m.merge(&profile_ranges(pr.samples(d as u32)));
+        }
+    }
+    let ft = build(&base, BuildVariant::Ft(FtOptions::default())).unwrap();
+    (ft.kernel, merged)
+}
+
+#[test]
+fn guardian_alpha_loop_absorbs_dataset_drift() {
+    let prog = MriFhd::new(ProblemScale::Quick);
+    // Deliberately under-train: a single dataset of a program whose
+    // per-dataset intensity varies by orders of magnitude.
+    let (kernel, mut ranges) = train(&prog, &[0]);
+
+    let mut g = Guardian::new(
+        GuardianConfig {
+            watchdog_floor: 200_000_000,
+            ..Default::default()
+        },
+        Cluster::healthy(1),
+    );
+
+    // Stream fresh datasets through the guardian. Each false positive is
+    // diagnosed by re-execution (outputs identical -> learn + alpha
+    // bookkeeping); every run must still produce a trusted output.
+    let mut false_alarms = 0;
+    for ds in 1..=25u64 {
+        match g.run_protected(&prog, &kernel, &mut ranges, ds) {
+            RecoveryOutcome::Success { false_alarm, .. } => {
+                if false_alarm {
+                    false_alarms += 1;
+                }
+            }
+            other => panic!("dataset {ds}: {other:?}"),
+        }
+    }
+    assert!(
+        false_alarms > 0,
+        "under-trained ranges on a drifting program must alarm sometimes"
+    );
+    assert!(
+        g.events
+            .iter()
+            .filter(|e| matches!(e, GuardianEvent::FalseAlarmDiagnosed))
+            .count()
+            == false_alarms,
+        "every false alarm went through the re-execution diagnosis"
+    );
+
+    // The combination of on-line range learning and alpha widening makes
+    // later traffic mostly clean: the last 5 datasets run without alarms.
+    let mut late_alarms = 0;
+    for ds in 100..105u64 {
+        match g.run_protected(&prog, &kernel, &mut ranges, ds) {
+            RecoveryOutcome::Success { false_alarm, .. } => {
+                if false_alarm {
+                    late_alarms += 1;
+                }
+            }
+            other => panic!("dataset {ds}: {other:?}"),
+        }
+    }
+    assert!(
+        late_alarms <= 2,
+        "learning + alpha absorb the drift: {late_alarms} late alarms"
+    );
+    assert!(
+        g.alpha.alpha() >= 1.0,
+        "controller stayed in its legal range"
+    );
+}

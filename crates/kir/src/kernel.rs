@@ -1,0 +1,215 @@
+//! Kernel definitions: variable tables, parameters, and loop renumbering.
+
+use crate::expr::VarId;
+use crate::stmt::{Block, LoopId, Stmt};
+use crate::types::Ty;
+
+/// A named variable slot in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Source-level name (unique within the kernel).
+    pub name: String,
+    /// Static type.
+    pub ty: Ty,
+    /// Whether the slot is a kernel parameter (parameters occupy the first
+    /// `n_params` slots).
+    pub is_param: bool,
+}
+
+/// A GPU kernel: the unit the Hauberk translator instruments and the
+/// simulator launches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: String,
+    /// Variable table; parameters first, then locals (including any
+    /// translator-introduced variables such as the checksum or accumulators).
+    pub vars: Vec<VarDecl>,
+    /// Number of leading parameter slots in [`KernelDef::vars`].
+    pub n_params: usize,
+    /// Statically declared shared-memory usage in bytes (the resource the
+    /// R-Scatter baseline doubles; §IX.A).
+    pub shared_mem_bytes: u32,
+    /// Kernel body.
+    pub body: Block,
+}
+
+impl KernelDef {
+    /// Iterate over the parameter declarations, in slot order.
+    pub fn params(&self) -> impl Iterator<Item = &VarDecl> {
+        self.vars[..self.n_params].iter()
+    }
+
+    /// Iterate over the local (non-parameter) declarations.
+    pub fn locals(&self) -> impl Iterator<Item = &VarDecl> {
+        self.vars[self.n_params..].iter()
+    }
+
+    /// Look up a variable slot by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| i as VarId)
+    }
+
+    /// Type of a variable slot.
+    pub fn var_ty(&self, v: VarId) -> Ty {
+        self.vars[v as usize].ty
+    }
+
+    /// Add a local variable slot (used by instrumentation passes; names are
+    /// made unique by the caller).
+    pub fn add_local(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = self.vars.len() as VarId;
+        self.vars.push(VarDecl {
+            name: name.into(),
+            ty,
+            is_param: false,
+        });
+        id
+    }
+
+    /// Produce a fresh local name that does not collide with any existing
+    /// variable, based on `stem`.
+    pub fn fresh_name(&self, stem: &str) -> String {
+        if self.var_by_name(stem).is_none() {
+            return stem.to_string();
+        }
+        let mut i = 1;
+        loop {
+            let cand = format!("{stem}_{i}");
+            if self.var_by_name(&cand).is_none() {
+                return cand;
+            }
+            i += 1;
+        }
+    }
+
+    /// Assign pre-order [`LoopId`]s to every `for`/`while` in the body.
+    /// Must be called after any pass that adds or removes loops; the
+    /// simulator and the analyses rely on these ids being consistent.
+    pub fn renumber(&mut self) {
+        let mut next: LoopId = 0;
+        fn walk(block: &mut Block, next: &mut LoopId) {
+            for s in &mut block.0 {
+                match s {
+                    Stmt::For { id, body, .. } => {
+                        *id = *next;
+                        *next += 1;
+                        walk(body, next);
+                    }
+                    Stmt::While { id, body, .. } => {
+                        *id = *next;
+                        *next += 1;
+                        walk(body, next);
+                    }
+                    Stmt::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        walk(then_blk, next);
+                        walk(else_blk, next);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&mut self.body, &mut next);
+    }
+
+    /// Number of loops in the kernel (after [`KernelDef::renumber`]).
+    pub fn loop_count(&self) -> usize {
+        let mut n = 0;
+        fn walk(block: &Block, n: &mut usize) {
+            for s in &block.0 {
+                match s {
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                        *n += 1;
+                        walk(body, n);
+                    }
+                    Stmt::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        walk(then_blk, n);
+                        walk(else_blk, n);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::types::PrimTy;
+
+    fn mk() -> KernelDef {
+        KernelDef {
+            name: "k".into(),
+            vars: vec![
+                VarDecl {
+                    name: "p".into(),
+                    ty: Ty::global_ptr(PrimTy::F32),
+                    is_param: true,
+                },
+                VarDecl {
+                    name: "i".into(),
+                    ty: Ty::I32,
+                    is_param: false,
+                },
+            ],
+            n_params: 1,
+            shared_mem_bytes: 0,
+            body: Block(vec![Stmt::For {
+                id: 99,
+                var: 1,
+                init: Expr::i32(0),
+                cond: Expr::lt(Expr::var(1), Expr::i32(4)),
+                step: Expr::add(Expr::var(1), Expr::i32(1)),
+                body: Block(vec![Stmt::While {
+                    id: 99,
+                    cond: Expr::Lit(crate::value::Value::Bool(false)),
+                    body: Block::new(),
+                }]),
+            }]),
+        }
+    }
+
+    #[test]
+    fn renumber_assigns_preorder_ids() {
+        let mut k = mk();
+        k.renumber();
+        match &k.body.0[0] {
+            Stmt::For { id, body, .. } => {
+                assert_eq!(*id, 0);
+                match &body.0[0] {
+                    Stmt::While { id, .. } => assert_eq!(*id, 1),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+        assert_eq!(k.loop_count(), 2);
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let k = mk();
+        assert_eq!(k.fresh_name("chk"), "chk");
+        assert_eq!(k.fresh_name("i"), "i_1");
+    }
+
+    #[test]
+    fn params_and_locals_split() {
+        let k = mk();
+        assert_eq!(k.params().count(), 1);
+        assert_eq!(k.locals().count(), 1);
+        assert_eq!(k.var_by_name("i"), Some(1));
+        assert_eq!(k.var_ty(0), Ty::global_ptr(PrimTy::F32));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # hauberk-kir — Kernel Intermediate Representation
+//!
+//! A small, typed, structured AST for GPU kernels ("KIR"), standing in for the
+//! CUDA C++ source code that the original Hauberk system instruments with its
+//! CETUS-based source-to-source translator.
+//!
+//! The IR is deliberately *source-shaped* rather than SSA-shaped: Hauberk's
+//! detector-derivation algorithms are defined over **virtual variables** (a
+//! single definition of a named variable plus all of its uses until the next
+//! definition), over structured loops (`for`/`while`), and over statement
+//! positions such as "right after the definition" and "the immediate
+//! post-dominator of the last uses". A structured AST makes these notions
+//! exact and makes instrumentation a pure AST→AST rewrite, exactly mirroring
+//! the paper's source mutation.
+//!
+//! The crate provides:
+//!
+//! * [`types`] / [`value`] — the scalar type system (`f32`, `i32`, `u32`,
+//!   `bool`, and typed device pointers) and runtime values with bit-precise
+//!   semantics (needed for bit-flip fault injection and XOR checksums).
+//! * [`expr`] / [`stmt`] — expressions, statements, instrumentation hooks, and
+//!   the [`kernel::KernelDef`] container.
+//! * [`builder`] — an ergonomic builder for constructing kernels from Rust.
+//! * [`parser`] / [`printer`] — a mini-CUDA concrete syntax that round-trips,
+//!   used by examples and by the property-test suite.
+//! * [`analysis`] — def/use information, loop enumeration, the cumulative
+//!   backward dataflow dependency metric of the paper's Fig. 9,
+//!   self-accumulator detection, and loop trip-count derivation.
+//! * [`validate`] — a structural + type checker run before execution.
+//!
+//! ```
+//! use hauberk_kir::parser::parse_kernel;
+//!
+//! let k = parse_kernel(
+//!     r#"
+//!     kernel saxpy(y: *global f32, x: *global f32, a: f32, n: i32) {
+//!         let i: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+//!         if (i < n) {
+//!             let v: f32 = a * load(x, i) + load(y, i);
+//!             store(y, i, v);
+//!         }
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(k.name, "saxpy");
+//! assert_eq!(k.params().count(), 4);
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod expr;
+pub mod kernel;
+pub mod parser;
+pub mod printer;
+pub mod stmt;
+pub mod types;
+pub mod validate;
+pub mod value;
+pub mod visit;
+
+pub use builder::KernelBuilder;
+pub use expr::{BinOp, BuiltinVar, Expr, MathFn, UnOp, VarId};
+pub use kernel::{KernelDef, VarDecl};
+pub use stmt::{Block, Hook, HookKind, HwComponent, Stmt};
+pub use types::{DataClass, MemSpace, PrimTy, Ty};
+pub use value::{PtrVal, Value};

@@ -1,0 +1,339 @@
+//! Pretty-printer emitting the mini-CUDA surface syntax.
+//!
+//! `parse_kernel(print_kernel(k)) == k` holds for every kernel, including
+//! instrumented ones: hooks print as `@hook(site=..., ...)` statements and
+//! the parser accepts them, so translator output is fully serializable. The
+//! round-trip property is enforced by the proptest suites.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::KernelDef;
+use crate::stmt::{Block, Hook, HookKind, Stmt};
+
+/// Render a kernel as mini-CUDA source text.
+pub fn print_kernel(k: &KernelDef) -> String {
+    let mut p = Printer {
+        k,
+        out: String::new(),
+        indent: 0,
+        declared: vec![false; k.vars.len()],
+    };
+    for i in 0..k.n_params {
+        p.declared[i] = true;
+    }
+    p.kernel();
+    p.out
+}
+
+/// Render an expression using a kernel's variable names.
+pub fn print_expr(k: &KernelDef, e: &Expr) -> String {
+    let mut p = Printer {
+        k,
+        out: String::new(),
+        indent: 0,
+        declared: vec![true; k.vars.len()],
+    };
+    p.expr(e, 0, false);
+    p.out
+}
+
+struct Printer<'a> {
+    k: &'a KernelDef,
+    out: String,
+    indent: usize,
+    declared: Vec<bool>,
+}
+
+/// Binding strength of each operator; higher binds tighter. Mirrors the
+/// parser's precedence table.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::LOr => 1,
+        BinOp::LAnd => 2,
+        BinOp::Or => 3,
+        BinOp::Xor => 4,
+        BinOp::And => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+const UNARY_PREC: u8 = 11;
+
+impl Printer<'_> {
+    fn kernel(&mut self) {
+        self.out.push_str(&format!("kernel {}(", self.k.name));
+        for (i, p) in self.k.params().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&format!("{}: {}", p.name, p.ty));
+        }
+        self.out.push(')');
+        if self.k.shared_mem_bytes > 0 {
+            self.out
+                .push_str(&format!(" shared {}", self.k.shared_mem_bytes));
+        }
+        self.out.push_str(" {\n");
+        self.indent = 1;
+        self.block_body(&self.k.body.clone());
+        self.out.push_str("}\n");
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn block_body(&mut self, b: &Block) {
+        for s in &b.0 {
+            self.stmt(s);
+        }
+    }
+
+    fn open_block(&mut self, b: &Block) {
+        self.out.push_str(" {\n");
+        self.indent += 1;
+        self.block_body(b);
+        self.indent -= 1;
+        self.pad();
+        self.out.push('}');
+    }
+
+    fn var_name(&self, v: u32) -> &str {
+        &self.k.vars[v as usize].name
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.pad();
+        match s {
+            Stmt::Assign { var, value } => {
+                let first = !self.declared[*var as usize];
+                if first {
+                    self.declared[*var as usize] = true;
+                    let d = &self.k.vars[*var as usize];
+                    self.out.push_str(&format!("let {}: {} = ", d.name, d.ty));
+                } else {
+                    self.out.push_str(&format!("{} = ", self.var_name(*var)));
+                }
+                self.expr(value, 0, false);
+                self.out.push_str(";\n");
+            }
+            Stmt::Store { ptr, index, value } => {
+                self.out.push_str("store(");
+                self.expr(ptr, 0, false);
+                self.out.push_str(", ");
+                self.expr(index, 0, false);
+                self.out.push_str(", ");
+                self.expr(value, 0, false);
+                self.out.push_str(");\n");
+            }
+            Stmt::AtomicAdd { ptr, index, value } => {
+                self.out.push_str("atomic_add(");
+                self.expr(ptr, 0, false);
+                self.out.push_str(", ");
+                self.expr(index, 0, false);
+                self.out.push_str(", ");
+                self.expr(value, 0, false);
+                self.out.push_str(");\n");
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.out.push_str("if (");
+                self.expr(cond, 0, false);
+                self.out.push(')');
+                self.open_block(then_blk);
+                if !else_blk.is_empty() {
+                    self.out.push_str(" else");
+                    self.open_block(else_blk);
+                }
+                self.out.push('\n');
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                // A `for` iterator may be first-assigned by the loop header.
+                if !self.declared[*var as usize] {
+                    self.declared[*var as usize] = true;
+                }
+                self.out
+                    .push_str(&format!("for ({} = ", self.var_name(*var)));
+                self.expr(init, 0, false);
+                self.out.push_str("; ");
+                self.expr(cond, 0, false);
+                self.out
+                    .push_str(&format!("; {} = ", self.var_name(*var)));
+                self.expr(step, 0, false);
+                self.out.push(')');
+                self.open_block(body);
+                self.out.push('\n');
+            }
+            Stmt::While { cond, body, .. } => {
+                self.out.push_str("while (");
+                self.expr(cond, 0, false);
+                self.out.push(')');
+                self.open_block(body);
+                self.out.push('\n');
+            }
+            Stmt::Break => self.out.push_str("break;\n"),
+            Stmt::Continue => self.out.push_str("continue;\n"),
+            Stmt::SyncThreads => self.out.push_str("sync();\n"),
+            Stmt::Hook(h) => self.hook(h),
+        }
+    }
+
+    fn hook(&mut self, h: &Hook) {
+        self.out.push_str(&format!("@{}(site={}", h.kind.tag(), h.site));
+        match &h.kind {
+            HookKind::FiPoint { hw } => self.out.push_str(&format!(", hw={hw}")),
+            HookKind::Profile { detector }
+            | HookKind::CheckRange { detector }
+            | HookKind::CheckEqual { detector } => {
+                self.out.push_str(&format!(", det={detector}"));
+            }
+            _ => {}
+        }
+        for a in &h.args {
+            self.out.push_str(", ");
+            self.expr(a, 0, false);
+        }
+        if let Some(t) = h.target {
+            self.out.push_str(&format!(", target={}", self.var_name(t)));
+        }
+        self.out.push_str(");\n");
+    }
+
+    fn expr(&mut self, e: &Expr, parent_prec: u8, is_right: bool) {
+        match e {
+            Expr::Lit(v) => self.out.push_str(&v.to_string()),
+            Expr::Var(v) => self.out.push_str(&self.k.vars[*v as usize].name.clone()),
+            Expr::Builtin(b) => self.out.push_str(&format!("{}()", b.spelling())),
+            Expr::Un(op, inner) => {
+                let (sym, needs_space) = match op {
+                    UnOp::Neg => ("-", false),
+                    UnOp::Not => ("!", false),
+                    UnOp::BitNot => ("~", false),
+                    UnOp::BitsOf => ("bits", false),
+                };
+                if *op == UnOp::BitsOf {
+                    self.out.push_str("bits(");
+                    self.expr(inner, 0, false);
+                    self.out.push(')');
+                } else {
+                    let _ = needs_space;
+                    self.out.push_str(sym);
+                    // Parenthesize non-primary operands of prefix operators.
+                    let primary = matches!(
+                        **inner,
+                        Expr::Lit(_)
+                            | Expr::Var(_)
+                            | Expr::Builtin(_)
+                            | Expr::Call(..)
+                            | Expr::Load { .. }
+                            | Expr::Cast(..)
+                    );
+                    if primary {
+                        self.expr(inner, UNARY_PREC, false);
+                    } else {
+                        self.out.push('(');
+                        self.expr(inner, 0, false);
+                        self.out.push(')');
+                    }
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let p = prec(*op);
+                let need = p < parent_prec || (p == parent_prec && is_right);
+                if need {
+                    self.out.push('(');
+                }
+                self.expr(a, p, false);
+                self.out.push_str(&format!(" {} ", op.spelling()));
+                self.expr(b, p + 1, true);
+                if need {
+                    self.out.push(')');
+                }
+            }
+            Expr::Call(m, args) => {
+                self.out.push_str(m.spelling());
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 0, false);
+                }
+                self.out.push(')');
+            }
+            Expr::Load { ptr, index } => {
+                self.out.push_str("load(");
+                self.expr(ptr, 0, false);
+                self.out.push_str(", ");
+                self.expr(index, 0, false);
+                self.out.push(')');
+            }
+            Expr::Cast(ty, inner) => {
+                self.out.push_str(&format!("cast<{ty}>("));
+                self.expr(inner, 0, false);
+                self.out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{PrimTy, Ty};
+
+    #[test]
+    fn prints_readable_kernel() {
+        let mut b = KernelBuilder::new("axpy");
+        let y = b.param("y", Ty::global_ptr(PrimTy::F32));
+        let a = b.param("a", Ty::F32);
+        let i = b.local("i", Ty::I32);
+        b.assign(i, b.global_thread_id_x());
+        b.store(
+            Expr::var(y),
+            Expr::var(i),
+            Expr::mul(Expr::var(a), Expr::load(Expr::var(y), Expr::var(i))),
+        );
+        let k = b.finish();
+        let s = print_kernel(&k);
+        assert!(s.contains("kernel axpy(y: *global f32, a: f32)"));
+        assert!(s.contains("let i: i32 = block_idx_x() * block_dim_x() + thread_idx_x();"));
+        assert!(s.contains("store(y, i, a * load(y, i));"));
+    }
+
+    #[test]
+    fn precedence_parens_only_when_needed() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.local("x", Ty::I32);
+        // x = (1 + 2) * 3;
+        b.assign(
+            x,
+            Expr::mul(Expr::add(Expr::i32(1), Expr::i32(2)), Expr::i32(3)),
+        );
+        // x = 1 - (2 - 3);
+        b.assign(
+            x,
+            Expr::sub(Expr::i32(1), Expr::sub(Expr::i32(2), Expr::i32(3))),
+        );
+        let k = b.finish();
+        let s = print_kernel(&k);
+        assert!(s.contains("(1 + 2) * 3"));
+        assert!(s.contains("1 - (2 - 3)"));
+    }
+}

@@ -1,0 +1,380 @@
+//! KIR statements, blocks, and instrumentation hooks.
+//!
+//! Control flow is *structured* (`if`/`for`/`while`/`break`/`continue`),
+//! which is what the lockstep SIMT interpreter needs for mask-based
+//! reconvergence and what the Hauberk loop analysis needs to enumerate loops
+//! and their bodies syntactically.
+//!
+//! [`Hook`] statements are the IR-level form of the function calls the
+//! Hauberk translator inserts (Table I): fault-injection points, profiler
+//! recordings, and the FT-library checks (`HauberkCheckRange`,
+//! `HauberkCheckEqual`, checksum validation). They carry a *site id* so a
+//! fault-injection campaign can arm a specific dynamic occurrence of a
+//! specific site.
+
+use crate::expr::{Expr, VarId};
+use std::fmt;
+
+/// Static identifier of a loop within one kernel (pre-order; assigned by
+/// [`crate::kernel::KernelDef::renumber`]). Used to target scheduler /
+/// loop-control faults deterministically.
+pub type LoopId = u32;
+
+/// Static identifier of an instrumentation site within one kernel.
+pub type SiteId = u32;
+
+/// The hardware component the preceding statement exercised, statically
+/// derived from its operation types (§VII: "e.g., ALU and FPU for integer
+/// and FP expressions, respectively").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HwComponent {
+    /// Integer ALU.
+    IAlu,
+    /// Floating-point unit.
+    Fpu,
+    /// Special function unit (sqrt/sin/cos/div...).
+    Sfu,
+    /// Load/store path.
+    Mem,
+    /// Register file (faults while a value sits in a register between uses).
+    RegisterFile,
+    /// SM scheduler / control flow.
+    Scheduler,
+}
+
+impl fmt::Display for HwComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HwComponent::IAlu => "ALU",
+            HwComponent::Fpu => "FPU",
+            HwComponent::Sfu => "SFU",
+            HwComponent::Mem => "MEM",
+            HwComponent::RegisterFile => "REG",
+            HwComponent::Scheduler => "SCHED",
+        })
+    }
+}
+
+/// What an instrumentation hook does when it executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HookKind {
+    /// A fault-injection point inserted after a state-changing statement
+    /// (§VII, Fig. 12). `target` on the [`Hook`] names the variable the
+    /// preceding statement defined; the FI library may corrupt it here.
+    FiPoint {
+        /// Hardware component whose fault this point can emulate.
+        hw: HwComponent,
+    },
+    /// Profiler: record the value of `args[0]` for detector `detector`
+    /// (value-range learning, §V.B step iv / Fig. 10).
+    Profile {
+        /// Loop-detector index within the kernel.
+        detector: u32,
+    },
+    /// Profiler: count one execution of this site (used to enumerate fault
+    /// injection targets and weight their selection).
+    CountExec,
+    /// FT library `HauberkCheckRange(cb, detector, args[0])`: check the
+    /// averaged accumulator value against the profiled value ranges; set the
+    /// SDC bit and record the outlier if outside.
+    CheckRange {
+        /// Loop-detector index within the kernel.
+        detector: u32,
+    },
+    /// FT library `HauberkCheckEqual(cb, detector, args[0], args[1])`:
+    /// loop-trip-count invariant check.
+    CheckEqual {
+        /// Loop-detector index within the kernel.
+        detector: u32,
+    },
+    /// Validate the per-kernel XOR checksum at kernel exit: `args[0]` must
+    /// be zero, otherwise the SDC bit is set (§V.A step v).
+    ChecksumCheck,
+    /// A non-loop duplication mismatch was observed (the body of the
+    /// `if (orig != dup)` the NL detector inserts); sets the SDC bit.
+    NlMismatch,
+}
+
+impl HookKind {
+    /// Short tag used by the printer.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HookKind::FiPoint { .. } => "fi_point",
+            HookKind::Profile { .. } => "profile",
+            HookKind::CountExec => "count_exec",
+            HookKind::CheckRange { .. } => "check_range",
+            HookKind::CheckEqual { .. } => "check_equal",
+            HookKind::ChecksumCheck => "checksum_check",
+            HookKind::NlMismatch => "nl_mismatch",
+        }
+    }
+}
+
+/// An instrumentation hook statement (a call into one of the Hauberk
+/// libraries, carried through the IR so the simulator can dispatch it to the
+/// active library runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hook {
+    /// What the hook does.
+    pub kind: HookKind,
+    /// Static site id, unique per kernel (assigned by the inserting pass).
+    pub site: SiteId,
+    /// Evaluated arguments handed to the library.
+    pub args: Vec<Expr>,
+    /// Variable the hook may mutate (fault injection) — the variable defined
+    /// by the preceding statement, per Fig. 12.
+    pub target: Option<VarId>,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Block(Vec::new())
+    }
+
+    /// Number of statements (non-recursive).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the block has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Total number of statements, recursively.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        for s in &self.0 {
+            n += 1;
+            match s {
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => n += then_blk.stmt_count() + else_blk.stmt_count(),
+                Stmt::For { body, .. } | Stmt::While { body, .. } => n += body.stmt_count(),
+                _ => {}
+            }
+        }
+        n
+    }
+}
+
+/// A KIR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = value;` — every assignment defines a *virtual variable* in the
+    /// paper's sense (one definition, uses until the next definition).
+    Assign {
+        /// Destination variable.
+        var: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `store(ptr, index, value);` — write element `index` of `ptr`.
+    Store {
+        /// Pointer expression.
+        ptr: Expr,
+        /// Element index (integer).
+        index: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `atomic_add(ptr, index, value);` — atomic read-modify-write.
+    AtomicAdd {
+        /// Pointer expression.
+        ptr: Expr,
+        /// Element index (integer).
+        index: Expr,
+        /// Addend.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (bool).
+        cond: Expr,
+        /// Taken when true.
+        then_blk: Block,
+        /// Taken when false.
+        else_blk: Block,
+    },
+    /// `for (var = init; cond; var = step) body` — `step` computes the new
+    /// value of `var` (commonly `var + 1`).
+    For {
+        /// Loop id (assigned by [`crate::kernel::KernelDef::renumber`]).
+        id: LoopId,
+        /// Iterator variable.
+        var: VarId,
+        /// Initial value of the iterator.
+        init: Expr,
+        /// Continuation condition.
+        cond: Expr,
+        /// New iterator value computed at the end of each iteration.
+        step: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop id (assigned by [`crate::kernel::KernelDef::renumber`]).
+        id: LoopId,
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// Exit the innermost loop.
+    Break,
+    /// Jump to the next iteration of the innermost loop (the `for` step still
+    /// executes, like C).
+    Continue,
+    /// `__syncthreads()` barrier. On the lockstep warp interpreter this is a
+    /// (costed) no-op within a warp; the simulated kernels do not rely on
+    /// inter-warp shared-memory hand-off (see `hauberk-sim` docs).
+    SyncThreads,
+    /// Instrumentation hook.
+    Hook(Hook),
+}
+
+impl Stmt {
+    /// Convenience constructor: `var = value;`.
+    pub fn assign(var: VarId, value: Expr) -> Stmt {
+        Stmt::Assign { var, value }
+    }
+
+    /// Whether this statement *is* a loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, Stmt::For { .. } | Stmt::While { .. })
+    }
+
+    /// The variable this statement defines, if it is an assignment.
+    pub fn defined_var(&self) -> Option<VarId> {
+        match self {
+            Stmt::Assign { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// Expressions evaluated directly by this statement (not descending into
+    /// nested blocks).
+    pub fn direct_exprs(&self) -> Vec<&Expr> {
+        match self {
+            Stmt::Assign { value, .. } => vec![value],
+            Stmt::Store { ptr, index, value } | Stmt::AtomicAdd { ptr, index, value } => {
+                vec![ptr, index, value]
+            }
+            Stmt::If { cond, .. } => vec![cond],
+            Stmt::For {
+                init, cond, step, ..
+            } => vec![init, cond, step],
+            Stmt::While { cond, .. } => vec![cond],
+            Stmt::Hook(h) => h.args.iter().collect(),
+            Stmt::Break | Stmt::Continue | Stmt::SyncThreads => vec![],
+        }
+    }
+
+    /// Whether the statement (directly) uses variable `v` in any evaluated
+    /// expression.
+    pub fn uses_var_directly(&self, v: VarId) -> bool {
+        self.direct_exprs().iter().any(|e| e.uses_var(v))
+    }
+
+    /// Whether the statement or any nested statement uses variable `v`.
+    pub fn uses_var_recursively(&self, v: VarId) -> bool {
+        if self.uses_var_directly(v) {
+            return true;
+        }
+        match self {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                then_blk.0.iter().any(|s| s.uses_var_recursively(v))
+                    || else_blk.0.iter().any(|s| s.uses_var_recursively(v))
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                body.0.iter().any(|s| s.uses_var_recursively(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the statement or any nested statement assigns variable `v`
+    /// (a `for` loop assigns its iterator).
+    pub fn assigns_var_recursively(&self, v: VarId) -> bool {
+        match self {
+            Stmt::Assign { var, .. } => *var == v,
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                then_blk.0.iter().any(|s| s.assigns_var_recursively(v))
+                    || else_blk.0.iter().any(|s| s.assigns_var_recursively(v))
+            }
+            Stmt::For { var, body, .. } => {
+                *var == v || body.0.iter().any(|s| s.assigns_var_recursively(v))
+            }
+            Stmt::While { body, .. } => body.0.iter().any(|s| s.assigns_var_recursively(v)),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_stmt() -> Stmt {
+        // for (i = 0; i < n(v1); i = i + 1) { acc(v2) = acc + load(p(v3), i); }
+        Stmt::For {
+            id: 0,
+            var: 0,
+            init: Expr::i32(0),
+            cond: Expr::lt(Expr::var(0), Expr::var(1)),
+            step: Expr::add(Expr::var(0), Expr::i32(1)),
+            body: Block(vec![Stmt::assign(
+                2,
+                Expr::add(Expr::var(2), Expr::load(Expr::var(3), Expr::var(0))),
+            )]),
+        }
+    }
+
+    #[test]
+    fn recursive_use_and_assign() {
+        let s = loop_stmt();
+        assert!(s.uses_var_recursively(3));
+        assert!(s.assigns_var_recursively(2));
+        assert!(s.assigns_var_recursively(0)); // iterator
+        assert!(!s.assigns_var_recursively(3));
+        assert!(s.is_loop());
+    }
+
+    #[test]
+    fn direct_exprs_of_for_are_header_only() {
+        let s = loop_stmt();
+        assert_eq!(s.direct_exprs().len(), 3);
+        assert!(s.uses_var_directly(1)); // bound in condition
+        assert!(!s.uses_var_directly(3)); // body load is not direct
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let b = Block(vec![
+            loop_stmt(),
+            Stmt::If {
+                cond: Expr::Lit(crate::value::Value::Bool(true)),
+                then_blk: Block(vec![Stmt::Break]),
+                else_blk: Block::new(),
+            },
+        ]);
+        // for + its 1 body stmt + if + break
+        assert_eq!(b.stmt_count(), 4);
+    }
+
+    #[test]
+    fn defined_var_only_for_assign() {
+        assert_eq!(Stmt::assign(5, Expr::i32(1)).defined_var(), Some(5));
+        assert_eq!(Stmt::Break.defined_var(), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! The KIR scalar type system.
+//!
+//! Types are intentionally minimal: the Hauberk study classifies program state
+//! into **pointer**, **integer**, and **floating-point** data (the paper's
+//! Fig. 1 and Fig. 2), and the detectors only need 32-bit scalars. Pointers
+//! are typed (element type + memory space) so that loads/stores can be
+//! checked and so that the fault-classification knows a corrupted value was
+//! an address.
+
+use std::fmt;
+
+/// A primitive (register-sized, 32-bit) scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimTy {
+    /// IEEE-754 single-precision floating point.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit unsigned integer.
+    U32,
+    /// Boolean (stored as one 32-bit word on device).
+    Bool,
+}
+
+impl PrimTy {
+    /// Size of a value of this type in device memory, in bytes.
+    pub const fn size_bytes(self) -> u32 {
+        4
+    }
+
+    /// Whether the type is one of the integer types (`i32`/`u32`/`bool`).
+    pub const fn is_integer(self) -> bool {
+        matches!(self, PrimTy::I32 | PrimTy::U32 | PrimTy::Bool)
+    }
+
+    /// Whether the type is floating point.
+    pub const fn is_float(self) -> bool {
+        matches!(self, PrimTy::F32)
+    }
+}
+
+impl fmt::Display for PrimTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimTy::F32 => "f32",
+            PrimTy::I32 => "i32",
+            PrimTy::U32 => "u32",
+            PrimTy::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Device memory space a pointer refers to.
+///
+/// The simulated device has a per-device **global** memory and a per-block
+/// **shared** memory, mirroring the CUDA memory hierarchy relevant to the
+/// paper's benchmarks (TPACF's shared-memory histogram is the reason
+/// R-Scatter cannot be compiled for it, §IX.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Per-device global memory (visible to all blocks, survives the kernel).
+    Global,
+    /// Per-block shared memory (zeroed at block start).
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+        })
+    }
+}
+
+/// A full KIR type: either a primitive scalar or a typed pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Primitive scalar.
+    Prim(PrimTy),
+    /// Pointer to `elem` values living in `space`.
+    Ptr {
+        /// Memory space the pointer refers to.
+        space: MemSpace,
+        /// Element type pointed to.
+        elem: PrimTy,
+    },
+}
+
+impl Ty {
+    /// Shorthand for `Ty::Prim(PrimTy::F32)`.
+    pub const F32: Ty = Ty::Prim(PrimTy::F32);
+    /// Shorthand for `Ty::Prim(PrimTy::I32)`.
+    pub const I32: Ty = Ty::Prim(PrimTy::I32);
+    /// Shorthand for `Ty::Prim(PrimTy::U32)`.
+    pub const U32: Ty = Ty::Prim(PrimTy::U32);
+    /// Shorthand for `Ty::Prim(PrimTy::Bool)`.
+    pub const BOOL: Ty = Ty::Prim(PrimTy::Bool);
+
+    /// A pointer to `elem` values in global memory.
+    pub const fn global_ptr(elem: PrimTy) -> Ty {
+        Ty::Ptr {
+            space: MemSpace::Global,
+            elem,
+        }
+    }
+
+    /// A pointer to `elem` values in shared memory.
+    pub const fn shared_ptr(elem: PrimTy) -> Ty {
+        Ty::Ptr {
+            space: MemSpace::Shared,
+            elem,
+        }
+    }
+
+    /// The paper's three-way data classification (pointer / integer / FP).
+    pub const fn data_class(self) -> DataClass {
+        match self {
+            Ty::Prim(PrimTy::F32) => DataClass::Float,
+            Ty::Prim(_) => DataClass::Integer,
+            Ty::Ptr { .. } => DataClass::Pointer,
+        }
+    }
+
+    /// The primitive type if this is a scalar.
+    pub const fn as_prim(self) -> Option<PrimTy> {
+        match self {
+            Ty::Prim(p) => Some(p),
+            Ty::Ptr { .. } => None,
+        }
+    }
+
+    /// Whether this is a pointer type.
+    pub const fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr { .. })
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Prim(p) => write!(f, "{p}"),
+            Ty::Ptr { space, elem } => write!(f, "*{space} {elem}"),
+        }
+    }
+}
+
+impl From<PrimTy> for Ty {
+    fn from(p: PrimTy) -> Self {
+        Ty::Prim(p)
+    }
+}
+
+/// The paper's data-type taxonomy for fault-sensitivity characterization
+/// (Fig. 1: pointer vs. integer vs. floating-point state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataClass {
+    /// Pointer / address values.
+    Pointer,
+    /// Integer values (including booleans and loop iterators).
+    Integer,
+    /// Floating-point values.
+    Float,
+}
+
+impl DataClass {
+    /// All classes, in the paper's presentation order.
+    pub const ALL: [DataClass; 3] = [DataClass::Pointer, DataClass::Integer, DataClass::Float];
+}
+
+impl fmt::Display for DataClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataClass::Pointer => "pointer",
+            DataClass::Integer => "integer",
+            DataClass::Float => "floating-point",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_class_of_types() {
+        assert_eq!(Ty::F32.data_class(), DataClass::Float);
+        assert_eq!(Ty::I32.data_class(), DataClass::Integer);
+        assert_eq!(Ty::U32.data_class(), DataClass::Integer);
+        assert_eq!(Ty::BOOL.data_class(), DataClass::Integer);
+        assert_eq!(
+            Ty::global_ptr(PrimTy::F32).data_class(),
+            DataClass::Pointer
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Ty::F32.to_string(), "f32");
+        assert_eq!(Ty::global_ptr(PrimTy::I32).to_string(), "*global i32");
+        assert_eq!(Ty::shared_ptr(PrimTy::F32).to_string(), "*shared f32");
+    }
+
+    #[test]
+    fn prim_predicates() {
+        assert!(PrimTy::I32.is_integer());
+        assert!(PrimTy::Bool.is_integer());
+        assert!(PrimTy::F32.is_float());
+        assert!(!PrimTy::F32.is_integer());
+        assert_eq!(PrimTy::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn as_prim_and_is_ptr() {
+        assert_eq!(Ty::F32.as_prim(), Some(PrimTy::F32));
+        assert_eq!(Ty::global_ptr(PrimTy::F32).as_prim(), None);
+        assert!(Ty::global_ptr(PrimTy::F32).is_ptr());
+        assert!(!Ty::I32.is_ptr());
+    }
+}

@@ -1,0 +1,351 @@
+//! Structural and type validation of kernels.
+//!
+//! Run before execution or instrumentation: catches ill-typed expressions,
+//! out-of-range variable ids, `break`/`continue` outside loops, and stores
+//! through non-pointers. The simulator assumes validated kernels.
+
+use crate::expr::{BinOp, Expr, MathFn, UnOp, VarId};
+use crate::kernel::KernelDef;
+use crate::stmt::{Block, Stmt};
+use crate::types::{PrimTy, Ty};
+use std::fmt;
+
+/// A validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Human-readable description, including the kernel name.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "validation error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a kernel; returns the first problem found.
+pub fn validate_kernel(k: &KernelDef) -> Result<(), ValidateError> {
+    let v = Validator { k };
+    v.block(&k.body, 0)
+}
+
+struct Validator<'a> {
+    k: &'a KernelDef,
+}
+
+impl Validator<'_> {
+    fn err<T>(&self, msg: impl fmt::Display) -> Result<T, ValidateError> {
+        Err(ValidateError {
+            msg: format!("kernel `{}`: {msg}", self.k.name),
+        })
+    }
+
+    fn var_ty(&self, v: VarId) -> Result<Ty, ValidateError> {
+        self.k
+            .vars
+            .get(v as usize)
+            .map(|d| d.ty)
+            .ok_or(ValidateError {
+                msg: format!("kernel `{}`: variable id {v} out of range", self.k.name),
+            })
+    }
+
+    fn block(&self, b: &Block, loop_depth: usize) -> Result<(), ValidateError> {
+        for s in &b.0 {
+            self.stmt(s, loop_depth)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&self, s: &Stmt, loop_depth: usize) -> Result<(), ValidateError> {
+        match s {
+            Stmt::Assign { var, value } => {
+                let vt = self.var_ty(*var)?;
+                let et = self.expr(value)?;
+                if vt != et {
+                    return self.err(format!(
+                        "assignment type mismatch: `{}`: {vt} = {et}",
+                        self.k.vars[*var as usize].name
+                    ));
+                }
+                Ok(())
+            }
+            Stmt::Store { ptr, index, value } | Stmt::AtomicAdd { ptr, index, value } => {
+                let pt = self.expr(ptr)?;
+                let Ty::Ptr { elem, .. } = pt else {
+                    return self.err(format!("store through non-pointer type {pt}"));
+                };
+                let it = self.expr(index)?;
+                if !matches!(it, Ty::Prim(p) if p.is_integer()) {
+                    return self.err(format!("store index must be integer, got {it}"));
+                }
+                let vt = self.expr(value)?;
+                if vt != Ty::Prim(elem) {
+                    return self.err(format!("store value type {vt} != element type {elem}"));
+                }
+                if matches!(s, Stmt::AtomicAdd { .. }) && elem == PrimTy::Bool {
+                    return self.err("atomic_add on bool elements");
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let ct = self.expr(cond)?;
+                if ct != Ty::BOOL {
+                    return self.err(format!("if condition must be bool, got {ct}"));
+                }
+                self.block(then_blk, loop_depth)?;
+                self.block(else_blk, loop_depth)
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let vt = self.var_ty(*var)?;
+                if !matches!(vt, Ty::Prim(p) if p.is_integer()) {
+                    return self.err(format!("for iterator must be integer, got {vt}"));
+                }
+                if self.expr(init)? != vt {
+                    return self.err("for init type mismatch");
+                }
+                if self.expr(cond)? != Ty::BOOL {
+                    return self.err("for condition must be bool");
+                }
+                if self.expr(step)? != vt {
+                    return self.err("for step type mismatch");
+                }
+                self.block(body, loop_depth + 1)
+            }
+            Stmt::While { cond, body, .. } => {
+                if self.expr(cond)? != Ty::BOOL {
+                    return self.err("while condition must be bool");
+                }
+                self.block(body, loop_depth + 1)
+            }
+            Stmt::Break | Stmt::Continue => {
+                if loop_depth == 0 {
+                    return self.err("break/continue outside a loop");
+                }
+                Ok(())
+            }
+            Stmt::SyncThreads => Ok(()),
+            Stmt::Hook(h) => {
+                for a in &h.args {
+                    self.expr(a)?;
+                }
+                if let Some(t) = h.target {
+                    self.var_ty(t)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> Result<Ty, ValidateError> {
+        match e {
+            Expr::Lit(v) => Ok(v.ty()),
+            Expr::Var(v) => self.var_ty(*v),
+            Expr::Builtin(b) => Ok(b.ty()),
+            Expr::Un(op, inner) => {
+                let t = self.expr(inner)?;
+                match op {
+                    UnOp::Neg => match t {
+                        Ty::Prim(PrimTy::F32) | Ty::Prim(PrimTy::I32) => Ok(t),
+                        _ => self.err(format!("cannot negate {t}")),
+                    },
+                    UnOp::Not => {
+                        if t == Ty::BOOL {
+                            Ok(t)
+                        } else {
+                            self.err(format!("logical not on {t}"))
+                        }
+                    }
+                    UnOp::BitNot => match t {
+                        Ty::Prim(PrimTy::I32) | Ty::Prim(PrimTy::U32) => Ok(t),
+                        _ => self.err(format!("bitwise not on {t}")),
+                    },
+                    // BitsOf accepts any 32-bit value (that is its purpose).
+                    UnOp::BitsOf => Ok(Ty::U32),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.expr(a)?;
+                let tb = self.expr(b)?;
+                self.bin_ty(*op, ta, tb)
+            }
+            Expr::Call(m, args) => {
+                if args.len() != m.arity() {
+                    return self.err(format!("`{}` arity mismatch", m.spelling()));
+                }
+                let t0 = self.expr(&args[0])?;
+                match m {
+                    MathFn::Min | MathFn::Max => {
+                        let t1 = self.expr(&args[1])?;
+                        if t0 != t1 {
+                            return self.err(format!("min/max operand mismatch {t0} vs {t1}"));
+                        }
+                        match t0 {
+                            Ty::Prim(p) if p != PrimTy::Bool => Ok(t0),
+                            _ => self.err(format!("min/max on {t0}")),
+                        }
+                    }
+                    MathFn::Abs => match t0 {
+                        Ty::Prim(PrimTy::F32) | Ty::Prim(PrimTy::I32) => Ok(t0),
+                        _ => self.err(format!("abs on {t0}")),
+                    },
+                    _ => {
+                        if t0 != Ty::F32 {
+                            return self.err(format!("`{}` requires f32, got {t0}", m.spelling()));
+                        }
+                        Ok(Ty::F32)
+                    }
+                }
+            }
+            Expr::Load { ptr, index } => {
+                let pt = self.expr(ptr)?;
+                let Ty::Ptr { elem, .. } = pt else {
+                    return self.err(format!("load through non-pointer type {pt}"));
+                };
+                let it = self.expr(index)?;
+                if !matches!(it, Ty::Prim(p) if p.is_integer()) {
+                    return self.err(format!("load index must be integer, got {it}"));
+                }
+                Ok(Ty::Prim(elem))
+            }
+            Expr::Cast(to, inner) => {
+                let t = self.expr(inner)?;
+                match t {
+                    Ty::Prim(_) => Ok(Ty::Prim(*to)),
+                    Ty::Ptr { .. } => self.err("cannot cast a pointer"),
+                }
+            }
+        }
+    }
+
+    fn bin_ty(&self, op: BinOp, ta: Ty, tb: Ty) -> Result<Ty, ValidateError> {
+        use BinOp::*;
+        // Pointer arithmetic: ptr ± int -> ptr; ptr - ptr not supported.
+        if let (Ty::Ptr { .. }, Ty::Prim(p)) = (ta, tb) {
+            if matches!(op, Add | Sub) && p.is_integer() && p != PrimTy::Bool {
+                return Ok(ta);
+            }
+        }
+        if op.is_logical() {
+            if ta == Ty::BOOL && tb == Ty::BOOL {
+                return Ok(Ty::BOOL);
+            }
+            return self.err(format!("logical op on {ta}, {tb}"));
+        }
+        if op.is_comparison() {
+            if ta == tb && !matches!(ta, Ty::Ptr { .. }) {
+                return Ok(Ty::BOOL);
+            }
+            if ta == tb {
+                // Pointer equality only.
+                if matches!(op, Eq | Ne) {
+                    return Ok(Ty::BOOL);
+                }
+                return self.err("ordered comparison of pointers");
+            }
+            return self.err(format!("comparison of {ta} and {tb}"));
+        }
+        match op {
+            Add | Sub | Mul | Div => match (ta, tb) {
+                (Ty::Prim(a), Ty::Prim(b)) if a == b && a != PrimTy::Bool => Ok(ta),
+                _ => self.err(format!("arithmetic on {ta}, {tb}")),
+            },
+            Rem | And | Or | Xor | Shl | Shr => match (ta, tb) {
+                (Ty::Prim(a), Ty::Prim(b))
+                    if a == b && a.is_integer() && a != PrimTy::Bool =>
+                {
+                    Ok(ta)
+                }
+                _ => self.err(format!("integer op on {ta}, {tb}")),
+            },
+            _ => unreachable!("comparison/logical handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        validate_kernel(&parse_kernel(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_kernel() {
+        check(
+            r#"kernel k(p: *global f32, n: i32) {
+                let acc: f32 = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    acc = acc + load(p, i);
+                }
+                store(p, 0, acc);
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatched_assignment() {
+        let e = check("kernel k() { let x: f32 = 1; }").unwrap_err();
+        assert!(e.msg.contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check("kernel k() { break; }").unwrap_err();
+        assert!(e.msg.contains("outside"));
+    }
+
+    #[test]
+    fn rejects_store_through_scalar() {
+        let e = check("kernel k(x: f32) { store(x, 0, 1.0); }").unwrap_err();
+        assert!(e.msg.contains("non-pointer"));
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let e = check("kernel k(n: i32) { if (n) { } }").unwrap_err();
+        assert!(e.msg.contains("bool"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_is_typed() {
+        check("kernel k(p: *global f32) { let q: *global f32 = p + 4; }").unwrap();
+        let e = check("kernel k(p: *global f32) { let q: *global f32 = p * 2; }").unwrap_err();
+        assert!(e.msg.contains("arithmetic"));
+    }
+
+    #[test]
+    fn float_store_into_int_buffer_rejected() {
+        let e = check("kernel k(p: *global i32) { store(p, 0, 1.5); }").unwrap_err();
+        assert!(e.msg.contains("element type"));
+    }
+
+    #[test]
+    fn math_fn_type_rules() {
+        check("kernel k(x: f32) { let y: f32 = sqrt(x); }").unwrap();
+        let e = check("kernel k(x: i32) { let y: i32 = sqrt(x); }");
+        assert!(e.is_err());
+        check("kernel k(x: i32) { let y: i32 = max(x, 3); }").unwrap();
+    }
+
+    #[test]
+    fn bitsof_accepts_everything() {
+        check("kernel k(p: *global f32, x: f32) { let c: u32 = bits(p) ^ bits(x); }").unwrap();
+    }
+}

@@ -1,0 +1,168 @@
+//! Traversal and rewriting helpers over the structured AST.
+//!
+//! Instrumentation passes are expressed with [`rewrite_stmts`]: each original
+//! statement may be replaced by a sequence of statements (e.g. an assignment
+//! followed by a fault-injection hook, or a definition followed by the
+//! checksum update / duplicate / compare triplet of the non-loop detector).
+
+use crate::expr::Expr;
+use crate::stmt::{Block, Stmt};
+
+/// Visit every statement recursively, pre-order.
+pub fn for_each_stmt<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.0 {
+        f(s);
+        match s {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                for_each_stmt(then_blk, f);
+                for_each_stmt(else_blk, f);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => for_each_stmt(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visit every expression evaluated anywhere in the block (directly by
+/// statements, including loop headers), pre-order within each statement.
+pub fn for_each_expr<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for_each_stmt(block, &mut |s| {
+        for e in s.direct_exprs() {
+            e.walk(f);
+        }
+    });
+}
+
+/// Rewrite a block bottom-up: nested blocks are rewritten first, then `f`
+/// maps each statement to its replacement sequence.
+///
+/// `f` receives the statement (with already-rewritten children) and must
+/// return the statements that replace it — commonly `vec![stmt]` (keep),
+/// `vec![stmt, hook]` (instrument after), or a longer expansion.
+pub fn rewrite_stmts(block: Block, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) -> Block {
+    let mut out = Vec::with_capacity(block.0.len());
+    for s in block.0 {
+        let s = match s {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => Stmt::If {
+                cond,
+                then_blk: rewrite_stmts(then_blk, f),
+                else_blk: rewrite_stmts(else_blk, f),
+            },
+            Stmt::For {
+                id,
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                id,
+                var,
+                init,
+                cond,
+                step,
+                body: rewrite_stmts(body, f),
+            },
+            Stmt::While { id, cond, body } => Stmt::While {
+                id,
+                cond,
+                body: rewrite_stmts(body, f),
+            },
+            other => other,
+        };
+        out.extend(f(s));
+    }
+    Block(out)
+}
+
+/// Rewrite only the **top level** of a block (no recursion); useful when a
+/// pass must treat statements inside loops differently from statements
+/// outside loops (the non-loop vs. loop detector split).
+pub fn rewrite_top_level(block: Block, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) -> Block {
+    let mut out = Vec::with_capacity(block.0.len());
+    for s in block.0 {
+        out.extend(f(s));
+    }
+    Block(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn sample() -> Block {
+        Block(vec![
+            Stmt::assign(0, Expr::i32(1)),
+            Stmt::For {
+                id: 0,
+                var: 1,
+                init: Expr::i32(0),
+                cond: Expr::lt(Expr::var(1), Expr::i32(3)),
+                step: Expr::add(Expr::var(1), Expr::i32(1)),
+                body: Block(vec![Stmt::assign(2, Expr::var(0))]),
+            },
+        ])
+    }
+
+    #[test]
+    fn for_each_stmt_sees_nested() {
+        let b = sample();
+        let mut n = 0;
+        for_each_stmt(&b, &mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn for_each_expr_includes_headers() {
+        let b = sample();
+        let mut lits = 0;
+        for_each_expr(&b, &mut |e| {
+            if matches!(e, Expr::Lit(_)) {
+                lits += 1;
+            }
+        });
+        // 1 (assign) + 0-init + 3-bound + 1-step
+        assert_eq!(lits, 4);
+    }
+
+    #[test]
+    fn rewrite_duplicates_assignments_everywhere() {
+        let b = sample();
+        let out = rewrite_stmts(b, &mut |s| {
+            if matches!(s, Stmt::Assign { .. }) {
+                vec![s.clone(), s]
+            } else {
+                vec![s]
+            }
+        });
+        assert_eq!(out.0.len(), 3); // assign, assign, for
+        match &out.0[2] {
+            Stmt::For { body, .. } => assert_eq!(body.0.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rewrite_top_level_does_not_recurse() {
+        let b = sample();
+        let out = rewrite_top_level(b, &mut |s| {
+            if matches!(s, Stmt::Assign { .. }) {
+                vec![s.clone(), s]
+            } else {
+                vec![s]
+            }
+        });
+        assert_eq!(out.0.len(), 3);
+        match &out.0[2] {
+            Stmt::For { body, .. } => assert_eq!(body.0.len(), 1),
+            _ => panic!(),
+        }
+    }
+}

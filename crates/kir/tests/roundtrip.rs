@@ -1,0 +1,133 @@
+//! Property tests of the mini-CUDA surface syntax: arbitrary type-correct
+//! expressions and statements must survive print → parse unchanged, and the
+//! validator must accept everything the generator produces.
+
+use hauberk_kir::builder::KernelBuilder;
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::printer::print_kernel;
+use hauberk_kir::validate::validate_kernel;
+use hauberk_kir::{BinOp, Expr, MathFn, PrimTy, Ty, UnOp};
+use proptest::prelude::*;
+
+/// Negation that folds literals (matching the parser's canonical form).
+fn neg(e: Expr) -> Expr {
+    match e {
+        Expr::Lit(hauberk_kir::Value::F32(v)) => Expr::f32(-v),
+        Expr::Lit(hauberk_kir::Value::I32(v)) => Expr::i32(v.wrapping_neg()),
+        other => Expr::Un(UnOp::Neg, Box::new(other)),
+    }
+}
+
+/// Strategy for type-correct `f32` expressions over variables `f0..f3`
+/// (ids 3..7 in the generated kernel below) and loads from `x` (id 0).
+fn f32_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Expr::var(3 + i as u32)),
+        // Finite, printable literals.
+        (-1000i32..1000).prop_map(|v| Expr::f32(v as f32 / 8.0)),
+        (0u8..8).prop_map(|i| Expr::load(Expr::var(0), Expr::i32(i as i32))),
+        Just(Expr::Cast(PrimTy::F32, Box::new(Expr::var(7)))),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+            ])
+                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| neg(e)),
+            inner.clone().prop_map(|e| Expr::call(MathFn::Sqrt, vec![e])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::call(MathFn::Max, vec![a, b])),
+        ]
+    })
+    .boxed()
+}
+
+/// Strategy for type-correct `i32` expressions over `i0` (id 7) and the
+/// iterator-free constants.
+fn i32_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::var(7)),
+        (-100i32..100).prop_map(Expr::i32),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+            ])
+                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::Un(UnOp::BitNot, Box::new(e))),
+        ]
+    })
+    .boxed()
+}
+
+/// Wrap generated expressions in a kernel with a known variable layout:
+/// params x(0), out(1), n(2); locals f0..f3 (3..6), i0 (7).
+fn kernel_with(fs: Vec<Expr>, is: Vec<Expr>) -> hauberk_kir::KernelDef {
+    let mut b = KernelBuilder::new("gen");
+    let _x = b.param("x", Ty::global_ptr(PrimTy::F32));
+    let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+    let _n = b.param("n", Ty::I32);
+    // Declaration order must match first-assignment order so the printed
+    // `let` order reproduces the same variable numbering on re-parse.
+    let f: Vec<_> = (0..4)
+        .map(|i| b.local(format!("f{i}"), Ty::F32))
+        .collect();
+    let i0 = b.local("i0", Ty::I32);
+    for (i, fv) in f.iter().enumerate() {
+        b.assign(*fv, Expr::f32(i as f32));
+    }
+    b.assign(i0, Expr::i32(1));
+    for (i, e) in fs.into_iter().enumerate() {
+        b.assign(f[i % 4], e);
+    }
+    for e in is {
+        b.assign(i0, e);
+    }
+    b.store(Expr::var(out), Expr::i32(0), Expr::var(f[0]));
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expressions_round_trip_and_validate(
+        fs in prop::collection::vec(f32_expr(4), 1..4),
+        is in prop::collection::vec(i32_expr(3), 0..3),
+    ) {
+        let k = kernel_with(fs, is);
+        validate_kernel(&k).unwrap();
+        let printed = print_kernel(&k);
+        let back = parse_kernel(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        prop_assert_eq!(k, back);
+    }
+
+    #[test]
+    fn substitution_is_identity_with_empty_map(e in f32_expr(4)) {
+        let s = e.substitute_vars(&|_| None);
+        prop_assert_eq!(e, s);
+    }
+
+    #[test]
+    fn substitution_renames_every_occurrence(e in f32_expr(4)) {
+        // Map f0 (id 3) -> id 42; afterwards id 3 must be gone and every
+        // former occurrence must be 42.
+        let before = e.vars_used().iter().filter(|v| **v == 3).count();
+        let s = e.substitute_vars(&|v| (v == 3).then_some(42));
+        let after_old = s.vars_used().iter().filter(|v| **v == 3).count();
+        let after_new = s.vars_used().iter().filter(|v| **v == 42).count();
+        prop_assert_eq!(after_old, 0);
+        prop_assert_eq!(after_new, before);
+    }
+}

@@ -1,0 +1,591 @@
+//! The simulated device: global memory, launch orchestration, SM time model.
+
+use crate::config::DeviceConfig;
+use crate::fault::MemoryBurst;
+use crate::hooks::HookRuntime;
+use crate::interp::{ExecErr, WarpExec, WarpGeom};
+use crate::memory::MemRegion;
+use crate::outcome::{LaunchOutcome, TrapReason};
+use crate::stats::ExecStats;
+use hauberk_kir::validate::validate_kernel;
+use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
+
+/// Launch geometry and budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Grid dimensions in blocks.
+    pub grid: (u32, u32),
+    /// Block dimensions in threads (the bundled kernels use ≤ 32 threads per
+    /// block in x — one warp — so `__syncthreads` is exact; larger blocks
+    /// execute warps sequentially).
+    pub block: (u32, u32),
+    /// Total work-cycle budget; exceeding it yields
+    /// [`LaunchOutcome::Hang`]. Use [`Launch::DEFAULT_BUDGET`] for
+    /// effectively unbounded runs.
+    pub cycle_budget: u64,
+}
+
+impl Launch {
+    /// A budget that no sane kernel reaches (but a corrupted infinite loop
+    /// eventually does, in bounded wall-clock time).
+    pub const DEFAULT_BUDGET: u64 = 2_000_000_000;
+
+    /// 1-D launch helper.
+    pub fn grid1d(blocks: u32, threads_per_block: u32) -> Launch {
+        Launch {
+            grid: (blocks, 1),
+            block: (threads_per_block, 1),
+            cycle_budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Set the hang budget.
+    pub fn with_budget(mut self, budget: u64) -> Launch {
+        self.cycle_budget = budget;
+        self
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64 * self.block.0 as u64 * self.block.1 as u64
+    }
+}
+
+/// A simulated GPU (or, with [`DeviceConfig::cpu`], a protected CPU).
+pub struct Device {
+    /// Device configuration.
+    pub config: DeviceConfig,
+    /// Global memory.
+    pub mem: MemRegion,
+}
+
+impl Device {
+    /// Create a device.
+    pub fn new(config: DeviceConfig) -> Self {
+        let mem = MemRegion::new(
+            MemSpace::Global,
+            config.global_mem_bytes,
+            config.strict_memory,
+        );
+        Device { config, mem }
+    }
+
+    /// Default GT200-like GPU.
+    pub fn gpu() -> Self {
+        Device::new(DeviceConfig::gpu())
+    }
+
+    /// Small GPU for tests.
+    pub fn small_gpu() -> Self {
+        Device::new(DeviceConfig::small_gpu())
+    }
+
+    /// CPU-mode device (strict memory, single lane).
+    pub fn cpu() -> Self {
+        Device::new(DeviceConfig::cpu())
+    }
+
+    /// Allocate `n` elements of `elem` in global memory.
+    ///
+    /// # Panics
+    /// Panics if global memory is exhausted (host-side allocation failure,
+    /// not a simulated fault).
+    pub fn alloc(&mut self, elem: PrimTy, n: u32) -> PtrVal {
+        self.mem
+            .alloc(elem, n)
+            .expect("device global memory exhausted")
+    }
+
+    /// Apply a memory-corruption burst (graphics fault experiments).
+    pub fn inject_memory_burst(&mut self, burst: &MemoryBurst) {
+        debug_assert_eq!(burst.space, MemSpace::Global);
+        self.mem.corrupt_words(burst.addr, burst.words, burst.mask);
+    }
+
+    /// Launch `kernel` with parameter values `args`.
+    ///
+    /// Checks shared-memory fit (the launch-time analogue of the R-Scatter
+    /// compile failure) and argument arity/types, then executes every block
+    /// deterministically and aggregates the SM time model.
+    pub fn launch(
+        &mut self,
+        kernel: &KernelDef,
+        args: &[Value],
+        launch: &Launch,
+        runtime: &mut dyn HookRuntime,
+    ) -> LaunchOutcome {
+        assert_eq!(args.len(), kernel.n_params, "kernel argument count");
+        for (i, a) in args.iter().enumerate() {
+            assert_eq!(
+                a.ty(),
+                kernel.vars[i].ty,
+                "argument {i} type mismatch for kernel `{}`",
+                kernel.name
+            );
+        }
+        debug_assert!(validate_kernel(kernel).is_ok(), "launching invalid kernel");
+
+        let mut stats = ExecStats::default();
+        if kernel.shared_mem_bytes > self.config.shared_mem_per_block {
+            return LaunchOutcome::Crash {
+                reason: TrapReason::SharedMemOverflow {
+                    requested: kernel.shared_mem_bytes,
+                    available: self.config.shared_mem_per_block,
+                },
+                stats,
+            };
+        }
+
+        let tpb = launch.block.0 * launch.block.1;
+        let warps_per_block = tpb.div_ceil(self.config.warp_width);
+        let mut sm_cycles = vec![0u64; self.config.num_sms as usize];
+        let mut budget = launch.cycle_budget;
+
+        for by in 0..launch.grid.1 {
+            for bx in 0..launch.grid.0 {
+                let block_lin = by * launch.grid.0 + bx;
+                let mut shared = MemRegion::new(
+                    MemSpace::Shared,
+                    self.config.shared_mem_per_block,
+                    self.config.strict_memory,
+                );
+                if kernel.shared_mem_bytes > 0 {
+                    // Materialize the block's static shared allocation so
+                    // addresses 0..shared_mem_bytes are valid.
+                    shared
+                        .alloc(PrimTy::F32, kernel.shared_mem_bytes / 4)
+                        .expect("checked against device limit above");
+                }
+                let before = stats.work_cycles;
+                for warp_id in 0..warps_per_block {
+                    let geom = WarpGeom {
+                        grid: launch.grid,
+                        block_dim: launch.block,
+                        block_idx: (bx, by),
+                        warp_id,
+                    };
+                    let mut warp = WarpExec::new(
+                        kernel,
+                        &self.config,
+                        &mut self.mem,
+                        &mut shared,
+                        runtime,
+                        &mut stats,
+                        &mut budget,
+                        geom,
+                        args,
+                    );
+                    match warp.run() {
+                        Ok(()) => {}
+                        Err(ExecErr::Trap(reason)) => {
+                            finalize(&mut stats, &sm_cycles);
+                            return LaunchOutcome::Crash { reason, stats };
+                        }
+                        Err(ExecErr::Hang) => {
+                            finalize(&mut stats, &sm_cycles);
+                            return LaunchOutcome::Hang { stats };
+                        }
+                    }
+                }
+                stats.blocks += 1;
+                let block_cycles = stats.work_cycles - before;
+                sm_cycles[(block_lin % self.config.num_sms) as usize] += block_cycles;
+            }
+        }
+        finalize(&mut stats, &sm_cycles);
+        LaunchOutcome::Completed(stats)
+    }
+}
+
+fn finalize(stats: &mut ExecStats, sm_cycles: &[u64]) {
+    stats.kernel_cycles = sm_cycles.iter().copied().max().unwrap_or(0).max(
+        // Crashed/hung before any block finished: fall back to work cycles.
+        if sm_cycles.iter().all(|c| *c == 0) {
+            stats.work_cycles
+        } else {
+            0
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullRuntime;
+    use hauberk_kir::parser::parse_kernel;
+
+    fn saxpy_kernel() -> KernelDef {
+        parse_kernel(
+            r#"kernel saxpy(y: *global f32, x: *global f32, a: f32, n: i32) {
+                let i: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+                if (i < n) {
+                    let v: f32 = a * load(x, i) + load(y, i);
+                    store(y, i, v);
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn saxpy_computes_correctly() {
+        let mut dev = Device::small_gpu();
+        let n = 100u32;
+        let y = dev.alloc(PrimTy::F32, n);
+        let x = dev.alloc(PrimTy::F32, n);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5).collect();
+        dev.mem.copy_in_f32(x, &xs);
+        dev.mem.copy_in_f32(y, &ys);
+        let k = saxpy_kernel();
+        let launch = Launch::grid1d(n.div_ceil(32), 32);
+        let out = dev.launch(
+            &k,
+            &[
+                Value::Ptr(y),
+                Value::Ptr(x),
+                Value::F32(2.0),
+                Value::I32(n as i32),
+            ],
+            &launch,
+            &mut NullRuntime,
+        );
+        assert!(out.is_completed(), "{out:?}");
+        let r = dev.mem.copy_out_f32(y, n);
+        for i in 0..n as usize {
+            assert_eq!(r[i], 2.0 * i as f32 + (i as f32) * 0.5);
+        }
+        let s = out.stats();
+        assert_eq!(s.blocks, 4);
+        assert!(s.kernel_cycles > 0 && s.kernel_cycles <= s.work_cycles);
+    }
+
+    #[test]
+    fn loop_kernel_attributes_loop_cycles() {
+        let k = parse_kernel(
+            r#"kernel acc(out: *global f32, x: *global f32, n: i32) {
+                let i: i32 = thread_idx_x();
+                let s: f32 = 0.0;
+                for (j = 0; j < n; j = j + 1) {
+                    s = s + load(x, j) * load(x, j);
+                }
+                store(out, i, s);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::F32, 32);
+        let x = dev.alloc(PrimTy::F32, 64);
+        dev.mem.copy_in_f32(x, &vec![1.0; 64]);
+        let launch = Launch::grid1d(1, 32);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out), Value::Ptr(x), Value::I32(64)],
+            &launch,
+            &mut NullRuntime,
+        );
+        let s = r.completed_stats().unwrap();
+        assert!(
+            s.loop_fraction() > 0.9,
+            "loop-dominant kernel: {}",
+            s.loop_fraction()
+        );
+        assert_eq!(dev.mem.copy_out_f32(out, 1)[0], 64.0);
+    }
+
+    #[test]
+    fn divergence_executes_both_arms() {
+        let k = parse_kernel(
+            r#"kernel d(out: *global i32) {
+                let i: i32 = thread_idx_x();
+                let v: i32 = 0;
+                if (i % 2 == 0) {
+                    v = 10;
+                } else {
+                    v = 20;
+                }
+                store(out, i, v);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::I32, 32);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out)],
+            &Launch::grid1d(1, 32),
+            &mut NullRuntime,
+        );
+        assert!(r.is_completed());
+        let v = dev.mem.copy_out_i32(out, 4);
+        assert_eq!(v, vec![10, 20, 10, 20]);
+    }
+
+    #[test]
+    fn while_and_break_reconverge() {
+        let k = parse_kernel(
+            r#"kernel w(out: *global i32, n: i32) {
+                let i: i32 = thread_idx_x();
+                let c: i32 = 0;
+                while (true) {
+                    c = c + 1;
+                    if (c > i) {
+                        break;
+                    }
+                }
+                store(out, i, c);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::I32, 32);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out), Value::I32(0)],
+            &Launch::grid1d(1, 8),
+            &mut NullRuntime,
+        );
+        assert!(r.is_completed(), "{r:?}");
+        let v = dev.mem.copy_out_i32(out, 8);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn infinite_loop_hangs_at_budget() {
+        let k = parse_kernel(
+            r#"kernel h(out: *global i32) {
+                let x: i32 = 0;
+                while (true) {
+                    x = x + 1;
+                }
+                store(out, 0, x);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::I32, 4);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out)],
+            &Launch {
+                grid: (1, 1),
+                block: (1, 1),
+                cycle_budget: 10_000,
+            },
+            &mut NullRuntime,
+        );
+        assert!(matches!(r, LaunchOutcome::Hang { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn shared_mem_overflow_fails_launch() {
+        let k = parse_kernel(
+            r#"kernel s(out: *global i32) shared 999999 {
+                store(out, 0, 1);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::I32, 4);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out)],
+            &Launch::grid1d(1, 1),
+            &mut NullRuntime,
+        );
+        assert!(matches!(
+            r,
+            LaunchOutcome::Crash {
+                reason: TrapReason::SharedMemOverflow { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shared_memory_is_per_block_usable() {
+        let k = parse_kernel(
+            r#"kernel sh(out: *global f32) shared 256 {
+                let s: *shared f32 = shared_f32();
+                let i: i32 = thread_idx_x();
+                store(s, i, cast<f32>(i) * 2.0);
+                sync();
+                store(out, block_idx_x() * block_dim_x() + i, load(s, i));
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let out = dev.alloc(PrimTy::F32, 64);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(out)],
+            &Launch::grid1d(2, 32),
+            &mut NullRuntime,
+        );
+        assert!(r.is_completed(), "{r:?}");
+        let v = dev.mem.copy_out_f32(out, 64);
+        assert_eq!(v[5], 10.0);
+        assert_eq!(v[37], 10.0);
+    }
+
+    #[test]
+    fn cpu_mode_traps_on_oob() {
+        let k = parse_kernel(
+            r#"kernel c(p: *global i32) {
+                store(p, 1000000, 1);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::cpu();
+        let p = dev.alloc(PrimTy::I32, 16);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(p)],
+            &Launch::grid1d(1, 1),
+            &mut NullRuntime,
+        );
+        assert!(matches!(
+            r,
+            LaunchOutcome::Crash {
+                reason: TrapReason::OutOfBounds { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gpu_mode_wraps_on_oob_silently() {
+        let k = parse_kernel(
+            r#"kernel g(p: *global i32) {
+                store(p, 1000000, 77);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let p = dev.alloc(PrimTy::I32, 16);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(p)],
+            &Launch::grid1d(1, 1),
+            &mut NullRuntime,
+        );
+        assert!(r.is_completed(), "no page protection on GPU: {r:?}");
+    }
+
+    #[test]
+    fn determinism_same_launch_same_stats() {
+        let k = saxpy_kernel();
+        let run = || {
+            let mut dev = Device::small_gpu();
+            let y = dev.alloc(PrimTy::F32, 64);
+            let x = dev.alloc(PrimTy::F32, 64);
+            dev.mem.copy_in_f32(x, &vec![1.5; 64]);
+            dev.mem.copy_in_f32(y, &vec![2.5; 64]);
+            let r = dev.launch(
+                &k,
+                &[
+                    Value::Ptr(y),
+                    Value::Ptr(x),
+                    Value::F32(3.0),
+                    Value::I32(64),
+                ],
+                &Launch::grid1d(2, 32),
+                &mut NullRuntime,
+            );
+            (r.stats().clone(), dev.mem.copy_out_f32(y, 64))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn register_live_fault_corrupts_between_uses() {
+        use crate::fault::{ArmedFault, FaultArm, FaultSite};
+        use crate::hooks::RegCorruption;
+        use hauberk_kir::builder::KernelBuilder;
+        use hauberk_kir::stmt::{Hook, HookKind, Stmt};
+        use hauberk_kir::{Expr, HwComponent, Ty};
+
+        // a = 5; @fi(site 0, target a); b = 7; @fi(site 1, target b);
+        // store(out,0,a); store(out,1,b);
+        let mut b = KernelBuilder::new("reg");
+        let out = b.param("out", Ty::global_ptr(PrimTy::I32));
+        let a = b.let_("a", Ty::I32, hauberk_kir::Expr::i32(5));
+        b.stmt(Stmt::Hook(Hook {
+            kind: HookKind::FiPoint {
+                hw: HwComponent::IAlu,
+            },
+            site: 0,
+            args: vec![],
+            target: Some(a),
+        }));
+        let bv = b.let_("b", Ty::I32, hauberk_kir::Expr::i32(7));
+        b.stmt(Stmt::Hook(Hook {
+            kind: HookKind::FiPoint {
+                hw: HwComponent::IAlu,
+            },
+            site: 1,
+            args: vec![],
+            target: Some(bv),
+        }));
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(a));
+        b.store(Expr::var(out), Expr::i32(1), Expr::var(bv));
+        let k = b.finish();
+
+        /// Minimal FI runtime delivering register-live corruptions.
+        struct RegFi {
+            arm: FaultArm,
+        }
+        impl HookRuntime for RegFi {
+            fn on_hook(&mut self, hook: &hauberk_kir::Hook, ctx: &mut crate::hooks::HookCtx<'_>) {
+                self.arm.at_hook(hook.site, ctx);
+            }
+            fn register_corruption(
+                &mut self,
+                hook: &hauberk_kir::Hook,
+                first_thread: u32,
+                active: u32,
+            ) -> Option<RegCorruption> {
+                self.arm.poll_register(hook.site, first_thread, active, 32)
+            }
+        }
+
+        // Corrupt `a` (already defined, sitting in a register) at site 1 —
+        // i.e. AFTER b's definition, BETWEEN a's def and its use.
+        let mut rt = RegFi {
+            arm: FaultArm::new(Some(ArmedFault {
+                site: FaultSite::RegisterLive { site: 1, var: a },
+                thread: 0,
+                occurrence: 1,
+                mask: 0b10, // 5 ^ 2 = 7
+            })),
+        };
+        let mut dev = Device::small_gpu();
+        let outp = dev.alloc(PrimTy::I32, 4);
+        let r = dev.launch(&k, &[Value::Ptr(outp)], &Launch::grid1d(1, 1), &mut rt);
+        assert!(r.is_completed(), "{r:?}");
+        assert!(rt.arm.delivered());
+        let v = dev.mem.copy_out_i32(outp, 2);
+        assert_eq!(v[0], 7, "a was corrupted after b's definition (5^2)");
+        assert_eq!(v[1], 7, "b untouched");
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_threads() {
+        let k = parse_kernel(
+            r#"kernel a(c: *global i32) {
+                atomic_add(c, 0, 1);
+            }"#,
+        )
+        .unwrap();
+        let mut dev = Device::small_gpu();
+        let c = dev.alloc(PrimTy::I32, 4);
+        let r = dev.launch(
+            &k,
+            &[Value::Ptr(c)],
+            &Launch::grid1d(4, 32),
+            &mut NullRuntime,
+        );
+        assert!(r.is_completed());
+        assert_eq!(dev.mem.copy_out_i32(c, 1)[0], 128);
+    }
+}

@@ -1,0 +1,330 @@
+//! Fault arming and delivery: the architecture-state corruption machinery of
+//! the SWIFI toolset (§VII).
+//!
+//! A fault is *armed* against a static location ([`FaultSite`]), a specific
+//! global thread, a dynamic occurrence count, and an XOR bit mask. Delivery
+//! happens inside the interpreter's hook/loop-check callbacks via
+//! [`FaultArm`], which the FI library runtimes embed. Occurrence counting is
+//! **per (site, thread)**, making injections deterministic regardless of
+//! block execution order.
+
+use crate::hooks::{HookCtx, LoopCheckCtx};
+use hauberk_kir::stmt::{LoopId, SiteId};
+use hauberk_kir::MemSpace;
+use std::collections::HashMap;
+
+/// Static location a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Corrupt the target variable of fault-injection hook `site` right
+    /// after its defining statement (ALU / FPU / register-file faults).
+    HookTarget {
+        /// Hook site id.
+        site: SiteId,
+    },
+    /// Corrupt the iterator variable of loop `loop_id` at a condition
+    /// evaluation (SM-scheduler fault on the iterator path).
+    LoopIterator {
+        /// Loop id.
+        loop_id: LoopId,
+    },
+    /// Flip the thread's branch decision at a condition evaluation of loop
+    /// `loop_id` (SM-scheduler fault on the decision path).
+    LoopDecision {
+        /// Loop id.
+        loop_id: LoopId,
+    },
+    /// Corrupt variable `var` while it sits in a register, at the k-th
+    /// execution of hook `site` by the target thread — the register-file
+    /// fault class (c): the corruption lands *between* the variable's
+    /// definition and a later use.
+    RegisterLive {
+        /// Trigger hook site (any site; typically not `var`'s own def).
+        site: SiteId,
+        /// The live variable to corrupt.
+        var: u32,
+    },
+}
+
+/// A fault armed for delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedFault {
+    /// Where.
+    pub site: FaultSite,
+    /// Which global linear thread.
+    pub thread: u32,
+    /// Which dynamic occurrence for that thread (1-based: 1 = first
+    /// execution of the site by that thread).
+    pub occurrence: u64,
+    /// XOR mask applied to the 32-bit architecture state.
+    pub mask: u32,
+}
+
+/// Tracks occurrence counts and delivers an armed fault at most once.
+#[derive(Debug, Default)]
+pub struct FaultArm {
+    fault: Option<ArmedFault>,
+    counts: HashMap<(FaultSite, u32), u64>,
+    delivered: bool,
+}
+
+impl FaultArm {
+    /// Arm `fault` (or none, for fault-free runs).
+    pub fn new(fault: Option<ArmedFault>) -> Self {
+        FaultArm {
+            fault,
+            counts: HashMap::new(),
+            delivered: false,
+        }
+    }
+
+    /// Whether the armed fault was activated during the run. A fault that is
+    /// never activated (its site/thread/occurrence never executed) is *not
+    /// manifested* by construction.
+    pub fn delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// The armed fault, if any.
+    pub fn fault(&self) -> Option<&ArmedFault> {
+        self.fault.as_ref()
+    }
+
+    /// Poll for a register-file corruption at hook `site` (the interpreter
+    /// applies it to the named variable). Counts occurrences per thread.
+    pub fn poll_register(
+        &mut self,
+        site: SiteId,
+        first_thread: u32,
+        active: u32,
+        warp_width: u32,
+    ) -> Option<crate::hooks::RegCorruption> {
+        let f = self.fault?;
+        let FaultSite::RegisterLive { site: want, var } = f.site else {
+            return None;
+        };
+        if want != site {
+            return None;
+        }
+        let mut hit = None;
+        for lane in 0..warp_width {
+            if active & (1 << lane) == 0 {
+                continue;
+            }
+            let thread = first_thread + lane;
+            let n = self.counts.entry((f.site, thread)).or_insert(0);
+            *n += 1;
+            if thread == f.thread && *n == f.occurrence && !self.delivered {
+                self.delivered = true;
+                hit = Some(crate::hooks::RegCorruption {
+                    var,
+                    lane,
+                    mask: f.mask,
+                });
+            }
+        }
+        hit
+    }
+
+    /// Deliver at a fault-injection hook: corrupts the target variable of
+    /// the matching lane if the armed (site, thread, occurrence) matches.
+    pub fn at_hook(&mut self, site: SiteId, ctx: &mut HookCtx<'_>) {
+        let Some(f) = self.fault else { return };
+        let FaultSite::HookTarget { site: want } = f.site else {
+            return;
+        };
+        if want != site {
+            return;
+        }
+        let lanes: Vec<u32> = ctx.active_lanes().collect();
+        for lane in lanes {
+            let thread = ctx.thread_of(lane);
+            let n = self.counts.entry((f.site, thread)).or_insert(0);
+            *n += 1;
+            if thread == f.thread && *n == f.occurrence && !self.delivered {
+                if let Some(target) = ctx.target.as_deref_mut() {
+                    target[lane as usize] = target[lane as usize].xor_bits(f.mask);
+                    self.delivered = true;
+                }
+            }
+        }
+    }
+
+    /// Deliver at a loop condition evaluation (scheduler faults).
+    pub fn at_loop_check(&mut self, loop_id: LoopId, ctx: &mut LoopCheckCtx<'_>) {
+        let Some(f) = self.fault else { return };
+        match f.site {
+            FaultSite::LoopIterator { loop_id: want } if want == loop_id => {
+                let lanes: Vec<u32> = ctx.active_lanes().collect();
+                for lane in lanes {
+                    let thread = ctx.first_thread + lane;
+                    let n = self.counts.entry((f.site, thread)).or_insert(0);
+                    *n += 1;
+                    if thread == f.thread && *n == f.occurrence && !self.delivered {
+                        if let Some(iv) = ctx.iter_var.as_deref_mut() {
+                            iv[lane as usize] = iv[lane as usize].xor_bits(f.mask);
+                            self.delivered = true;
+                        }
+                    }
+                }
+            }
+            FaultSite::LoopDecision { loop_id: want } if want == loop_id => {
+                let lanes: Vec<u32> = ctx.active_lanes().collect();
+                for lane in lanes {
+                    let thread = ctx.first_thread + lane;
+                    let n = self.counts.entry((f.site, thread)).or_insert(0);
+                    *n += 1;
+                    if thread == f.thread && *n == f.occurrence && !self.delivered {
+                        *ctx.cond_mask ^= 1 << lane;
+                        self.delivered = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A burst of memory-word corruptions, applied directly to device memory
+/// before (or between) kernel launches. This emulates the paper's graphics
+/// experiments: a transient fault corrupting one value of the input stream,
+/// or an intermittent fault corrupting 10,000 consecutive values (80 µs on a
+/// 250 MHz FPU at IPC 1 with 50% FP instructions — Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBurst {
+    /// Memory space to corrupt.
+    pub space: MemSpace,
+    /// First byte address.
+    pub addr: u32,
+    /// Number of consecutive 32-bit words to corrupt.
+    pub words: u32,
+    /// XOR mask applied to each word.
+    pub mask: u32,
+}
+
+impl MemoryBurst {
+    /// A single-value transient corruption.
+    pub fn transient(addr: u32, mask: u32) -> Self {
+        MemoryBurst {
+            space: MemSpace::Global,
+            addr,
+            words: 1,
+            mask,
+        }
+    }
+
+    /// The paper's 10,000-value intermittent corruption.
+    pub fn intermittent_10k(addr: u32, mask: u32) -> Self {
+        MemoryBurst {
+            space: MemSpace::Global,
+            addr,
+            words: 10_000,
+            mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::Value;
+
+    fn ctx_with_target<'a>(
+        target: &'a mut Vec<Value>,
+        args: &'a [Vec<Value>],
+    ) -> HookCtx<'a> {
+        HookCtx {
+            block_id: 0,
+            warp_id: 0,
+            active: 0b11,
+            warp_width: 2,
+            first_thread: 0,
+            args,
+            target: Some(target),
+        }
+    }
+
+    #[test]
+    fn delivers_exactly_once_at_right_occurrence() {
+        let mut arm = FaultArm::new(Some(ArmedFault {
+            site: FaultSite::HookTarget { site: 7 },
+            thread: 1,
+            occurrence: 2,
+            mask: 0x1,
+        }));
+        let args: Vec<Vec<Value>> = vec![];
+        let mut target = vec![Value::I32(0), Value::I32(0)];
+
+        // First execution: occurrence 1, no delivery.
+        arm.at_hook(7, &mut ctx_with_target(&mut target, &args));
+        assert!(!arm.delivered());
+        assert_eq!(target[1], Value::I32(0));
+
+        // Second execution: occurrence 2 on thread 1 -> flip bit 0.
+        arm.at_hook(7, &mut ctx_with_target(&mut target, &args));
+        assert!(arm.delivered());
+        assert_eq!(target[1], Value::I32(1));
+        assert_eq!(target[0], Value::I32(0), "other lanes untouched");
+
+        // Further executions do nothing.
+        arm.at_hook(7, &mut ctx_with_target(&mut target, &args));
+        assert_eq!(target[1], Value::I32(1));
+    }
+
+    #[test]
+    fn wrong_site_never_delivers() {
+        let mut arm = FaultArm::new(Some(ArmedFault {
+            site: FaultSite::HookTarget { site: 3 },
+            thread: 0,
+            occurrence: 1,
+            mask: 0xFF,
+        }));
+        let args: Vec<Vec<Value>> = vec![];
+        let mut target = vec![Value::I32(0)];
+        let mut ctx = HookCtx {
+            block_id: 0,
+            warp_id: 0,
+            active: 1,
+            warp_width: 1,
+            first_thread: 0,
+            args: &args,
+            target: Some(&mut target),
+        };
+        arm.at_hook(4, &mut ctx);
+        assert!(!arm.delivered());
+    }
+
+    #[test]
+    fn loop_decision_flips_cond_mask() {
+        let mut arm = FaultArm::new(Some(ArmedFault {
+            site: FaultSite::LoopDecision { loop_id: 0 },
+            thread: 0,
+            occurrence: 1,
+            mask: 0,
+        }));
+        let mut cond = 0b0u32;
+        let mut ctx = LoopCheckCtx {
+            block_id: 0,
+            warp_id: 0,
+            active: 1,
+            warp_width: 1,
+            first_thread: 0,
+            iteration: 0,
+            iter_var: None,
+            cond_mask: &mut cond,
+        };
+        arm.at_loop_check(0, &mut ctx);
+        assert!(arm.delivered());
+        assert_eq!(cond, 0b1, "thread forced to take another iteration");
+    }
+
+    #[test]
+    fn none_fault_is_inert() {
+        let mut arm = FaultArm::new(None);
+        let args: Vec<Vec<Value>> = vec![];
+        let mut target = vec![Value::I32(5)];
+        arm.at_hook(0, &mut ctx_with_target(&mut target, &args));
+        assert!(!arm.delivered());
+        assert_eq!(target[0], Value::I32(5));
+    }
+}

@@ -1,0 +1,267 @@
+//! Behavioural tests of the cycle cost model: dual-issue pairing, memory
+//! coalescing, divergence serialization, and loop attribution — the
+//! mechanisms behind the paper's Fig. 4 and Fig. 13.
+
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{KernelDef, PrimTy, Value};
+use hauberk_sim::{Device, ExecStats, Launch, NullRuntime};
+
+fn run(k: &KernelDef, args: &[Value], dev: &mut Device, launch: Launch) -> ExecStats {
+    let r = dev.launch(k, args, &launch, &mut NullRuntime);
+    r.completed_stats().expect("completes").clone()
+}
+
+#[test]
+fn coalesced_access_touches_fewer_segments_than_strided() {
+    let coalesced = parse_kernel(
+        r#"kernel c(out: *global f32, x: *global f32) {
+            let i: i32 = thread_idx_x();
+            store(out, i, load(x, i));
+        }"#,
+    )
+    .unwrap();
+    let strided = parse_kernel(
+        r#"kernel s(out: *global f32, x: *global f32) {
+            let i: i32 = thread_idx_x();
+            store(out, i, load(x, i * 32));
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 32);
+    let x = dev.alloc(PrimTy::F32, 32 * 32);
+    let args = [Value::Ptr(out), Value::Ptr(x)];
+    let sc = run(&coalesced, &args, &mut dev, Launch::grid1d(1, 32));
+    let ss = run(&strided, &args, &mut dev, Launch::grid1d(1, 32));
+    assert!(
+        ss.mem_segments > sc.mem_segments * 4,
+        "strided load touches many more 128B segments: {} vs {}",
+        ss.mem_segments,
+        sc.mem_segments
+    );
+    assert!(ss.work_cycles > sc.work_cycles);
+}
+
+#[test]
+fn divergent_branch_costs_both_arms() {
+    let uniform = parse_kernel(
+        r#"kernel u(out: *global f32) {
+            let i: i32 = thread_idx_x();
+            let v: f32 = 0.0;
+            if (0 < 1) {
+                v = sqrt(2.0) + sqrt(3.0) + sqrt(5.0);
+            } else {
+                v = sqrt(7.0) + sqrt(11.0) + sqrt(13.0);
+            }
+            store(out, i, v);
+        }"#,
+    )
+    .unwrap();
+    let divergent = parse_kernel(
+        r#"kernel d(out: *global f32) {
+            let i: i32 = thread_idx_x();
+            let v: f32 = 0.0;
+            if (i % 2 == 0) {
+                v = sqrt(2.0) + sqrt(3.0) + sqrt(5.0);
+            } else {
+                v = sqrt(7.0) + sqrt(11.0) + sqrt(13.0);
+            }
+            store(out, i, v);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 32);
+    let args = [Value::Ptr(out)];
+    let cu = run(&uniform, &args, &mut dev, Launch::grid1d(1, 32)).work_cycles;
+    let cd = run(&divergent, &args, &mut dev, Launch::grid1d(1, 32)).work_cycles;
+    assert!(
+        cd as f64 > cu as f64 * 1.3,
+        "divergence serializes both arms: {cd} vs {cu}"
+    );
+}
+
+#[test]
+fn cross_class_instructions_pair_same_class_do_not() {
+    // FP chain interleaved with independent integer ops pairs; a pure FP
+    // chain cannot.
+    let mixed = parse_kernel(
+        r#"kernel m(out: *global f32, n: i32) {
+            let f: f32 = 1.5;
+            let a: i32 = 3;
+            for (i = 0; i < n; i = i + 1) {
+                f = f * 1.0001;
+                a = a ^ 21;
+                f = f + 0.5;
+                a = a | 5;
+            }
+            store(out, a, f);
+        }"#,
+    )
+    .unwrap();
+    let pure = parse_kernel(
+        r#"kernel p(out: *global f32, n: i32) {
+            let f: f32 = 1.5;
+            let g: f32 = 2.5;
+            for (i = 0; i < n; i = i + 1) {
+                f = f * 1.0001;
+                g = g * 1.0002;
+                f = f + 0.5;
+                g = g + 0.25;
+            }
+            store(out, 0, f + g);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 64);
+    let args = [Value::Ptr(out), Value::I32(64)];
+    let sm = run(&mixed, &args, &mut dev, Launch::grid1d(1, 1));
+    let sp = run(&pure, &args, &mut dev, Launch::grid1d(1, 1));
+    // The pure-FP loop still pairs its integer step with the body's last FP
+    // op once per iteration; the mixed loop pairs every interleaved pair.
+    assert!(
+        sm.paired_ops as f64 > sp.paired_ops as f64 * 1.8,
+        "cross-class ops co-issue: {} vs {}",
+        sm.paired_ops,
+        sp.paired_ops
+    );
+    // Pairing can never exceed half of all issued ops (two-wide issue).
+    assert!(sm.paired_ops * 2 <= sm.total_ops());
+}
+
+#[test]
+fn loop_cycles_never_exceed_work_cycles() {
+    let k = parse_kernel(
+        r#"kernel l(out: *global f32, n: i32) {
+            let a: f32 = 1.0;
+            let b: f32 = sqrt(17.0);
+            for (i = 0; i < n; i = i + 1) {
+                a = a + b;
+            }
+            store(out, 0, a);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 4);
+    let s = run(
+        &k,
+        &[Value::Ptr(out), Value::I32(100)],
+        &mut dev,
+        Launch::grid1d(1, 1),
+    );
+    assert!(s.loop_cycles > 0);
+    assert!(s.loop_cycles <= s.work_cycles);
+    assert!(s.loop_fraction() > 0.5 && s.loop_fraction() < 1.0);
+}
+
+#[test]
+fn continue_in_for_still_executes_step() {
+    let k = parse_kernel(
+        r#"kernel c(out: *global i32, n: i32) {
+            let count: i32 = 0;
+            for (i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) {
+                    continue;
+                }
+                count = count + 1;
+            }
+            store(out, 0, count);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::I32, 4);
+    let r = dev.launch(
+        &k,
+        &[Value::Ptr(out), Value::I32(10)],
+        &Launch::grid1d(1, 1),
+        &mut NullRuntime,
+    );
+    assert!(r.is_completed(), "{r:?}");
+    assert_eq!(dev.mem.copy_out_i32(out, 1)[0], 5, "odd iterations counted");
+}
+
+#[test]
+fn nested_break_only_exits_inner_loop() {
+    let k = parse_kernel(
+        r#"kernel nb(out: *global i32, n: i32) {
+            let total: i32 = 0;
+            for (i = 0; i < n; i = i + 1) {
+                for (j = 0; j < 100; j = j + 1) {
+                    if (j >= 3) {
+                        break;
+                    }
+                    total = total + 1;
+                }
+            }
+            store(out, 0, total);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::I32, 4);
+    let r = dev.launch(
+        &k,
+        &[Value::Ptr(out), Value::I32(4)],
+        &Launch::grid1d(1, 1),
+        &mut NullRuntime,
+    );
+    assert!(r.is_completed());
+    assert_eq!(dev.mem.copy_out_i32(out, 1)[0], 12, "4 outer x 3 inner");
+}
+
+#[test]
+fn logical_ops_and_divergent_lane_loops() {
+    // Per-lane trip counts: each lane loops `lane` times; reconvergence must
+    // be exact and the cost must reflect the longest lane.
+    let k = parse_kernel(
+        r#"kernel ll(out: *global i32) {
+            let i: i32 = thread_idx_x();
+            let c: i32 = 0;
+            for (j = 0; j < i; j = j + 1) {
+                c = c + 2;
+            }
+            let ok: bool = c == i * 2 && true;
+            store(out, i, cast<i32>(ok));
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::I32, 32);
+    let r = dev.launch(&k, &[Value::Ptr(out)], &Launch::grid1d(1, 32), &mut NullRuntime);
+    assert!(r.is_completed());
+    assert_eq!(dev.mem.copy_out_i32(out, 32), vec![1; 32]);
+}
+
+#[test]
+fn kernel_time_reflects_sm_parallelism() {
+    // 8 identical blocks on a 4-SM device: kernel time ~ 2 blocks' work.
+    let k = parse_kernel(
+        r#"kernel p(out: *global f32, n: i32) {
+            let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+            let a: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                a = a + 1.5;
+            }
+            store(out, tid, a);
+        }"#,
+    )
+    .unwrap();
+    let mut dev = Device::small_gpu(); // 4 SMs
+    let out = dev.alloc(PrimTy::F32, 8 * 32);
+    let s = run(
+        &k,
+        &[Value::Ptr(out), Value::I32(50)],
+        &mut dev,
+        Launch::grid1d(8, 32),
+    );
+    let per_block = s.work_cycles / 8;
+    assert!(
+        s.kernel_cycles >= per_block * 2 && s.kernel_cycles < per_block * 3,
+        "8 blocks over 4 SMs run as ~2 rounds: kernel {} vs per-block {}",
+        s.kernel_cycles,
+        per_block
+    );
+}

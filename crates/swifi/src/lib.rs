@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # hauberk-swifi — fault-injection campaigns and dependability statistics
+//!
+//! The evaluation engine of the reproduction (paper §VII–§IX): mutation-based
+//! software-implemented fault injection over the simulated device, with
+//!
+//! * **error-mask generation** ([`mask`]) — random k-of-32-bit XOR masks
+//!   (k ∈ {1, 3, 6, 10, 15} in the paper's multi-bit study);
+//! * **campaign planning** ([`plan`]) — selection of 20–50 virtual variables
+//!   per program, a set of masks per variable, and the (thread, occurrence)
+//!   arming derived from the profiler build's execution counts; optional
+//!   SM-scheduler faults against loop iterators/decisions;
+//! * **parallel campaign execution** ([`campaign`]) — each experiment runs
+//!   the program once on a fresh device with exactly one armed fault
+//!   (Rayon-parallel across experiments, deterministic per experiment);
+//! * **outcome classification** ([`classify`]) — the paper's five-way
+//!   taxonomy (§VIII): failure / masked / detected & masked / detected /
+//!   undetected, driven by each program's output-correctness spec and a
+//!   golden run;
+//! * **statistics** ([`stats`]) — aggregation by data class (Fig. 1), by
+//!   error-bit count (Fig. 14), coverage, and the multi-fault coverage
+//!   formula;
+//! * **FP value-impact simulation** ([`value_impact`]) — Fig. 15's
+//!   magnitude-change distribution over random FP samples;
+//! * **CPU-mode study** ([`cpu_study`]) — stack/data/code fault categories
+//!   for the Fig. 1 CPU rows, including code faults as AST operator
+//!   mutations;
+//! * **reporting** ([`report`]) — per-experiment CSV records and summaries
+//!   (the file-based analogue of the paper's GUI controller).
+
+pub mod campaign;
+pub mod classify;
+pub mod cpu_study;
+pub mod mask;
+pub mod plan;
+pub mod report;
+pub mod stats;
+pub mod value_impact;
+
+pub use campaign::{run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignResult};
+pub use classify::{FiOutcome, InjectionResult};
+pub use stats::OutcomeCounts;

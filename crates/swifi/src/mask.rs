@@ -1,0 +1,53 @@
+//! Random XOR error masks (§VII fault types: single- and multi-bit).
+
+use rand::Rng;
+
+/// The bit counts of the paper's multi-bit study (Fig. 14 / Fig. 15).
+pub const PAPER_BIT_COUNTS: [u32; 5] = [1, 3, 6, 10, 15];
+
+/// A random mask with exactly `bits` distinct set bits in a 32-bit word.
+pub fn random_mask(rng: &mut impl Rng, bits: u32) -> u32 {
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    let mut mask = 0u32;
+    while mask.count_ones() < bits {
+        mask |= 1 << rng.gen_range(0..32);
+    }
+    mask
+}
+
+/// `count` random masks of `bits` bits each.
+pub fn mask_set(rng: &mut impl Rng, bits: u32, count: usize) -> Vec<u32> {
+    (0..count).map(|_| random_mask(rng, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masks_have_exact_popcount() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for bits in PAPER_BIT_COUNTS {
+            for _ in 0..100 {
+                assert_eq!(random_mask(&mut rng, bits).count_ones(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn masks_are_varied() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let set = mask_set(&mut rng, 1, 64);
+        let distinct: std::collections::BTreeSet<u32> = set.iter().copied().collect();
+        assert!(distinct.len() > 16, "single-bit masks cover many positions");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        random_mask(&mut rng, 0);
+    }
+}

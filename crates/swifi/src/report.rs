@@ -1,0 +1,167 @@
+//! Campaign reporting: the file-based analogue of the paper's GUI controller
+//! ("we use a GUI-based controller program to automate this evaluation
+//! process when many experiments are needed", §IV.B) — per-experiment CSV
+//! records plus a human-readable summary.
+
+use crate::campaign::CampaignResult;
+use crate::classify::FiOutcome;
+use crate::stats::{aggregate, by_bits, by_class};
+use std::fmt::Write as _;
+
+/// CSV header for [`to_csv`].
+pub const CSV_HEADER: &str = "program,class,hw,bits,delivered,outcome";
+
+/// Serialize every experiment of a campaign as CSV rows (one line per
+/// injection, after the header).
+pub fn to_csv(r: &CampaignResult) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for rec in &r.results {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.program, rec.class, rec.hw, rec.bits, rec.delivered, rec.outcome
+        );
+    }
+    out
+}
+
+/// Parse [`to_csv`] output back into (program, outcome) pairs — enough for
+/// cross-run aggregation in scripts and for round-trip testing.
+pub fn outcomes_from_csv(csv: &str) -> Result<Vec<(String, FiOutcome)>, String> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or("empty csv")?;
+    if header != CSV_HEADER {
+        return Err(format!("unexpected header: {header}"));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 6 {
+            return Err(format!("line {}: expected 6 columns", i + 2));
+        }
+        let outcome = match cols[5] {
+            "failure" => FiOutcome::Failure,
+            "masked" => FiOutcome::Masked,
+            "detected&masked" => FiOutcome::DetectedMasked,
+            "detected" => FiOutcome::Detected,
+            "undetected" => FiOutcome::Undetected,
+            other => return Err(format!("line {}: unknown outcome `{other}`", i + 2)),
+        };
+        out.push((cols[0].to_string(), outcome));
+    }
+    Ok(out)
+}
+
+/// Human-readable campaign summary.
+pub fn summarize(r: &CampaignResult) -> String {
+    let agg = aggregate(&r.results);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign `{}`: {} experiments, baseline {} work cycles, {} loop detector(s)",
+        r.program,
+        agg.total(),
+        r.golden_cycles,
+        r.detectors
+    );
+    let _ = writeln!(
+        out,
+        "  failure {:5.1}%  masked {:5.1}%  det&masked {:5.1}%  detected {:5.1}%  undetected {:5.1}%",
+        agg.ratio(FiOutcome::Failure) * 100.0,
+        agg.ratio(FiOutcome::Masked) * 100.0,
+        agg.ratio(FiOutcome::DetectedMasked) * 100.0,
+        agg.ratio(FiOutcome::Detected) * 100.0,
+        agg.ratio(FiOutcome::Undetected) * 100.0,
+    );
+    let _ = writeln!(out, "  detection coverage: {:.1}%", agg.coverage() * 100.0);
+    for (class, counts) in by_class(&r.results) {
+        let _ = writeln!(
+            out,
+            "  {class:<14} n={:<4} failure {:4.1}% sdc {:4.1}%",
+            counts.total(),
+            counts.ratio(FiOutcome::Failure) * 100.0,
+            counts.sdc_ratio() * 100.0
+        );
+    }
+    for (bits, counts) in by_bits(&r.results) {
+        let _ = writeln!(
+            out,
+            "  {bits:>2}-bit masks    n={:<4} coverage {:5.1}%",
+            counts.total(),
+            counts.coverage() * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::InjectionResult;
+    use hauberk_kir::types::DataClass;
+    use hauberk_kir::HwComponent;
+
+    fn sample() -> CampaignResult {
+        CampaignResult {
+            program: "CP",
+            results: vec![
+                InjectionResult {
+                    class: DataClass::Float,
+                    hw: HwComponent::Fpu,
+                    bits: 1,
+                    delivered: true,
+                    outcome: FiOutcome::Detected,
+                },
+                InjectionResult {
+                    class: DataClass::Integer,
+                    hw: HwComponent::IAlu,
+                    bits: 3,
+                    delivered: true,
+                    outcome: FiOutcome::Undetected,
+                },
+                InjectionResult {
+                    class: DataClass::Pointer,
+                    hw: HwComponent::Mem,
+                    bits: 1,
+                    delivered: false,
+                    outcome: FiOutcome::Masked,
+                },
+            ],
+            golden_cycles: 1234,
+            detectors: 2,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let r = sample();
+        let csv = to_csv(&r);
+        assert!(csv.starts_with(CSV_HEADER));
+        assert_eq!(csv.lines().count(), 4);
+        let back = outcomes_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], ("CP".to_string(), FiOutcome::Detected));
+        assert_eq!(back[1].1, FiOutcome::Undetected);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(outcomes_from_csv("").is_err());
+        assert!(outcomes_from_csv("bad,header\n").is_err());
+        let bad_outcome = format!("{CSV_HEADER}\nCP,x,y,1,true,exploded\n");
+        assert!(outcomes_from_csv(&bad_outcome).is_err());
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let s = summarize(&sample());
+        assert!(s.contains("3 experiments"));
+        assert!(s.contains("coverage: 66.7%"));
+        assert!(s.contains("pointer"));
+        assert!(s.contains("3-bit masks"));
+    }
+}

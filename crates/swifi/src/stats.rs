@@ -1,0 +1,158 @@
+//! Aggregation of injection results into the paper's tables.
+
+use crate::classify::{FiOutcome, InjectionResult};
+use hauberk_kir::types::DataClass;
+use std::collections::BTreeMap;
+
+/// Counts per outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Crash/hang.
+    pub failure: usize,
+    /// Fault masked, no alarm.
+    pub masked: usize,
+    /// Alarm, output still correct.
+    pub detected_masked: usize,
+    /// Alarm, output incorrect.
+    pub detected: usize,
+    /// No alarm, output incorrect (SDC escape).
+    pub undetected: usize,
+}
+
+impl OutcomeCounts {
+    /// Add one result.
+    pub fn add(&mut self, o: FiOutcome) {
+        match o {
+            FiOutcome::Failure => self.failure += 1,
+            FiOutcome::Masked => self.masked += 1,
+            FiOutcome::DetectedMasked => self.detected_masked += 1,
+            FiOutcome::Detected => self.detected += 1,
+            FiOutcome::Undetected => self.undetected += 1,
+        }
+    }
+
+    /// Total experiments.
+    pub fn total(&self) -> usize {
+        self.failure + self.masked + self.detected_masked + self.detected + self.undetected
+    }
+
+    /// Ratio of one outcome.
+    pub fn ratio(&self, o: FiOutcome) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        let c = match o {
+            FiOutcome::Failure => self.failure,
+            FiOutcome::Masked => self.masked,
+            FiOutcome::DetectedMasked => self.detected_masked,
+            FiOutcome::Detected => self.detected,
+            FiOutcome::Undetected => self.undetected,
+        };
+        c as f64 / n as f64
+    }
+
+    /// The paper's "SDC ratio" for baseline sensitivity studies: undetected
+    /// violations.
+    pub fn sdc_ratio(&self) -> f64 {
+        self.ratio(FiOutcome::Undetected)
+    }
+
+    /// Detection coverage = 1 − P(undetected).
+    pub fn coverage(&self) -> f64 {
+        1.0 - self.sdc_ratio()
+    }
+
+    /// Merge another count set.
+    pub fn merge(&mut self, o: &OutcomeCounts) {
+        self.failure += o.failure;
+        self.masked += o.masked;
+        self.detected_masked += o.detected_masked;
+        self.detected += o.detected;
+        self.undetected += o.undetected;
+    }
+}
+
+/// Aggregate all results.
+pub fn aggregate(results: &[InjectionResult]) -> OutcomeCounts {
+    let mut c = OutcomeCounts::default();
+    for r in results {
+        c.add(r.outcome);
+    }
+    c
+}
+
+/// Group by the corrupted state's data class (Fig. 1).
+pub fn by_class(results: &[InjectionResult]) -> BTreeMap<DataClass, OutcomeCounts> {
+    let mut m: BTreeMap<DataClass, OutcomeCounts> = BTreeMap::new();
+    for r in results {
+        m.entry(r.class).or_default().add(r.outcome);
+    }
+    m
+}
+
+/// Group by error-bit count (Fig. 14).
+pub fn by_bits(results: &[InjectionResult]) -> BTreeMap<u32, OutcomeCounts> {
+    let mut m: BTreeMap<u32, OutcomeCounts> = BTreeMap::new();
+    for r in results {
+        m.entry(r.bits).or_default().add(r.outcome);
+    }
+    m
+}
+
+/// Coverage under `n` independent faults: `1 - (1 - c)^n` (§IX.B's two-fault
+/// example: c = 0.868 → 98.3%).
+pub fn multi_fault_coverage(single_fault_coverage: f64, n: u32) -> f64 {
+    1.0 - (1.0 - single_fault_coverage).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::HwComponent;
+
+    fn res(class: DataClass, bits: u32, outcome: FiOutcome) -> InjectionResult {
+        InjectionResult {
+            class,
+            hw: HwComponent::Fpu,
+            bits,
+            delivered: true,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn aggregation_and_ratios() {
+        let rs = vec![
+            res(DataClass::Float, 1, FiOutcome::Masked),
+            res(DataClass::Float, 1, FiOutcome::Undetected),
+            res(DataClass::Integer, 1, FiOutcome::Failure),
+            res(DataClass::Integer, 3, FiOutcome::Detected),
+        ];
+        let all = aggregate(&rs);
+        assert_eq!(all.total(), 4);
+        assert_eq!(all.sdc_ratio(), 0.25);
+        assert_eq!(all.coverage(), 0.75);
+
+        let cls = by_class(&rs);
+        assert_eq!(cls[&DataClass::Float].total(), 2);
+        assert_eq!(cls[&DataClass::Integer].failure, 1);
+
+        let bits = by_bits(&rs);
+        assert_eq!(bits[&1].total(), 3);
+        assert_eq!(bits[&3].detected, 1);
+    }
+
+    #[test]
+    fn paper_two_fault_coverage_number() {
+        let c = multi_fault_coverage(0.868, 2);
+        assert!((c - 0.9826).abs() < 1e-3, "{c}");
+    }
+
+    #[test]
+    fn empty_counts_are_safe() {
+        let c = OutcomeCounts::default();
+        assert_eq!(c.ratio(FiOutcome::Masked), 0.0);
+        assert_eq!(c.coverage(), 1.0);
+    }
+}

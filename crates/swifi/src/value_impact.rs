@@ -1,0 +1,198 @@
+//! Fig. 15: how much a k-bit fault changes an FP value's magnitude,
+//! depending on its original value range.
+//!
+//! The paper injects faults into 33 million randomly generated FP samples
+//! and buckets the resulting *magnitude change factor* — the finding is
+//! that more corrupted bits shift mass toward astronomically large changes
+//! (> 10¹⁵×), which is why even widely widened value ranges (`alpha` up to
+//! ~1000) lose almost no detection coverage (§IX.C).
+
+use crate::mask::random_mask;
+use rand::Rng;
+
+/// The original-value magnitude ranges of Fig. 15's x-axis.
+pub const ORIGIN_RANGES: [(f32, f32, &str); 5] = [
+    (1e-38, 1e-15, "1E-38~1E-15"),
+    (1e-15, 1e-3, "1E-15~1E-3"),
+    (1e-3, 1e3, "1E-3~1E+3"),
+    (1e3, 1e15, "1E+3~1E+15"),
+    (1e15, 1e38, "1E+15~1E+45"),
+];
+
+/// The change-factor buckets of Fig. 15's legend, largest first.
+pub const IMPACT_BUCKETS: [(f64, f64, &str); 9] = [
+    (1e15, f64::INFINITY, ">1E+15"),
+    (1e9, 1e15, "1E+9~1E+15"),
+    (1e6, 1e9, "1E+6~1E+9"),
+    (1e3, 1e6, "1E+3~1E+6"),
+    (1e-3, 1e3, "1E-3~1E+3"),
+    (1e-6, 1e-3, "1E-6~1E-3"),
+    (1e-9, 1e-6, "1E-9~1E-6"),
+    (1e-15, 1e-9, "1E-15~1E-9"),
+    (0.0, 1e-15, "<1E-15"),
+];
+
+/// Distribution (per mille) over [`IMPACT_BUCKETS`] for one
+/// (origin range, bit count) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpactRow {
+    /// Origin-range label.
+    pub origin: &'static str,
+    /// Error-mask bit count.
+    pub bits: u32,
+    /// Share per bucket, same order as [`IMPACT_BUCKETS`], summing to ~1.
+    pub shares: [f64; 9],
+}
+
+/// The magnitude-change factor of one corruption: `|new| / |old|` folded to
+/// ≥ 1 (a value shrinking by 10⁶× is as large a change as one growing by
+/// 10⁶×), with NaN/inf results counted as the largest bucket.
+pub fn change_factor(old: f32, new: f32) -> f64 {
+    if !new.is_finite() {
+        return f64::INFINITY;
+    }
+    let old = old.abs() as f64;
+    let new = new.abs() as f64;
+    if old == 0.0 || new == 0.0 {
+        return f64::INFINITY;
+    }
+    let r = new / old;
+    if r >= 1.0 {
+        r
+    } else {
+        1.0 / r
+    }
+}
+
+/// Simulate one Fig. 15 cell with `samples` random values.
+pub fn impact_cell(
+    rng: &mut impl Rng,
+    origin_idx: usize,
+    bits: u32,
+    samples: u64,
+) -> ImpactRow {
+    let (lo, hi, label) = ORIGIN_RANGES[origin_idx];
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let mut counts = [0u64; 9];
+    for _ in 0..samples {
+        // Log-uniform magnitude in the origin range, random sign.
+        let mag = (rng.gen_range(llo..lhi)).exp();
+        let v = if rng.gen_bool(0.5) { mag } else { -mag };
+        let mask = random_mask(rng, bits);
+        let corrupted = f32::from_bits(v.to_bits() ^ mask);
+        let f = change_factor(v, corrupted);
+        for (b, (blo, bhi, _)) in IMPACT_BUCKETS.iter().enumerate() {
+            // Buckets are in factor space: the middle bucket 1E-3~1E+3 means
+            // a change factor below 10^3.
+            let in_bucket = if *bhi == f64::INFINITY {
+                f >= *blo
+            } else {
+                f >= *blo && f < *bhi
+            };
+            if in_bucket {
+                counts[b] += 1;
+                break;
+            }
+        }
+    }
+    let mut shares = [0f64; 9];
+    for (s, c) in shares.iter_mut().zip(counts) {
+        *s = c as f64 / samples as f64;
+    }
+    ImpactRow {
+        origin: label,
+        bits,
+        shares,
+    }
+}
+
+/// Fig. 15's companion observation for integers ("the same characteristic
+/// is observed in integer values"): the share of k-bit faults whose
+/// absolute change exceeds `threshold`, over `samples` random `i32` values
+/// drawn uniformly from `[-bound, bound]`.
+pub fn integer_large_change_share(
+    rng: &mut impl Rng,
+    bits: u32,
+    bound: i32,
+    threshold: i64,
+    samples: u64,
+) -> f64 {
+    let mut big = 0u64;
+    for _ in 0..samples {
+        let v = rng.gen_range(-bound..=bound);
+        let corrupted = v ^ random_mask(rng, bits) as i32;
+        if (corrupted as i64 - v as i64).abs() > threshold {
+            big += 1;
+        }
+    }
+    big as f64 / samples as f64
+}
+
+/// The full Fig. 15 table: every origin range × every bit count.
+pub fn impact_table(seed: u64, bit_counts: &[u32], samples_per_cell: u64) -> Vec<ImpactRow> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for oi in 0..ORIGIN_RANGES.len() {
+        for &bits in bit_counts {
+            rows.push(impact_cell(&mut rng, oi, bits, samples_per_cell));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn change_factor_is_symmetric_and_handles_nonfinite() {
+        assert_eq!(change_factor(1.0, 1e6), 1e6);
+        assert_eq!(change_factor(1e6, 1.0), 1e6);
+        assert_eq!(change_factor(1.0, f32::NAN), f64::INFINITY);
+        assert_eq!(change_factor(0.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let row = impact_cell(
+            &mut rand::rngs::SmallRng::seed_from_u64(1),
+            2,
+            3,
+            5_000,
+        );
+        let sum: f64 = row.shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_changes_grow_with_bit_count_too() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let one = integer_large_change_share(&mut rng, 1, 10_000, 1 << 20, 20_000);
+        let many = integer_large_change_share(&mut rng, 15, 10_000, 1 << 20, 20_000);
+        assert!(many > one, "15-bit {many:.2} > 1-bit {one:.2}");
+        // A single-bit fault exceeds 2^20 only when it hits bits 21..31:
+        // about 11/32 of the positions.
+        assert!((one - 11.0 / 32.0).abs() < 0.05, "{one:.3}");
+    }
+
+    #[test]
+    fn more_bits_mean_larger_changes() {
+        // The paper's observation: the >1E+15 share grows with bit count.
+        let rows = impact_table(7, &[1, 15], 20_000);
+        for oi in 0..ORIGIN_RANGES.len() {
+            let one = &rows[oi * 2];
+            let fifteen = &rows[oi * 2 + 1];
+            assert!(
+                fifteen.shares[0] > one.shares[0],
+                "origin {}: 15-bit >1E15 share {} vs 1-bit {}",
+                one.origin,
+                fifteen.shares[0],
+                one.shares[0]
+            );
+            // Single-bit faults leave much more mass in small changes.
+            assert!(one.shares[4] > fifteen.shares[4]);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Demonstrate the guardian's full Fig. 11 diagnosis flow on a simulated
+//! two-GPU node: a healthy run, a tolerated transient fault, a false alarm
+//! that updates the value ranges on-line, and a permanent device fault that
+//! triggers BIST, disables the device, and migrates the work.
+//!
+//! ```bash
+//! cargo run --release --example guardian_recovery
+//! ```
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::program::{golden_run, run_program, HostProgram};
+use hauberk::ranges::{profile_ranges, RangeSet};
+use hauberk::runtime::ProfilerRuntime;
+use hauberk_benchmarks::{cp::Cp, ProblemScale};
+use hauberk_guardian::{Cluster, FaultRegime, Guardian, GuardianConfig, ManagedGpu, RecoveryOutcome};
+use hauberk_sim::fault::{ArmedFault, FaultSite};
+
+fn trained_ranges(prog: &Cp) -> (hauberk_kir::KernelDef, Vec<RangeSet>, ArmedFault) {
+    let base = prog.build_kernel();
+    let profiler = build(&base, BuildVariant::Profiler(FtOptions::default())).unwrap();
+    let mut pr = ProfilerRuntime::default();
+    let run = run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+    assert!(run.outcome.is_completed());
+    let ranges = (0..profiler.detectors.len())
+        .map(|d| profile_ranges(pr.samples(d as u32)))
+        .collect();
+    let fift = build(&base, BuildVariant::FiFt(FtOptions::default())).unwrap();
+    let site = fift
+        .fi
+        .sites
+        .iter()
+        .find(|s| s.var_name.starts_with("energyx") && s.in_loop)
+        .unwrap();
+    let fault = ArmedFault {
+        site: FaultSite::HookTarget { site: site.site },
+        thread: 3,
+        occurrence: 7,
+        mask: 0x6000_0000,
+    };
+    (fift.kernel, ranges, fault)
+}
+
+fn describe(g: &Guardian, outcome: &RecoveryOutcome) {
+    match outcome {
+        RecoveryOutcome::Success {
+            device,
+            runs,
+            false_alarm,
+            ..
+        } => println!(
+            "  -> success on GPU {device} after {runs} run(s){}",
+            if *false_alarm {
+                " (false alarm diagnosed, ranges updated)"
+            } else {
+                ""
+            }
+        ),
+        other => println!("  -> {other:?}"),
+    }
+    println!("  events: {:?}\n", g.events);
+}
+
+fn main() {
+    let prog = Cp::new(ProblemScale::Quick);
+    let (kernel, ranges, fault) = trained_ranges(&prog);
+    let (golden, _) = golden_run(&prog, 0);
+    let cfg = GuardianConfig {
+        watchdog_floor: 20_000_000,
+        ..Default::default()
+    };
+
+    println!("=== scenario 1: healthy device ===");
+    let mut g = Guardian::new(cfg, Cluster::healthy(2));
+    let mut r = ranges.clone();
+    let out = g.run_protected(&prog, &kernel, &mut r, 0);
+    describe(&g, &out);
+
+    println!("=== scenario 2: transient fault (alarm -> re-execute -> recover) ===");
+    let mut cluster = Cluster::healthy(2);
+    cluster.gpus[0] = ManagedGpu::faulty(0, FaultRegime::Transient { remaining: 1 }, fault);
+    let mut g = Guardian::new(cfg, cluster);
+    let mut r = ranges.clone();
+    let out = g.run_protected(&prog, &kernel, &mut r, 0);
+    if let RecoveryOutcome::Success { output, .. } = &out {
+        assert_eq!(*output, golden, "re-execution restored the golden output");
+    }
+    describe(&g, &out);
+
+    println!("=== scenario 3: under-trained ranges (false alarm -> on-line learning) ===");
+    let mut g = Guardian::new(cfg, Cluster::healthy(1));
+    let mut naive = vec![profile_ranges(&[1e-30]); ranges.len()];
+    let out = g.run_protected(&prog, &kernel, &mut naive, 0);
+    describe(&g, &out);
+    let mut g2 = Guardian::new(cfg, Cluster::healthy(1));
+    let out2 = g2.run_protected(&prog, &kernel, &mut naive, 0);
+    println!("  after learning, the rerun is clean:");
+    describe(&g2, &out2);
+
+    println!("=== scenario 4: permanent device fault (BIST -> disable -> migrate) ===");
+    let mut cluster = Cluster::healthy(2);
+    cluster.gpus[0] = ManagedGpu::faulty(0, FaultRegime::Permanent, fault);
+    let mut g = Guardian::new(cfg, cluster);
+    let mut r = ranges.clone();
+    let out = g.run_protected(&prog, &kernel, &mut r, 0);
+    describe(&g, &out);
+    println!(
+        "GPU 0 enabled: {} (back-off probe scheduled at t={})",
+        g.cluster.gpus[0].enabled, g.cluster.gpus[0].next_probe
+    );
+}

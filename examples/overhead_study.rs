@@ -1,0 +1,93 @@
+//! Measure the performance overhead of every protection technique on the
+//! full HPC suite — the paper's Fig. 13 — plus the loop-time profile behind
+//! the design (Fig. 4), using only the public library APIs.
+//!
+//! ```bash
+//! cargo run --release --example overhead_study
+//! cargo run --release --example overhead_study -- --paper   # larger inputs
+//! ```
+
+use hauberk::builds::{build, r_naive_cycles, BuildVariant, FtOptions};
+use hauberk::program::{run_program, HostProgram};
+use hauberk::ranges::{profile_ranges, RangeSet};
+use hauberk::runtime::{FtRuntime, ProfilerRuntime};
+use hauberk::ControlBlock;
+use hauberk_benchmarks::{hpc_suite, ProblemScale};
+use hauberk_sim::{LaunchOutcome, NullRuntime};
+
+/// Kernel cycles of one build variant with configured detectors, or `None`
+/// when the variant cannot run (R-Scatter on TPACF: shared-memory overflow).
+fn kernel_cycles(
+    prog: &dyn HostProgram,
+    variant: BuildVariant,
+    ranges: &[RangeSet],
+) -> Option<u64> {
+    let b = build(&prog.build_kernel(), variant).ok()?;
+    let cb = ControlBlock::with_ranges(ranges[..b.detectors.len().min(ranges.len())].to_vec());
+    let mut rt = FtRuntime::new(cb);
+    match run_program(prog, &b.kernel, 0, &mut rt, u64::MAX).outcome {
+        LaunchOutcome::Completed(s) => (!rt.cb.sdc_flag).then_some(s.kernel_cycles),
+        _ => None,
+    }
+}
+
+/// Profile loop-detector value ranges for a given detector layout.
+fn trained(prog: &dyn HostProgram, opts: FtOptions) -> Vec<RangeSet> {
+    let profiler = build(&prog.build_kernel(), BuildVariant::Profiler(opts)).unwrap();
+    let mut pr = ProfilerRuntime::default();
+    run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+    (0..profiler.detectors.len())
+        .map(|d| profile_ranges(pr.samples(d as u32)))
+        .collect()
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        ProblemScale::Paper
+    } else {
+        ProblemScale::Quick
+    };
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9}",
+        "program", "loop %", "R-Naive", "R-Scatter", "Hauberk-NL", "Hauberk-L", "Hauberk"
+    );
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for prog in hpc_suite(scale) {
+        let prog = prog.as_ref();
+        let base_run = run_program(prog, &prog.build_kernel(), 0, &mut NullRuntime, u64::MAX);
+        let stats = base_run.outcome.completed_stats().expect("baseline runs");
+        let base = stats.kernel_cycles;
+        let pct = |c: Option<u64>| {
+            c.map(|c| format!("{:.1}", (c as f64 / base as f64 - 1.0) * 100.0))
+                .unwrap_or_else(|| "N/A".into())
+        };
+
+        let ranges = trained(prog, FtOptions::default());
+        let ranges_l = trained(prog, FtOptions::l_only());
+        let full = kernel_cycles(prog, BuildVariant::Ft(FtOptions::default()), &ranges);
+        if let Some(c) = full {
+            sum += (c as f64 / base as f64 - 1.0) * 100.0;
+            n += 1.0;
+        }
+        println!(
+            "{:<10} {:>7.1} {:>9} {:>10} {:>11} {:>10} {:>9}",
+            prog.name(),
+            stats.loop_fraction() * 100.0,
+            pct(Some(r_naive_cycles(base))),
+            pct(kernel_cycles(prog, BuildVariant::RScatter, &ranges)),
+            pct(kernel_cycles(
+                prog,
+                BuildVariant::Ft(FtOptions::nl_only()),
+                &ranges
+            )),
+            pct(kernel_cycles(
+                prog,
+                BuildVariant::Ft(FtOptions::l_only()),
+                &ranges_l
+            )),
+            pct(full),
+        );
+    }
+    println!("\nHauberk average overhead: {:.1}% (paper: 15.3%)", sum / n);
+}

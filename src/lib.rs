@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # hauberk-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction so the examples and integration tests
+//! (and downstream users who want a single dependency) can reach every
+//! subsystem:
+//!
+//! * [`kir`] — kernel IR, mini-CUDA parser, dataflow analyses
+//! * [`sim`] — the deterministic SIMT GPU simulator
+//! * [`core`] — the Hauberk translator, range model, and library runtimes
+//! * [`swifi`] — fault-injection campaigns and statistics
+//! * [`guardian`] — the retry-based recovery engine
+//! * [`benchmarks`] — the evaluation workloads
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! system inventory and experiment index.
+
+pub use hauberk as core;
+pub use hauberk_benchmarks as benchmarks;
+pub use hauberk_guardian as guardian;
+pub use hauberk_kir as kir;
+pub use hauberk_sim as sim;
+pub use hauberk_swifi as swifi;

@@ -1,0 +1,205 @@
+//! End-to-end integration: every benchmark program survives the full
+//! pipeline — instrumentation, profiling, fault-free protected execution
+//! (no alarms), and fault detection.
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::control::ControlBlock;
+use hauberk::program::{golden_run, run_program, HostProgram};
+use hauberk::ranges::{profile_ranges, RangeSet};
+use hauberk::runtime::{FiFtRuntime, FtRuntime, ProfilerRuntime};
+use hauberk_benchmarks::{all_programs, hpc_suite, ProblemScale};
+use hauberk_sim::fault::{ArmedFault, FaultSite};
+use hauberk_sim::LaunchOutcome;
+
+fn trained(prog: &dyn HostProgram, opts: FtOptions) -> Vec<RangeSet> {
+    let profiler = build(&prog.build_kernel(), BuildVariant::Profiler(opts)).unwrap();
+    let mut pr = ProfilerRuntime::default();
+    let run = run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+    assert!(run.outcome.is_completed(), "{} profiler run", prog.name());
+    (0..profiler.detectors.len())
+        .map(|d| profile_ranges(pr.samples(d as u32)))
+        .collect()
+}
+
+#[test]
+fn every_program_golden_run_is_deterministic() {
+    for prog in all_programs(ProblemScale::Quick) {
+        let (a, ca) = golden_run(prog.as_ref(), 0);
+        let (b, cb) = golden_run(prog.as_ref(), 0);
+        assert_eq!(a, b, "{} output determinism", prog.name());
+        assert_eq!(ca, cb, "{} cycle determinism", prog.name());
+        // The golden output satisfies its own spec trivially.
+        assert!(!prog.spec().is_violation(&a, &b));
+    }
+}
+
+#[test]
+fn ft_build_runs_clean_and_output_matches_baseline() {
+    for prog in hpc_suite(ProblemScale::Quick) {
+        let prog = prog.as_ref();
+        let (golden, _) = golden_run(prog, 0);
+        let ranges = trained(prog, FtOptions::default());
+        let ft = build(&prog.build_kernel(), BuildVariant::Ft(FtOptions::default())).unwrap();
+        let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+        let run = run_program(prog, &ft.kernel, 0, &mut rt, u64::MAX);
+        assert!(run.outcome.is_completed(), "{}", prog.name());
+        assert!(
+            !rt.cb.sdc_flag,
+            "{}: fault-free protected run must not alarm: {:?}",
+            prog.name(),
+            rt.cb.alarms
+        );
+        assert_eq!(
+            run.output.unwrap(),
+            golden,
+            "{}: instrumentation must not change program semantics",
+            prog.name()
+        );
+    }
+}
+
+#[test]
+fn detectors_catch_a_blatant_accumulator_corruption_everywhere() {
+    for prog in hpc_suite(ProblemScale::Quick) {
+        let prog = prog.as_ref();
+        let ranges = trained(prog, FtOptions::default());
+        let fift = build(
+            &prog.build_kernel(),
+            BuildVariant::FiFt(FtOptions::default()),
+        )
+        .unwrap();
+        // Corrupt the protected loop variable itself with an exponent-heavy
+        // mask: the range check must fire (or the run must fail).
+        let det = &fift.detectors[0];
+        let site = fift
+            .fi
+            .sites
+            .iter()
+            .filter(|s| s.var == det.var && s.in_loop)
+            .next_back()
+            .or_else(|| fift.fi.sites.iter().find(|s| s.var == det.var))
+            .unwrap_or_else(|| panic!("{}: no FI site for protected var", prog.name()));
+        // XOR can push a value's exponent either way (a downward-zeroing
+        // corruption is the paper's own hard case, §IX.B) — but for any
+        // value at least one of these high-exponent masks explodes it
+        // upward, and that case MUST be caught.
+        let (_, budget_base) = golden_run(prog, 0);
+        let mut caught = false;
+        let mut delivered_any = false;
+        for mask in [0x6000_0000u32, 0x4000_0000, 0x2000_0000] {
+            let fault = ArmedFault {
+                site: FaultSite::HookTarget { site: site.site },
+                thread: 1,
+                occurrence: 2,
+                mask,
+            };
+            let mut rt = FiFtRuntime::new(Some(fault), ControlBlock::with_ranges(ranges.clone()));
+            let run = run_program(prog, &fift.kernel, 0, &mut rt, budget_base * 10);
+            delivered_any |= rt.arm.delivered();
+            match run.outcome {
+                LaunchOutcome::Completed(_) => caught |= rt.cb.sdc_flag,
+                // A crash/hang is also an acceptable (detected) outcome.
+                _ => caught = true,
+            }
+        }
+        assert!(delivered_any, "{}: fault armed on a live site", prog.name());
+        assert!(
+            caught,
+            "{}: an exponent-exploding corruption of `{}` must raise an alarm",
+            prog.name(),
+            det.var_name
+        );
+    }
+}
+
+#[test]
+fn rscatter_detects_what_it_duplicates() {
+    // Corrupt an original-chain variable in the R-Scatter build: the
+    // store-point comparison must flag the divergence from the shadow chain.
+    let prog = hauberk_benchmarks::cp::Cp::new(ProblemScale::Quick);
+    let base = prog.build_kernel();
+    let rs = build(&base, BuildVariant::RScatter).unwrap();
+    // R-Scatter has no FI hooks; add them on top.
+    let mut k = rs.kernel.clone();
+    let fi = hauberk::translator::fi::instrument_fi(
+        &mut k,
+        hauberk::translator::fi::FiPassOptions {
+            var_bound: rs.orig_vars as u32,
+            count_mode: false,
+            only_var: None,
+        },
+    );
+    k.renumber();
+    let site = fi
+        .sites
+        .iter()
+        .find(|s| s.var_name == "energyx2" && s.in_loop)
+        .unwrap();
+    let fault = ArmedFault {
+        site: FaultSite::HookTarget { site: site.site },
+        thread: 2,
+        occurrence: 5,
+        mask: 1 << 26,
+    };
+    let mut rt = FiFtRuntime::new(Some(fault), ControlBlock::default());
+    let run = run_program(&prog, &k, 0, &mut rt, u64::MAX);
+    assert!(run.outcome.is_completed());
+    assert!(rt.arm.delivered());
+    assert!(
+        rt.cb.sdc_flag,
+        "R-Scatter's duplicated chain flags the corrupted original"
+    );
+}
+
+#[test]
+fn fp_to_control_propagation_can_crash() {
+    // The paper's footnote 1: an FP value feeding an address computation can
+    // turn an FP corruption into a failure.
+    use hauberk_kir::parser::parse_kernel;
+    use hauberk_kir::{PrimTy, Value};
+    use hauberk_sim::{Device, Launch};
+
+    let k = parse_kernel(
+        r#"kernel f(out: *global f32, x: f32) {
+            let idx: i32 = cast<i32>(x * 4.0);
+            store(out, idx, 1.0);
+        }"#,
+    )
+    .unwrap();
+    let fi = build(&k, BuildVariant::Fi).unwrap();
+    let site = fi.fi.sites.iter().find(|s| s.var_name == "idx").unwrap();
+    // Ordinary value: completes.
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 64);
+    let launch = Launch::grid1d(1, 1);
+    let mut rt = hauberk::runtime::FiRuntime::new(None);
+    let ok = dev.launch(
+        &fi.kernel,
+        &[Value::Ptr(out), Value::F32(2.0)],
+        &launch,
+        &mut rt,
+    );
+    assert!(ok.is_completed());
+
+    // Corrupt the derived index so the address leaves the device's space.
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 64);
+    let mut rt = hauberk::runtime::FiRuntime::new(Some(ArmedFault {
+        site: FaultSite::HookTarget { site: site.site },
+        thread: 0,
+        occurrence: 1,
+        // Push the derived address beyond the device's 64 MiB space
+        // (device pointers are 32-bit, so a bit-31 flip would wrap).
+        mask: 1 << 27,
+    }));
+    let bad = dev.launch(
+        &fi.kernel,
+        &[Value::Ptr(out), Value::F32(2.0)],
+        &launch,
+        &mut rt,
+    );
+    assert!(
+        matches!(bad, LaunchOutcome::Crash { .. }),
+        "FP-derived control data can crash the kernel: {bad:?}"
+    );
+}

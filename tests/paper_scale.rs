@@ -1,0 +1,98 @@
+//! Paper-scale smoke tests (run with `cargo test --release -- --ignored`):
+//! the larger problem sizes behind `figures --paper` must build, run, and
+//! keep the headline properties.
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::control::ControlBlock;
+use hauberk::program::{golden_run, run_program};
+use hauberk::ranges::profile_ranges;
+use hauberk::runtime::{FtRuntime, ProfilerRuntime};
+use hauberk_benchmarks::{hpc_suite, ProblemScale};
+
+#[test]
+#[ignore = "paper-scale inputs: slower; run with --ignored"]
+fn paper_scale_suite_runs_clean_under_protection() {
+    for prog in hpc_suite(ProblemScale::Paper) {
+        let prog = prog.as_ref();
+        let (golden, _) = golden_run(prog, 0);
+        assert!(!golden.is_empty(), "{}", prog.name());
+
+        let profiler = build(
+            &prog.build_kernel(),
+            BuildVariant::Profiler(FtOptions::default()),
+        )
+        .unwrap();
+        let mut pr = ProfilerRuntime::default();
+        let run = run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+        assert!(run.outcome.is_completed(), "{} profiler", prog.name());
+        let ranges: Vec<_> = (0..profiler.detectors.len())
+            .map(|d| profile_ranges(pr.samples(d as u32)))
+            .collect();
+
+        let ft = build(&prog.build_kernel(), BuildVariant::Ft(FtOptions::default())).unwrap();
+        let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+        let run = run_program(prog, &ft.kernel, 0, &mut rt, u64::MAX);
+        assert!(run.outcome.is_completed(), "{} FT", prog.name());
+        assert!(!rt.cb.sdc_flag, "{}: {:?}", prog.name(), rt.cb.alarms);
+        assert_eq!(run.output.unwrap(), golden, "{}", prog.name());
+    }
+}
+
+#[test]
+#[ignore = "paper-scale inputs: slower; run with --ignored"]
+fn paper_scale_overheads_keep_the_fig13_shape() {
+    let rows = hauberk_bench_shim::measure(ProblemScale::Paper);
+    let avg = rows.iter().map(|(_, h)| h).sum::<f64>() / rows.len() as f64;
+    assert!(avg < 40.0, "paper-scale Hauberk average: {avg:.1}%");
+    let rpes = rows.iter().find(|(n, _)| *n == "RPES").unwrap().1;
+    for (n, h) in &rows {
+        if n != &"RPES" {
+            assert!(rpes > *h, "RPES dominates: {rpes:.1} vs {n} {h:.1}");
+        }
+    }
+}
+
+/// Minimal local re-measurement (the bench crate is a dev-only sibling, not
+/// a dependency of the root package).
+mod hauberk_bench_shim {
+    use super::*;
+    use hauberk_sim::{LaunchOutcome, NullRuntime};
+
+    pub fn measure(scale: ProblemScale) -> Vec<(&'static str, f64)> {
+        hpc_suite(scale)
+            .iter()
+            .map(|prog| {
+                let prog = prog.as_ref();
+                let base = run_program(
+                    prog,
+                    &prog.build_kernel(),
+                    0,
+                    &mut NullRuntime,
+                    u64::MAX,
+                );
+                let base_cycles = base.outcome.completed_stats().unwrap().kernel_cycles;
+                let profiler = build(
+                    &prog.build_kernel(),
+                    BuildVariant::Profiler(FtOptions::default()),
+                )
+                .unwrap();
+                let mut pr = ProfilerRuntime::default();
+                run_program(prog, &profiler.kernel, 0, &mut pr, u64::MAX);
+                let ranges: Vec<_> = (0..profiler.detectors.len())
+                    .map(|d| profile_ranges(pr.samples(d as u32)))
+                    .collect();
+                let ft =
+                    build(&prog.build_kernel(), BuildVariant::Ft(FtOptions::default())).unwrap();
+                let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+                let cycles = match run_program(prog, &ft.kernel, 0, &mut rt, u64::MAX).outcome {
+                    LaunchOutcome::Completed(s) => s.kernel_cycles,
+                    other => panic!("{}: {other:?}", prog.name()),
+                };
+                (
+                    prog.name(),
+                    (cycles as f64 / base_cycles as f64 - 1.0) * 100.0,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,265 @@
+//! Property-based tests over the whole stack: randomly generated kernels
+//! must round-trip through the printer/parser, run deterministically, and —
+//! the core Hauberk invariant — never raise an alarm on a fault-free run of
+//! their instrumented form.
+
+use hauberk::builds::{build, BuildVariant, FtOptions};
+use hauberk::control::ControlBlock;
+use hauberk::runtime::{FtRuntime, ProfilerRuntime};
+use hauberk_kir::builder::KernelBuilder;
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::printer::print_kernel;
+use hauberk_kir::validate::validate_kernel;
+use hauberk_kir::{BinOp, Expr, KernelDef, MathFn, PrimTy, Ty, Value, VarId};
+use hauberk_sim::{Device, Launch, NullRuntime};
+use proptest::prelude::*;
+
+/// Recipe for one generated statement of the loop body.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `f_k = <fp expr over available vars>`
+    FpDef(u8, u8, u8),
+    /// `f_k = f_k + <fp expr>` (self-accumulating)
+    FpAcc(u8, u8),
+    /// `i_k = <int expr>`
+    IntDef(u8, u8),
+    /// guarded accumulation inside an `if`
+    Guarded(u8, u8),
+}
+
+/// A whole generated kernel: a preamble, a loop with generated statements,
+/// stores of every accumulator.
+#[derive(Debug, Clone)]
+struct GenKernel {
+    trip: u8,
+    body: Vec<GenStmt>,
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (0u8..4, 0u8..4, 0u8..3).prop_map(|(a, b, c)| GenStmt::FpDef(a, b, c)),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| GenStmt::FpAcc(a, b)),
+        (0u8..4, 0u8..5).prop_map(|(a, b)| GenStmt::IntDef(a, b)),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| GenStmt::Guarded(a, b)),
+    ]
+}
+
+fn gen_kernel() -> impl Strategy<Value = GenKernel> {
+    (1u8..20, prop::collection::vec(gen_stmt(), 1..8))
+        .prop_map(|(trip, body)| GenKernel { trip, body })
+}
+
+/// Materialize the recipe as a KIR kernel. Constructed to always be
+/// type-correct, terminating, and in-bounds.
+fn materialize(g: &GenKernel) -> KernelDef {
+    let mut b = KernelBuilder::new("generated");
+    let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+    let inp = b.param("inp", Ty::global_ptr(PrimTy::F32));
+    let n = b.param("n", Ty::I32);
+    let tid = b.local("tid", Ty::I32);
+    b.assign(tid, b.global_thread_id_x());
+
+    // Four FP registers and four int registers.
+    let f: Vec<VarId> = (0..4)
+        .map(|i| b.let_(format!("f{i}"), Ty::F32, Expr::f32(0.5 + i as f32)))
+        .collect();
+    let iv: Vec<VarId> = (0..4)
+        .map(|i| b.let_(format!("i{i}"), Ty::I32, Expr::i32(i as i32 + 1)))
+        .collect();
+
+    let it = b.local("it", Ty::I32);
+    b.for_range(it, Expr::var(n), |b| {
+        for s in &g.body {
+            match s {
+                GenStmt::FpDef(dst, src, kind) => {
+                    let e = match kind {
+                        0 => Expr::add(Expr::var(f[*src as usize]), Expr::f32(1.25)),
+                        1 => Expr::mul(
+                            Expr::var(f[*src as usize]),
+                            Expr::f32(0.75),
+                        ),
+                        _ => Expr::call(
+                            MathFn::Abs,
+                            vec![Expr::sub(Expr::var(f[*src as usize]), Expr::f32(0.1))],
+                        ),
+                    };
+                    b.assign(f[*dst as usize], e);
+                }
+                GenStmt::FpAcc(dst, src) => {
+                    let d = f[*dst as usize];
+                    b.assign(
+                        d,
+                        Expr::add(
+                            Expr::var(d),
+                            Expr::mul(
+                                Expr::var(f[*src as usize]),
+                                Expr::f32(0.001),
+                            ),
+                        ),
+                    );
+                }
+                GenStmt::IntDef(dst, src) => {
+                    let e = Expr::bin(
+                        BinOp::And,
+                        Expr::add(Expr::var(iv[*src as usize % 4]), Expr::var(it)),
+                        Expr::i32(1023),
+                    );
+                    b.assign(iv[*dst as usize], e);
+                }
+                GenStmt::Guarded(dst, src) => {
+                    let d = f[*dst as usize];
+                    let sv = f[*src as usize];
+                    b.if_(
+                        Expr::lt(Expr::bin(BinOp::Rem, Expr::var(it), Expr::i32(3)), Expr::i32(2)),
+                        |b| {
+                            b.assign(d, Expr::add(Expr::var(d), Expr::var(sv)));
+                        },
+                    );
+                }
+            }
+        }
+        // Read some input so loads are exercised (tid-bounded).
+        b.assign(
+            f[0],
+            Expr::add(
+                Expr::var(f[0]),
+                Expr::load(
+                    Expr::var(inp),
+                    Expr::bin(BinOp::Rem, Expr::var(tid), Expr::i32(64)),
+                ),
+            ),
+        );
+    });
+    // Stores: one per FP register.
+    for (i, fv) in f.iter().enumerate() {
+        b.store(
+            Expr::var(out),
+            Expr::add(
+                Expr::mul(Expr::var(tid), Expr::i32(4)),
+                Expr::i32(i as i32),
+            ),
+            Expr::var(*fv),
+        );
+    }
+    let _ = g.trip;
+    b.finish()
+}
+
+fn run_generated(
+    kernel: &KernelDef,
+    trip: u8,
+    rt: &mut dyn hauberk_sim::HookRuntime,
+) -> (hauberk_sim::LaunchOutcome, Vec<f32>) {
+    let mut dev = Device::small_gpu();
+    let out = dev.alloc(PrimTy::F32, 64 * 4);
+    let inp = dev.alloc(PrimTy::F32, 64);
+    let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.17).sin()).collect();
+    dev.mem.copy_in_f32(inp, &data);
+    let launch = Launch::grid1d(2, 32).with_budget(200_000_000);
+    let outcome = dev.launch(
+        kernel,
+        &[
+            Value::Ptr(out),
+            Value::Ptr(inp),
+            Value::I32(trip as i32),
+        ],
+        &launch,
+        rt,
+    );
+    let o = dev.mem.copy_out_f32(out, 64 * 4);
+    (outcome, o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// print → parse → identical AST.
+    #[test]
+    fn printer_parser_round_trip(g in gen_kernel()) {
+        let k = materialize(&g);
+        validate_kernel(&k).unwrap();
+        let printed = print_kernel(&k);
+        let back = parse_kernel(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert_eq!(k, back);
+    }
+
+    /// Same kernel, same input ⇒ bit-identical output and cycles.
+    #[test]
+    fn simulator_is_deterministic(g in gen_kernel()) {
+        let k = materialize(&g);
+        let (o1, r1) = run_generated(&k, g.trip, &mut NullRuntime);
+        let (o2, r2) = run_generated(&k, g.trip, &mut NullRuntime);
+        prop_assert!(o1.is_completed());
+        prop_assert_eq!(o1.stats().work_cycles, o2.stats().work_cycles);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// The Hauberk invariant: a fault-free run of the fully instrumented
+    /// kernel raises no alarm (checksum algebra holds, duplication compares
+    /// equal, trained ranges cover the training run) and computes the same
+    /// output as the baseline.
+    #[test]
+    fn instrumented_fault_free_run_never_alarms(g in gen_kernel()) {
+        let k = materialize(&g);
+        let (base_outcome, base_out) = run_generated(&k, g.trip, &mut NullRuntime);
+        prop_assert!(base_outcome.is_completed());
+
+        // Profile, then run FT with the trained ranges.
+        let profiler = build(&k, BuildVariant::Profiler(FtOptions::default())).unwrap();
+        let mut pr = ProfilerRuntime::default();
+        let (p_outcome, _) = run_generated(&profiler.kernel, g.trip, &mut pr);
+        prop_assert!(p_outcome.is_completed());
+        let ranges: Vec<_> = (0..profiler.detectors.len())
+            .map(|d| hauberk::ranges::profile_ranges(pr.samples(d as u32)))
+            .collect();
+
+        let ft = build(&k, BuildVariant::Ft(FtOptions::default())).unwrap();
+        prop_assert_eq!(ft.detectors.len(), ranges.len());
+        let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+        let (ft_outcome, ft_out) = run_generated(&ft.kernel, g.trip, &mut rt);
+        prop_assert!(ft_outcome.is_completed());
+        prop_assert!(!rt.cb.sdc_flag, "alarms: {:?}", rt.cb.alarms);
+        prop_assert_eq!(base_out, ft_out);
+    }
+
+    /// Instrumented kernels (FT + FI passes applied) serialize through the
+    /// printer and parser: the re-parsed kernel is alpha-equivalent (the
+    /// parser renumbers variables by textual order, so we check canonical-
+    /// form stability) and *semantically identical* (bit-equal outputs and
+    /// cycle counts).
+    #[test]
+    fn instrumented_kernels_serialize(g in gen_kernel()) {
+        let k = materialize(&g);
+        for variant in [
+            BuildVariant::Ft(FtOptions::default()),
+            BuildVariant::Fi,
+            BuildVariant::FiFt(FtOptions::default()),
+        ] {
+            let b = build(&k, variant).unwrap();
+            let printed = print_kernel(&b.kernel);
+            let back = parse_kernel(&printed)
+                .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+            // Canonical form is a fixed point.
+            prop_assert_eq!(&print_kernel(&back), &printed);
+            // And the deserialized kernel behaves identically.
+            let (o1, r1) = run_generated(&b.kernel, g.trip, &mut NullRuntime);
+            let (o2, r2) = run_generated(&back, g.trip, &mut NullRuntime);
+            prop_assert!(o1.is_completed());
+            prop_assert_eq!(o1.stats().work_cycles, o2.stats().work_cycles);
+            prop_assert_eq!(r1, r2);
+        }
+    }
+
+    /// R-Scatter instrumentation also preserves semantics fault-free.
+    #[test]
+    fn rscatter_fault_free_preserves_output(g in gen_kernel()) {
+        let k = materialize(&g);
+        let (_, base_out) = run_generated(&k, g.trip, &mut NullRuntime);
+        let rs = build(&k, BuildVariant::RScatter).unwrap();
+        let mut rt = FtRuntime::default();
+        let (o, out) = run_generated(&rs.kernel, g.trip, &mut rt);
+        prop_assert!(o.is_completed());
+        prop_assert!(!rt.cb.sdc_flag);
+        prop_assert_eq!(base_out, out);
+    }
+}
