@@ -26,11 +26,9 @@ fn bench_fig13(c: &mut Criterion) {
             row.hauberk_l,
             row.hauberk
         );
-        g.bench_with_input(
-            BenchmarkId::new("measure", row.program),
-            &prog,
-            |b, p| b.iter(|| black_box(measure_overheads(p.as_ref()))),
-        );
+        g.bench_with_input(BenchmarkId::new("measure", row.program), &prog, |b, p| {
+            b.iter(|| black_box(measure_overheads(p.as_ref())))
+        });
     }
     g.finish();
 }

@@ -18,11 +18,7 @@ fn bench_instrumentation(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("ft_derivation", prog.name()),
             &kernel,
-            |b, k| {
-                b.iter(|| {
-                    build(black_box(k), BuildVariant::Ft(FtOptions::default())).unwrap()
-                })
-            },
+            |b, k| b.iter(|| build(black_box(k), BuildVariant::Ft(FtOptions::default())).unwrap()),
         );
         g.bench_with_input(
             BenchmarkId::new("fi_mutation", prog.name()),

@@ -15,9 +15,9 @@ use hauberk::ranges::{profile_ranges, profile_ranges_unpadded, RangeSet};
 use hauberk::runtime::{FtRuntime, ProfilerRuntime};
 use hauberk::ControlBlock;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_sim::{Device, LaunchOutcome, NullRuntime};
 use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
 use hauberk_swifi::plan::PlanConfig;
-use hauberk_sim::{Device, LaunchOutcome, NullRuntime};
 
 /// One Maxvar sweep point.
 #[derive(Debug, Clone)]
@@ -99,17 +99,16 @@ pub fn dual_issue_ablation(name: &str) -> [(bool, f64, f64); 2] {
     for (i, dual) in [true, false].into_iter().enumerate() {
         let mut cfg = prog.device_config();
         cfg.cost.dual_issue = dual;
-        let run_cycles = |kernel: &hauberk_kir::KernelDef,
-                          rt: &mut dyn hauberk_sim::HookRuntime|
-         -> u64 {
-            let mut dev = Device::new(cfg.clone());
-            let args = prog.setup(&mut dev, 0);
-            let launch = prog.launch();
-            match dev.launch(kernel, &args, &launch, rt) {
-                LaunchOutcome::Completed(s) => s.kernel_cycles,
-                other => panic!("{other:?}"),
-            }
-        };
+        let run_cycles =
+            |kernel: &hauberk_kir::KernelDef, rt: &mut dyn hauberk_sim::HookRuntime| -> u64 {
+                let mut dev = Device::new(cfg.clone());
+                let args = prog.setup(&mut dev, 0);
+                let launch = prog.launch();
+                match dev.launch(kernel, &args, &launch, rt) {
+                    LaunchOutcome::Completed(s) => s.kernel_cycles,
+                    other => panic!("{other:?}"),
+                }
+            };
         let base = run_cycles(&prog.build_kernel(), &mut NullRuntime);
         let ranges = trained(prog, FtOptions::default());
         let ft = build(&prog.build_kernel(), BuildVariant::Ft(FtOptions::default())).unwrap();
@@ -149,20 +148,19 @@ pub fn margin_ablation(name: &str, train_sets: usize, test_sets: usize) -> [(boo
     let mut out = [(true, 0usize), (false, 0usize)];
     for (i, padded) in [true, false].into_iter().enumerate() {
         let mut merged = vec![RangeSet::default(); n_det];
-        for ds in 0..train_sets {
+        for set in sample_sets.iter().take(train_sets) {
             for d in 0..n_det {
                 let rs = if padded {
-                    profile_ranges(&sample_sets[ds][d])
+                    profile_ranges(&set[d])
                 } else {
-                    profile_ranges_unpadded(&sample_sets[ds][d])
+                    profile_ranges_unpadded(&set[d])
                 };
                 merged[d].merge(&rs);
             }
         }
         let mut fp = 0;
-        for ds in train_sets..train_sets + test_sets {
-            let alarm = (0..n_det)
-                .any(|d| sample_sets[ds][d].iter().any(|v| !merged[d].contains(*v)));
+        for set in sample_sets.iter().skip(train_sets).take(test_sets) {
+            let alarm = (0..n_det).any(|d| set[d].iter().any(|v| !merged[d].contains(*v)));
             if alarm {
                 fp += 1;
             }
@@ -196,13 +194,7 @@ pub fn render(program: &str) -> String {
     out.push_str("\nDual-issue pairing (the overhead mechanism):\n");
     let rows: Vec<Vec<String>> = dual_issue_ablation(program)
         .into_iter()
-        .map(|(dual, h, rs)| {
-            vec![
-                dual.to_string(),
-                format!("{h:.1}"),
-                format!("{rs:.1}"),
-            ]
-        })
+        .map(|(dual, h, rs)| vec![dual.to_string(), format!("{h:.1}"), format!("{rs:.1}")])
         .collect();
     out.push_str(&report::table(
         &["dual-issue", "Hauberk %", "R-Scatter %"],

@@ -49,8 +49,9 @@ pub fn run(scale: ProblemScale, vars: usize, masks: usize) -> Vec<AlphaPoint> {
 
 /// Render the sweep.
 pub fn render(points: &[AlphaPoint]) -> String {
-    let mut out =
-        String::from("§IX.C — MRI-FHD detection coverage vs. alpha (paper: 95 / 95 / 82.8 / 81.6%)\n");
+    let mut out = String::from(
+        "§IX.C — MRI-FHD detection coverage vs. alpha (paper: 95 / 95 / 82.8 / 81.6%)\n",
+    );
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| vec![format!("{:.0}", p.alpha), report::pct(p.coverage)])
@@ -67,9 +68,12 @@ mod tests {
     fn moderate_alpha_is_cheap_huge_alpha_costs_coverage() {
         let pts = run(ProblemScale::Quick, 6, 9);
         let cov = |a: f64| pts.iter().find(|p| p.alpha == a).unwrap().coverage;
-        // alpha = 1000 loses little coverage relative to alpha = 1 ...
+        // alpha = 1000 loses little coverage relative to alpha = 1. The
+        // margin must absorb sampling noise: at this Quick scale each point
+        // is only 162 injections, so the coverage difference has a standard
+        // error of ~0.045 and a tight bound flakes across RNG streams.
         assert!(
-            cov(1e3) >= cov(1.0) - 0.06,
+            cov(1e3) >= cov(1.0) - 0.12,
             "alpha=1e3: {:.3} vs alpha=1: {:.3}",
             cov(1e3),
             cov(1.0)

@@ -4,15 +4,22 @@
 //!
 //! ```text
 //! campaign <program> [--sensitivity|--coverage] [--vars N] [--masks N]
-//!          [--alpha F] [--csv PATH]
+//!          [--alpha F] [--csv PATH] [--trace-out PATH] [--progress N]
+//!          [--json]
 //! ```
+//!
+//! `--trace-out` writes a JSONL telemetry trace of every injection run;
+//! `--progress` prints a progress line to stderr every N completed
+//! injections; `--json` replaces the text summary with one JSON document.
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
 use hauberk_swifi::campaign::{run_coverage_campaign, run_sensitivity_campaign, CampaignConfig};
 use hauberk_swifi::mask::PAPER_BIT_COUNTS;
 use hauberk_swifi::plan::PlanConfig;
-use hauberk_swifi::report::{summarize, to_csv};
+use hauberk_swifi::report::{summarize, summary_json, to_csv};
+use hauberk_telemetry::json::Json;
+use hauberk_telemetry::report::Emitter;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -29,6 +36,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "CP".to_string());
     let sensitivity = args.iter().any(|a| a == "--sensitivity");
+    let json = args.iter().any(|a| a == "--json");
     let vars: usize = arg_value(&args, "--vars")
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
@@ -39,6 +47,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
     let csv_path = arg_value(&args, "--csv");
+    let trace_path = arg_value(&args, "--trace-out");
+    let progress_every: u64 = arg_value(&args, "--progress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     let prog = program_by_name(&name, ProblemScale::Quick)
         .unwrap_or_else(|| panic!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)"));
@@ -51,20 +63,37 @@ fn main() {
             register_per_mille: 60,
         },
         alpha,
+        progress_every,
+        trace_path: trace_path.clone().map(Into::into),
         ..Default::default()
     };
 
+    let mut em = Emitter::new(json);
     let result = if sensitivity {
-        println!("running baseline-sensitivity campaign on {name}...");
+        em.text(format!(
+            "running baseline-sensitivity campaign on {name}..."
+        ));
         run_sensitivity_campaign(prog.as_ref(), &cfg)
     } else {
-        println!("running coverage campaign (FI&FT) on {name} (alpha={alpha})...");
+        em.text(format!(
+            "running coverage campaign (FI&FT) on {name} (alpha={alpha})..."
+        ));
         run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg)
     };
 
-    print!("{}", summarize(&result));
+    em.text(summarize(&result));
+    em.json_section("summary", summary_json(&result));
     if let Some(path) = csv_path {
         std::fs::write(&path, to_csv(&result)).expect("write CSV");
-        println!("wrote {} records to {path}", result.results.len());
+        em.text(format!("wrote {} records to {path}", result.results.len()));
+        em.json_section("csv_path", Json::str(path));
     }
+    if let Some(path) = trace_path {
+        // The sink warns and disables itself if the file can't be opened.
+        if std::path::Path::new(&path).exists() {
+            em.text(format!("wrote telemetry trace to {path}"));
+            em.json_section("trace_path", Json::str(path));
+        }
+    }
+    em.finish();
 }

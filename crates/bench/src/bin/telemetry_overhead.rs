@@ -1,0 +1,133 @@
+//! `telemetry_overhead` — measure what the telemetry layer costs the
+//! simulator hot path.
+//!
+//! Runs the same FP-loop launch (the `sim_throughput` bench kernel) with
+//! telemetry disabled, with a [`NullSink`] (span events only), with a
+//! `NullSink` plus hot per-hook events, and with an unbounded
+//! [`MemorySink`], and reports ns/launch plus overhead relative to the
+//! disabled baseline.
+//!
+//! ```text
+//! telemetry_overhead [--iters N] [--out PATH]
+//! ```
+
+use hauberk_kir::kernel::KernelDef;
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{PrimTy, Value};
+use hauberk_sim::{Device, Launch, NullRuntime};
+use hauberk_telemetry::json::Json;
+use hauberk_telemetry::{MemorySink, NullSink, Telemetry};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn one_launch(kernel: &KernelDef, tele: &Telemetry) {
+    let mut dev = Device::small_gpu().with_telemetry(tele.clone());
+    let out = dev.alloc(PrimTy::F32, 512);
+    let x = dev.alloc(PrimTy::F32, 256);
+    black_box(dev.launch(
+        kernel,
+        &[Value::Ptr(out), Value::Ptr(x), Value::I32(256)],
+        &Launch::grid1d(16, 32),
+        &mut NullRuntime,
+    ));
+}
+
+/// Time one batch of launches and return mean ns/launch.
+fn batch(kernel: &KernelDef, tele: &Telemetry, iters: u32) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        one_launch(kernel, tele);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: u32 = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let out_path = arg_value(&args, "--out");
+
+    let kernel = parse_kernel(
+        r#"kernel spin(out: *global f32, x: *global f32, n: i32) {
+            let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+            let acc: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + load(x, i) * 1.0001 + 0.5;
+            }
+            store(out, tid, acc);
+        }"#,
+    )
+    .unwrap();
+
+    let memory = MemorySink::unbounded();
+    let modes: Vec<(&str, Telemetry)> = vec![
+        ("disabled", Telemetry::disabled()),
+        ("null_sink", Telemetry::new(Arc::new(NullSink))),
+        (
+            "null_sink_hot",
+            Telemetry::new(Arc::new(NullSink)).with_hot_events(true),
+        ),
+        ("memory_sink", Telemetry::new(Arc::new(memory))),
+    ];
+
+    // Interleave the modes round-robin and keep each mode's fastest round:
+    // back-to-back batches see the same machine state, so slow drift
+    // (thermal, scheduler) cancels instead of biasing whichever mode ran
+    // last.
+    const ROUNDS: u32 = 5;
+    let per_round = (iters / ROUNDS).max(1);
+    for (_, tele) in &modes {
+        one_launch(&kernel, tele); // warm up allocator + caches once per mode
+    }
+    let mut best = vec![f64::INFINITY; modes.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, tele)) in modes.iter().enumerate() {
+            best[i] = best[i].min(batch(&kernel, tele, per_round));
+        }
+    }
+    let results: Vec<(&str, f64)> = modes
+        .iter()
+        .zip(&best)
+        .map(|(&(name, _), &ns)| (name, ns))
+        .collect();
+    for &(name, ns) in &results {
+        eprintln!("{name:>14}: {ns:>12.0} ns/launch");
+    }
+
+    let baseline = results[0].1;
+    let entries: Vec<(String, Json)> = results
+        .iter()
+        .map(|&(name, ns)| {
+            (
+                name.to_string(),
+                Json::obj([
+                    ("ns_per_launch", Json::Num(ns)),
+                    ("overhead_pct", Json::Num((ns / baseline - 1.0) * 100.0)),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Json::obj([
+        ("bench", Json::str("telemetry_overhead")),
+        ("kernel", Json::str("spin fp_loop_16x32")),
+        ("iters", Json::uint(iters as u64)),
+        ("results", Json::Obj(entries.into_iter().collect())),
+    ]);
+    let rendered = format!("{doc}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

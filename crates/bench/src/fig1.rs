@@ -114,7 +114,8 @@ pub fn render(rows: &[Fig1Row]) -> String {
             ]
         })
         .collect();
-    let mut out = String::from("Fig. 1 — error sensitivity by program type / corrupted data type\n");
+    let mut out =
+        String::from("Fig. 1 — error sensitivity by program type / corrupted data type\n");
     out.push_str(&report::table(
         &[
             "group",

@@ -45,7 +45,12 @@ pub fn profile_all(prog: &dyn HostProgram, n_datasets: usize) -> ProfiledProgram
     for ds in 0..n_datasets as u64 {
         let mut pr = ProfilerRuntime::default();
         let run = run_program(prog, &b.kernel, ds, &mut pr, u64::MAX);
-        assert!(run.outcome.is_completed(), "{}: {:?}", prog.name(), run.outcome);
+        assert!(
+            run.outcome.is_completed(),
+            "{}: {:?}",
+            prog.name(),
+            run.outcome
+        );
         let per_det: Vec<Vec<f64>> = (0..n_det).map(|d| pr.samples(d as u32).to_vec()).collect();
         ranges.push(per_det.iter().map(|s| profile_ranges(s)).collect());
         samples.push(per_det);
@@ -190,17 +195,17 @@ mod tests {
 
         // PNS (fixed simulation model) converges to ~0 false positives
         // after a handful of training sets.
-        assert!(at(curve("PNS"), 10) < 0.15, "PNS: {:?}", curve("PNS").points);
+        assert!(
+            at(curve("PNS"), 10) < 0.15,
+            "PNS: {:?}",
+            curve("PNS").points
+        );
 
         // MRI-FHD's range detectors stay imprecise far longer (the paper's
         // plateau; our interval-union model eventually closes the gaps, so
         // we check the mid-range of the curve — see EXPERIMENTS.md).
         let fhd_mid = at(curve("MRI-FHD"), 5).max(at(curve("MRI-FHD"), 7));
-        assert!(
-            fhd_mid > 0.2,
-            "MRI-FHD: {:?}",
-            curve("MRI-FHD").points
-        );
+        assert!(fhd_mid > 0.2, "MRI-FHD: {:?}", curve("MRI-FHD").points);
         assert!(
             fhd_mid > at(curve("PNS"), 5).max(at(curve("PNS"), 7)),
             "MRI-FHD is the imprecise detector of the suite"

@@ -97,7 +97,10 @@ pub fn render(transient: &Fig3Result, intermittent: &Fig3Result) -> String {
     let mut out = String::from("Fig. 3 — fault impact on the ocean-flow frame\n\n");
     for (label, r) in [
         ("(a) transient fault (1 value error)", transient),
-        ("(b) intermittent fault (burst of value errors)", intermittent),
+        (
+            "(b) intermittent fault (burst of value errors)",
+            intermittent,
+        ),
     ] {
         out.push_str(&format!(
             "{label}: {} corrupted input words -> {} bad pixels, user-noticeable: {}\n{}\n",
@@ -119,7 +122,11 @@ mod tests {
     #[test]
     fn transient_invisible_intermittent_noticeable() {
         let (t, i) = run(ProblemScale::Quick);
-        assert!(!t.noticeable, "single spike unnoticed ({} px)", t.bad_pixels);
+        assert!(
+            !t.noticeable,
+            "single spike unnoticed ({} px)",
+            t.bad_pixels
+        );
         assert!(t.bad_pixels >= 1);
         assert!(i.noticeable, "stripe noticed ({} px)", i.bad_pixels);
         assert!(i.bad_pixels > 50 * t.bad_pixels);

@@ -70,8 +70,7 @@ pub fn tpacf_retry_hang(scale: ProblemScale) -> HangCase {
         .fi
         .sites
         .iter()
-        .filter(|s| s.var_name == "bin" && s.in_loop)
-        .next_back()
+        .rfind(|s| s.var_name == "bin" && s.in_loop)
         .expect("TPACF has the bin variable");
     let fault = ArmedFault {
         site: FaultSite::HookTarget {
@@ -119,7 +118,9 @@ pub fn render(cases: &[HangCase]) -> String {
 mod tests {
     use super::*;
     use hauberk::builds::FtOptions;
-    use hauberk_guardian::{Cluster, FaultRegime, Guardian, GuardianConfig, GuardianEvent, ManagedGpu, RecoveryOutcome};
+    use hauberk_guardian::{
+        Cluster, FaultRegime, Guardian, GuardianConfig, GuardianEvent, ManagedGpu, RecoveryOutcome,
+    };
 
     #[test]
     fn corrupted_iterator_hangs_cp() {
@@ -143,8 +144,7 @@ mod tests {
             .fi
             .sites
             .iter()
-            .filter(|s| s.var_name == "bin" && s.in_loop)
-            .next_back()
+            .rfind(|s| s.var_name == "bin" && s.in_loop)
             .unwrap();
         let fault = ArmedFault {
             site: FaultSite::HookTarget {
@@ -157,8 +157,7 @@ mod tests {
         let (golden, golden_cycles) = hauberk::program::golden_run(&prog, 0);
 
         let mut cluster = Cluster::healthy(2);
-        cluster.gpus[0] =
-            ManagedGpu::faulty(0, FaultRegime::Transient { remaining: 1 }, fault);
+        cluster.gpus[0] = ManagedGpu::faulty(0, FaultRegime::Transient { remaining: 1 }, fault);
         let mut g = Guardian::new(
             GuardianConfig {
                 watchdog_floor: golden_cycles * 10,

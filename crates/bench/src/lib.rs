@@ -10,12 +10,12 @@
 pub mod ablation;
 pub mod alpha_cov;
 pub mod fig1;
+pub mod fig10;
 pub mod fig14;
 pub mod fig16;
 pub mod fig2;
 pub mod fig3;
 pub mod fig9;
-pub mod fig10;
 pub mod guardian_cases;
 pub mod perf;
 pub mod report;

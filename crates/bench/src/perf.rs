@@ -42,7 +42,12 @@ fn trained_ranges(prog: &dyn HostProgram, dataset: u64, opts: FtOptions) -> Vec<
     let profiler = build(&base, BuildVariant::Profiler(opts)).expect("profiler build");
     let mut pr = ProfilerRuntime::default();
     let run = run_program(prog, &profiler.kernel, dataset, &mut pr, u64::MAX);
-    assert!(run.outcome.is_completed(), "{}: {:?}", prog.name(), run.outcome);
+    assert!(
+        run.outcome.is_completed(),
+        "{}: {:?}",
+        prog.name(),
+        run.outcome
+    );
     (0..profiler.detectors.len())
         .map(|d| hauberk::ranges::profile_ranges(pr.samples(d as u32)))
         .collect()
@@ -113,7 +118,10 @@ pub fn measure_overheads(prog: &dyn HostProgram) -> OverheadRow {
 
 /// Measure the whole suite.
 pub fn measure_suite(progs: &[Box<dyn HostProgram>]) -> Vec<OverheadRow> {
-    progs.iter().map(|p| measure_overheads(p.as_ref())).collect()
+    progs
+        .iter()
+        .map(|p| measure_overheads(p.as_ref()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -124,9 +132,8 @@ mod tests {
     #[test]
     fn fig13_shape_holds() {
         let rows = measure_suite(&hpc_suite(ProblemScale::Quick));
-        let avg = |f: &dyn Fn(&OverheadRow) -> f64| {
-            rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
-        };
+        let avg =
+            |f: &dyn Fn(&OverheadRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
         let avg_hauberk = avg(&|r| r.hauberk);
         let avg_rnaive = avg(&|r| r.r_naive);
         // R-Naïve doubles; Hauberk stays far below it.

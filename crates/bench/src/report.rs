@@ -1,86 +1,8 @@
 //! Plain-text table/bar rendering for the figure reports.
+//!
+//! The implementations live in [`hauberk_telemetry::report`] so that the
+//! figure harness, the campaign CLI, and the metrics tables all format
+//! output through one path; this module re-exports them under the name the
+//! figure modules have always used.
 
-/// Render a percentage as a fixed-width bar plus number.
-pub fn bar(pct: f64, width: usize) -> String {
-    let filled = ((pct / 100.0) * width as f64).round().clamp(0.0, width as f64) as usize;
-    let mut s = String::with_capacity(width + 8);
-    for i in 0..width {
-        s.push(if i < filled { '#' } else { '.' });
-    }
-    s.push_str(&format!(" {pct:5.1}%"));
-    s
-}
-
-/// Render a simple aligned table: `header` then `rows`; column widths are
-/// derived from content.
-pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let cols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for r in rows {
-        for (i, cell) in r.iter().enumerate().take(cols) {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    let mut out = String::new();
-    let emit = |out: &mut String, cells: &[String]| {
-        for (i, c) in cells.iter().enumerate().take(cols) {
-            if i > 0 {
-                out.push_str("  ");
-            }
-            out.push_str(&format!("{c:<width$}", width = widths[i]));
-        }
-        while out.ends_with(' ') {
-            out.pop();
-        }
-        out.push('\n');
-    };
-    emit(
-        &mut out,
-        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
-    );
-    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-    out.push_str(&"-".repeat(total));
-    out.push('\n');
-    for r in rows {
-        emit(&mut out, r);
-    }
-    out
-}
-
-/// Format a ratio as a percent string.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}", x * 100.0)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bar_is_proportional() {
-        assert!(bar(0.0, 10).starts_with(".........."));
-        assert!(bar(50.0, 10).starts_with("#####....."));
-        assert!(bar(100.0, 10).starts_with("##########"));
-        assert!(bar(150.0, 10).starts_with("##########"), "clamped");
-    }
-
-    #[test]
-    fn table_aligns_columns() {
-        let t = table(
-            &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "2".into()],
-            ],
-        );
-        let lines: Vec<&str> = t.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].starts_with("name"));
-        assert!(lines[3].starts_with("long-name"));
-    }
-
-    #[test]
-    fn pct_formats() {
-        assert_eq!(pct(0.1234), "12.3");
-    }
-}
+pub use hauberk_telemetry::report::{bar, pct, table, Emitter, Table};

@@ -95,8 +95,8 @@ impl HostProgram for Cp {
             atoms.push(rng.gen_range(0.0f32..16.0)); // x
             atoms.push(rng.gen_range(0.0f32..16.0)); // y
             atoms.push(rng.gen_range(0.25f32..4.0)); // z^2 (precomputed)
-            // Positive point charges, like the benchmark's atoms: the
-            // potential sums grow with the atom count instead of cancelling.
+                                                     // Positive point charges, like the benchmark's atoms: the
+                                                     // potential sums grow with the atom count instead of cancelling.
             atoms.push(rng.gen_range(0.25f32..2.0));
         }
         dev.mem.copy_in_f32(atominfo, &atoms);

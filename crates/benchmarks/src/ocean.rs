@@ -170,7 +170,7 @@ mod tests {
         let frame = p.read_output(&dev, &args);
         let spec = p.spec();
         let bad = spec.violations(&golden, &frame);
-        assert!(bad >= 1 && bad < 64, "one spike: {bad} bad pixels");
+        assert!((1..64).contains(&bad), "one spike: {bad} bad pixels");
         assert!(!spec.is_violation(&golden, &frame), "not user-noticeable");
     }
 

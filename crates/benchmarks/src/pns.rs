@@ -148,8 +148,8 @@ mod tests {
         let (out, _) = golden_run(&p, 0);
         let blocks = (p.threads / 32) as usize;
         assert_eq!(out.len(), blocks);
-        for b in 0..blocks {
-            let fired = out[b] as i64;
+        for v in out.iter().take(blocks) {
+            let fired = *v as i64;
             assert!(fired > 0, "the net fires");
             assert!(fired <= (p.steps as i64) * 32, "bounded by steps x lanes");
         }

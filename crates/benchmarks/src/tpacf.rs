@@ -127,8 +127,10 @@ impl HostProgram for Tpacf {
         let data = dev.alloc(PrimTy::F32, self.points * 3);
         let rnd = dev.alloc(PrimTy::F32, self.npoints * 3);
         let edges = dev.alloc(PrimTy::F32, NBINS + 1);
-        dev.mem.copy_in_f32(data, &unit_vectors(&mut rng, self.points));
-        dev.mem.copy_in_f32(rnd, &unit_vectors(&mut rng, self.npoints));
+        dev.mem
+            .copy_in_f32(data, &unit_vectors(&mut rng, self.points));
+        dev.mem
+            .copy_in_f32(rnd, &unit_vectors(&mut rng, self.npoints));
         // cos(theta) bin edges from -1 to 1.
         let e: Vec<f32> = (0..=NBINS)
             .map(|i| -1.0 + 2.0 * i as f32 / NBINS as f32)

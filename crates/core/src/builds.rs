@@ -238,11 +238,7 @@ mod tests {
         let b = build(&k, BuildVariant::FiFt(FtOptions::default())).unwrap();
         assert_eq!(b.detectors.len(), 1);
         assert!(!b.fi.sites.is_empty());
-        assert!(b
-            .fi
-            .sites
-            .iter()
-            .all(|s| (s.var as usize) < b.orig_vars));
+        assert!(b.fi.sites.iter().all(|s| (s.var as usize) < b.orig_vars));
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub enum AlarmKind {
     NlMismatch,
 }
 
+impl AlarmKind {
+    /// Stable snake-case name, used in telemetry traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlarmKind::RangeCheck => "range",
+            AlarmKind::TripCount => "trip_count",
+            AlarmKind::Checksum => "checksum",
+            AlarmKind::NlMismatch => "nl_mismatch",
+        }
+    }
+}
+
 /// Identifier used for alarms raised by non-loop detectors.
 pub const NON_LOOP_DETECTOR: usize = usize::MAX;
 
@@ -52,6 +64,10 @@ pub struct ControlBlock {
     /// candidate range updates the recovery engine applies when it diagnoses
     /// a false positive (on-line learning, §V.B step iv).
     pub outliers: Vec<(usize, f64)>,
+    /// Source variable name monitored by each loop detector (parallel to
+    /// `ranges`; may be empty when the caller doesn't care). Only used to
+    /// label telemetry events.
+    pub detector_vars: Vec<String>,
 }
 
 impl ControlBlock {
@@ -61,6 +77,21 @@ impl ControlBlock {
             ranges,
             ..Default::default()
         }
+    }
+
+    /// Attach the monitored variable names (for telemetry labels).
+    pub fn with_detector_vars(mut self, vars: Vec<String>) -> Self {
+        self.detector_vars = vars;
+        self
+    }
+
+    /// Name of the variable detector `det` monitors (empty when unknown or
+    /// for the non-loop detector).
+    pub fn var_of(&self, det: usize) -> &str {
+        self.detector_vars
+            .get(det)
+            .map(String::as_str)
+            .unwrap_or("")
     }
 
     /// Record an alarm and set the SDC bit.

@@ -62,8 +62,9 @@ pub mod runtime;
 pub mod translator;
 
 pub use builds::{build, BuildVariant, FtOptions, Instrumented};
-pub use pipeline::{build_all, BuildSet, ProtectedProgram};
 pub use control::ControlBlock;
+pub use pipeline::{build_all, BuildSet, ProtectedProgram};
+pub use program::{run_program, run_program_traced};
 pub use program::{CorrectnessSpec, HostProgram, MemBreakdown, ProgramRun};
 pub use ranges::{Range, RangeSet};
 pub use runtime::{FiFtRuntime, FiRuntime, FtRuntime, ProfilerRuntime};

@@ -128,7 +128,13 @@ impl<'p> ProtectedProgram<'p> {
     /// and persisted (on-line learning, §V.B step iv).
     pub fn run_protected(&mut self, dataset: u64) -> io::Result<(ProgramRun, bool)> {
         let mut rt = FtRuntime::new(ControlBlock::with_ranges(self.ranges.clone()));
-        let run = run_program(self.prog, &self.builds.ft.kernel, dataset, &mut rt, u64::MAX);
+        let run = run_program(
+            self.prog,
+            &self.builds.ft.kernel,
+            dataset,
+            &mut rt,
+            u64::MAX,
+        );
         let alarm = rt.cb.sdc_flag;
         if alarm {
             rt.cb.learn_outliers();
@@ -175,7 +181,11 @@ mod tests {
             let data: Vec<f32> = (0..16).map(|i| (i + 1) as f32 * 0.1).collect();
             dev.mem.copy_in_f32(x, &data);
             // Dataset 9 is a deliberate outlier (different scale).
-            let scale = if dataset == 9 { 100.0 } else { 1.0 + dataset as f32 * 0.01 };
+            let scale = if dataset == 9 {
+                100.0
+            } else {
+                1.0 + dataset as f32 * 0.01
+            };
             vec![
                 Value::Ptr(out),
                 Value::Ptr(x),
@@ -206,7 +216,7 @@ mod tests {
         let b = build_all(&Toy, FtOptions::default()).unwrap();
         assert_eq!(b.profiler.detectors.len(), b.ft.detectors.len());
         assert_eq!(b.ft.detectors.len(), b.fi_ft.detectors.len());
-        assert!(b.fi.fi.sites.len() > 0);
+        assert!(!b.fi.fi.sites.is_empty());
         assert!(b.baseline.fi.sites.is_empty());
     }
 
@@ -219,8 +229,7 @@ mod tests {
 
         // Train on datasets 0..3 and persist.
         let mut pp =
-            ProtectedProgram::prepare(&Toy, FtOptions::default(), &[0, 1, 2], Some(&path))
-                .unwrap();
+            ProtectedProgram::prepare(&Toy, FtOptions::default(), &[0, 1, 2], Some(&path)).unwrap();
         assert!(path.exists());
         let (run, alarm) = pp.run_protected(1).unwrap();
         assert!(run.outcome.is_completed());

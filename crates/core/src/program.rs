@@ -2,8 +2,8 @@
 //! can run it under any build variant, and the per-program output
 //! correctness specifications that define "silent data corruption".
 
-use hauberk_sim::{Device, DeviceConfig, HookRuntime, Launch, LaunchOutcome};
 use hauberk_kir::{KernelDef, Value};
+use hauberk_sim::{Device, DeviceConfig, HookRuntime, Launch, LaunchOutcome};
 
 /// Memory footprint by data class (paper Fig. 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -171,7 +171,28 @@ pub fn run_program(
     rt: &mut dyn HookRuntime,
     cycle_budget: u64,
 ) -> ProgramRun {
-    let mut dev = Device::new(prog.device_config());
+    run_program_traced(
+        prog,
+        kernel,
+        dataset,
+        rt,
+        cycle_budget,
+        &hauberk_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`run_program`] with a telemetry handle: the device emits kernel
+/// launch/exit span events (and per-hook events when hot events are on)
+/// into `tele`'s sink.
+pub fn run_program_traced(
+    prog: &dyn HostProgram,
+    kernel: &KernelDef,
+    dataset: u64,
+    rt: &mut dyn HookRuntime,
+    cycle_budget: u64,
+    tele: &hauberk_telemetry::Telemetry,
+) -> ProgramRun {
+    let mut dev = Device::new(prog.device_config()).with_telemetry(tele.clone());
     let args = prog.setup(&mut dev, dataset);
     let launch = prog.launch().with_budget(cycle_budget);
     let outcome = dev.launch(kernel, &args, &launch, rt);
@@ -196,10 +217,13 @@ pub fn golden_run(prog: &dyn HostProgram, dataset: u64) -> (Vec<f64>, u64) {
         &mut hauberk_sim::NullRuntime,
         Launch::DEFAULT_BUDGET,
     );
-    let stats = run
-        .outcome
-        .completed_stats()
-        .unwrap_or_else(|| panic!("golden run of `{}` must complete: {:?}", prog.name(), run.outcome));
+    let stats = run.outcome.completed_stats().unwrap_or_else(|| {
+        panic!(
+            "golden run of `{}` must complete: {:?}",
+            prog.name(),
+            run.outcome
+        )
+    });
     (
         run.output.expect("completed run has output"),
         stats.work_cycles,
@@ -263,7 +287,10 @@ mod tests {
         let golden = vec![0.5f64; 10_000];
         let mut one_spike = golden.clone();
         one_spike[7] = 9.0;
-        assert!(!s.is_violation(&golden, &one_spike), "single spike unnoticed");
+        assert!(
+            !s.is_violation(&golden, &one_spike),
+            "single spike unnoticed"
+        );
         let mut stripe = golden.clone();
         for p in stripe.iter_mut().take(500) {
             *p = 9.0;

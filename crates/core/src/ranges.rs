@@ -339,9 +339,7 @@ pub fn ranges_from_string(s: &str) -> Result<Vec<RangeSet>, String> {
             Ok(Some(Range { min, max }))
         };
         for key in ["t=", "n=", "neg=", "zero=", "pos="] {
-            let start = joined
-                .find(key)
-                .ok_or_else(|| format!("missing `{key}`"))?;
+            let start = joined.find(key).ok_or_else(|| format!("missing `{key}`"))?;
             let after = &joined[start + key.len()..];
             let end = ["t=", "n=", "neg=", "zero=", "pos="]
                 .iter()

@@ -8,6 +8,7 @@ use hauberk_kir::Hook;
 use hauberk_kir::HookKind;
 use hauberk_sim::fault::{ArmedFault, FaultArm};
 use hauberk_sim::hooks::{HookCtx, HookRuntime, LoopCheckCtx};
+use hauberk_telemetry::{Event, Telemetry};
 use std::collections::HashMap;
 
 /// Cap on recorded per-site value samples (Fig. 10 tracing).
@@ -91,22 +92,78 @@ impl HookRuntime for ProfilerRuntime {
 pub struct FtRuntime {
     /// The control block (configure ranges before launch; read alarms after).
     pub cb: ControlBlock,
+    /// Telemetry handle (disabled by default).
+    pub tele: Telemetry,
+    /// Work-cycle timestamp of the first alarm this run, if any.
+    pub first_alarm_cycle: Option<u64>,
 }
 
 impl FtRuntime {
     /// An FT runtime configured with profiled ranges.
     pub fn new(cb: ControlBlock) -> Self {
-        FtRuntime { cb }
+        FtRuntime {
+            cb,
+            ..Default::default()
+        }
+    }
+
+    /// Attach a telemetry handle ([`Event::DetectorFired`] per alarm).
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
     }
 }
 
 impl HookRuntime for FtRuntime {
     fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
-        ft_dispatch(&mut self.cb, hook, ctx);
+        ft_dispatch(
+            &mut self.cb,
+            hook,
+            ctx,
+            &self.tele,
+            &mut self.first_alarm_cycle,
+        );
     }
 }
 
-fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
+/// Record an alarm; stamp the first-alarm cycle and emit one
+/// [`Event::DetectorFired`] per *new* (detector, kind) alarm — the control
+/// block dedups repeats from the many threads of a launch, and the trace
+/// mirrors that.
+fn raise_traced(
+    cb: &mut ControlBlock,
+    det: usize,
+    kind: AlarmKind,
+    observed: f64,
+    cycle: u64,
+    tele: &Telemetry,
+    first_alarm_cycle: &mut Option<u64>,
+) {
+    let had = cb.alarms.len();
+    cb.raise(det, kind, observed);
+    first_alarm_cycle.get_or_insert(cycle);
+    if cb.alarms.len() > had {
+        tele.emit_with(|| Event::DetectorFired {
+            detector: if det == NON_LOOP_DETECTOR {
+                -1
+            } else {
+                det as i64
+            },
+            variable: cb.var_of(det).to_string(),
+            kind: kind.as_str().to_string(),
+            observed,
+            cycle,
+        });
+    }
+}
+
+fn ft_dispatch(
+    cb: &mut ControlBlock,
+    hook: &Hook,
+    ctx: &mut HookCtx<'_>,
+    tele: &Telemetry,
+    first_alarm_cycle: &mut Option<u64>,
+) {
     match &hook.kind {
         HookKind::CheckRange { detector } => {
             let det = *detector as usize;
@@ -115,7 +172,15 @@ fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
                 let v = ctx.args[0][lane as usize].as_numeric_f64();
                 let inside = cb.ranges.get(det).map(|r| r.contains(v)).unwrap_or(false);
                 if !inside {
-                    cb.raise(det, AlarmKind::RangeCheck, v);
+                    raise_traced(
+                        cb,
+                        det,
+                        AlarmKind::RangeCheck,
+                        v,
+                        ctx.cycles,
+                        tele,
+                        first_alarm_cycle,
+                    );
                     cb.record_outlier(det, v);
                 }
             }
@@ -127,7 +192,15 @@ fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
                 let a = ctx.args[0][lane as usize].as_numeric_f64();
                 let b = ctx.args[1][lane as usize].as_numeric_f64();
                 if a != b {
-                    cb.raise(det, AlarmKind::TripCount, a);
+                    raise_traced(
+                        cb,
+                        det,
+                        AlarmKind::TripCount,
+                        a,
+                        ctx.cycles,
+                        tele,
+                        first_alarm_cycle,
+                    );
                 }
             }
         }
@@ -136,15 +209,54 @@ fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
             for lane in lanes {
                 let chk = ctx.args[0][lane as usize].to_bits();
                 if chk != 0 {
-                    cb.raise(NON_LOOP_DETECTOR, AlarmKind::Checksum, chk as f64);
+                    raise_traced(
+                        cb,
+                        NON_LOOP_DETECTOR,
+                        AlarmKind::Checksum,
+                        chk as f64,
+                        ctx.cycles,
+                        tele,
+                        first_alarm_cycle,
+                    );
                 }
             }
         }
         HookKind::NlMismatch => {
             // Reached only inside `if (orig != dup)`.
-            cb.raise(NON_LOOP_DETECTOR, AlarmKind::NlMismatch, 0.0);
+            raise_traced(
+                cb,
+                NON_LOOP_DETECTOR,
+                AlarmKind::NlMismatch,
+                0.0,
+                ctx.cycles,
+                tele,
+                first_alarm_cycle,
+            );
         }
         _ => {}
+    }
+}
+
+/// Stamp the delivery cycle and emit [`Event::FaultInjected`] on the
+/// not-delivered → delivered transition of `arm`.
+fn trace_delivery(
+    arm: &FaultArm,
+    was_delivered: bool,
+    cycle: u64,
+    tele: &Telemetry,
+    delivered_cycle: &mut Option<u64>,
+) {
+    if was_delivered || !arm.delivered() {
+        return;
+    }
+    *delivered_cycle = Some(cycle);
+    if let Some(f) = arm.fault() {
+        tele.emit_with(|| Event::FaultInjected {
+            site: f.site.to_string(),
+            thread: f.thread,
+            mask: f.mask,
+            cycle,
+        });
     }
 }
 
@@ -153,6 +265,13 @@ fn ft_dispatch(cb: &mut ControlBlock, hook: &Hook, ctx: &mut HookCtx<'_>) {
 pub struct FiRuntime {
     /// Fault arming/delivery state.
     pub arm: FaultArm,
+    /// Telemetry handle (disabled by default).
+    pub tele: Telemetry,
+    /// Work-cycle timestamp of fault delivery, if it was delivered.
+    pub delivered_cycle: Option<u64>,
+    /// Cycle stamp of the most recent hook dispatch — the delivery time of a
+    /// register-file corruption, which is polled right after `on_hook`.
+    last_hook_cycles: u64,
 }
 
 impl FiRuntime {
@@ -160,19 +279,43 @@ impl FiRuntime {
     pub fn new(fault: Option<ArmedFault>) -> Self {
         FiRuntime {
             arm: FaultArm::new(fault),
+            ..Default::default()
         }
+    }
+
+    /// Attach a telemetry handle ([`Event::FaultInjected`] on delivery).
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
     }
 }
 
 impl HookRuntime for FiRuntime {
     fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        self.last_hook_cycles = ctx.cycles;
         if matches!(hook.kind, HookKind::FiPoint { .. }) {
+            let was = self.arm.delivered();
             self.arm.at_hook(hook.site, ctx);
+            trace_delivery(
+                &self.arm,
+                was,
+                ctx.cycles,
+                &self.tele,
+                &mut self.delivered_cycle,
+            );
         }
     }
 
     fn on_loop_check(&mut self, loop_id: LoopId, ctx: &mut LoopCheckCtx<'_>) {
+        let was = self.arm.delivered();
         self.arm.at_loop_check(loop_id, ctx);
+        trace_delivery(
+            &self.arm,
+            was,
+            ctx.cycles,
+            &self.tele,
+            &mut self.delivered_cycle,
+        );
     }
 
     fn register_corruption(
@@ -184,7 +327,16 @@ impl HookRuntime for FiRuntime {
         if !matches!(hook.kind, HookKind::FiPoint { .. }) {
             return None;
         }
-        self.arm.poll_register(hook.site, first_thread, active, 32)
+        let was = self.arm.delivered();
+        let hit = self.arm.poll_register(hook.site, first_thread, active, 32);
+        trace_delivery(
+            &self.arm,
+            was,
+            self.last_hook_cycles,
+            &self.tele,
+            &mut self.delivered_cycle,
+        );
+        hit
     }
 }
 
@@ -196,6 +348,14 @@ pub struct FiFtRuntime {
     pub arm: FaultArm,
     /// FT control block.
     pub cb: ControlBlock,
+    /// Telemetry handle (disabled by default).
+    pub tele: Telemetry,
+    /// Work-cycle timestamp of fault delivery, if it was delivered.
+    pub delivered_cycle: Option<u64>,
+    /// Work-cycle timestamp of the first alarm this run, if any.
+    pub first_alarm_cycle: Option<u64>,
+    /// Cycle stamp of the most recent hook dispatch (see [`FiRuntime`]).
+    last_hook_cycles: u64,
 }
 
 impl FiFtRuntime {
@@ -204,20 +364,63 @@ impl FiFtRuntime {
         FiFtRuntime {
             arm: FaultArm::new(fault),
             cb,
+            ..Default::default()
         }
+    }
+
+    /// Attach a telemetry handle ([`Event::FaultInjected`] on delivery,
+    /// [`Event::DetectorFired`] per alarm).
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
+    }
+
+    /// Simulated cycles from fault delivery to the first detector alarm —
+    /// the paper's detection latency. `None` when the fault was not
+    /// delivered, no alarm fired, or the only alarms predate delivery
+    /// (false positives).
+    pub fn detection_latency(&self) -> Option<u64> {
+        let d = self.delivered_cycle?;
+        let a = self.first_alarm_cycle?;
+        a.checked_sub(d)
     }
 }
 
 impl HookRuntime for FiFtRuntime {
     fn on_hook(&mut self, hook: &Hook, ctx: &mut HookCtx<'_>) {
+        self.last_hook_cycles = ctx.cycles;
         match hook.kind {
-            HookKind::FiPoint { .. } => self.arm.at_hook(hook.site, ctx),
-            _ => ft_dispatch(&mut self.cb, hook, ctx),
+            HookKind::FiPoint { .. } => {
+                let was = self.arm.delivered();
+                self.arm.at_hook(hook.site, ctx);
+                trace_delivery(
+                    &self.arm,
+                    was,
+                    ctx.cycles,
+                    &self.tele,
+                    &mut self.delivered_cycle,
+                );
+            }
+            _ => ft_dispatch(
+                &mut self.cb,
+                hook,
+                ctx,
+                &self.tele,
+                &mut self.first_alarm_cycle,
+            ),
         }
     }
 
     fn on_loop_check(&mut self, loop_id: LoopId, ctx: &mut LoopCheckCtx<'_>) {
+        let was = self.arm.delivered();
         self.arm.at_loop_check(loop_id, ctx);
+        trace_delivery(
+            &self.arm,
+            was,
+            ctx.cycles,
+            &self.tele,
+            &mut self.delivered_cycle,
+        );
     }
 
     fn register_corruption(
@@ -229,7 +432,16 @@ impl HookRuntime for FiFtRuntime {
         if !matches!(hook.kind, HookKind::FiPoint { .. }) {
             return None;
         }
-        self.arm.poll_register(hook.site, first_thread, active, 32)
+        let was = self.arm.delivered();
+        let hit = self.arm.poll_register(hook.site, first_thread, active, 32);
+        trace_delivery(
+            &self.arm,
+            was,
+            self.last_hook_cycles,
+            &self.tele,
+            &mut self.delivered_cycle,
+        );
+        hit
     }
 }
 
@@ -246,6 +458,7 @@ mod tests {
             active: 0b1,
             warp_width: 1,
             first_thread: 0,
+            cycles: 0,
             args,
             target: None,
         }
@@ -350,6 +563,7 @@ mod tests {
             active: 1,
             warp_width: 1,
             first_thread: 3,
+            cycles: 0,
             args: &args,
             target: Some(&mut target),
         };

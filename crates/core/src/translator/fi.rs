@@ -236,7 +236,9 @@ mod tests {
         // The in-loop accumulation of acc: FPU.
         let acc_sites: Vec<_> = map.sites.iter().filter(|s| s.var_name == "acc").collect();
         assert_eq!(acc_sites.len(), 2);
-        assert!(acc_sites.iter().any(|s| s.in_loop && s.hw == HwComponent::Fpu));
+        assert!(acc_sites
+            .iter()
+            .any(|s| s.in_loop && s.hw == HwComponent::Fpu));
     }
 
     #[test]

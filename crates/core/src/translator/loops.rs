@@ -184,7 +184,10 @@ fn instrument_one_loop(
             let tgt_ty = k.var_ty(target);
             let acc_ty = if tgt_ty == Ty::F32 { Ty::F32 } else { tgt_ty };
             let acc = k.add_local(format!("__acc_{}_{}", n, ti), acc_ty);
-            out.push(Stmt::assign(acc, Expr::Lit(hauberk_kir::Value::zero_of(acc_ty))));
+            out.push(Stmt::assign(
+                acc,
+                Expr::Lit(hauberk_kir::Value::zero_of(acc_ty)),
+            ));
             accs.push((target, acc, false));
         }
     }
@@ -205,10 +208,7 @@ fn instrument_one_loop(
             _ => unreachable!("instrument_one_loop requires a loop"),
         };
         let taken = std::mem::take(body);
-        let mut new_body = vec![Stmt::assign(
-            cnt,
-            Expr::add(Expr::var(cnt), Expr::i32(1)),
-        )];
+        let mut new_body = vec![Stmt::assign(cnt, Expr::add(Expr::var(cnt), Expr::i32(1)))];
         // Find the index of the last top-level statement that (recursively)
         // defines each non-self-accumulating target.
         let mut acc_after: Vec<Option<usize>> = accs
@@ -249,7 +249,10 @@ fn instrument_one_loop(
             as_f32(k, *acc),
             Expr::call(
                 MathFn::Max,
-                vec![Expr::Cast(PrimTy::F32, Box::new(Expr::var(cnt))), Expr::f32(1.0)],
+                vec![
+                    Expr::Cast(PrimTy::F32, Box::new(Expr::var(cnt))),
+                    Expr::f32(1.0),
+                ],
             ),
         );
         let kind = if opts.profile_mode {
@@ -283,7 +286,9 @@ fn instrument_one_loop(
     if let (Some(e), false) = (expect, opts.profile_mode) {
         let det = first_det_for_loop.unwrap_or(specs.len().saturating_sub(1));
         out.push(Stmt::Hook(Hook {
-            kind: HookKind::CheckEqual { detector: det as u32 },
+            kind: HookKind::CheckEqual {
+                detector: det as u32,
+            },
             site: *next_site,
             args: vec![Expr::var(cnt), Expr::var(e)],
             target: None,

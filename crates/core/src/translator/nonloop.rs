@@ -106,7 +106,7 @@ fn process_block(
     next_site: &mut u32,
     next_dup: &mut usize,
     report: &mut NlReport,
-    mut open_params: Option<&mut Vec<VarId>>,
+    open_params: Option<&mut Vec<VarId>>,
 ) -> Block {
     let stmts = block.0;
     let n = stmts.len();
@@ -149,7 +149,7 @@ fn process_block(
     }
 
     // Parameter closing folds (top level only).
-    if let Some(params) = open_params.as_deref_mut() {
+    if let Some(params) = open_params {
         params.retain(|p| {
             match stmts.iter().position(|s| s.assigns_var_recursively(*p)) {
                 Some(j) => {
@@ -196,10 +196,8 @@ fn process_block(
                 else_blk,
             } => {
                 // Non-loop code inside conditionals is protected too.
-                let then_blk =
-                    process_block(k, chk, then_blk, next_site, next_dup, report, None);
-                let else_blk =
-                    process_block(k, chk, else_blk, next_site, next_dup, report, None);
+                let then_blk = process_block(k, chk, then_blk, next_site, next_dup, report, None);
+                let else_blk = process_block(k, chk, else_blk, next_site, next_dup, report, None);
                 out.push(Stmt::If {
                     cond,
                     then_blk,

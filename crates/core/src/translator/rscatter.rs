@@ -28,23 +28,12 @@ pub fn instrument_rscatter(k: &mut KernelDef) -> usize {
     let mut n_dup = 0usize;
     let mut next_site = 30_000u32;
     let body = std::mem::take(&mut k.body);
-    k.body = walk(
-        k,
-        body,
-        orig_bound,
-        &mut dup_of,
-        &mut n_dup,
-        &mut next_site,
-    );
+    k.body = walk(k, body, orig_bound, &mut dup_of, &mut n_dup, &mut next_site);
     k.shared_mem_bytes = k.shared_mem_bytes.saturating_mul(2);
     n_dup
 }
 
-fn dup_var_for(
-    k: &mut KernelDef,
-    dup_of: &mut HashMap<VarId, VarId>,
-    var: VarId,
-) -> VarId {
+fn dup_var_for(k: &mut KernelDef, dup_of: &mut HashMap<VarId, VarId>, var: VarId) -> VarId {
     if let Some(d) = dup_of.get(&var) {
         return *d;
     }
@@ -163,10 +152,7 @@ mod tests {
         let p = print_kernel(&k);
         // The duplicated accumulation reads the duplicate accumulator: an
         // independent redundant chain.
-        assert!(
-            p.contains("__rs_acc = __rs_acc + load(x, i);"),
-            "{p}"
-        );
+        assert!(p.contains("__rs_acc = __rs_acc + load(x, i);"), "{p}");
         // Exactly one comparison, at the store.
         assert_eq!(p.matches("@nl_mismatch").count(), 1);
         let cmp = p.find("if (acc != __rs_acc)").unwrap();

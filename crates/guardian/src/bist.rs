@@ -63,10 +63,8 @@ pub fn run_bist(gpu: &ManagedGpu, now: u64) -> bool {
     // paths — a faulty device corrupts at least one of them.
     for probe in 0..4u32 {
         let fault = gpu.fault_for_run(now).map(|f| ArmedFault {
-            site: FaultSite::HookTarget {
-                site: probe % 6,
-            },
-            thread: (probe as u32 * 17) % 64,
+            site: FaultSite::HookTarget { site: probe % 6 },
+            thread: (probe * 17) % 64,
             occurrence: 1,
             mask: f.mask.rotate_left(probe),
         });

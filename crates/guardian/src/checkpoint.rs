@@ -5,6 +5,7 @@
 
 use hauberk_sim::memory::MemRegion;
 use hauberk_sim::Device;
+use hauberk_telemetry::{Event, Telemetry};
 
 /// A snapshot of a device's global memory.
 #[derive(Debug, Clone)]
@@ -20,9 +21,34 @@ impl Checkpoint {
         }
     }
 
+    /// [`Checkpoint::capture`] with an [`Event::Checkpoint`] trace record.
+    pub fn capture_traced(dev: &Device, tele: &Telemetry) -> Checkpoint {
+        let ckpt = Checkpoint::capture(dev);
+        tele.emit_with(|| Event::Checkpoint {
+            action: "capture",
+            words: ckpt.words(),
+        });
+        ckpt
+    }
+
     /// Restore the snapshot onto the device.
     pub fn restore(&self, dev: &mut Device) {
         dev.mem = self.mem.clone();
+    }
+
+    /// [`Checkpoint::restore`] with an [`Event::Checkpoint`] trace record.
+    pub fn restore_traced(&self, dev: &mut Device, tele: &Telemetry) {
+        self.restore(dev);
+        tele.emit_with(|| Event::Checkpoint {
+            action: "restore",
+            words: self.words(),
+        });
+    }
+
+    /// 32-bit words of device memory the snapshot covers (allocated bytes
+    /// rounded up to whole words).
+    pub fn words(&self) -> u64 {
+        (self.mem.allocated() as u64).div_ceil(4)
     }
 }
 

@@ -5,11 +5,12 @@ use crate::alpha::{AlphaConfig, AlphaController};
 use crate::bist::run_bist;
 use crate::cluster::Cluster;
 use hauberk::control::ControlBlock;
-use hauberk::program::{run_program, CorrectnessSpec, HostProgram, ProgramRun};
+use hauberk::program::{run_program_traced, CorrectnessSpec, HostProgram, ProgramRun};
 use hauberk::ranges::RangeSet;
 use hauberk::runtime::FiFtRuntime;
 use hauberk_kir::KernelDef;
 use hauberk_sim::LaunchOutcome;
+use hauberk_telemetry::{Event, Telemetry};
 
 /// Guardian configuration.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +88,38 @@ pub enum GuardianEvent {
     UnsupportedSoftware,
 }
 
+impl GuardianEvent {
+    /// Stable snake-case step name, used in telemetry traces.
+    pub fn action(&self) -> &'static str {
+        match self {
+            GuardianEvent::RunStarted { .. } => "run_started",
+            GuardianEvent::CrashDetected => "crash_detected",
+            GuardianEvent::HangKilled => "hang_killed",
+            GuardianEvent::Restarted => "restarted",
+            GuardianEvent::AlarmRaised => "alarm_raised",
+            GuardianEvent::Reexecuted => "reexecuted",
+            GuardianEvent::FalseAlarmDiagnosed => "false_alarm_diagnosed",
+            GuardianEvent::TransientTolerated => "transient_tolerated",
+            GuardianEvent::BistRun { passed: true, .. } => "bist_passed",
+            GuardianEvent::BistRun { passed: false, .. } => "bist_failed",
+            GuardianEvent::DeviceDisabled { .. } => "device_disabled",
+            GuardianEvent::Migrated { .. } => "migrated",
+            GuardianEvent::UnsupportedSoftware => "unsupported_software",
+        }
+    }
+
+    /// Device ordinal the step applies to, when it is device-specific.
+    pub fn device(&self) -> Option<usize> {
+        match self {
+            GuardianEvent::RunStarted { device }
+            | GuardianEvent::BistRun { device, .. }
+            | GuardianEvent::DeviceDisabled { device } => Some(*device),
+            GuardianEvent::Migrated { to } => Some(*to),
+            _ => None,
+        }
+    }
+}
+
 /// Final outcome of a guarded execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecoveryOutcome {
@@ -119,6 +152,10 @@ pub struct Guardian {
     pub alpha: AlphaController,
     /// Event log.
     pub events: Vec<GuardianEvent>,
+    /// Telemetry handle (disabled by default): every logged
+    /// [`GuardianEvent`] is mirrored as an [`Event::Guardian`], and the
+    /// supervised launches emit kernel/detector/fault events.
+    pub tele: Telemetry,
     prev_cycles: Option<u64>,
 }
 
@@ -130,8 +167,24 @@ impl Guardian {
             cluster,
             alpha: AlphaController::new(AlphaConfig::default()),
             events: Vec::new(),
+            tele: Telemetry::disabled(),
             prev_cycles: None,
         }
+    }
+
+    /// Attach a telemetry handle.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
+    }
+
+    /// Record a guardian step in the event log and the telemetry trace.
+    fn log(&mut self, ev: GuardianEvent) {
+        self.tele.emit_with(|| Event::Guardian {
+            action: ev.action().to_string(),
+            device: ev.device().map_or(-1, |d| d as i64),
+        });
+        self.events.push(ev);
     }
 
     fn watchdog_budget(&self) -> u64 {
@@ -150,17 +203,25 @@ impl Guardian {
         dataset: u64,
         device: usize,
     ) -> (ProgramRun, ControlBlock) {
-        self.events.push(GuardianEvent::RunStarted { device });
+        self.log(GuardianEvent::RunStarted { device });
         let effective: Vec<RangeSet> = ranges
             .iter()
             .map(|r| r.apply_alpha(self.alpha.alpha()))
             .collect();
         let fault = self.cluster.gpus[device].fault_for_run(self.cluster.now);
         let cb = ControlBlock::with_ranges(effective);
-        let mut rt = FiFtRuntime::new(fault, cb);
-        let run = run_program(prog, kernel, dataset, &mut rt, self.watchdog_budget());
+        let mut rt = FiFtRuntime::new(fault, cb).with_telemetry(self.tele.clone());
+        let run = run_program_traced(
+            prog,
+            kernel,
+            dataset,
+            &mut rt,
+            self.watchdog_budget(),
+            &self.tele,
+        );
         self.cluster.gpus[device].note_run();
-        self.cluster.advance(run.outcome.stats().kernel_cycles.max(1));
+        self.cluster
+            .advance(run.outcome.stats().kernel_cycles.max(1));
         if let LaunchOutcome::Completed(stats) = &run.outcome {
             // Watchdog budgets are in work cycles (the interpreter's
             // progress metric); kernel time drives the cluster clock.
@@ -171,10 +232,10 @@ impl Guardian {
 
     fn diagnose_device(&mut self, device: usize) -> bool {
         let passed = run_bist(&self.cluster.gpus[device], self.cluster.now);
-        self.events.push(GuardianEvent::BistRun { device, passed });
+        self.log(GuardianEvent::BistRun { device, passed });
         if !passed {
             self.cluster.disable(device);
-            self.events.push(GuardianEvent::DeviceDisabled { device });
+            self.log(GuardianEvent::DeviceDisabled { device });
         }
         passed
     }
@@ -202,7 +263,7 @@ impl Guardian {
             runs += 1;
             match &run1.outcome {
                 LaunchOutcome::Crash { .. } | LaunchOutcome::Hang { .. } => {
-                    self.events.push(if run1.outcome.is_completed() {
+                    self.log(if run1.outcome.is_completed() {
                         unreachable!()
                     } else if matches!(run1.outcome, LaunchOutcome::Hang { .. }) {
                         GuardianEvent::HangKilled
@@ -213,18 +274,18 @@ impl Guardian {
                     if consecutive_failures >= self.cfg.failures_before_diagnosis {
                         consecutive_failures = 0;
                         if self.diagnose_device(current_device) {
-                            self.events.push(GuardianEvent::UnsupportedSoftware);
+                            self.log(GuardianEvent::UnsupportedSoftware);
                             return RecoveryOutcome::UnsupportedSoftware;
                         }
                         match self.cluster.pick_enabled() {
                             Some(d) => {
-                                self.events.push(GuardianEvent::Migrated { to: d });
+                                self.log(GuardianEvent::Migrated { to: d });
                                 current_device = d;
                             }
                             None => return RecoveryOutcome::Exhausted,
                         }
                     } else {
-                        self.events.push(GuardianEvent::Restarted);
+                        self.log(GuardianEvent::Restarted);
                     }
                     continue;
                 }
@@ -241,15 +302,15 @@ impl Guardian {
                         };
                     }
                     // SDC alarm: diagnose by re-execution.
-                    self.events.push(GuardianEvent::AlarmRaised);
+                    self.log(GuardianEvent::AlarmRaised);
                     let (run2, mut cb2) =
                         self.execute(prog, kernel, ranges, dataset, current_device);
                     runs += 1;
-                    self.events.push(GuardianEvent::Reexecuted);
+                    self.log(GuardianEvent::Reexecuted);
                     match &run2.outcome {
                         LaunchOutcome::Crash { .. } | LaunchOutcome::Hang { .. } => {
                             consecutive_failures += 1;
-                            self.events.push(GuardianEvent::Restarted);
+                            self.log(GuardianEvent::Restarted);
                             continue;
                         }
                         LaunchOutcome::Completed(_) => {
@@ -257,7 +318,7 @@ impl Guardian {
                             if !cb2.sdc_flag {
                                 // (b) transient/short-intermittent fault:
                                 // take the clean re-execution's result.
-                                self.events.push(GuardianEvent::TransientTolerated);
+                                self.log(GuardianEvent::TransientTolerated);
                                 self.alpha.observe(false);
                                 return RecoveryOutcome::Success {
                                     output: out2,
@@ -266,10 +327,9 @@ impl Guardian {
                                     false_alarm: false,
                                 };
                             }
-                            if outputs_identical(&spec, &out1, &out2, self.cfg.nondeterministic)
-                            {
+                            if outputs_identical(&spec, &out1, &out2, self.cfg.nondeterministic) {
                                 // (a) false alarm: learn the outlier values.
-                                self.events.push(GuardianEvent::FalseAlarmDiagnosed);
+                                self.log(GuardianEvent::FalseAlarmDiagnosed);
                                 cb2.learn_outliers();
                                 *ranges = cb2.ranges;
                                 self.alpha.observe(true);
@@ -282,12 +342,12 @@ impl Guardian {
                             }
                             // (c) long intermittent / permanent fault.
                             if self.diagnose_device(current_device) {
-                                self.events.push(GuardianEvent::UnsupportedSoftware);
+                                self.log(GuardianEvent::UnsupportedSoftware);
                                 return RecoveryOutcome::UnsupportedSoftware;
                             }
                             match self.cluster.pick_enabled() {
                                 Some(d) => {
-                                    self.events.push(GuardianEvent::Migrated { to: d });
+                                    self.log(GuardianEvent::Migrated { to: d });
                                     current_device = d;
                                 }
                                 None => return RecoveryOutcome::Exhausted,
@@ -345,7 +405,7 @@ mod tests {
     use super::*;
     use crate::regime::FaultRegime;
     use hauberk::builds::{build, BuildVariant, FtOptions};
-    use hauberk::program::golden_run;
+    use hauberk::program::{golden_run, run_program};
     use hauberk::runtime::ProfilerRuntime;
     use hauberk_benchmarks::cp::Cp;
     use hauberk_benchmarks::ProblemScale;
@@ -456,8 +516,7 @@ mod tests {
         let (prog, kernel, trained, _) = cp_setup();
         // Deliberately under-trained ranges (one per detector): a tiny range
         // that the real averages fall outside of.
-        let mut ranges =
-            vec![hauberk::ranges::profile_ranges(&[1e-30]); trained.len()];
+        let mut ranges = vec![hauberk::ranges::profile_ranges(&[1e-30]); trained.len()];
         let mut g = guardian(Cluster::healthy(1));
         match g.run_protected(&prog, &kernel, &mut ranges, 0) {
             RecoveryOutcome::Success {
@@ -535,9 +594,10 @@ mod tests {
         }
         // Two failures, then a BIST that passes (the hardware is fine).
         assert!(g.events.contains(&GuardianEvent::Restarted));
-        assert!(g
-            .events
-            .contains(&GuardianEvent::BistRun { device: 0, passed: true }));
+        assert!(g.events.contains(&GuardianEvent::BistRun {
+            device: 0,
+            passed: true
+        }));
         assert!(g.events.contains(&GuardianEvent::UnsupportedSoftware));
         assert!(g.cluster.gpus[0].enabled, "healthy device stays enabled");
     }

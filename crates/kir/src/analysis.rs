@@ -56,9 +56,10 @@ impl DefUse {
 
     /// Variables never defined inside loops (the non-loop detector's domain).
     pub fn non_loop_vars(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.vars.iter().enumerate().filter_map(|(i, v)| {
-            (!v.defined_in_loop && v.n_defs > 0).then_some(i as VarId)
-        })
+        self.vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| (!v.defined_in_loop && v.n_defs > 0).then_some(i as VarId))
     }
 }
 
@@ -183,12 +184,10 @@ impl LoopDataflow {
         for v in &header_assigns {
             push_assigned(*v, &mut assigned);
         }
-        for_each_stmt(body, &mut |s| {
-            match s {
-                Stmt::Assign { var, .. } => push_assigned(*var, &mut assigned),
-                Stmt::For { var, .. } => push_assigned(*var, &mut assigned),
-                _ => {}
-            }
+        for_each_stmt(body, &mut |s| match s {
+            Stmt::Assign { var, .. } => push_assigned(*var, &mut assigned),
+            Stmt::For { var, .. } => push_assigned(*var, &mut assigned),
+            _ => {}
         });
         let in_loop: BTreeSet<VarId> = assigned.iter().copied().collect();
 
@@ -256,7 +255,11 @@ impl LoopDataflow {
                         ctrl.truncate(ctrl.len() - pushed);
                     }
                     Stmt::For {
-                        var, step, cond, body, ..
+                        var,
+                        step,
+                        cond,
+                        body,
+                        ..
                     } => {
                         let d = deps.get_mut(var).expect("inserted above");
                         for u in step.vars_used() {
@@ -288,7 +291,14 @@ impl LoopDataflow {
             n
         }
         let mut ctrl: Vec<VarId> = Vec::new();
-        dep_walk(body, &in_loop, &mut ctrl, &mut deps, &mut loads, &mut acc_defs);
+        dep_walk(
+            body,
+            &in_loop,
+            &mut ctrl,
+            &mut deps,
+            &mut loads,
+            &mut acc_defs,
+        );
 
         // Outputs: stored to memory inside the loop, or used after the loop.
         let mut outputs: BTreeSet<VarId> = BTreeSet::new();
@@ -376,20 +386,13 @@ fn is_self_accumulating(var: VarId, value: &Expr) -> bool {
             _ => false,
         }
     }
-    matches!(
-        value,
-        Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul, _, _)
-    ) && head_is_var(value, var)
+    matches!(value, Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul, _, _))
+        && head_is_var(value, var)
 }
 
 /// Invoke `f` on every statement that comes after `marker` in program order
 /// (used to find loop outputs that are read later).
-fn scan_after<'a>(
-    block: &'a Block,
-    marker: &Stmt,
-    seen: &mut bool,
-    f: &mut impl FnMut(&'a Stmt),
-) {
+fn scan_after<'a>(block: &'a Block, marker: &Stmt, seen: &mut bool, f: &mut impl FnMut(&'a Stmt)) {
     for s in &block.0 {
         if *seen {
             f(s);
@@ -523,9 +526,7 @@ pub fn derive_trip_count(loop_stmt: &Stmt) -> Option<Expr> {
         return None;
     }
     let (op, bound) = match cond {
-        Expr::Bin(op @ (BinOp::Lt | BinOp::Le), a, b)
-            if matches!(**a, Expr::Var(x) if x == *var) =>
-        {
+        Expr::Bin(op @ (BinOp::Lt | BinOp::Le), a, b) if matches!(**a, Expr::Var(x) if x == *var) => {
             (*op, (**b).clone())
         }
         _ => return None,
@@ -669,11 +670,17 @@ mod tests {
         b.for_range(aid, Expr::var(n), |b| {
             b.assign(
                 dy,
-                Expr::sub(Expr::var(coory), Expr::load(Expr::var(atoms), Expr::var(aid))),
+                Expr::sub(
+                    Expr::var(coory),
+                    Expr::load(Expr::var(atoms), Expr::var(aid)),
+                ),
             );
             b.assign(
                 dx1,
-                Expr::sub(Expr::var(coorx), Expr::load(Expr::var(atoms), Expr::var(aid))),
+                Expr::sub(
+                    Expr::var(coorx),
+                    Expr::load(Expr::var(atoms), Expr::var(aid)),
+                ),
             );
             b.assign(dx2, Expr::add(Expr::var(dx1), Expr::f32(0.5)));
             b.assign(
@@ -776,7 +783,13 @@ mod tests {
         let acc = b.local("acc", Ty::F32);
         b.assign(acc, Expr::f32(0.0));
         b.for_range(i, Expr::var(n), |b| {
-            b.assign(x, Expr::mul(Expr::f32(2.0), Expr::Cast(PrimTy::F32, Box::new(Expr::var(i)))));
+            b.assign(
+                x,
+                Expr::mul(
+                    Expr::f32(2.0),
+                    Expr::Cast(PrimTy::F32, Box::new(Expr::var(i))),
+                ),
+            );
             b.assign(acc, Expr::add(Expr::var(acc), Expr::var(x)));
         });
         let k = b.finish();
@@ -818,7 +831,9 @@ mod tests {
         let mut b = KernelBuilder::new("t2");
         let i = b.local("i", Ty::I32);
         b.for_range(i, Expr::i32(5), |b| {
-            b.if_(Expr::lt(Expr::var(i), Expr::i32(2)), |b| b.stmt(Stmt::Break));
+            b.if_(Expr::lt(Expr::var(i), Expr::i32(2)), |b| {
+                b.stmt(Stmt::Break)
+            });
         });
         let k = b.finish();
         assert!(derive_trip_count(&k.body.0[0]).is_none());

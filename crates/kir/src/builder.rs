@@ -241,10 +241,9 @@ mod tests {
         let acc = b.local("acc", Ty::F32);
         b.assign(acc, Expr::f32(0.0));
         b.for_range(i, Expr::var(n), |b| {
-            b.if_(
-                Expr::lt(Expr::var(i), Expr::i32(10)),
-                |b| b.assign(acc, Expr::add(Expr::var(acc), Expr::f32(1.0))),
-            );
+            b.if_(Expr::lt(Expr::var(i), Expr::i32(10)), |b| {
+                b.assign(acc, Expr::add(Expr::var(acc), Expr::f32(1.0)))
+            });
         });
         let k = b.finish();
         assert_eq!(k.loop_count(), 1);

@@ -274,6 +274,9 @@ pub enum Expr {
     Cast(PrimTy, Box<Expr>),
 }
 
+// add/sub/mul/div are AST constructors taking operands by value, not
+// arithmetic on Expr — the std::ops traits would be the wrong signature.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Literal `f32`.
     pub fn f32(v: f32) -> Expr {

@@ -143,9 +143,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 if d.is_ascii_digit() {
                     i += 1;
                     col += 1;
-                } else if d == '.'
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_ascii_digit()
+                } else if d == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
                 {
                     is_float = true;
                     i += 1;
@@ -396,7 +394,10 @@ impl Parser {
                 return Ok(ty);
             }
         }
-        self.err(format!("expected a primitive type, found {:?}", self.peek()))
+        self.err(format!(
+            "expected a primitive type, found {:?}",
+            self.peek()
+        ))
     }
 
     fn block(&mut self) -> Result<Block, ParseError> {
@@ -862,10 +863,9 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_for_iterator() {
-        let e = parse_kernel(
-            "kernel t(n: i32) { let j: i32 = 0; for (i = 0; i < n; j = j + 1) { } }",
-        )
-        .unwrap_err();
+        let e =
+            parse_kernel("kernel t(n: i32) { let j: i32 = 0; for (i = 0; i < n; j = j + 1) { } }")
+                .unwrap_err();
         assert!(e.msg.contains("iterator"));
     }
 

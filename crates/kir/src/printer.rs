@@ -172,8 +172,7 @@ impl Printer<'_> {
                 self.expr(init, 0, false);
                 self.out.push_str("; ");
                 self.expr(cond, 0, false);
-                self.out
-                    .push_str(&format!("; {} = ", self.var_name(*var)));
+                self.out.push_str(&format!("; {} = ", self.var_name(*var)));
                 self.expr(step, 0, false);
                 self.out.push(')');
                 self.open_block(body);
@@ -194,7 +193,8 @@ impl Printer<'_> {
     }
 
     fn hook(&mut self, h: &Hook) {
-        self.out.push_str(&format!("@{}(site={}", h.kind.tag(), h.site));
+        self.out
+            .push_str(&format!("@{}(site={}", h.kind.tag(), h.site));
         match &h.kind {
             HookKind::FiPoint { hw } => self.out.push_str(&format!(", hw={hw}")),
             HookKind::Profile { detector }

@@ -189,10 +189,7 @@ mod tests {
         assert_eq!(Ty::I32.data_class(), DataClass::Integer);
         assert_eq!(Ty::U32.data_class(), DataClass::Integer);
         assert_eq!(Ty::BOOL.data_class(), DataClass::Integer);
-        assert_eq!(
-            Ty::global_ptr(PrimTy::F32).data_class(),
-            DataClass::Pointer
-        );
+        assert_eq!(Ty::global_ptr(PrimTy::F32).data_class(), DataClass::Pointer);
     }
 
     #[test]

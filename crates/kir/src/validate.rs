@@ -264,9 +264,7 @@ impl Validator<'_> {
                 _ => self.err(format!("arithmetic on {ta}, {tb}")),
             },
             Rem | And | Or | Xor | Shl | Shr => match (ta, tb) {
-                (Ty::Prim(a), Ty::Prim(b))
-                    if a == b && a.is_integer() && a != PrimTy::Bool =>
-                {
+                (Ty::Prim(a), Ty::Prim(b)) if a == b && a.is_integer() && a != PrimTy::Bool => {
                     Ok(ta)
                 }
                 _ => self.err(format!("integer op on {ta}, {tb}")),

@@ -70,8 +70,7 @@ impl PartialEq for Value {
         match (self, other) {
             (Value::Ptr(a), Value::Ptr(b)) => a == b,
             (a, b) => {
-                std::mem::discriminant(a) == std::mem::discriminant(b)
-                    && a.to_bits() == b.to_bits()
+                std::mem::discriminant(a) == std::mem::discriminant(b) && a.to_bits() == b.to_bits()
             }
         }
     }

@@ -30,17 +30,22 @@ fn f32_expr(depth: u32) -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            inner.clone().prop_map(|e| neg(e)),
-            inner.clone().prop_map(|e| Expr::call(MathFn::Sqrt, vec![e])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::call(MathFn::Max, vec![a, b])),
+            inner.clone().prop_map(neg),
+            inner
+                .clone()
+                .prop_map(|e| Expr::call(MathFn::Sqrt, vec![e])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::call(MathFn::Max, vec![a, b])),
         ]
     })
     .boxed()
@@ -49,22 +54,25 @@ fn f32_expr(depth: u32) -> BoxedStrategy<Expr> {
 /// Strategy for type-correct `i32` expressions over `i0` (id 7) and the
 /// iterator-free constants.
 fn i32_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::var(7)),
-        (-100i32..100).prop_map(Expr::i32),
-    ];
+    let leaf = prop_oneof![Just(Expr::var(7)), (-100i32..100).prop_map(Expr::i32),];
     leaf.prop_recursive(depth, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Xor),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Xor),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            inner.clone().prop_map(|e| Expr::Un(UnOp::BitNot, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Un(UnOp::BitNot, Box::new(e))),
         ]
     })
     .boxed()
@@ -79,9 +87,7 @@ fn kernel_with(fs: Vec<Expr>, is: Vec<Expr>) -> hauberk_kir::KernelDef {
     let _n = b.param("n", Ty::I32);
     // Declaration order must match first-assignment order so the printed
     // `let` order reproduces the same variable numbering on re-parse.
-    let f: Vec<_> = (0..4)
-        .map(|i| b.local(format!("f{i}"), Ty::F32))
-        .collect();
+    let f: Vec<_> = (0..4).map(|i| b.local(format!("f{i}"), Ty::F32)).collect();
     let i0 = b.local("i0", Ty::I32);
     for (i, fv) in f.iter().enumerate() {
         b.assign(*fv, Expr::f32(i as f32));

@@ -9,6 +9,7 @@ use crate::outcome::{LaunchOutcome, TrapReason};
 use crate::stats::ExecStats;
 use hauberk_kir::validate::validate_kernel;
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
+use hauberk_telemetry::{next_launch_id, Event, Telemetry};
 
 /// Launch geometry and budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,9 @@ pub struct Device {
     pub config: DeviceConfig,
     /// Global memory.
     pub mem: MemRegion,
+    /// Telemetry pipeline; [`Telemetry::disabled`] by default, so every
+    /// emit site reduces to one branch.
+    pub telemetry: Telemetry,
 }
 
 impl Device {
@@ -67,7 +71,17 @@ impl Device {
             config.global_mem_bytes,
             config.strict_memory,
         );
-        Device { config, mem }
+        Device {
+            config,
+            mem,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry pipeline (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Default GT200-like GPU.
@@ -113,6 +127,37 @@ impl Device {
         args: &[Value],
         launch: &Launch,
         runtime: &mut dyn HookRuntime,
+    ) -> LaunchOutcome {
+        let tele = self.telemetry.clone();
+        let launch_id = if tele.enabled() { next_launch_id() } else { 0 };
+        tele.emit_with(|| Event::KernelLaunch {
+            launch_id,
+            kernel: kernel.name.clone(),
+            blocks: launch.grid.0 as u64 * launch.grid.1 as u64,
+            threads: launch.total_threads(),
+        });
+        let out = self.launch_inner(kernel, args, launch, runtime, &tele, launch_id);
+        tele.emit_with(|| Event::KernelExit {
+            launch_id,
+            kernel: kernel.name.clone(),
+            outcome: match &out {
+                LaunchOutcome::Completed(_) => "completed",
+                LaunchOutcome::Crash { .. } => "crash",
+                LaunchOutcome::Hang { .. } => "hang",
+            },
+            snapshot: out.stats().into(),
+        });
+        out
+    }
+
+    fn launch_inner(
+        &mut self,
+        kernel: &KernelDef,
+        args: &[Value],
+        launch: &Launch,
+        runtime: &mut dyn HookRuntime,
+        tele: &Telemetry,
+        launch_id: u64,
     ) -> LaunchOutcome {
         assert_eq!(args.len(), kernel.n_params, "kernel argument count");
         for (i, a) in args.iter().enumerate() {
@@ -174,6 +219,8 @@ impl Device {
                         &mut budget,
                         geom,
                         args,
+                        tele,
+                        launch_id,
                     );
                     match warp.run() {
                         Ok(()) => {}
@@ -252,8 +299,8 @@ mod tests {
         );
         assert!(out.is_completed(), "{out:?}");
         let r = dev.mem.copy_out_f32(y, n);
-        for i in 0..n as usize {
-            assert_eq!(r[i], 2.0 * i as f32 + (i as f32) * 0.5);
+        for (i, v) in r.iter().enumerate().take(n as usize) {
+            assert_eq!(*v, 2.0 * i as f32 + (i as f32) * 0.5);
         }
         let s = out.stats();
         assert_eq!(s.blocks, 4);

@@ -46,6 +46,19 @@ pub enum FaultSite {
     },
 }
 
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSite::HookTarget { site } => write!(f, "hook_target({site})"),
+            FaultSite::LoopIterator { loop_id } => write!(f, "loop_iterator({loop_id})"),
+            FaultSite::LoopDecision { loop_id } => write!(f, "loop_decision({loop_id})"),
+            FaultSite::RegisterLive { site, var } => {
+                write!(f, "register_live(site={site},var={var})")
+            }
+        }
+    }
+}
+
 /// A fault armed for delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArmedFault {
@@ -229,16 +242,14 @@ mod tests {
     use super::*;
     use hauberk_kir::Value;
 
-    fn ctx_with_target<'a>(
-        target: &'a mut Vec<Value>,
-        args: &'a [Vec<Value>],
-    ) -> HookCtx<'a> {
+    fn ctx_with_target<'a>(target: &'a mut Vec<Value>, args: &'a [Vec<Value>]) -> HookCtx<'a> {
         HookCtx {
             block_id: 0,
             warp_id: 0,
             active: 0b11,
             warp_width: 2,
             first_thread: 0,
+            cycles: 0,
             args,
             target: Some(target),
         }
@@ -287,6 +298,7 @@ mod tests {
             active: 1,
             warp_width: 1,
             first_thread: 0,
+            cycles: 0,
             args: &args,
             target: Some(&mut target),
         };
@@ -309,6 +321,7 @@ mod tests {
             active: 1,
             warp_width: 1,
             first_thread: 0,
+            cycles: 0,
             iteration: 0,
             iter_var: None,
             cond_mask: &mut cond,

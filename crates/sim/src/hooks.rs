@@ -27,6 +27,9 @@ pub struct HookCtx<'a> {
     pub warp_width: u32,
     /// Global linear thread id of lane 0 of this warp.
     pub first_thread: u32,
+    /// Accumulated work cycles of the launch at dispatch time — the
+    /// simulated-clock timestamp used for detection-latency telemetry.
+    pub cycles: u64,
     /// Evaluated hook arguments: `args[i][lane]`.
     pub args: &'a [Vec<Value>],
     /// Per-lane values of the hook's target variable, mutable so a fault
@@ -59,6 +62,8 @@ pub struct LoopCheckCtx<'a> {
     pub warp_width: u32,
     /// Global linear thread id of lane 0.
     pub first_thread: u32,
+    /// Accumulated work cycles of the launch at dispatch time.
+    pub cycles: u64,
     /// How many times this warp has evaluated this loop's condition in the
     /// current loop instance (0 on entry).
     pub iteration: u64,
@@ -134,6 +139,7 @@ mod tests {
             active: 0b1010,
             warp_width: 8,
             first_thread: 16,
+            cycles: 0,
             args: &args,
             target: None,
         };

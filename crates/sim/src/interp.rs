@@ -14,6 +14,7 @@ use crate::stats::{ExecStats, OpClass};
 use hauberk_kir::expr::{BinOp, BuiltinVar, Expr, MathFn, UnOp};
 use hauberk_kir::stmt::{Block, Hook, HookKind, Stmt};
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
+use hauberk_telemetry::{Event, Telemetry};
 
 /// Why execution stopped abnormally.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +112,10 @@ pub struct WarpExec<'a> {
     producer: Vec<Tag>,
     pipe: Pipe,
     loop_depth: u32,
+    /// Telemetry for hot hook-dispatch events (one branch when disabled).
+    tele: &'a Telemetry,
+    /// Launch id for event correlation (0 when telemetry is disabled).
+    launch_id: u64,
 }
 
 impl<'a> WarpExec<'a> {
@@ -127,6 +132,8 @@ impl<'a> WarpExec<'a> {
         budget: &'a mut u64,
         geom: WarpGeom,
         args: &[Value],
+        tele: &'a Telemetry,
+        launch_id: u64,
     ) -> Self {
         assert_eq!(args.len(), kernel.n_params, "kernel argument count");
         let width = cfg.warp_width as usize;
@@ -153,6 +160,8 @@ impl<'a> WarpExec<'a> {
             regs,
             pipe: Pipe::new(),
             loop_depth: 0,
+            tele,
+            launch_id,
         }
     }
 
@@ -195,8 +204,7 @@ impl<'a> WarpExec<'a> {
         self.pipe.next_tag += 1;
         self.stats.class_counts[class.idx()] += 1;
 
-        let dependent =
-            self.pipe.last_tag != 0 && dep_tags.iter().any(|t| *t == self.pipe.last_tag);
+        let dependent = self.pipe.last_tag != 0 && dep_tags.contains(&self.pipe.last_tag);
         // Memory ops and control ops occupy the issue path exclusively
         // (branch resolution blocks co-issue on the modeled architecture).
         let pairable = self.cfg.cost.dual_issue
@@ -205,7 +213,10 @@ impl<'a> WarpExec<'a> {
             && self.pipe.last_class.is_some()
             && self.pipe.last_class != Some(class)
             && !matches!(class, OpClass::Mem | OpClass::Ctl)
-            && !matches!(self.pipe.last_class, Some(OpClass::Mem) | Some(OpClass::Ctl));
+            && !matches!(
+                self.pipe.last_class,
+                Some(OpClass::Mem) | Some(OpClass::Ctl)
+            );
 
         let cost = if pairable {
             self.stats.paired_ops += 1;
@@ -241,10 +252,7 @@ impl<'a> WarpExec<'a> {
     fn eval(&mut self, e: &Expr, mask: u32) -> Result<(Vec<Value>, Tag), ExecErr> {
         match e {
             Expr::Lit(v) => Ok((vec![*v; self.width], 0)),
-            Expr::Var(v) => Ok((
-                self.regs[*v as usize].clone(),
-                self.producer[*v as usize],
-            )),
+            Expr::Var(v) => Ok((self.regs[*v as usize].clone(), self.producer[*v as usize])),
             Expr::Builtin(b) => {
                 let vals = self.builtin_lanes(*b);
                 Ok((vals, 0))
@@ -404,9 +412,7 @@ impl<'a> WarpExec<'a> {
     /// Charge a warp memory access with segment coalescing.
     fn charge_mem(&mut self, addrs: &[u32], mask: u32, deps: [Tag; 2]) -> Result<(), ExecErr> {
         let seg = self.cfg.cost.segment_bytes;
-        let mut segments: Vec<u32> = lanes(mask, self.width)
-            .map(|l| addrs[l] / seg)
-            .collect();
+        let mut segments: Vec<u32> = lanes(mask, self.width).map(|l| addrs[l] / seg).collect();
         segments.sort_unstable();
         segments.dedup();
         let nseg = segments.len().max(1) as u64;
@@ -547,14 +553,8 @@ impl<'a> WarpExec<'a> {
                 result?;
                 Ok(Flow::default())
             }
-            Stmt::Break => Ok(Flow {
-                brk: mask,
-                cont: 0,
-            }),
-            Stmt::Continue => Ok(Flow {
-                brk: 0,
-                cont: mask,
-            }),
+            Stmt::Break => Ok(Flow { brk: mask, cont: 0 }),
+            Stmt::Continue => Ok(Flow { brk: 0, cont: mask }),
             Stmt::SyncThreads => {
                 self.stats.syncs += 1;
                 self.add_cycles(self.cfg.cost.sync)?;
@@ -592,7 +592,13 @@ impl<'a> WarpExec<'a> {
             }
             // Scheduler-fault window: the runtime may corrupt the iterator
             // or the decision mask here.
-            self.loop_check_hook(for_parts.map(|(v, _)| v), loop_id, live, iteration, &mut cond_mask)?;
+            self.loop_check_hook(
+                for_parts.map(|(v, _)| v),
+                loop_id,
+                live,
+                iteration,
+                &mut cond_mask,
+            )?;
             live &= cond_mask;
             if live == 0 {
                 break;
@@ -624,6 +630,17 @@ impl<'a> WarpExec<'a> {
         let geom = self.geom;
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
+        let cycles = self.stats.work_cycles;
+        if self.tele.hot_enabled() {
+            self.tele.emit(&Event::HookDispatch {
+                launch_id: self.launch_id,
+                kind: "loop_check",
+                site: loop_id as u64,
+                block: geom.block_lin(),
+                warp: geom.warp_id,
+                cycles,
+            });
+        }
         {
             let iter_slot = iter_var.map(|v| &mut self.regs[v as usize]);
             let mut ctx = LoopCheckCtx {
@@ -632,6 +649,7 @@ impl<'a> WarpExec<'a> {
                 active,
                 warp_width,
                 first_thread,
+                cycles,
                 iteration,
                 iter_var: iter_slot,
                 cond_mask,
@@ -669,6 +687,17 @@ impl<'a> WarpExec<'a> {
         let geom = self.geom;
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
+        let cycles = self.stats.work_cycles;
+        if self.tele.hot_enabled() {
+            self.tele.emit(&Event::HookDispatch {
+                launch_id: self.launch_id,
+                kind: hook_kind_name(&h.kind),
+                site: h.site as u64,
+                block: geom.block_lin(),
+                warp: geom.warp_id,
+                cycles,
+            });
+        }
         let target_slot = h.target.map(|v| &mut self.regs[v as usize]);
         let mut ctx = HookCtx {
             block_id: geom.block_lin(),
@@ -676,6 +705,7 @@ impl<'a> WarpExec<'a> {
             active: mask,
             warp_width,
             first_thread,
+            cycles,
             args: &argvals,
             target: target_slot,
         };
@@ -698,6 +728,19 @@ impl<'a> WarpExec<'a> {
             self.producer[v as usize] = 0;
         }
         Ok(())
+    }
+}
+
+/// Stable event label for a hook kind.
+fn hook_kind_name(kind: &HookKind) -> &'static str {
+    match kind {
+        HookKind::CheckRange { .. } => "check_range",
+        HookKind::CheckEqual { .. } => "check_equal",
+        HookKind::ChecksumCheck => "checksum_check",
+        HookKind::NlMismatch => "nl_mismatch",
+        HookKind::FiPoint { .. } => "fi_point",
+        HookKind::Profile { .. } => "profile",
+        HookKind::CountExec => "count_exec",
     }
 }
 
@@ -821,26 +864,16 @@ pub fn bin_value(op: BinOp, a: Value, b: Value, strict: bool) -> Result<Value, T
             Add => Value::U32(x.wrapping_add(y)),
             Sub => Value::U32(x.wrapping_sub(y)),
             Mul => Value::U32(x.wrapping_mul(y)),
-            Div => {
-                if y == 0 {
-                    if strict {
-                        return Err(TrapReason::IntDivByZero);
-                    }
-                    Value::U32(0)
-                } else {
-                    Value::U32(x / y)
-                }
-            }
-            Rem => {
-                if y == 0 {
-                    if strict {
-                        return Err(TrapReason::IntDivByZero);
-                    }
-                    Value::U32(0)
-                } else {
-                    Value::U32(x % y)
-                }
-            }
+            Div => match x.checked_div(y) {
+                Some(v) => Value::U32(v),
+                None if strict => return Err(TrapReason::IntDivByZero),
+                None => Value::U32(0),
+            },
+            Rem => match x.checked_rem(y) {
+                Some(v) => Value::U32(v),
+                None if strict => return Err(TrapReason::IntDivByZero),
+                None => Value::U32(0),
+            },
             And => Value::U32(x & y),
             Or => Value::U32(x | y),
             Xor => Value::U32(x ^ y),

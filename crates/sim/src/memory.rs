@@ -13,6 +13,7 @@
 //!      returns the write requested value", §IX.B);
 //!   3. beyond the device address space — the access traps (kernel crash
 //!      detected by the runtime).
+//!
 //!   Misaligned accesses trap in both modes (CUDA's
 //!   `cudaErrorMisalignedAddress`).
 //! * **CPU (strict) mode** — any access at or beyond the allocation bump
@@ -92,7 +93,7 @@ impl MemRegion {
 
     /// Resolve an address per the protection mode.
     fn resolve(&self, addr: u32) -> Result<Slot, TrapReason> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(TrapReason::Misaligned {
                 space: self.space,
                 addr,

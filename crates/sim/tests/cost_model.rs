@@ -230,7 +230,12 @@ fn logical_ops_and_divergent_lane_loops() {
     .unwrap();
     let mut dev = Device::small_gpu();
     let out = dev.alloc(PrimTy::I32, 32);
-    let r = dev.launch(&k, &[Value::Ptr(out)], &Launch::grid1d(1, 32), &mut NullRuntime);
+    let r = dev.launch(
+        &k,
+        &[Value::Ptr(out)],
+        &Launch::grid1d(1, 32),
+        &mut NullRuntime,
+    );
     assert!(r.is_completed());
     assert_eq!(dev.mem.copy_out_i32(out, 32), vec![1; 32]);
 }

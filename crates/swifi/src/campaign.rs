@@ -3,13 +3,18 @@
 use crate::classify::{classify, FiOutcome, InjectionResult};
 use crate::plan::{plan_campaign, InjectionPlan, PlanConfig};
 use hauberk::builds::{build, BuildVariant, FtOptions, Instrumented};
-use hauberk::control::ControlBlock;
-use hauberk::program::{golden_run, run_program, HostProgram};
+use hauberk::control::{ControlBlock, NON_LOOP_DETECTOR};
+use hauberk::program::{golden_run, run_program, run_program_traced, HostProgram};
 use hauberk::ranges::{profile_ranges, RangeSet};
 use hauberk::runtime::{FiFtRuntime, FiRuntime, ProfilerRuntime};
+use hauberk_telemetry::metrics::{MetricsSnapshot, Registry};
+use hauberk_telemetry::progress::Progress;
+use hauberk_telemetry::{Event, JsonlSink, Telemetry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -29,6 +34,13 @@ pub struct CampaignConfig {
     /// (the coverage study trains and tests on the same dataset, like the
     /// paper's Fig. 14; the false-positive study varies this).
     pub training_datasets: Vec<u64>,
+    /// Print a progress line to stderr every this many completed injections
+    /// (0 = silent).
+    pub progress_every: u64,
+    /// Write a JSONL event trace of the injection runs here (campaign
+    /// start/finish, one `injection_run` per experiment, kernel spans,
+    /// fault deliveries, detector alarms).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -40,6 +52,8 @@ impl Default for CampaignConfig {
             dataset: 0,
             alpha: 1.0,
             training_datasets: vec![],
+            progress_every: 0,
+            trace_path: None,
         }
     }
 }
@@ -55,6 +69,9 @@ pub struct CampaignResult {
     pub golden_cycles: u64,
     /// Number of loop detectors placed (coverage campaigns only).
     pub detectors: usize,
+    /// Derived metrics: per-outcome counters, per-detector firing counts,
+    /// and the detection-latency-in-cycles histogram.
+    pub metrics: MetricsSnapshot,
 }
 
 impl CampaignResult {
@@ -92,9 +109,9 @@ pub fn profile_program(
             prog.name(),
             run.outcome
         );
-        for d in 0..n_det {
+        for (d, m) in merged.iter_mut().enumerate().take(n_det) {
             let rs = profile_ranges(pr.samples(d as u32));
-            merged[d].merge(&rs);
+            m.merge(&rs);
         }
         last_pr = pr;
     }
@@ -104,10 +121,7 @@ pub fn profile_program(
 /// Fig. 1-style error-sensitivity campaign: faults injected into the
 /// **baseline** program (FI build, no detectors). Alarms never fire, so
 /// outcomes are failure / masked / undetected ("SDC").
-pub fn run_sensitivity_campaign(
-    prog: &dyn HostProgram,
-    cfg: &CampaignConfig,
-) -> CampaignResult {
+pub fn run_sensitivity_campaign(prog: &dyn HostProgram, cfg: &CampaignConfig) -> CampaignResult {
     let base = prog.build_kernel();
     let (golden, golden_cycles) = golden_run(prog, cfg.dataset);
     let profiler_build =
@@ -120,12 +134,31 @@ pub fn run_sensitivity_campaign(
     let budget = watchdog_budget(golden_cycles, cfg.watchdog_factor);
     let spec = prog.spec();
 
-    let results: Vec<InjectionResult> = plans
+    let tele = campaign_telemetry(cfg);
+    let registry = Registry::new();
+    let progress = Progress::new(prog.name(), plans.len() as u64, cfg.progress_every);
+    tele.emit_with(|| Event::CampaignStarted {
+        program: prog.name().to_string(),
+        runs: plans.len() as u64,
+    });
+
+    let indexed: Vec<(usize, &InjectionPlan)> = plans.iter().enumerate().collect();
+    let results: Vec<InjectionResult> = indexed
         .par_iter()
-        .map(|p: &InjectionPlan| {
-            let mut rt = FiRuntime::new(Some(p.fault));
-            let run = run_program(prog, &fi_build.kernel, cfg.dataset, &mut rt, budget);
+        .map(|&(i, p)| {
+            let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
+            let run =
+                run_program_traced(prog, &fi_build.kernel, cfg.dataset, &mut rt, budget, &tele);
             let outcome = classify(&run.outcome, run.output(), &golden, &spec, false);
+            record_injection(
+                &tele,
+                &registry,
+                &progress,
+                i,
+                outcome,
+                rt.arm.delivered(),
+                None,
+            );
             InjectionResult {
                 class: p.class,
                 hw: p.hw,
@@ -136,11 +169,13 @@ pub fn run_sensitivity_campaign(
         })
         .collect();
 
+    finish_campaign(&tele, prog.name(), results.len());
     CampaignResult {
         program: prog.name(),
         results,
         golden_cycles,
         detectors: 0,
+        metrics: registry.snapshot(),
     }
 }
 
@@ -177,15 +212,42 @@ pub fn run_coverage_campaign(
     let plans = plan_campaign(&fift.fi, &pr, &cfg.plan, &mut rng);
     let budget = watchdog_budget(golden_cycles, cfg.watchdog_factor);
     let spec = prog.spec();
+    let det_vars: Vec<String> = fift.detectors.iter().map(|d| d.var_name.clone()).collect();
 
-    let results: Vec<InjectionResult> = plans
+    let tele = campaign_telemetry(cfg);
+    let registry = Registry::new();
+    let progress = Progress::new(prog.name(), plans.len() as u64, cfg.progress_every);
+    tele.emit_with(|| Event::CampaignStarted {
+        program: prog.name().to_string(),
+        runs: plans.len() as u64,
+    });
+
+    let indexed: Vec<(usize, &InjectionPlan)> = plans.iter().enumerate().collect();
+    let results: Vec<InjectionResult> = indexed
         .par_iter()
-        .map(|p: &InjectionPlan| {
-            let cb = ControlBlock::with_ranges(ranges.clone());
-            let mut rt = FiFtRuntime::new(Some(p.fault), cb);
-            let run = run_program(prog, &fift.kernel, cfg.dataset, &mut rt, budget);
+        .map(|&(i, p)| {
+            let cb = ControlBlock::with_ranges(ranges.clone()).with_detector_vars(det_vars.clone());
+            let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
+            let run = run_program_traced(prog, &fift.kernel, cfg.dataset, &mut rt, budget, &tele);
             let alarm = rt.cb.sdc_flag;
             let outcome = classify(&run.outcome, run.output(), &golden, &spec, alarm);
+            for a in &rt.cb.alarms {
+                let det = if a.detector == NON_LOOP_DETECTOR {
+                    "nl".to_string()
+                } else {
+                    a.detector.to_string()
+                };
+                registry.incr(&format!("detector_fired.{det}"), 1);
+            }
+            record_injection(
+                &tele,
+                &registry,
+                &progress,
+                i,
+                outcome,
+                rt.arm.delivered(),
+                rt.detection_latency(),
+            );
             InjectionResult {
                 class: p.class,
                 hw: p.hw,
@@ -196,12 +258,70 @@ pub fn run_coverage_campaign(
         })
         .collect();
 
+    finish_campaign(&tele, prog.name(), results.len());
     CampaignResult {
         program: prog.name(),
         results,
         golden_cycles,
         detectors: fift.detectors.len(),
+        metrics: registry.snapshot(),
     }
+}
+
+/// Telemetry for a campaign: a JSONL file sink when the config names a trace
+/// path, disabled otherwise. Trace-file open failures degrade to disabled
+/// telemetry with a warning rather than aborting the campaign.
+fn campaign_telemetry(cfg: &CampaignConfig) -> Telemetry {
+    match &cfg.trace_path {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Telemetry::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("warning: cannot open trace file {}: {e}", path.display());
+                Telemetry::disabled()
+            }
+        },
+        None => Telemetry::disabled(),
+    }
+}
+
+/// Per-injection bookkeeping shared by both campaign kinds: the
+/// `injection_run` trace event, the outcome/delivery counters, the
+/// detection-latency histogram, and the progress tick.
+#[allow(clippy::too_many_arguments)]
+fn record_injection(
+    tele: &Telemetry,
+    registry: &Registry,
+    progress: &Progress,
+    index: usize,
+    outcome: FiOutcome,
+    delivered: bool,
+    latency: Option<u64>,
+) {
+    let label = outcome.to_string();
+    tele.emit_with(|| Event::InjectionRun {
+        index: index as u64,
+        outcome: label.clone(),
+        delivered,
+        latency,
+    });
+    registry.incr("runs", 1);
+    if delivered {
+        registry.incr("delivered", 1);
+    }
+    registry.incr(&format!("outcome.{label}"), 1);
+    if let Some(cycles) = latency {
+        registry.observe("detection_latency_cycles", cycles);
+    }
+    progress.tick(&label);
+}
+
+/// Emit the campaign-finished event and flush the trace.
+fn finish_campaign(tele: &Telemetry, program: &str, runs: usize) {
+    tele.emit_with(|| Event::CampaignFinished {
+        program: program.to_string(),
+        runs: runs as u64,
+    });
+    tele.flush();
 }
 
 /// The hang budget the guardian enforces (§VI: T× the previous execution

@@ -152,7 +152,8 @@ pub fn run_cpu_study(
     let mut out = CpuStudyResult::default();
 
     // --- Stack: FI hooks into locals (single-bit). -------------------------
-    let profiler_build = build(&base, BuildVariant::Profiler(FtOptions::default())).expect("profiler build");
+    let profiler_build =
+        build(&base, BuildVariant::Profiler(FtOptions::default())).expect("profiler build");
     let mut pr = ProfilerRuntime::default();
     let prun = run_program(prog, &profiler_build.kernel, 0, &mut pr, u64::MAX);
     assert!(prun.outcome.is_completed());
@@ -191,13 +192,8 @@ pub fn run_cpu_study(
         let output = outcome
             .is_completed()
             .then(|| prog.read_output(&dev, &args));
-        out.data.add(classify(
-            &outcome,
-            output.as_deref(),
-            &golden,
-            &spec,
-            false,
-        ));
+        out.data
+            .add(classify(&outcome, output.as_deref(), &golden, &spec, false));
     }
 
     // --- Code: operator mutations. ------------------------------------------
@@ -225,13 +221,8 @@ pub fn run_cpu_study(
         let output = outcome
             .is_completed()
             .then(|| prog.read_output(&dev, &args));
-        out.code.add(classify(
-            &outcome,
-            output.as_deref(),
-            &golden,
-            &spec,
-            false,
-        ));
+        out.code
+            .add(classify(&outcome, output.as_deref(), &golden, &spec, false));
     }
     out
 }
@@ -262,8 +253,7 @@ mod tests {
     fn cpu_study_shows_protection_driven_crashes() {
         let prog = CpuProgram::new(CpuKind::Sort, ProblemScale::Quick);
         let r = run_cpu_study(&prog, 40, 3);
-        let total_failure =
-            r.stack.failure + r.data.failure + r.code.failure;
+        let total_failure = r.stack.failure + r.data.failure + r.code.failure;
         assert!(
             total_failure > 0,
             "strict memory/page protection converts faults into crashes"

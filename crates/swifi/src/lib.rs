@@ -38,6 +38,8 @@ pub mod report;
 pub mod stats;
 pub mod value_impact;
 
-pub use campaign::{run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignResult,
+};
 pub use classify::{FiOutcome, InjectionResult};
 pub use stats::OutcomeCounts;

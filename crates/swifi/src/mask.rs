@@ -10,7 +10,7 @@ pub fn random_mask(rng: &mut impl Rng, bits: u32) -> u32 {
     assert!((1..=32).contains(&bits), "bits must be in 1..=32");
     let mut mask = 0u32;
     while mask.count_ones() < bits {
-        mask |= 1 << rng.gen_range(0..32);
+        mask |= 1u32 << rng.gen_range(0..32u32);
     }
     mask
 }

@@ -213,13 +213,15 @@ mod tests {
         // same numbering (same pass, same traversal).
         let mut rng = SmallRng::seed_from_u64(7);
         let plans = plan_campaign(&fi.fi, &pr, &cfg, &mut rng);
-        assert!(plans.len() >= 80, "8 vars x 10 masks + scheduler: {}", plans.len());
+        assert!(
+            plans.len() >= 80,
+            "8 vars x 10 masks + scheduler: {}",
+            plans.len()
+        );
         assert!(plans.iter().any(|p| p.hw == HwComponent::Scheduler));
         assert!(plans.iter().any(|p| p.hw == HwComponent::RegisterFile));
         assert!(plans.iter().any(|p| p.bits == 3));
-        assert!(plans
-            .iter()
-            .all(|p| p.fault.occurrence >= 1));
+        assert!(plans.iter().all(|p| p.fault.occurrence >= 1));
         // Determinism.
         let mut rng2 = SmallRng::seed_from_u64(7);
         let plans2 = plan_campaign(&fi.fi, &pr, &cfg, &mut rng2);

@@ -6,6 +6,7 @@
 use crate::campaign::CampaignResult;
 use crate::classify::FiOutcome;
 use crate::stats::{aggregate, by_bits, by_class};
+use hauberk_telemetry::json::Json;
 use std::fmt::Write as _;
 
 /// CSV header for [`to_csv`].
@@ -78,6 +79,19 @@ pub fn summarize(r: &CampaignResult) -> String {
         agg.ratio(FiOutcome::Undetected) * 100.0,
     );
     let _ = writeln!(out, "  detection coverage: {:.1}%", agg.coverage() * 100.0);
+    if let Some(h) = r.metrics.histogram("detection_latency_cycles") {
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "  detection latency (cycles): n={} mean {:.0} p50 {} p99 {} max {}",
+                h.count,
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                h.max
+            );
+        }
+    }
     for (class, counts) in by_class(&r.results) {
         let _ = writeln!(
             out,
@@ -96,6 +110,31 @@ pub fn summarize(r: &CampaignResult) -> String {
         );
     }
     out
+}
+
+/// Machine-readable campaign summary (mirrors [`summarize`]): outcome
+/// ratios, coverage, and the derived metrics snapshot.
+pub fn summary_json(r: &CampaignResult) -> Json {
+    let agg = aggregate(&r.results);
+    let outcomes = [
+        FiOutcome::Failure,
+        FiOutcome::Masked,
+        FiOutcome::DetectedMasked,
+        FiOutcome::Detected,
+        FiOutcome::Undetected,
+    ]
+    .iter()
+    .map(|&o| (o.to_string(), Json::Num(agg.ratio(o))))
+    .collect();
+    Json::obj([
+        ("program", Json::str(r.program)),
+        ("experiments", Json::uint(agg.total() as u64)),
+        ("golden_cycles", Json::uint(r.golden_cycles)),
+        ("detectors", Json::uint(r.detectors as u64)),
+        ("outcome_ratios", Json::Obj(outcomes)),
+        ("coverage", Json::Num(agg.coverage())),
+        ("metrics", r.metrics.to_json()),
+    ])
 }
 
 #[cfg(test)]
@@ -133,6 +172,7 @@ mod tests {
             ],
             golden_cycles: 1234,
             detectors: 2,
+            metrics: Default::default(),
         }
     }
 

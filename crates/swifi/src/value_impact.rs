@@ -65,12 +65,7 @@ pub fn change_factor(old: f32, new: f32) -> f64 {
 }
 
 /// Simulate one Fig. 15 cell with `samples` random values.
-pub fn impact_cell(
-    rng: &mut impl Rng,
-    origin_idx: usize,
-    bits: u32,
-    samples: u64,
-) -> ImpactRow {
+pub fn impact_cell(rng: &mut impl Rng, origin_idx: usize, bits: u32, samples: u64) -> ImpactRow {
     let (lo, hi, label) = ORIGIN_RANGES[origin_idx];
     let (llo, lhi) = (lo.ln(), hi.ln());
     let mut counts = [0u64; 9];
@@ -156,12 +151,7 @@ mod tests {
 
     #[test]
     fn shares_sum_to_one() {
-        let row = impact_cell(
-            &mut rand::rngs::SmallRng::seed_from_u64(1),
-            2,
-            3,
-            5_000,
-        );
+        let row = impact_cell(&mut rand::rngs::SmallRng::seed_from_u64(1), 2, 3, 5_000);
         let sum: f64 = row.shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }

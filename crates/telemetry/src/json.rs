@@ -1,0 +1,460 @@
+//! A small self-contained JSON value type with a writer and a
+//! recursive-descent parser. The workspace is fully offline (no serde), and
+//! telemetry needs both directions: sinks serialize events to JSONL, and the
+//! trace-replay tooling/tests parse them back.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document. Numbers keep an integer/float split so that event
+/// counters and cycle counts round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (no fraction/exponent in the source).
+    Int(i64),
+    /// Floating-point number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; key order is sorted (BTreeMap) for stable output.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String convenience.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Unsigned counter convenience (saturates at `i64::MAX`).
+    pub fn uint(v: u64) -> Json {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload (accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::Num(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned payload.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// Numeric payload as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; encode as null like serde_json.
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        b: input.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while let Some(c) = self.b.get(self.i) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Obj(map));
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.b.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.b.get(self.i) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let chunk = self
+                        .b
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        self.eat(b'-');
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if self.b.get(self.i).is_some_and(|c| *c == b'e' || *c == b'E') {
+            is_float = true;
+            self.i += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Json::Int(v)),
+                // Out-of-range integers degrade to float.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| self.err("bad number")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let v = Json::obj([
+            ("name", Json::str("spin \"quoted\"\n")),
+            ("count", Json::Int(42)),
+            ("neg", Json::Int(-7)),
+            ("pi", Json::Num(3.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = parse(" { \"a\" : [ 1 , { \"b\" : 2.5 } ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_i64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1]
+                .get("b")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Json::str("warp μ → λ");
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        assert_eq!(parse("\"\\u00b5 ok\"").unwrap().as_str(), Some("\u{b5} ok"));
+    }
+
+    #[test]
+    fn big_u64_counters() {
+        let v = Json::uint(u64::MAX);
+        assert_eq!(v, Json::Int(i64::MAX));
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_i64(), Some(i64::MAX));
+    }
+}

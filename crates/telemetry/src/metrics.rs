@@ -1,0 +1,328 @@
+//! Metrics registry: named monotonic counters and log2-bucketed histograms.
+//!
+//! Campaigns use this to derive detection-latency-in-cycles and per-detector
+//! firing-rate distributions from the event stream. The registry is
+//! `Sync` (one mutex, coarse) — hot paths should batch into a local
+//! [`Histogram`]/count and merge, which is what the campaign driver does.
+
+use crate::json::Json;
+use crate::report::Table;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k` (k ≥ 1)
+/// holds values with `floor(log2(v)) == k - 1`, i.e. `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest observed sample.
+    pub min: u64,
+    /// Largest observed sample.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for the value 0, otherwise
+/// `floor(log2(v)) + 1`.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of bucket `i` ( inclusive ).
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile (bucket lower bound of the q-th sample),
+    /// `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(bucket_lo(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// JSON form (non-empty buckets only, keyed by lower bound).
+    pub fn to_json(&self) -> Json {
+        let mut buckets = BTreeMap::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                buckets.insert(bucket_lo(i).to_string(), Json::uint(*b));
+            }
+        }
+        Json::obj([
+            ("count", Json::uint(self.count)),
+            ("sum", Json::uint(self.sum)),
+            (
+                "min",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    Json::uint(self.min)
+                },
+            ),
+            (
+                "max",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    Json::uint(self.max)
+                },
+            ),
+            ("buckets", Json::Obj(buckets)),
+        ])
+    }
+}
+
+/// A point-in-time copy of the registry contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → histogram.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Render as report tables: one for counters, one row per histogram.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut out = Vec::new();
+        if !self.counters.is_empty() {
+            let mut t = Table::new("counters", &["counter", "value"]);
+            for (k, v) in &self.counters {
+                t.row(vec![k.clone(), v.to_string()]);
+            }
+            out.push(t);
+        }
+        if !self.histograms.is_empty() {
+            let mut t = Table::new(
+                "histograms",
+                &["histogram", "count", "mean", "p50", "p99", "max"],
+            );
+            for (k, h) in &self.histograms {
+                t.row(vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    h.mean().map_or("-".into(), |m| format!("{m:.1}")),
+                    h.quantile(0.5).map_or("-".into(), |v| v.to_string()),
+                    h.quantile(0.99).map_or("-".into(), |v| v.to_string()),
+                    if h.count == 0 {
+                        "-".into()
+                    } else {
+                        h.max.to_string()
+                    },
+                ]);
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::uint(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        Json::obj([
+            ("counters", Json::Obj(counters)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Thread-safe registry of counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `by` to counter `name`.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Merge a pre-aggregated histogram into histogram `name`.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        let mut g = self.inner.lock().unwrap();
+        g.histograms.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Copy out the current contents.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lo(i);
+            assert_eq!(bucket_of(lo), i, "lower bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn observe_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2,3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[10], 1); // 1000 in [512,1024)
+        assert!((h.mean().unwrap() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_move_with_mass() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(8);
+        }
+        h.observe(1 << 20);
+        assert_eq!(h.quantile(0.5), Some(8));
+        assert_eq!(h.quantile(1.0), Some(1 << 20));
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_equals_combined_observe() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut c = Histogram::default();
+        for v in [1u64, 5, 9] {
+            a.observe(v);
+            c.observe(v);
+        }
+        for v in [0u64, 1 << 30] {
+            b.observe(v);
+            c.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let r = Registry::new();
+        r.incr("runs", 2);
+        r.incr("runs", 3);
+        r.observe("latency", 100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("runs"), 5);
+        assert_eq!(s.histogram("latency").unwrap().count, 1);
+        let j = s.to_json();
+        assert_eq!(
+            j.get("counters").unwrap().get("runs").unwrap().as_u64(),
+            Some(5)
+        );
+    }
+}

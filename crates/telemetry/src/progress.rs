@@ -1,0 +1,96 @@
+//! Rayon-safe campaign progress: per-run outcome ticks aggregated across
+//! worker threads with periodic lines on stderr.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared progress meter. `tick` is called once per completed unit of work
+/// from any thread; every `every` completions one line is printed to stderr.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    every: u64,
+    done: AtomicU64,
+    outcomes: Mutex<BTreeMap<String, u64>>,
+    start: Instant,
+}
+
+impl Progress {
+    /// New meter over `total` units, reporting every `every` completions
+    /// (`every = 0` disables printing but still aggregates).
+    pub fn new(label: impl Into<String>, total: u64, every: u64) -> Self {
+        Progress {
+            label: label.into(),
+            total,
+            every,
+            done: AtomicU64::new(0),
+            outcomes: Mutex::new(BTreeMap::new()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Record one completed unit with its outcome label.
+    pub fn tick(&self, outcome: &str) {
+        {
+            let mut g = self.outcomes.lock().unwrap();
+            *g.entry(outcome.to_string()).or_insert(0) += 1;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.every > 0 && (done.is_multiple_of(self.every) || done == self.total) {
+            self.print_line(done);
+        }
+    }
+
+    /// Completed units so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Outcome label → count, aggregated across threads.
+    pub fn outcome_counts(&self) -> BTreeMap<String, u64> {
+        self.outcomes.lock().unwrap().clone()
+    }
+
+    fn print_line(&self, done: u64) {
+        let pct = if self.total > 0 {
+            done as f64 * 100.0 / self.total as f64
+        } else {
+            0.0
+        };
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let counts = self.outcome_counts();
+        let mut tail = String::new();
+        for (k, v) in &counts {
+            tail.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!(
+            "[{}] {done}/{} ({pct:.0}%) {elapsed:.1}s {rate:.1}/s{tail}",
+            self.label, self.total
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_ticks() {
+        let p = Progress::new("test", 10, 0);
+        for i in 0..10 {
+            p.tick(if i % 2 == 0 { "even" } else { "odd" });
+        }
+        assert_eq!(p.done(), 10);
+        let counts = p.outcome_counts();
+        assert_eq!(counts["even"], 5);
+        assert_eq!(counts["odd"], 5);
+    }
+}

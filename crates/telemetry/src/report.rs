@@ -1,0 +1,279 @@
+//! The single formatting path for human- and machine-readable reports.
+//!
+//! Everything the CLI tools print goes through here: plain-text helpers
+//! ([`bar`], [`table`], [`pct`] — moved from `hauberk-bench`), the structured
+//! [`Table`] type, and an [`Emitter`] that renders either aligned text or one
+//! JSON document depending on a `--json` flag.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Render a percentage as a fixed-width bar plus number.
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width + 8);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s.push_str(&format!(" {pct:5.1}%"));
+    s
+}
+
+/// Render a simple aligned table: `header` then `rows`; column widths are
+/// derived from content.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:<width$}", width = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    emit(
+        &mut out,
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        emit(&mut out, r);
+    }
+    out
+}
+
+/// Format a ratio as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// A titled table that can render as text or JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// Title (used as the JSON key / text heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Aligned-text rendering (title, then the classic table).
+    pub fn to_text(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
+        let body = table(&headers, &self.rows);
+        if self.title.is_empty() {
+            body
+        } else {
+            format!("== {} ==\n{body}", self.title)
+        }
+    }
+
+    /// JSON rendering: an array of objects keyed by header.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut obj = BTreeMap::new();
+                for (h, c) in self.headers.iter().zip(r.iter()) {
+                    obj.insert(h.clone(), cell_json(c));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        Json::Arr(rows)
+    }
+}
+
+/// Numeric-looking cells become JSON numbers, everything else strings.
+fn cell_json(cell: &str) -> Json {
+    if let Ok(v) = cell.parse::<i64>() {
+        return Json::Int(v);
+    }
+    if let Ok(v) = cell.parse::<f64>() {
+        if v.is_finite() {
+            return Json::Num(v);
+        }
+    }
+    Json::str(cell)
+}
+
+/// Collects report sections and renders them either as streamed text or as
+/// one JSON document printed at the end — the machine-readable `--json` path.
+#[derive(Debug)]
+pub struct Emitter {
+    json: bool,
+    doc: BTreeMap<String, Json>,
+}
+
+impl Emitter {
+    /// `json = true` buffers a single JSON object; `false` prints text
+    /// sections immediately.
+    pub fn new(json: bool) -> Self {
+        Emitter {
+            json,
+            doc: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this emitter is in JSON mode.
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Free-form text (suppressed in JSON mode).
+    pub fn text(&mut self, s: impl AsRef<str>) {
+        if !self.json {
+            println!("{}", s.as_ref());
+        }
+    }
+
+    /// A titled table section.
+    pub fn table(&mut self, t: &Table) {
+        if self.json {
+            self.doc.insert(section_key(&t.title), t.to_json());
+        } else {
+            println!("{}", t.to_text());
+        }
+    }
+
+    /// A scalar key/value datum (printed as `key: value` in text mode).
+    pub fn kv(&mut self, key: &str, value: Json) {
+        if self.json {
+            self.doc.insert(section_key(key), value);
+        } else {
+            println!("{key}: {value}");
+        }
+    }
+
+    /// A pre-rendered text section; in JSON mode it is stored verbatim under
+    /// its title so nothing is lost from the machine-readable output.
+    pub fn section(&mut self, title: &str, body: &str) {
+        if self.json {
+            self.doc.insert(section_key(title), Json::str(body));
+        } else {
+            println!("== {title} ==");
+            println!("{body}");
+        }
+    }
+
+    /// Raw JSON section under an explicit key.
+    pub fn json_section(&mut self, key: &str, value: Json) {
+        if self.json {
+            self.doc.insert(section_key(key), value);
+        }
+    }
+
+    /// Flush: in JSON mode prints the single accumulated document.
+    pub fn finish(self) {
+        if self.json {
+            println!("{}", Json::Obj(self.doc));
+        }
+    }
+}
+
+fn section_key(title: &str) -> String {
+    let mut key: String = title
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    while key.contains("__") {
+        key = key.replace("__", "_");
+    }
+    key.trim_matches('_').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn bar_is_proportional() {
+        assert!(bar(0.0, 10).starts_with(".........."));
+        assert!(bar(50.0, 10).starts_with("#####....."));
+        assert!(bar(100.0, 10).starts_with("##########"));
+        assert!(bar(150.0, 10).starts_with("##########"), "clamped");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3");
+    }
+
+    #[test]
+    fn structured_table_renders_both_ways() {
+        let mut t = Table::new("outcomes", &["outcome", "count", "ratio"]);
+        t.row(vec!["masked".into(), "12".into(), "0.75".into()]);
+        t.row(vec!["detected".into(), "4".into(), "0.25".into()]);
+        let text = t.to_text();
+        assert!(text.starts_with("== outcomes =="));
+        assert!(text.contains("masked"));
+        let j = t.to_json();
+        let rows = j.as_arr().unwrap();
+        assert_eq!(rows[0].get("count").unwrap().as_i64(), Some(12));
+        assert_eq!(rows[1].get("ratio").unwrap().as_f64(), Some(0.25));
+        // And the JSON text parses back.
+        assert_eq!(parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn section_keys_are_stable() {
+        assert_eq!(section_key("Fig 13 — overhead (%)"), "fig_13_overhead");
+        assert_eq!(section_key("outcomes"), "outcomes");
+    }
+}

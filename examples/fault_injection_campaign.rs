@@ -37,7 +37,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("=== {} — baseline error sensitivity (no detectors) ===", prog.name());
+    println!(
+        "=== {} — baseline error sensitivity (no detectors) ===",
+        prog.name()
+    );
     let base = run_sensitivity_campaign(prog.as_ref(), &cfg);
     let agg = aggregate(&base.results);
     println!(
@@ -48,7 +51,10 @@ fn main() {
         agg.ratio(FiOutcome::Masked) * 100.0,
     );
 
-    println!("\n=== {} — with Hauberk detectors (FI&FT build) ===", prog.name());
+    println!(
+        "\n=== {} — with Hauberk detectors (FI&FT build) ===",
+        prog.name()
+    );
     let cov = run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg);
     println!("loop detectors placed: {}", cov.detectors);
     for (bits, counts) in by_bits(&cov.results) {

@@ -12,7 +12,9 @@ use hauberk::program::{golden_run, run_program, HostProgram};
 use hauberk::ranges::{profile_ranges, RangeSet};
 use hauberk::runtime::ProfilerRuntime;
 use hauberk_benchmarks::{cp::Cp, ProblemScale};
-use hauberk_guardian::{Cluster, FaultRegime, Guardian, GuardianConfig, ManagedGpu, RecoveryOutcome};
+use hauberk_guardian::{
+    Cluster, FaultRegime, Guardian, GuardianConfig, ManagedGpu, RecoveryOutcome,
+};
 use hauberk_sim::fault::{ArmedFault, FaultSite};
 
 fn trained_ranges(prog: &Cp) -> (hauberk_kir::KernelDef, Vec<RangeSet>, ArmedFault) {

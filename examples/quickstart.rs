@@ -105,10 +105,7 @@ fn main() {
 
     println!("\n=== fault injected into thread 5's accumulator ===");
     println!("fault delivered: {}", rt.arm.delivered());
-    println!(
-        "out[5]: golden {} vs corrupted {}",
-        golden[5], corrupted[5]
-    );
+    println!("out[5]: golden {} vs corrupted {}", golden[5], corrupted[5]);
     println!("SDC alarm raised: {}", rt.cb.sdc_flag);
     for a in &rt.cb.alarms {
         println!("  alarm: {:?} (observed {:.3e})", a.kind, a.observed);

@@ -75,8 +75,7 @@ fn detectors_catch_a_blatant_accumulator_corruption_everywhere() {
             .fi
             .sites
             .iter()
-            .filter(|s| s.var == det.var && s.in_loop)
-            .next_back()
+            .rfind(|s| s.var == det.var && s.in_loop)
             .or_else(|| fift.fi.sites.iter().find(|s| s.var == det.var))
             .unwrap_or_else(|| panic!("{}: no FI site for protected var", prog.name()));
         // XOR can push a value's exponent either way (a downward-zeroing
@@ -149,6 +148,67 @@ fn rscatter_detects_what_it_duplicates() {
         rt.cb.sdc_flag,
         "R-Scatter's duplicated chain flags the corrupted original"
     );
+}
+
+#[test]
+fn campaign_trace_matches_campaign_result() {
+    // A SWIFI campaign with a JSONL sink must produce a parseable trace
+    // whose per-outcome injection_run counts equal the CampaignResult's.
+    use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+    use hauberk_swifi::plan::PlanConfig;
+    use hauberk_telemetry::read_jsonl;
+    use std::collections::BTreeMap;
+
+    let trace =
+        std::env::temp_dir().join(format!("hauberk-e2e-trace-{}.jsonl", std::process::id()));
+    let prog = hauberk_benchmarks::cp::Cp::new(ProblemScale::Quick);
+    let cfg = CampaignConfig {
+        plan: PlanConfig {
+            vars_per_program: 3,
+            masks_per_var: 3,
+            ..Default::default()
+        },
+        trace_path: Some(trace.clone()),
+        ..Default::default()
+    };
+    let result = run_coverage_campaign(&prog, FtOptions::default(), &cfg);
+    let events = read_jsonl(&trace).expect("trace parses as JSONL");
+    let _ = std::fs::remove_file(&trace);
+
+    let kind_count = |k: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ev").and_then(|v| v.as_str()) == Some(k))
+            .count()
+    };
+    assert_eq!(kind_count("campaign_started"), 1);
+    assert_eq!(kind_count("campaign_finished"), 1);
+    assert_eq!(kind_count("injection_run"), result.results.len());
+
+    // Per-outcome event counts equal the result's outcome tally.
+    let mut traced: BTreeMap<String, usize> = BTreeMap::new();
+    for e in &events {
+        if e.get("ev").and_then(|v| v.as_str()) == Some("injection_run") {
+            let o = e.get("outcome").and_then(|v| v.as_str()).unwrap();
+            *traced.entry(o.to_string()).or_default() += 1;
+        }
+    }
+    let mut tallied: BTreeMap<String, usize> = BTreeMap::new();
+    for r in &result.results {
+        *tallied.entry(r.outcome.to_string()).or_default() += 1;
+    }
+    assert_eq!(traced, tallied);
+
+    // The derived metrics agree with the trace too.
+    assert_eq!(result.metrics.counter("runs"), result.results.len() as u64);
+    let delivered = events
+        .iter()
+        .filter(|e| {
+            e.get("ev").and_then(|v| v.as_str()) == Some("injection_run")
+                && e.get("delivered").and_then(|v| v.as_bool()) == Some(true)
+        })
+        .count() as u64;
+    assert_eq!(result.metrics.counter("delivered"), delivered);
 }
 
 #[test]

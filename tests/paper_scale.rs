@@ -63,13 +63,7 @@ mod hauberk_bench_shim {
             .iter()
             .map(|prog| {
                 let prog = prog.as_ref();
-                let base = run_program(
-                    prog,
-                    &prog.build_kernel(),
-                    0,
-                    &mut NullRuntime,
-                    u64::MAX,
-                );
+                let base = run_program(prog, &prog.build_kernel(), 0, &mut NullRuntime, u64::MAX);
                 let base_cycles = base.outcome.completed_stats().unwrap().kernel_cycles;
                 let profiler = build(
                     &prog.build_kernel(),

@@ -64,7 +64,7 @@ fn materialize(g: &GenKernel) -> KernelDef {
         .map(|i| b.let_(format!("f{i}"), Ty::F32, Expr::f32(0.5 + i as f32)))
         .collect();
     let iv: Vec<VarId> = (0..4)
-        .map(|i| b.let_(format!("i{i}"), Ty::I32, Expr::i32(i as i32 + 1)))
+        .map(|i| b.let_(format!("i{i}"), Ty::I32, Expr::i32(i + 1)))
         .collect();
 
     let it = b.local("it", Ty::I32);
@@ -74,10 +74,7 @@ fn materialize(g: &GenKernel) -> KernelDef {
                 GenStmt::FpDef(dst, src, kind) => {
                     let e = match kind {
                         0 => Expr::add(Expr::var(f[*src as usize]), Expr::f32(1.25)),
-                        1 => Expr::mul(
-                            Expr::var(f[*src as usize]),
-                            Expr::f32(0.75),
-                        ),
+                        1 => Expr::mul(Expr::var(f[*src as usize]), Expr::f32(0.75)),
                         _ => Expr::call(
                             MathFn::Abs,
                             vec![Expr::sub(Expr::var(f[*src as usize]), Expr::f32(0.1))],
@@ -91,10 +88,7 @@ fn materialize(g: &GenKernel) -> KernelDef {
                         d,
                         Expr::add(
                             Expr::var(d),
-                            Expr::mul(
-                                Expr::var(f[*src as usize]),
-                                Expr::f32(0.001),
-                            ),
+                            Expr::mul(Expr::var(f[*src as usize]), Expr::f32(0.001)),
                         ),
                     );
                 }
@@ -110,7 +104,10 @@ fn materialize(g: &GenKernel) -> KernelDef {
                     let d = f[*dst as usize];
                     let sv = f[*src as usize];
                     b.if_(
-                        Expr::lt(Expr::bin(BinOp::Rem, Expr::var(it), Expr::i32(3)), Expr::i32(2)),
+                        Expr::lt(
+                            Expr::bin(BinOp::Rem, Expr::var(it), Expr::i32(3)),
+                            Expr::i32(2),
+                        ),
                         |b| {
                             b.assign(d, Expr::add(Expr::var(d), Expr::var(sv)));
                         },
@@ -134,10 +131,7 @@ fn materialize(g: &GenKernel) -> KernelDef {
     for (i, fv) in f.iter().enumerate() {
         b.store(
             Expr::var(out),
-            Expr::add(
-                Expr::mul(Expr::var(tid), Expr::i32(4)),
-                Expr::i32(i as i32),
-            ),
+            Expr::add(Expr::mul(Expr::var(tid), Expr::i32(4)), Expr::i32(i as i32)),
             Expr::var(*fv),
         );
     }
@@ -158,11 +152,7 @@ fn run_generated(
     let launch = Launch::grid1d(2, 32).with_budget(200_000_000);
     let outcome = dev.launch(
         kernel,
-        &[
-            Value::Ptr(out),
-            Value::Ptr(inp),
-            Value::I32(trip as i32),
-        ],
+        &[Value::Ptr(out), Value::Ptr(inp), Value::I32(trip as i32)],
         &launch,
         rt,
     );

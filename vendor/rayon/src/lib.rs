@@ -1,0 +1,156 @@
+//! Minimal, dependency-free stand-in for the parts of `rayon` this workspace
+//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()` (and `for_each`). The
+//! build environment has no registry access, so the workspace vendors this
+//! shim. Work is executed on **real OS threads** (`std::thread::scope`) with
+//! an atomic work-stealing index, so concurrency bugs in user closures and
+//! sinks remain observable; result order matches input order, like rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The commonly-glob-imported names.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `par_iter()` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        O: Send,
+        F: Fn(&'data T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        run_parallel(self.items, &|x| f(x));
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, O: Send, F: Fn(&'data T) -> O + Sync> ParMap<'data, T, F> {
+    /// Execute the map and collect results (input order preserved).
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+fn run_parallel<'data, T: Sync, O: Send, F: Fn(&'data T) -> O + Sync>(
+    items: &'data [T],
+    f: &F,
+) -> Vec<O> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A send can only fail if the receiver was dropped, which
+                // cannot happen while this scope is alive.
+                let _ = tx.send((i, f(&items[i])));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .map(|v| v.expect("worker produced every index"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let input: Vec<u32> = (0..257).collect();
+        let count = AtomicUsize::new(0);
+        input.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
