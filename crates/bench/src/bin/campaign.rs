@@ -5,12 +5,14 @@
 //! ```text
 //! campaign <program> [--sensitivity|--coverage] [--vars N] [--masks N]
 //!          [--alpha F] [--csv PATH] [--trace-out PATH] [--progress N]
-//!          [--json]
+//!          [--json] [--engine tree-walk|bytecode] [--threads N]
 //! ```
 //!
 //! `--trace-out` writes a JSONL telemetry trace of every injection run;
 //! `--progress` prints a progress line to stderr every N completed
-//! injections; `--json` replaces the text summary with one JSON document.
+//! injections; `--json` replaces the text summary with one JSON document;
+//! `--engine` selects the execution engine (default: bytecode); `--threads`
+//! pins the worker-thread count (0 = one per core).
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
@@ -51,6 +53,17 @@ fn main() {
     let progress_every: u64 = arg_value(&args, "--progress")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let engine = arg_value(&args, "--engine").map(|v| {
+        hauberk_sim::ExecEngine::parse(&v)
+            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk or bytecode)"))
+    });
+    if let Some(e) = engine {
+        // Pin golden/profiling runs too, not just the injection loop.
+        hauberk_sim::set_default_engine(e);
+    }
+    if let Some(n) = arg_value(&args, "--threads").and_then(|v| v.parse().ok()) {
+        rayon::set_thread_count(n);
+    }
 
     let prog = program_by_name(&name, ProblemScale::Quick)
         .unwrap_or_else(|| panic!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)"));
@@ -65,6 +78,7 @@ fn main() {
         alpha,
         progress_every,
         trace_path: trace_path.clone().map(Into::into),
+        engine,
         ..Default::default()
     };
 

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! figures [fig1|fig2|fig3|fig4|fig9|fig10|fig13|fig14|fig15|fig16|alpha|guardian|all]
-//!         [--paper]   use larger problem sizes / experiment counts
-//!         [--json]    one JSON document instead of text sections
+//!         [--paper]    use larger problem sizes / experiment counts
+//!         [--json]     one JSON document instead of text sections
+//!         [--engine E] execution engine: tree-walk or bytecode (default)
 //! ```
 
 use hauberk_bench::report::{Emitter, Table};
@@ -20,6 +21,15 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let big = args.iter().any(|a| a == "--paper");
     let json = args.iter().any(|a| a == "--json");
+    if let Some(v) = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+    {
+        let e = hauberk_sim::ExecEngine::parse(v)
+            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk or bytecode)"));
+        hauberk_sim::set_default_engine(e);
+    }
     let cfg = Cfg {
         scale: if big {
             ProblemScale::Paper
@@ -28,10 +38,13 @@ fn main() {
         },
         big,
     };
+    // `--engine` takes a value; don't mistake it for a figure name.
+    let engine_val = args.iter().position(|a| a == "--engine").map(|i| i + 1);
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != engine_val)
+        .map(|(_, s)| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
     let all = which.contains(&"all");

@@ -1,0 +1,124 @@
+//! `interp_bench` — measure the bytecode VM against the tree-walking
+//! interpreter on the simulator's standard hot-path kernel (the same FP loop
+//! `telemetry_overhead` and `sim_throughput` use), and record the speedup
+//! the compiled engine delivers per launch.
+//!
+//! Also verifies, on every run, that both engines produce identical
+//! `ExecStats` and identical output memory — a cheap standing differential
+//! check in addition to the property suite.
+//!
+//! ```text
+//! interp_bench [--iters N] [--out PATH]
+//! ```
+
+use hauberk_kir::kernel::KernelDef;
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::{PrimTy, Value};
+use hauberk_sim::{Device, DeviceConfig, ExecEngine, Launch, NullRuntime};
+use hauberk_telemetry::json::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn one_launch(kernel: &KernelDef, engine: ExecEngine) -> (hauberk_sim::ExecStats, Vec<f32>) {
+    let mut config = DeviceConfig::small_gpu();
+    config.engine = engine;
+    let mut dev = Device::new(config);
+    let out = dev.alloc(PrimTy::F32, 512);
+    let x = dev.alloc(PrimTy::F32, 256);
+    let r = black_box(dev.launch(
+        kernel,
+        &[Value::Ptr(out), Value::Ptr(x), Value::I32(256)],
+        &Launch::grid1d(16, 32),
+        &mut NullRuntime,
+    ));
+    let stats = r.completed_stats().expect("bench launch completes").clone();
+    (stats, dev.mem.copy_out_f32(out, 512))
+}
+
+/// Time one batch of launches and return mean ns/launch.
+fn batch(kernel: &KernelDef, engine: ExecEngine, iters: u32) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(one_launch(kernel, engine));
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: u32 = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let out_path = arg_value(&args, "--out");
+
+    let kernel = parse_kernel(
+        r#"kernel spin(out: *global f32, x: *global f32, n: i32) {
+            let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+            let acc: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + load(x, i) * 1.0001 + 0.5;
+            }
+            store(out, tid, acc);
+        }"#,
+    )
+    .unwrap();
+
+    // Standing equivalence check: same stats, same memory, every run.
+    let (tw_stats, tw_out) = one_launch(&kernel, ExecEngine::TreeWalk);
+    let (bc_stats, bc_out) = one_launch(&kernel, ExecEngine::Bytecode);
+    assert_eq!(tw_stats, bc_stats, "engines must produce identical stats");
+    assert_eq!(tw_out, bc_out, "engines must produce identical output");
+
+    let engines = [ExecEngine::TreeWalk, ExecEngine::Bytecode];
+    // Interleave rounds and keep the fastest per engine, so machine drift
+    // cancels instead of biasing whichever engine ran last.
+    const ROUNDS: u32 = 5;
+    let per_round = (iters / ROUNDS).max(1);
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..ROUNDS {
+        for (i, &e) in engines.iter().enumerate() {
+            best[i] = best[i].min(batch(&kernel, e, per_round));
+        }
+    }
+    let speedup = best[0] / best[1];
+    for (i, &e) in engines.iter().enumerate() {
+        eprintln!("{:>10}: {:>12.0} ns/launch", e.name(), best[i]);
+    }
+    eprintln!("   speedup: {speedup:>11.2}x");
+
+    let doc = Json::obj([
+        ("bench", Json::str("interp_bench")),
+        ("kernel", Json::str("spin fp_loop_16x32")),
+        ("iters", Json::uint(iters as u64)),
+        (
+            "results",
+            Json::obj([
+                (
+                    "tree_walk",
+                    Json::obj([("ns_per_launch", Json::Num(best[0]))]),
+                ),
+                (
+                    "bytecode",
+                    Json::obj([("ns_per_launch", Json::Num(best[1]))]),
+                ),
+            ]),
+        ),
+        ("speedup", Json::Num(speedup)),
+        ("stats_identical", Json::Bool(true)),
+    ]);
+    let rendered = format!("{doc}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

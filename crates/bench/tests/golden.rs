@@ -1,0 +1,97 @@
+//! Golden-file snapshot tests for the CLI surface: `figures --json` and
+//! `campaign --json` must emit byte-identical documents run over run — the
+//! external contract that scripts and the paper-reproduction pipeline parse.
+//!
+//! The simulator is deterministic by construction (pinned campaign seeds,
+//! simulated clock, ordered result collection), so these are exact string
+//! comparisons, not structural ones. When an intentional change shifts the
+//! output, refresh the snapshots with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p hauberk-bench --test golden
+//! ```
+//!
+//! and review the diff like any other source change.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Run `bin` with `args`, assert success, and return stdout.
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("CLI output is UTF-8")
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_at = expected
+            .bytes()
+            .zip(actual.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(expected.len().min(actual.len()));
+        panic!(
+            "snapshot `{name}` drifted (first difference at byte {diff_at}).\n\
+             If the change is intentional: UPDATE_GOLDEN=1 cargo test -p hauberk-bench --test golden\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}"
+        );
+    }
+}
+
+/// `figures --json` on the two cheapest deterministic sections: the static
+/// detector-coverage table (fig9) and the ablation table.
+#[test]
+fn figures_json_snapshot() {
+    let out = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &["fig9", "ablation", "--json"],
+    );
+    check_snapshot("figures_fig9_ablation.json", &out);
+}
+
+/// `campaign --json` on a small pinned-seed CP campaign: the summary document
+/// (outcome ratios, golden cycles, detector count, metrics) is part of the
+/// reproduction contract. The engine and thread count must not matter — the
+/// determinism suite asserts that; here we pin the default engine output.
+#[test]
+fn campaign_json_snapshot() {
+    let out = run(
+        env!("CARGO_BIN_EXE_campaign"),
+        &[
+            "CP",
+            "--json",
+            "--vars",
+            "2",
+            "--masks",
+            "2",
+            "--threads",
+            "1",
+        ],
+    );
+    check_snapshot("campaign_cp_small.json", &out);
+}

@@ -3,7 +3,7 @@
 //! correctness specifications that define "silent data corruption".
 
 use hauberk_kir::{KernelDef, Value};
-use hauberk_sim::{Device, DeviceConfig, HookRuntime, Launch, LaunchOutcome};
+use hauberk_sim::{Device, DeviceConfig, ExecEngine, HookRuntime, Launch, LaunchOutcome};
 
 /// Memory footprint by data class (paper Fig. 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -192,7 +192,29 @@ pub fn run_program_traced(
     cycle_budget: u64,
     tele: &hauberk_telemetry::Telemetry,
 ) -> ProgramRun {
-    let mut dev = Device::new(prog.device_config()).with_telemetry(tele.clone());
+    run_program_with_engine(prog, kernel, dataset, rt, cycle_budget, tele, None)
+}
+
+/// [`run_program_traced`] with an explicit execution engine.
+///
+/// `None` keeps the program's device default (which itself follows the
+/// process-wide [`hauberk_sim::default_engine`]); `Some` pins the engine for
+/// this run regardless of either — campaigns use this so an `--engine` flag
+/// or a differential test overrides everything downstream.
+pub fn run_program_with_engine(
+    prog: &dyn HostProgram,
+    kernel: &KernelDef,
+    dataset: u64,
+    rt: &mut dyn HookRuntime,
+    cycle_budget: u64,
+    tele: &hauberk_telemetry::Telemetry,
+    engine: Option<ExecEngine>,
+) -> ProgramRun {
+    let mut config = prog.device_config();
+    if let Some(e) = engine {
+        config.engine = e;
+    }
+    let mut dev = Device::new(config).with_telemetry(tele.clone());
     let args = prog.setup(&mut dev, dataset);
     let launch = prog.launch().with_budget(cycle_budget);
     let outcome = dev.launch(kernel, &args, &launch, rt);

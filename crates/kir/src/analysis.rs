@@ -643,6 +643,70 @@ pub fn dataflow_to_dot(kernel: &KernelDef, df: &LoopDataflow) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Slot allocation (backing the bytecode lowering in [`crate::lower`])
+// ---------------------------------------------------------------------------
+
+/// Stack-disciplined allocator for temporary registers.
+///
+/// The bytecode lowering evaluates expression operands into scratch slots; a
+/// slot is released as soon as the instruction consuming it has been emitted,
+/// so sibling subtrees reuse the same registers and the high-water mark stays
+/// proportional to expression depth, not size. `mark`/`release` give the
+/// caller a cheap way to free everything allocated since a checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct SlotAllocator {
+    /// First slot index this allocator hands out (slots below are reserved
+    /// for variables, constants, builtins, ...).
+    base: u32,
+    /// Number of currently live temporaries.
+    in_use: u32,
+    /// Maximum of `in_use` ever observed.
+    high_water: u32,
+}
+
+impl SlotAllocator {
+    /// Allocator whose first slot is `base`.
+    pub fn new(base: u32) -> SlotAllocator {
+        SlotAllocator {
+            base,
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Allocate one temporary slot.
+    pub fn alloc(&mut self) -> u32 {
+        self.alloc_n(1)
+    }
+
+    /// Allocate `n` contiguous slots, returning the first.
+    pub fn alloc_n(&mut self, n: u32) -> u32 {
+        let first = self.base + self.in_use;
+        self.in_use += n;
+        self.high_water = self.high_water.max(self.in_use);
+        first
+    }
+
+    /// Checkpoint the current allocation depth for a later [`release`].
+    ///
+    /// [`release`]: SlotAllocator::release
+    pub fn mark(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Free every slot allocated since `mark` was taken.
+    pub fn release(&mut self, mark: u32) {
+        debug_assert!(mark <= self.in_use, "slot release past current depth");
+        self.in_use = mark;
+    }
+
+    /// Largest number of simultaneously-live temporaries observed.
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

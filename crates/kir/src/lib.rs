@@ -53,6 +53,7 @@ pub mod analysis;
 pub mod builder;
 pub mod expr;
 pub mod kernel;
+pub mod lower;
 pub mod parser;
 pub mod printer;
 pub mod stmt;

@@ -1,0 +1,129 @@
+//! Compiled kernels and the process-wide build cache.
+//!
+//! A [`CompiledKernel`] bundles the bytecode from `hauberk-kir::lower` with
+//! the tables the VM wants preresolved per instruction stream instead of per
+//! dispatch: hook costs (which depend on the device's [`CostModel`]) and
+//! stable hook names for telemetry.
+//!
+//! [`compile_cached`] is the campaign-scale entry point: SWIFI campaigns
+//! launch the *same* instrumented kernel thousands of times (once per
+//! injection, across rayon workers), so the translator output is compiled
+//! once and shared via `Arc`. The cache key is the **printed kernel text**
+//! plus the cost model's debug rendering — string equality, deliberately not
+//! a hash, so a collision can never silently execute the wrong program.
+
+use crate::config::CostModel;
+use crate::interp::{hook_cost, hook_kind_name};
+use hauberk_kir::lower::{lower_kernel, LoweredKernel};
+use hauberk_kir::printer::print_kernel;
+use hauberk_kir::KernelDef;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bytecode plus preresolved per-hook tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    /// The lowered instruction stream and register layout.
+    pub lowered: LoweredKernel,
+    /// Dispatch cost of each hook (indexed like [`LoweredKernel::hooks`]).
+    pub hook_costs: Vec<u64>,
+    /// Stable telemetry label of each hook.
+    pub hook_names: Vec<&'static str>,
+}
+
+/// Compile `kernel` for a device with cost model `cost` (uncached).
+pub fn compile(kernel: &KernelDef, cost: &CostModel) -> CompiledKernel {
+    let lowered = lower_kernel(kernel);
+    let hook_costs = lowered
+        .hooks
+        .iter()
+        .map(|h| hook_cost(cost, &h.kind))
+        .collect();
+    let hook_names = lowered
+        .hooks
+        .iter()
+        .map(|h| hook_kind_name(&h.kind))
+        .collect();
+    CompiledKernel {
+        lowered,
+        hook_costs,
+        hook_names,
+    }
+}
+
+/// Cap on cached entries; property tests churn through thousands of generated
+/// kernels, and clearing wholesale is simpler (and rare enough) compared to
+/// an eviction policy.
+const CACHE_CAP: usize = 256;
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<CompiledKernel>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CompiledKernel>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Compile `kernel` through the process-wide build cache.
+///
+/// Keyed by kernel text + cost model, so the same instrumented build is
+/// compiled once per campaign and shared across all rayon workers.
+pub fn compile_cached(kernel: &KernelDef, cost: &CostModel) -> Arc<CompiledKernel> {
+    let key = format!("{:?}\u{0}{}", cost, print_kernel(kernel));
+    let mut map = cache().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = map.get(&key) {
+        return Arc::clone(c);
+    }
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    let c = Arc::new(compile(kernel, cost));
+    map.insert(key, Arc::clone(&c));
+    c
+}
+
+/// Disassemble `kernel` as the bytecode engine would execute it (the
+/// minimal-repro artifact the differential tests print on divergence).
+pub fn disassemble(kernel: &KernelDef) -> String {
+    lower_kernel(kernel).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_kir::builder::KernelBuilder;
+    use hauberk_kir::{Expr, PrimTy, Ty};
+
+    fn tiny() -> KernelDef {
+        let mut b = KernelBuilder::new("tiny");
+        let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+        b.store(Expr::var(out), Expr::i32(0), Expr::f32(1.0));
+        b.finish()
+    }
+
+    #[test]
+    fn cache_shares_compilations() {
+        let k = tiny();
+        let cost = CostModel::default();
+        let a = compile_cached(&k, &cost);
+        let b = compile_cached(&k, &cost);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_distinguishes_cost_models() {
+        let k = tiny();
+        let a = compile_cached(&k, &CostModel::default());
+        let b = compile_cached(
+            &k,
+            &CostModel {
+                mem_base: 99,
+                ..CostModel::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn disassembly_mentions_the_store() {
+        let d = disassemble(&tiny());
+        assert!(d.contains("store"), "{d}");
+    }
+}

@@ -1,6 +1,81 @@
 //! Device and cost-model configuration.
 
 use crate::stats::OpClass;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which execution engine a device uses to run kernels.
+///
+/// Both engines implement identical semantics (same `ExecStats`, same trap
+/// ordering, same hook/fault behavior — enforced by the differential property
+/// suite); they differ only in speed and in representation:
+///
+/// * [`TreeWalk`](ExecEngine::TreeWalk) interprets the KIR statement tree
+///   directly. Slow, obviously correct; the reference oracle.
+/// * [`Bytecode`](ExecEngine::Bytecode) runs flat register bytecode compiled
+///   once per kernel (see `hauberk-kir::lower` and the `bytecode`/`vm`
+///   modules). The default for campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecEngine {
+    /// The tree-walking reference interpreter.
+    TreeWalk,
+    /// The compiled register-bytecode VM.
+    Bytecode,
+}
+
+impl ExecEngine {
+    /// Stable CLI/telemetry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::TreeWalk => "tree-walk",
+            ExecEngine::Bytecode => "bytecode",
+        }
+    }
+
+    /// Parse a CLI spelling (`tree-walk`/`treewalk`/`tree`/`interp` or
+    /// `bytecode`/`vm`).
+    pub fn parse(s: &str) -> Option<ExecEngine> {
+        match s.to_ascii_lowercase().as_str() {
+            "tree-walk" | "treewalk" | "tree" | "interp" | "interpreter" => {
+                Some(ExecEngine::TreeWalk)
+            }
+            "bytecode" | "vm" | "compiled" => Some(ExecEngine::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Process-wide default engine for newly constructed [`DeviceConfig`]s
+/// (0 = tree-walk, 1 = bytecode).
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(1);
+
+/// Set the process-wide default engine used by [`DeviceConfig::gpu`] /
+/// [`DeviceConfig::cpu`] (and everything built on them). Campaign binaries
+/// call this from their `--engine` flag; tests use it to force both engines
+/// through identical code paths.
+pub fn set_default_engine(e: ExecEngine) {
+    DEFAULT_ENGINE.store(
+        match e {
+            ExecEngine::TreeWalk => 0,
+            ExecEngine::Bytecode => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide default engine.
+pub fn default_engine() -> ExecEngine {
+    if DEFAULT_ENGINE.load(Ordering::Relaxed) == 0 {
+        ExecEngine::TreeWalk
+    } else {
+        ExecEngine::Bytecode
+    }
+}
 
 /// Per-operation-class issue costs and pairing rules.
 ///
@@ -103,6 +178,8 @@ pub struct DeviceConfig {
     pub strict_memory: bool,
     /// Cost model.
     pub cost: CostModel,
+    /// Execution engine (defaults to the process-wide [`default_engine`]).
+    pub engine: ExecEngine,
 }
 
 impl Default for DeviceConfig {
@@ -122,6 +199,7 @@ impl DeviceConfig {
             global_mem_bytes: 64 * 1024 * 1024,
             strict_memory: false,
             cost: CostModel::default(),
+            engine: default_engine(),
         }
     }
 
@@ -148,6 +226,7 @@ impl DeviceConfig {
                 // CPU-mode times are not used for any figure; keep defaults.
                 ..CostModel::default()
             },
+            engine: default_engine(),
         }
     }
 }

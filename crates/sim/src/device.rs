@@ -1,12 +1,14 @@
 //! The simulated device: global memory, launch orchestration, SM time model.
 
-use crate::config::DeviceConfig;
+use crate::bytecode::compile_cached;
+use crate::config::{DeviceConfig, ExecEngine};
 use crate::fault::MemoryBurst;
 use crate::hooks::HookRuntime;
 use crate::interp::{ExecErr, WarpExec, WarpGeom};
 use crate::memory::MemRegion;
 use crate::outcome::{LaunchOutcome, TrapReason};
 use crate::stats::ExecStats;
+use crate::vm::VmExec;
 use hauberk_kir::validate::validate_kernel;
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
 use hauberk_telemetry::{next_launch_id, Event, Telemetry};
@@ -181,6 +183,14 @@ impl Device {
             };
         }
 
+        // Bytecode engine: compile once per launch through the build cache
+        // (campaigns relaunch the same instrumented kernel thousands of
+        // times; the cache makes this a lookup).
+        let compiled = match self.config.engine {
+            ExecEngine::Bytecode => Some(compile_cached(kernel, &self.config.cost)),
+            ExecEngine::TreeWalk => None,
+        };
+
         let tpb = launch.block.0 * launch.block.1;
         let warps_per_block = tpb.div_ceil(self.config.warp_width);
         let mut sm_cycles = vec![0u64; self.config.num_sms as usize];
@@ -209,20 +219,38 @@ impl Device {
                         block_idx: (bx, by),
                         warp_id,
                     };
-                    let mut warp = WarpExec::new(
-                        kernel,
-                        &self.config,
-                        &mut self.mem,
-                        &mut shared,
-                        runtime,
-                        &mut stats,
-                        &mut budget,
-                        geom,
-                        args,
-                        tele,
-                        launch_id,
-                    );
-                    match warp.run() {
+                    let run_result = if let Some(compiled) = &compiled {
+                        VmExec::new(
+                            compiled,
+                            &self.config,
+                            &mut self.mem,
+                            &mut shared,
+                            runtime,
+                            &mut stats,
+                            &mut budget,
+                            geom,
+                            args,
+                            tele,
+                            launch_id,
+                        )
+                        .run()
+                    } else {
+                        WarpExec::new(
+                            kernel,
+                            &self.config,
+                            &mut self.mem,
+                            &mut shared,
+                            runtime,
+                            &mut stats,
+                            &mut budget,
+                            geom,
+                            args,
+                            tele,
+                            launch_id,
+                        )
+                        .run()
+                    };
+                    match run_result {
                         Ok(()) => {}
                         Err(ExecErr::Trap(reason)) => {
                             finalize(&mut stats, &sm_cycles);

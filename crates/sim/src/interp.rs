@@ -6,7 +6,7 @@
 //! loop-cycle attribution. Traps (out-of-bounds in strict mode, misaligned
 //! accesses, illegal instructions) and budget exhaustion abort the launch.
 
-use crate::config::DeviceConfig;
+use crate::config::{CostModel, DeviceConfig};
 use crate::hooks::{HookCtx, HookRuntime, LoopCheckCtx};
 use crate::memory::MemRegion;
 use crate::outcome::TrapReason;
@@ -70,26 +70,206 @@ impl WarpGeom {
 }
 
 /// Tag of the op that produced a value (for dependence-aware pairing).
-type Tag = u64;
+pub(crate) type Tag = u64;
 
-struct Pipe {
+/// Dual-issue pipeline pairing state, shared by both execution engines.
+pub(crate) struct Pipe {
     /// Tag of the most recently charged op.
-    last_tag: Tag,
+    pub(crate) last_tag: Tag,
     /// Class of the most recently charged op.
-    last_class: Option<OpClass>,
+    pub(crate) last_class: Option<OpClass>,
     /// Whether the most recent op itself co-issued (pairing is at most
     /// two-wide).
-    last_paired: bool,
-    next_tag: Tag,
+    pub(crate) last_paired: bool,
+    pub(crate) next_tag: Tag,
 }
 
 impl Pipe {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Pipe {
             last_tag: 0,
             last_class: None,
             last_paired: false,
             next_tag: 1,
+        }
+    }
+}
+
+// -- shared cost accounting -------------------------------------------------
+//
+// The tree walker and the bytecode VM must charge cycles *identically* (the
+// differential suite compares `ExecStats` bit-for-bit), so the accounting
+// lives in free functions both engines call.
+
+/// Charge one op of `class`; `dep_tags` are the producer tags of its
+/// operands (pairing requires independence from the previous op). Returns
+/// the new op's tag.
+pub(crate) fn charge_op(
+    pipe: &mut Pipe,
+    stats: &mut ExecStats,
+    budget: &mut u64,
+    loop_depth: u32,
+    cost: &CostModel,
+    class: OpClass,
+    dep_tags: [Tag; 2],
+) -> Result<Tag, ExecErr> {
+    let tag = pipe.next_tag;
+    pipe.next_tag += 1;
+    stats.class_counts[class.idx()] += 1;
+
+    let dependent = pipe.last_tag != 0 && dep_tags.contains(&pipe.last_tag);
+    // Memory ops and control ops occupy the issue path exclusively (branch
+    // resolution blocks co-issue on the modeled architecture).
+    let pairable = cost.dual_issue
+        && !dependent
+        && !pipe.last_paired
+        && pipe.last_class.is_some()
+        && pipe.last_class != Some(class)
+        && !matches!(class, OpClass::Mem | OpClass::Ctl)
+        && !matches!(pipe.last_class, Some(OpClass::Mem) | Some(OpClass::Ctl));
+
+    let c = if pairable {
+        stats.paired_ops += 1;
+        0
+    } else {
+        cost.class_cost(class)
+    };
+    pipe.last_paired = pairable;
+    pipe.last_class = Some(class);
+    pipe.last_tag = tag;
+    charge_cycles(stats, budget, loop_depth, c)?;
+    Ok(tag)
+}
+
+/// Charge raw cycles (memory segment extras, hook costs, sync).
+pub(crate) fn charge_cycles(
+    stats: &mut ExecStats,
+    budget: &mut u64,
+    loop_depth: u32,
+    c: u64,
+) -> Result<(), ExecErr> {
+    stats.work_cycles += c;
+    if loop_depth > 0 {
+        stats.loop_cycles += c;
+    }
+    if *budget < c {
+        *budget = 0;
+        return Err(ExecErr::Hang);
+    }
+    *budget -= c;
+    Ok(())
+}
+
+/// Charge a warp memory access with segment coalescing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn charge_mem_op(
+    pipe: &mut Pipe,
+    stats: &mut ExecStats,
+    budget: &mut u64,
+    loop_depth: u32,
+    cost: &CostModel,
+    addrs: &[u32],
+    mask: u32,
+    width: usize,
+    deps: [Tag; 2],
+) -> Result<(), ExecErr> {
+    // A warp has at most 32 lanes, so the segment scratch fits on the stack.
+    let mut segments = [0u32; 32];
+    let mut n = 0;
+    for l in lanes(mask, width) {
+        segments[n] = addrs[l] / cost.segment_bytes;
+        n += 1;
+    }
+    let segments = &mut segments[..n];
+    segments.sort_unstable();
+    let mut nseg = 0u64;
+    let mut prev = None;
+    for &s in segments.iter() {
+        if prev != Some(s) {
+            nseg += 1;
+            prev = Some(s);
+        }
+    }
+    let nseg = nseg.max(1);
+    stats.mem_segments += nseg;
+    // Base via the pairing-aware path (Mem never pairs), extras raw.
+    charge_op(pipe, stats, budget, loop_depth, cost, OpClass::Mem, deps)?;
+    charge_cycles(
+        stats,
+        budget,
+        loop_depth,
+        (nseg - 1) * cost.mem_segment_extra,
+    )?;
+    Ok(())
+}
+
+/// Cost of dispatching a hook of `kind`.
+pub(crate) fn hook_cost(cost: &CostModel, kind: &HookKind) -> u64 {
+    match kind {
+        HookKind::CheckRange { .. } => cost.hook_check_range,
+        HookKind::CheckEqual { .. } => cost.hook_check_equal,
+        HookKind::ChecksumCheck => cost.hook_checksum_check,
+        HookKind::NlMismatch => cost.hook_nl_mismatch,
+        // Measurement-only hooks (FI, profiler) cost nothing: the FI and
+        // profiler builds are not used for performance measurement.
+        HookKind::FiPoint { .. } | HookKind::Profile { .. } | HookKind::CountExec => 0,
+    }
+}
+
+/// The initial active mask of a warp: lanes whose linear thread id falls
+/// inside the block.
+pub(crate) fn warp_initial_mask(geom: &WarpGeom, warp_width: u32) -> u32 {
+    let tpb = geom.threads_per_block();
+    let start = geom.warp_id * warp_width;
+    let mut mask = 0u32;
+    for l in 0..warp_width {
+        if start + l < tpb {
+            mask |= 1 << l;
+        }
+    }
+    mask
+}
+
+/// Per-lane values of a thread-geometry builtin.
+pub(crate) fn builtin_lanes(b: BuiltinVar, geom: &WarpGeom, warp_width: u32) -> Vec<Value> {
+    let (bdx, bdy) = geom.block_dim;
+    let base_lane = geom.warp_id * warp_width;
+    (0..warp_width)
+        .map(|l| {
+            let lin = base_lane + l;
+            let tx = lin % bdx;
+            let ty = (lin / bdx) % bdy.max(1);
+            match b {
+                BuiltinVar::ThreadIdxX => Value::I32(tx as i32),
+                BuiltinVar::ThreadIdxY => Value::I32(ty as i32),
+                BuiltinVar::BlockIdxX => Value::I32(geom.block_idx.0 as i32),
+                BuiltinVar::BlockIdxY => Value::I32(geom.block_idx.1 as i32),
+                BuiltinVar::BlockDimX => Value::I32(bdx as i32),
+                BuiltinVar::BlockDimY => Value::I32(bdy as i32),
+                BuiltinVar::GridDimX => Value::I32(geom.grid.0 as i32),
+                BuiltinVar::GridDimY => Value::I32(geom.grid.1 as i32),
+                BuiltinVar::SharedBaseF32 => Value::Ptr(PtrVal {
+                    space: MemSpace::Shared,
+                    addr: 0,
+                    elem: PrimTy::F32,
+                }),
+                BuiltinVar::SharedBaseI32 => Value::Ptr(PtrVal {
+                    space: MemSpace::Shared,
+                    addr: 0,
+                    elem: PrimTy::I32,
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Zero the inactive lanes of hook argument vectors so runtimes see one
+/// normalized buffer regardless of engine (inactive lanes would otherwise
+/// leak engine-specific scratch state).
+pub(crate) fn zero_inactive(vals: &mut [Value], mask: u32, width: usize) {
+    for (l, v) in vals.iter_mut().enumerate().take(width) {
+        if mask & (1 << l) == 0 {
+            *v = Value::I32(0);
         }
     }
 }
@@ -168,15 +348,7 @@ impl<'a> WarpExec<'a> {
     /// The initial active mask: lanes whose linear thread id falls inside
     /// the block.
     pub fn initial_mask(&self) -> u32 {
-        let tpb = self.geom.threads_per_block();
-        let start = self.geom.warp_id * self.cfg.warp_width;
-        let mut mask = 0u32;
-        for l in 0..self.cfg.warp_width {
-            if start + l < tpb {
-                mask |= 1 << l;
-            }
-        }
-        mask
+        warp_initial_mask(&self.geom, self.cfg.warp_width)
     }
 
     /// Run the warp to completion.
@@ -200,49 +372,20 @@ impl<'a> WarpExec<'a> {
     /// operands (pairing requires independence from the previous op).
     /// Returns the new op's tag.
     fn charge(&mut self, class: OpClass, dep_tags: [Tag; 2]) -> Result<Tag, ExecErr> {
-        let tag = self.pipe.next_tag;
-        self.pipe.next_tag += 1;
-        self.stats.class_counts[class.idx()] += 1;
-
-        let dependent = self.pipe.last_tag != 0 && dep_tags.contains(&self.pipe.last_tag);
-        // Memory ops and control ops occupy the issue path exclusively
-        // (branch resolution blocks co-issue on the modeled architecture).
-        let pairable = self.cfg.cost.dual_issue
-            && !dependent
-            && !self.pipe.last_paired
-            && self.pipe.last_class.is_some()
-            && self.pipe.last_class != Some(class)
-            && !matches!(class, OpClass::Mem | OpClass::Ctl)
-            && !matches!(
-                self.pipe.last_class,
-                Some(OpClass::Mem) | Some(OpClass::Ctl)
-            );
-
-        let cost = if pairable {
-            self.stats.paired_ops += 1;
-            0
-        } else {
-            self.cfg.cost.class_cost(class)
-        };
-        self.pipe.last_paired = pairable;
-        self.pipe.last_class = Some(class);
-        self.pipe.last_tag = tag;
-        self.add_cycles(cost)?;
-        Ok(tag)
+        charge_op(
+            &mut self.pipe,
+            self.stats,
+            self.budget,
+            self.loop_depth,
+            &self.cfg.cost,
+            class,
+            dep_tags,
+        )
     }
 
     /// Charge raw cycles (memory segment extras, hook costs, sync).
     fn add_cycles(&mut self, c: u64) -> Result<(), ExecErr> {
-        self.stats.work_cycles += c;
-        if self.loop_depth > 0 {
-            self.stats.loop_cycles += c;
-        }
-        if *self.budget < c {
-            *self.budget = 0;
-            return Err(ExecErr::Hang);
-        }
-        *self.budget -= c;
-        Ok(())
+        charge_cycles(self.stats, self.budget, self.loop_depth, c)
     }
 
     // -- expression evaluation ----------------------------------------------
@@ -370,36 +513,7 @@ impl<'a> WarpExec<'a> {
     }
 
     fn builtin_lanes(&self, b: BuiltinVar) -> Vec<Value> {
-        let g = self.geom;
-        let (bdx, bdy) = g.block_dim;
-        let base_lane = g.warp_id * self.cfg.warp_width;
-        (0..self.width as u32)
-            .map(|l| {
-                let lin = base_lane + l;
-                let tx = lin % bdx;
-                let ty = (lin / bdx) % bdy.max(1);
-                match b {
-                    BuiltinVar::ThreadIdxX => Value::I32(tx as i32),
-                    BuiltinVar::ThreadIdxY => Value::I32(ty as i32),
-                    BuiltinVar::BlockIdxX => Value::I32(g.block_idx.0 as i32),
-                    BuiltinVar::BlockIdxY => Value::I32(g.block_idx.1 as i32),
-                    BuiltinVar::BlockDimX => Value::I32(bdx as i32),
-                    BuiltinVar::BlockDimY => Value::I32(bdy as i32),
-                    BuiltinVar::GridDimX => Value::I32(g.grid.0 as i32),
-                    BuiltinVar::GridDimY => Value::I32(g.grid.1 as i32),
-                    BuiltinVar::SharedBaseF32 => Value::Ptr(PtrVal {
-                        space: MemSpace::Shared,
-                        addr: 0,
-                        elem: PrimTy::F32,
-                    }),
-                    BuiltinVar::SharedBaseI32 => Value::Ptr(PtrVal {
-                        space: MemSpace::Shared,
-                        addr: 0,
-                        elem: PrimTy::I32,
-                    }),
-                }
-            })
-            .collect()
+        builtin_lanes(b, &self.geom, self.cfg.warp_width)
     }
 
     fn region(&mut self, space: MemSpace) -> &mut MemRegion {
@@ -411,16 +525,17 @@ impl<'a> WarpExec<'a> {
 
     /// Charge a warp memory access with segment coalescing.
     fn charge_mem(&mut self, addrs: &[u32], mask: u32, deps: [Tag; 2]) -> Result<(), ExecErr> {
-        let seg = self.cfg.cost.segment_bytes;
-        let mut segments: Vec<u32> = lanes(mask, self.width).map(|l| addrs[l] / seg).collect();
-        segments.sort_unstable();
-        segments.dedup();
-        let nseg = segments.len().max(1) as u64;
-        self.stats.mem_segments += nseg;
-        // Base via the pairing-aware path (Mem never pairs), extras raw.
-        self.charge(OpClass::Mem, deps)?;
-        self.add_cycles((nseg - 1) * self.cfg.cost.mem_segment_extra)?;
-        Ok(())
+        charge_mem_op(
+            &mut self.pipe,
+            self.stats,
+            self.budget,
+            self.loop_depth,
+            &self.cfg.cost,
+            addrs,
+            mask,
+            self.width,
+            deps,
+        )
     }
 
     // -- statements ----------------------------------------------------------
@@ -669,18 +784,11 @@ impl<'a> WarpExec<'a> {
     fn exec_hook(&mut self, h: &Hook, mask: u32) -> Result<(), ExecErr> {
         let mut argvals = Vec::with_capacity(h.args.len());
         for a in &h.args {
-            let (v, _) = self.eval(a, mask)?;
+            let (mut v, _) = self.eval(a, mask)?;
+            zero_inactive(&mut v, mask, self.width);
             argvals.push(v);
         }
-        let hook_cost = match &h.kind {
-            HookKind::CheckRange { .. } => self.cfg.cost.hook_check_range,
-            HookKind::CheckEqual { .. } => self.cfg.cost.hook_check_equal,
-            HookKind::ChecksumCheck => self.cfg.cost.hook_checksum_check,
-            HookKind::NlMismatch => self.cfg.cost.hook_nl_mismatch,
-            // Measurement-only hooks (FI, profiler) cost nothing: the FI and
-            // profiler builds are not used for performance measurement.
-            HookKind::FiPoint { .. } | HookKind::Profile { .. } | HookKind::CountExec => 0,
-        };
+        let hook_cost = hook_cost(&self.cfg.cost, &h.kind);
         self.add_cycles(hook_cost)?;
         self.stats.hooks += 1;
 
@@ -732,7 +840,7 @@ impl<'a> WarpExec<'a> {
 }
 
 /// Stable event label for a hook kind.
-fn hook_kind_name(kind: &HookKind) -> &'static str {
+pub(crate) fn hook_kind_name(kind: &HookKind) -> &'static str {
     match kind {
         HookKind::CheckRange { .. } => "check_range",
         HookKind::CheckEqual { .. } => "check_equal",
@@ -745,15 +853,15 @@ fn hook_kind_name(kind: &HookKind) -> &'static str {
 }
 
 /// Iterate set lanes of `mask` below `width`.
-fn lanes(mask: u32, width: usize) -> impl Iterator<Item = usize> {
+pub(crate) fn lanes(mask: u32, width: usize) -> impl Iterator<Item = usize> {
     (0..width).filter(move |l| mask & (1 << l) != 0)
 }
 
-fn as_ptr(v: Value) -> Result<PtrVal, TrapReason> {
+pub(crate) fn as_ptr(v: Value) -> Result<PtrVal, TrapReason> {
     v.as_ptr().ok_or(TrapReason::IllegalInstruction)
 }
 
-fn as_index(v: Value) -> Result<i64, TrapReason> {
+pub(crate) fn as_index(v: Value) -> Result<i64, TrapReason> {
     match v {
         Value::I32(i) => Ok(i as i64),
         Value::U32(u) => Ok(u as i64),
@@ -762,12 +870,12 @@ fn as_index(v: Value) -> Result<i64, TrapReason> {
     }
 }
 
-fn as_cond(v: Value) -> Result<bool, TrapReason> {
+pub(crate) fn as_cond(v: Value) -> Result<bool, TrapReason> {
     v.as_bool().ok_or(TrapReason::IllegalInstruction)
 }
 
 /// Class of a binary op given the (prim) type of its left operand.
-fn bin_class(op: BinOp, ty: Option<PrimTy>) -> OpClass {
+pub(crate) fn bin_class(op: BinOp, ty: Option<PrimTy>) -> OpClass {
     let is_f = matches!(ty, Some(PrimTy::F32));
     match op {
         BinOp::Div | BinOp::Rem if is_f => OpClass::Sfu,
@@ -776,7 +884,7 @@ fn bin_class(op: BinOp, ty: Option<PrimTy>) -> OpClass {
     }
 }
 
-fn un_value(op: UnOp, v: Value) -> Result<Value, TrapReason> {
+pub(crate) fn un_value(op: UnOp, v: Value) -> Result<Value, TrapReason> {
     use TrapReason::IllegalInstruction as Ill;
     match (op, v) {
         (UnOp::Neg, Value::F32(x)) => Ok(Value::F32(-x)),
@@ -899,7 +1007,7 @@ pub fn bin_value(op: BinOp, a: Value, b: Value, strict: bool) -> Result<Value, T
     }
 }
 
-fn math_value(m: MathFn, args: &[Value]) -> Result<Value, TrapReason> {
+pub(crate) fn math_value(m: MathFn, args: &[Value]) -> Result<Value, TrapReason> {
     use TrapReason::IllegalInstruction as Ill;
     match m {
         MathFn::Min | MathFn::Max => match (args[0], args[1]) {
@@ -943,7 +1051,7 @@ fn math_value(m: MathFn, args: &[Value]) -> Result<Value, TrapReason> {
     }
 }
 
-fn cast_value(to: PrimTy, v: Value) -> Result<Value, TrapReason> {
+pub(crate) fn cast_value(to: PrimTy, v: Value) -> Result<Value, TrapReason> {
     use TrapReason::IllegalInstruction as Ill;
     let out = match (v, to) {
         (Value::F32(x), PrimTy::F32) => Value::F32(x),

@@ -44,6 +44,7 @@
 //! `__syncthreads()` is exact within a warp (lockstep) and the bundled
 //! kernels do not rely on inter-warp shared-memory hand-off.
 
+pub mod bytecode;
 pub mod config;
 pub mod device;
 pub mod fault;
@@ -52,8 +53,10 @@ pub mod interp;
 pub mod memory;
 pub mod outcome;
 pub mod stats;
+pub mod vm;
 
-pub use config::{CostModel, DeviceConfig};
+pub use bytecode::{compile_cached, disassemble, CompiledKernel};
+pub use config::{default_engine, set_default_engine, CostModel, DeviceConfig, ExecEngine};
 pub use device::{Device, Launch};
 pub use fault::{ArmedFault, FaultSite, MemoryBurst};
 pub use hooks::{HookCtx, HookRuntime, LoopCheckCtx, NullRuntime, RegCorruption};

@@ -4,7 +4,7 @@ use crate::classify::{classify, FiOutcome, InjectionResult};
 use crate::plan::{plan_campaign, InjectionPlan, PlanConfig};
 use hauberk::builds::{build, BuildVariant, FtOptions, Instrumented};
 use hauberk::control::{ControlBlock, NON_LOOP_DETECTOR};
-use hauberk::program::{golden_run, run_program, run_program_traced, HostProgram};
+use hauberk::program::{golden_run, run_program, run_program_with_engine, HostProgram};
 use hauberk::ranges::{profile_ranges, RangeSet};
 use hauberk::runtime::{FiFtRuntime, FiRuntime, ProfilerRuntime};
 use hauberk_telemetry::metrics::{MetricsSnapshot, Registry};
@@ -41,6 +41,10 @@ pub struct CampaignConfig {
     /// start/finish, one `injection_run` per experiment, kernel spans,
     /// fault deliveries, detector alarms).
     pub trace_path: Option<PathBuf>,
+    /// Execution engine for the injection runs (`None` = the process-wide
+    /// default). The differential suite runs the same campaign under both
+    /// engines and asserts identical outcome tallies.
+    pub engine: Option<hauberk_sim::ExecEngine>,
 }
 
 impl Default for CampaignConfig {
@@ -54,6 +58,7 @@ impl Default for CampaignConfig {
             training_datasets: vec![],
             progress_every: 0,
             trace_path: None,
+            engine: None,
         }
     }
 }
@@ -147,8 +152,15 @@ pub fn run_sensitivity_campaign(prog: &dyn HostProgram, cfg: &CampaignConfig) ->
         .par_iter()
         .map(|&(i, p)| {
             let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
-            let run =
-                run_program_traced(prog, &fi_build.kernel, cfg.dataset, &mut rt, budget, &tele);
+            let run = run_program_with_engine(
+                prog,
+                &fi_build.kernel,
+                cfg.dataset,
+                &mut rt,
+                budget,
+                &tele,
+                cfg.engine,
+            );
             let outcome = classify(&run.outcome, run.output(), &golden, &spec, false);
             record_injection(
                 &tele,
@@ -228,7 +240,15 @@ pub fn run_coverage_campaign(
         .map(|&(i, p)| {
             let cb = ControlBlock::with_ranges(ranges.clone()).with_detector_vars(det_vars.clone());
             let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
-            let run = run_program_traced(prog, &fift.kernel, cfg.dataset, &mut rt, budget, &tele);
+            let run = run_program_with_engine(
+                prog,
+                &fift.kernel,
+                cfg.dataset,
+                &mut rt,
+                budget,
+                &tele,
+                cfg.engine,
+            );
             let alarm = rt.cb.sdc_flag;
             let outcome = classify(&run.outcome, run.output(), &golden, &spec, alarm);
             for a in &rt.cb.alarms {

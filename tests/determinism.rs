@@ -1,0 +1,70 @@
+//! Campaign determinism: the same `CampaignConfig` and seed must produce
+//! **byte-identical** classified results — per-experiment CSV records and the
+//! JSON summary — regardless of
+//!
+//!   * the rayon worker-thread count (1 vs. many): the injection loop runs
+//!     experiments in parallel but classification is collected in plan
+//!     order, and
+//!   * the execution engine: the bytecode VM and the tree-walking
+//!     interpreter must tally exactly the same outcomes at exactly the same
+//!     simulated cycles.
+//!
+//! All four (engine × thread-count) combinations are compared against each
+//! other in one test, so the thread-count global is never raced by a sibling
+//! test in this binary.
+
+use hauberk::builds::FtOptions;
+use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_sim::ExecEngine;
+use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::report::{summary_json, to_csv};
+
+fn campaign_fingerprint(engine: ExecEngine, threads: usize) -> (String, String) {
+    rayon::set_thread_count(threads);
+    let prog = program_by_name("CP", ProblemScale::Quick).expect("CP exists");
+    let cfg = CampaignConfig {
+        plan: PlanConfig {
+            vars_per_program: 4,
+            masks_per_var: 3,
+            bit_counts: vec![1, 3],
+            scheduler_per_mille: 120,
+            register_per_mille: 120,
+        },
+        ..Default::default()
+    };
+    let mut cfg = cfg;
+    cfg.engine = Some(engine);
+    let r = run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg);
+    assert!(!r.results.is_empty(), "campaign ran no experiments");
+    (to_csv(&r), summary_json(&r).to_string())
+}
+
+#[test]
+fn campaign_results_are_thread_and_engine_invariant() {
+    let combos = [
+        (ExecEngine::TreeWalk, 1),
+        (ExecEngine::TreeWalk, 4),
+        (ExecEngine::Bytecode, 1),
+        (ExecEngine::Bytecode, 4),
+    ];
+    let mut runs = Vec::new();
+    for (engine, threads) in combos {
+        runs.push((engine, threads, campaign_fingerprint(engine, threads)));
+    }
+    let (e0, t0, base) = &runs[0];
+    for (engine, threads, fp) in &runs[1..] {
+        assert_eq!(
+            &base.0, &fp.0,
+            "per-experiment CSV differs: {e0:?}/{t0} threads vs {engine:?}/{threads} threads"
+        );
+        assert_eq!(
+            &base.1, &fp.1,
+            "summary JSON differs: {e0:?}/{t0} threads vs {engine:?}/{threads} threads"
+        );
+    }
+    // And re-running the exact same configuration is a fixed point.
+    let again = campaign_fingerprint(ExecEngine::Bytecode, 4);
+    assert_eq!(base.0, again.0, "re-run CSV differs");
+    assert_eq!(base.1, again.1, "re-run summary differs");
+}

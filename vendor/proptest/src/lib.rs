@@ -237,6 +237,36 @@ pub mod strategy {
     );
 }
 
+/// Full-domain strategies backing `any::<T>()`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Strategy drawing uniformly from a type's whole domain.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()` — uniform over the full value range (integers, bool).
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_any!(u8, u16, u32, u64, i8, i16, i32, i64, bool);
+}
+
 /// Collection strategies.
 pub mod collection {
     use crate::strategy::Strategy;
@@ -266,9 +296,10 @@ pub mod collection {
 
 /// The glob-imported prelude, mirroring upstream's layout.
 pub mod prelude {
+    pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     /// The `prop::` module alias (`prop::collection::vec` etc.).
     pub mod prop {
@@ -288,6 +319,18 @@ macro_rules! prop_assert {
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => { assert_eq!($a, $b) };
     ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current sampled case when a precondition does not hold. Must be
+/// used at the top level of a property body (it expands to `continue` on the
+/// case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
 }
 
 /// Uniform choice among strategies producing the same value type.

@@ -76,12 +76,29 @@ impl<'data, T: Sync, O: Send, F: Fn(&'data T) -> O + Sync> ParMap<'data, T, F> {
     }
 }
 
+/// Process-wide worker-count override (0 = use available parallelism).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the worker-thread count (`0` restores the default of one worker per
+/// available core). Determinism tests use this to compare single-threaded
+/// against multi-threaded campaign runs.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The current worker-thread count (before clamping to the item count).
+pub fn current_thread_count() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
 /// Number of worker threads to use for `n` items.
 fn thread_count(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
+    current_thread_count().min(n)
 }
 
 fn run_parallel<'data, T: Sync, O: Send, F: Fn(&'data T) -> O + Sync>(
