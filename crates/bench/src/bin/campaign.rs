@@ -6,20 +6,36 @@
 //! campaign <program> [--sensitivity|--coverage] [--vars N] [--masks N]
 //!          [--alpha F] [--csv PATH] [--trace-out PATH] [--progress N]
 //!          [--json] [--engine tree-walk|bytecode] [--threads N]
+//!          [--shard-size N] [--journal PATH | --resume PATH]
+//!          [--adaptive] [--ci-width F] [--min-samples N]
+//!          [--max-retries N] [--shard I/M]
+//! campaign merge-journals --out PATH <journal> [<journal> ...]
 //! ```
 //!
-//! `--trace-out` writes a JSONL telemetry trace of every injection run;
-//! `--progress` prints a progress line to stderr every N completed
-//! injections; `--json` replaces the text summary with one JSON document;
-//! `--engine` selects the execution engine (default: bytecode); `--threads`
-//! pins the worker-thread count (0 = one per core).
+//! Orchestration flags:
+//!
+//! * `--journal PATH` starts a fresh checkpoint journal (truncating any
+//!   existing file); `--resume PATH` replays a journal, skips finished work
+//!   units, and appends new ones to the same file. The resumed summary is
+//!   byte-identical to an uninterrupted run.
+//! * `--adaptive` enables per-stratum early stopping once the Wilson
+//!   interval on the SDC rate is narrower than `--ci-width` (default 0.1);
+//!   `--min-samples` (default 32) guards the decision.
+//! * `--shard I/M` executes only strata with ordinal ≡ I (mod M) — run M
+//!   processes with distinct I and the same `--journal`, then
+//!   `merge-journals` + `--resume` to finalize.
+//! * `--max-retries N` retries a panicking work unit N times before
+//!   quarantining it (default 2).
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
-use hauberk_swifi::campaign::{run_coverage_campaign, run_sensitivity_campaign, CampaignConfig};
+use hauberk_swifi::campaign::{CampaignConfig, CampaignKind};
+use hauberk_swifi::journal::merge_journals;
 use hauberk_swifi::mask::PAPER_BIT_COUNTS;
+use hauberk_swifi::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
 use hauberk_swifi::plan::PlanConfig;
-use hauberk_swifi::report::{summarize, summary_json, to_csv};
+use hauberk_swifi::report::to_csv;
+use hauberk_swifi::sampler::AdaptiveConfig;
 use hauberk_telemetry::json::Json;
 use hauberk_telemetry::report::Emitter;
 
@@ -30,8 +46,35 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
+/// `campaign merge-journals --out PATH a.jsonl b.jsonl ...`
+fn merge_main(args: &[String]) {
+    let out = arg_value(args, "--out").unwrap_or_else(|| {
+        eprintln!("merge-journals: --out PATH is required");
+        std::process::exit(2);
+    });
+    let inputs: Vec<&String> = args
+        .iter()
+        .skip(1) // the subcommand itself
+        .filter(|a| !a.starts_with("--") && **a != out)
+        .collect();
+    match merge_journals(&out, &inputs) {
+        Ok(n) => println!(
+            "merged {n} unit record(s) from {} journal(s) into {out}",
+            inputs.len()
+        ),
+        Err(e) => {
+            eprintln!("merge-journals: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge-journals") {
+        merge_main(&args);
+        return;
+    }
     let name = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -65,6 +108,42 @@ fn main() {
         rayon::set_thread_count(n);
     }
 
+    let shard_size: usize = arg_value(&args, "--shard-size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let adaptive =
+        if args.iter().any(|a| a == "--adaptive") || arg_value(&args, "--ci-width").is_some() {
+            let mut a = AdaptiveConfig::default();
+            if let Some(w) = arg_value(&args, "--ci-width").and_then(|v| v.parse().ok()) {
+                a.ci_width = w;
+            }
+            if let Some(n) = arg_value(&args, "--min-samples").and_then(|v| v.parse().ok()) {
+                a.min_samples = n;
+            }
+            Some(a)
+        } else {
+            None
+        };
+    let max_retries: u32 = arg_value(&args, "--max-retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(OrchestratorConfig::DEFAULT_MAX_RETRIES);
+    let shard = arg_value(&args, "--shard").map(|v| {
+        let parse = |s: &str| -> Option<(u32, u32)> {
+            let (i, m) = s.split_once('/')?;
+            Some((i.parse().ok()?, m.parse().ok()?))
+        };
+        match parse(&v) {
+            Some((i, m)) if m > 0 && i < m => (i, m),
+            _ => panic!("--shard expects I/M with 0 <= I < M, got `{v}`"),
+        }
+    });
+    let journal_path = arg_value(&args, "--journal");
+    let resume_from = arg_value(&args, "--resume");
+    if journal_path.is_some() && resume_from.is_some() {
+        eprintln!("campaign: --journal (fresh) and --resume are mutually exclusive");
+        std::process::exit(2);
+    }
+
     let prog = program_by_name(&name, ProblemScale::Quick)
         .unwrap_or_else(|| panic!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)"));
     let cfg = CampaignConfig {
@@ -81,25 +160,50 @@ fn main() {
         engine,
         ..Default::default()
     };
-
-    let mut em = Emitter::new(json);
-    let result = if sensitivity {
-        em.text(format!(
-            "running baseline-sensitivity campaign on {name}..."
-        ));
-        run_sensitivity_campaign(prog.as_ref(), &cfg)
-    } else {
-        em.text(format!(
-            "running coverage campaign (FI&FT) on {name} (alpha={alpha})..."
-        ));
-        run_coverage_campaign(prog.as_ref(), FtOptions::default(), &cfg)
+    let orch = OrchestratorConfig {
+        shard_size,
+        adaptive,
+        max_retries,
+        journal_path: journal_path.map(Into::into),
+        resume_from: resume_from.map(Into::into),
+        shard,
+        chaos: None,
     };
 
-    em.text(summarize(&result));
-    em.json_section("summary", summary_json(&result));
+    let kind = if sensitivity {
+        CampaignKind::Sensitivity
+    } else {
+        CampaignKind::Coverage(FtOptions::default())
+    };
+    let mut em = Emitter::new(json);
+    em.text(format!(
+        "running {} campaign on {name} (alpha={alpha})...",
+        kind.label()
+    ));
+    let sharded = match run_orchestrated_campaign(prog.as_ref(), kind, &cfg, &orch) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            std::process::exit(1);
+        }
+    };
+    if sharded.resumed_units > 0 || sharded.dropped_lines > 0 {
+        // Resume statistics go to stderr, not the summary: the summary must
+        // stay byte-identical to an uninterrupted run.
+        eprintln!(
+            "resume: replayed {} unit(s) / {} injection(s) from the journal ({} torn line(s) dropped)",
+            sharded.resumed_units, sharded.resumed_injections, sharded.dropped_lines
+        );
+    }
+
+    em.text(sharded.summarize());
+    em.json_section("summary", sharded.summary_json());
     if let Some(path) = csv_path {
-        std::fs::write(&path, to_csv(&result)).expect("write CSV");
-        em.text(format!("wrote {} records to {path}", result.results.len()));
+        std::fs::write(&path, to_csv(&sharded.campaign)).expect("write CSV");
+        em.text(format!(
+            "wrote {} records to {path}",
+            sharded.campaign.results.len()
+        ));
         em.json_section("csv_path", Json::str(path));
     }
     if let Some(path) = trace_path {

@@ -1,0 +1,145 @@
+//! `campaign_bench` — measure what adaptive sampling saves: run the same
+//! pinned-seed sensitivity campaign twice, once as an exhaustive uniform
+//! sweep and once with Wilson-interval early stopping at a target CI width,
+//! and record the injection-count reduction.
+//!
+//! The run asserts, as a standing check, that the adaptive campaign needs at
+//! most half the injections of the uniform sweep while every stratum it
+//! stopped early still meets the target interval width — the claim recorded
+//! in `BENCH_campaign.json`.
+//!
+//! ```text
+//! campaign_bench [--ci-width F] [--min-samples N] [--out PATH]
+//! ```
+
+use hauberk_swifi::campaign::{CampaignConfig, CampaignKind};
+use hauberk_swifi::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::sampler::{ci_width, AdaptiveConfig};
+use hauberk_telemetry::json::Json;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target: f64 = arg_value(&args, "--ci-width")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let min_samples: u64 = arg_value(&args, "--min-samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let out_path = arg_value(&args, "--out");
+
+    let prog = hauberk_benchmarks::program_by_name("CP", hauberk_benchmarks::ProblemScale::Quick)
+        .expect("CP benchmark");
+    let cfg = CampaignConfig {
+        // Large enough that every stratum holds several times the samples
+        // its interval needs — that headroom is what adaptive sampling
+        // skips.
+        plan: PlanConfig {
+            vars_per_program: 20,
+            masks_per_var: 80,
+            bit_counts: hauberk_swifi::mask::PAPER_BIT_COUNTS.to_vec(),
+            scheduler_per_mille: 60,
+            register_per_mille: 60,
+        },
+        ..Default::default()
+    };
+    let adaptive = AdaptiveConfig {
+        ci_width: target,
+        z: 1.96,
+        min_samples,
+    };
+    let shard_size = 8; // fine-grained units so stopping tracks the interval
+
+    let uniform = run_orchestrated_campaign(
+        prog.as_ref(),
+        CampaignKind::Sensitivity,
+        &cfg,
+        &OrchestratorConfig {
+            shard_size,
+            ..Default::default()
+        },
+    )
+    .expect("uniform sweep");
+    let adapt = run_orchestrated_campaign(
+        prog.as_ref(),
+        CampaignKind::Sensitivity,
+        &cfg,
+        &OrchestratorConfig {
+            shard_size,
+            adaptive: Some(adaptive.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("adaptive campaign");
+
+    assert_eq!(
+        uniform.executed, uniform.planned,
+        "uniform sweep is exhaustive"
+    );
+    let reduction = uniform.executed as f64 / adapt.executed as f64;
+    eprintln!(
+        "uniform {} injections, adaptive {} at CI width {target}: {reduction:.2}x reduction",
+        uniform.executed, adapt.executed
+    );
+
+    // Standing claims: ≥2x fewer injections, and every early-stopped stratum
+    // actually met the target width.
+    assert!(
+        reduction >= 2.0,
+        "adaptive sampling must at least halve the injection count \
+         ({} vs {})",
+        adapt.executed,
+        uniform.executed
+    );
+    let mut strata = Vec::new();
+    for (u, a) in uniform.strata.iter().zip(&adapt.strata) {
+        assert_eq!(u.stratum, a.stratum);
+        let aw = ci_width(&a.counts, adaptive.z);
+        let uw = ci_width(&u.counts, adaptive.z);
+        if a.stopped_early {
+            assert!(
+                aw <= target + 1e-9,
+                "{}: stopped early at width {aw} > target {target}",
+                a.stratum.key()
+            );
+        }
+        strata.push(Json::obj([
+            ("stratum", Json::str(a.stratum.key())),
+            ("planned", Json::uint(u.planned)),
+            ("uniform_executed", Json::uint(u.executed())),
+            ("adaptive_executed", Json::uint(a.executed())),
+            ("uniform_ci_width", Json::Num(uw)),
+            ("adaptive_ci_width", Json::Num(aw)),
+            ("stopped_early", Json::Bool(a.stopped_early)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("campaign_bench")),
+        ("program", Json::str("CP quick")),
+        ("kind", Json::str("sensitivity")),
+        ("planned", Json::uint(uniform.planned)),
+        ("shard_size", Json::uint(shard_size as u64)),
+        ("ci_width_target", Json::Num(target)),
+        ("min_samples", Json::uint(min_samples)),
+        ("uniform_injections", Json::uint(uniform.executed)),
+        ("adaptive_injections", Json::uint(adapt.executed)),
+        ("reduction", Json::Num(reduction)),
+        ("strata", Json::Arr(strata)),
+    ]);
+    let rendered = format!("{doc}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

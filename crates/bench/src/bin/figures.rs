@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! figures [fig1|fig2|fig3|fig4|fig9|fig10|fig13|fig14|fig15|fig16|alpha|guardian|all]
-//!         [--paper]    use larger problem sizes / experiment counts
-//!         [--json]     one JSON document instead of text sections
-//!         [--engine E] execution engine: tree-walk or bytecode (default)
+//!         [--paper]     use larger problem sizes / experiment counts
+//!         [--json]      one JSON document instead of text sections
+//!         [--engine E]  execution engine: tree-walk or bytecode (default)
+//!         [--threads N] pin the campaign worker-thread count (0 = one per core)
 //! ```
 
 use hauberk_bench::report::{Emitter, Table};
@@ -30,6 +31,14 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk or bytecode)"));
         hauberk_sim::set_default_engine(e);
     }
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+    {
+        rayon::set_thread_count(n);
+    }
     let cfg = Cfg {
         scale: if big {
             ProblemScale::Paper
@@ -38,12 +47,16 @@ fn main() {
         },
         big,
     };
-    // `--engine` takes a value; don't mistake it for a figure name.
-    let engine_val = args.iter().position(|a| a == "--engine").map(|i| i + 1);
+    // `--engine` and `--threads` take values; don't mistake them for
+    // figure names.
+    let flag_vals: Vec<usize> = ["--engine", "--threads"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
     let which: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != engine_val)
+        .filter(|(i, a)| !a.starts_with("--") && !flag_vals.contains(i))
         .map(|(_, s)| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };

@@ -5,7 +5,25 @@
 //! Each module reproduces one experiment of the paper's evaluation; the
 //! `figures` binary drives them and prints the same rows/series the paper
 //! reports. See `EXPERIMENTS.md` at the repository root for the
-//! paper-vs-measured record.
+//! paper-vs-measured record and the figure-by-figure reproduction guide.
+//!
+//! Binaries (`cargo run --release -p hauberk-bench --bin <name>`):
+//!
+//! * `figures` — regenerate the paper's figures/tables (positional figure
+//!   names, `--paper`, `--json`, `--engine`, `--threads`).
+//! * `campaign` — one program's fault-injection campaign with CSV/trace
+//!   export and the orchestration layer: `--journal`/`--resume` checkpoints,
+//!   `--shard I/M` + the `merge-journals` subcommand, `--adaptive`
+//!   Wilson-interval early stopping (README "Campaign operations").
+//! * `campaign_bench` — adaptive-vs-uniform sampling cost, writes
+//!   `BENCH_campaign.json` (asserts the ≥2x reduction claim).
+//! * `interp_bench` — bytecode-vs-tree-walk speedup, writes
+//!   `BENCH_interp.json`.
+//! * `telemetry_overhead` — telemetry hot-path cost, writes
+//!   `BENCH_telemetry.json`.
+//!
+//! Criterion benches live under `benches/`; `tests/golden/` pins the CLI
+//! JSON output shapes (refresh with `UPDATE_GOLDEN=1`).
 
 pub mod ablation;
 pub mod alpha_cov;

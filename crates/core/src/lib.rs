@@ -52,6 +52,34 @@
 //! assert_eq!(ft.detectors.len(), 1);            // one protected loop variable
 //! assert!(ft.kernel.vars.len() > k.vars.len()); // checksum/counter locals added
 //! ```
+//!
+//! ## Cross-crate dataflow
+//!
+//! This crate is the hub of the workspace; data flows through it in both
+//! directions:
+//!
+//! ```text
+//!  hauberk-kir          hauberk (this crate)              hauberk-sim
+//!  ───────────          ────────────────────              ───────────
+//!  KernelDef  ──parse──▶ translator passes ──instrumented──▶ Device
+//!  analyses   ──deps───▶ (NL/L/FI/R-Scatter)    AST          │ launch
+//!                        │                                   ▼
+//!                        │  [`runtime`]s ◀──hook dispatch── interp / vm
+//!                        │  profiler·FT·FI·FI&FT             │
+//!                        ▼                                   ▼
+//!                 [`ranges`] value model              LaunchOutcome + stats
+//!                 [`control`] ControlBlock ──alarms──▶ hauberk-swifi
+//!                 [`units`] strata/work units ◀──plans── (campaigns,
+//!                        │                                classification)
+//!                        ▼                                   │
+//!                 hauberk-guardian (retry, diagnose)         ▼
+//!                        ▲                            hauberk-bench figures
+//!                        └────── hauberk-telemetry events ◀──┘
+//! ```
+//!
+//! `hauberk-benchmarks` supplies the [`program::HostProgram`]s everything
+//! runs against; `hauberk-telemetry` sits below every crate and carries the
+//! structured event stream.
 
 pub mod builds;
 pub mod control;
@@ -60,6 +88,7 @@ pub mod program;
 pub mod ranges;
 pub mod runtime;
 pub mod translator;
+pub mod units;
 
 pub use builds::{build, BuildVariant, FtOptions, Instrumented};
 pub use control::ControlBlock;
@@ -68,3 +97,4 @@ pub use program::{run_program, run_program_traced, run_program_with_engine};
 pub use program::{CorrectnessSpec, HostProgram, MemBreakdown, ProgramRun};
 pub use ranges::{Range, RangeSet};
 pub use runtime::{FiFtRuntime, FiRuntime, FtRuntime, ProfilerRuntime};
+pub use units::{Stratum, WorkUnitId};

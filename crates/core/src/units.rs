@@ -1,0 +1,125 @@
+//! Campaign work-unit and stratum vocabulary.
+//!
+//! A fault-injection campaign over one kernel is partitioned into
+//! **strata** — classes of fault sites that share an emulated hardware
+//! component and a data class (the two axes the paper aggregates over in
+//! Figs. 1 and 14) — and each stratum's experiments are chunked into
+//! **work units**: contiguous, deterministic spans of the campaign plan
+//! that can be executed, journaled, retried, and resumed independently.
+//!
+//! The types live here (rather than in `hauberk-swifi`) because the stratum
+//! of an experiment is decided by the translator's FI surface — the
+//! [`crate::translator::FiMap`] assigns every site its `HwComponent` and
+//! `DataClass` — while the orchestration that consumes them lives a layer
+//! up. Both layers speak this vocabulary; neither owns the other.
+
+use hauberk_kir::types::DataClass;
+use hauberk_kir::HwComponent;
+use std::fmt;
+
+/// A sampling stratum: all fault sites sharing one emulated hardware
+/// component and one data class. Strata are the unit of adaptive sampling —
+/// error sensitivity is highly non-uniform across site classes, so each
+/// stratum converges (or keeps drawing samples) on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stratum {
+    /// Emulated hardware component of the fault sites.
+    pub hw: HwComponent,
+    /// Data class of the targeted state.
+    pub class: DataClass,
+}
+
+impl Stratum {
+    /// Stable textual key, used in journals, telemetry and metrics names
+    /// (e.g. `"FPU/floating-point"`).
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.hw, self.class)
+    }
+
+    /// Parse a [`Stratum::key`] string back (journal resume path).
+    pub fn parse_key(s: &str) -> Option<Stratum> {
+        let (hw_s, class_s) = s.split_once('/')?;
+        let hw = [
+            HwComponent::IAlu,
+            HwComponent::Fpu,
+            HwComponent::Sfu,
+            HwComponent::Mem,
+            HwComponent::RegisterFile,
+            HwComponent::Scheduler,
+        ]
+        .into_iter()
+        .find(|h| h.to_string() == hw_s)?;
+        let class = DataClass::ALL
+            .into_iter()
+            .find(|c| c.to_string() == class_s)?;
+        Some(Stratum { hw, class })
+    }
+}
+
+impl fmt::Display for Stratum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// Identity of one work unit: the `chunk`-th span of a stratum's planned
+/// experiments. For a fixed campaign seed and shard size this is a pure
+/// function of the plan, so two processes (or one process before and after
+/// an interruption) derive the same unit set and can exchange journals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkUnitId {
+    /// The stratum this unit samples.
+    pub stratum: Stratum,
+    /// Zero-based chunk index within the stratum (chunks are executed in
+    /// order; adaptive sampling stops a stratum between chunks).
+    pub chunk: u32,
+}
+
+impl fmt::Display for WorkUnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.stratum, self.chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratum_key_round_trips() {
+        for hw in [
+            HwComponent::IAlu,
+            HwComponent::Fpu,
+            HwComponent::Sfu,
+            HwComponent::Mem,
+            HwComponent::RegisterFile,
+            HwComponent::Scheduler,
+        ] {
+            for class in DataClass::ALL {
+                let s = Stratum { hw, class };
+                assert_eq!(Stratum::parse_key(&s.key()), Some(s), "{s}");
+            }
+        }
+        assert_eq!(Stratum::parse_key("bogus"), None);
+        assert_eq!(Stratum::parse_key("FPU/quaternion"), None);
+        assert_eq!(Stratum::parse_key("TPU/integer"), None);
+    }
+
+    #[test]
+    fn unit_ids_order_by_stratum_then_chunk() {
+        let s = Stratum {
+            hw: HwComponent::Fpu,
+            class: DataClass::Float,
+        };
+        let a = WorkUnitId {
+            stratum: s,
+            chunk: 0,
+        };
+        let b = WorkUnitId {
+            stratum: s,
+            chunk: 3,
+        };
+        assert!(a < b);
+        assert_eq!(format!("{b}"), "FPU/floating-point#3");
+    }
+}

@@ -33,7 +33,8 @@
 //! Rare paths — hook dispatch, the loop-check fault window, and uncommon
 //! op/type combinations — materialize typed [`Value`] views on demand and
 //! delegate to the *same* helper functions the tree walker uses
-//! ([`bin_value`], [`math_value`], ...), so their semantics cannot drift.
+//! (`bin_value`, `math_value`, ... — crate-private in `interp`), so their
+//! semantics cannot drift.
 //!
 //! ## Control flow
 //!

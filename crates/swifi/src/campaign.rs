@@ -1,18 +1,27 @@
 //! Campaign execution: one program, many independent single-fault runs.
+//!
+//! The two public entry points, [`run_sensitivity_campaign`] and
+//! [`run_coverage_campaign`], are exhaustive sweeps: every planned injection
+//! executes once. Both are thin wrappers over the sharded orchestrator
+//! ([`crate::orchestrator`]), which additionally supports checkpoint
+//! journals, resume, adaptive early stopping, and quarantine of crashing
+//! work units.
 
 use crate::classify::{classify, FiOutcome, InjectionResult};
+use crate::journal::RecordedInjection;
+use crate::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
 use crate::plan::{plan_campaign, InjectionPlan, PlanConfig};
 use hauberk::builds::{build, BuildVariant, FtOptions, Instrumented};
 use hauberk::control::{ControlBlock, NON_LOOP_DETECTOR};
+use hauberk::program::CorrectnessSpec;
 use hauberk::program::{golden_run, run_program, run_program_with_engine, HostProgram};
 use hauberk::ranges::{profile_ranges, RangeSet};
 use hauberk::runtime::{FiFtRuntime, FiRuntime, ProfilerRuntime};
-use hauberk_telemetry::metrics::{MetricsSnapshot, Registry};
+use hauberk_telemetry::metrics::MetricsSnapshot;
 use hauberk_telemetry::progress::Progress;
 use hauberk_telemetry::{Event, JsonlSink, Telemetry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -63,6 +72,27 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Which of the paper's two campaign flavors to run.
+#[derive(Debug, Clone, Copy)]
+pub enum CampaignKind {
+    /// Fig. 1-style error sensitivity: faults into the **baseline** (FI
+    /// build, no detectors). Alarms never fire.
+    Sensitivity,
+    /// Fig. 14-style coverage: faults into the **FI&FT** build with the
+    /// loop detectors configured from a profiling pass.
+    Coverage(FtOptions),
+}
+
+impl CampaignKind {
+    /// Stable label used in journal metadata and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignKind::Sensitivity => "sensitivity",
+            CampaignKind::Coverage(_) => "coverage",
+        }
+    }
+}
+
 /// Campaign output.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -75,7 +105,7 @@ pub struct CampaignResult {
     /// Number of loop detectors placed (coverage campaigns only).
     pub detectors: usize,
     /// Derived metrics: per-outcome counters, per-detector firing counts,
-    /// and the detection-latency-in-cycles histogram.
+    /// per-stratum tallies, and the detection-latency-in-cycles histogram.
     pub metrics: MetricsSnapshot,
 }
 
@@ -123,72 +153,190 @@ pub fn profile_program(
     (merged, last_pr)
 }
 
+/// Extra state a coverage campaign carries per run: trained ranges and the
+/// detector-variable names for the control block.
+pub(crate) struct CoverageEnv {
+    pub(crate) ranges: Vec<RangeSet>,
+    pub(crate) det_vars: Vec<String>,
+}
+
+/// Everything needed to execute any single planned injection: the
+/// instrumented build, golden output, watchdog budget, and the full plan.
+/// Built once per campaign by [`prepare_campaign`]; [`CampaignEnv::run_one`]
+/// is then pure with respect to the plan index (same index → same result),
+/// which is what makes work units idempotent and journals replayable.
+pub(crate) struct CampaignEnv {
+    pub(crate) build: Instrumented,
+    pub(crate) golden: Vec<f64>,
+    pub(crate) golden_cycles: u64,
+    pub(crate) plans: Vec<InjectionPlan>,
+    pub(crate) budget: u64,
+    pub(crate) spec: CorrectnessSpec,
+    pub(crate) coverage: Option<CoverageEnv>,
+    pub(crate) dataset: u64,
+    pub(crate) engine: Option<hauberk_sim::ExecEngine>,
+}
+
+impl CampaignEnv {
+    /// Loop detectors placed in the build under test (0 for sensitivity —
+    /// the FI build has none wired up).
+    pub(crate) fn detectors(&self) -> usize {
+        if self.coverage.is_some() {
+            self.build.detectors.len()
+        } else {
+            0
+        }
+    }
+
+    /// Execute one planned injection and record its outcome. Deterministic:
+    /// the fault, dataset, and engine are all fixed by the plan and config.
+    pub(crate) fn run_one(
+        &self,
+        prog: &dyn HostProgram,
+        index: usize,
+        tele: &Telemetry,
+    ) -> RecordedInjection {
+        let p = &self.plans[index];
+        match &self.coverage {
+            None => {
+                let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
+                let run = run_program_with_engine(
+                    prog,
+                    &self.build.kernel,
+                    self.dataset,
+                    &mut rt,
+                    self.budget,
+                    tele,
+                    self.engine,
+                );
+                let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, false);
+                RecordedInjection {
+                    index: index as u64,
+                    outcome,
+                    delivered: rt.arm.delivered(),
+                    latency: None,
+                    alarms: vec![],
+                }
+            }
+            Some(cov) => {
+                let cb = ControlBlock::with_ranges(cov.ranges.clone())
+                    .with_detector_vars(cov.det_vars.clone());
+                let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
+                let run = run_program_with_engine(
+                    prog,
+                    &self.build.kernel,
+                    self.dataset,
+                    &mut rt,
+                    self.budget,
+                    tele,
+                    self.engine,
+                );
+                let alarm = rt.cb.sdc_flag;
+                let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, alarm);
+                let alarms = rt
+                    .cb
+                    .alarms
+                    .iter()
+                    .map(|a| {
+                        if a.detector == NON_LOOP_DETECTOR {
+                            "nl".to_string()
+                        } else {
+                            a.detector.to_string()
+                        }
+                    })
+                    .collect();
+                RecordedInjection {
+                    index: index as u64,
+                    outcome,
+                    delivered: rt.arm.delivered(),
+                    latency: rt.detection_latency(),
+                    alarms,
+                }
+            }
+        }
+    }
+}
+
+/// Build, profile, and plan: everything up to (but not including) the
+/// injection runs. Shared by both campaign kinds.
+pub(crate) fn prepare_campaign(
+    prog: &dyn HostProgram,
+    kind: &CampaignKind,
+    cfg: &CampaignConfig,
+) -> CampaignEnv {
+    let base = prog.build_kernel();
+    let (golden, golden_cycles) = golden_run(prog, cfg.dataset);
+    let budget = watchdog_budget(golden_cycles, cfg.watchdog_factor);
+    match kind {
+        CampaignKind::Sensitivity => {
+            let profiler_build =
+                build(&base, BuildVariant::Profiler(FtOptions::default())).expect("profiler build");
+            let (_, pr) = profile_program(prog, &profiler_build, &[cfg.dataset]);
+            let fi_build = build(&base, BuildVariant::Fi).expect("FI build");
+            let mut rng = SmallRng::seed_from_u64(cfg.seed);
+            let plans = plan_campaign(&fi_build.fi, &pr, &cfg.plan, &mut rng);
+            CampaignEnv {
+                build: fi_build,
+                golden,
+                golden_cycles,
+                plans,
+                budget,
+                spec: prog.spec(),
+                coverage: None,
+                dataset: cfg.dataset,
+                engine: cfg.engine,
+            }
+        }
+        CampaignKind::Coverage(ft) => {
+            // The profiler's detector layout must match the FT build it
+            // configures.
+            let profiler_build = build(&base, BuildVariant::Profiler(*ft)).expect("profiler build");
+            let mut train = cfg.training_datasets.clone();
+            if train.is_empty() {
+                train.push(cfg.dataset); // paper Fig. 14: same set for train and test
+            }
+            // The last profiled dataset must be the injection dataset so
+            // execution counts match the injected runs.
+            if *train.last().expect("nonempty") != cfg.dataset {
+                train.push(cfg.dataset);
+            }
+            let (mut ranges, pr) = profile_program(prog, &profiler_build, &train);
+            if cfg.alpha > 1.0 {
+                for r in &mut ranges {
+                    *r = r.apply_alpha(cfg.alpha);
+                }
+            }
+            let fift = build(&base, BuildVariant::FiFt(*ft)).expect("FI&FT build");
+            let mut rng = SmallRng::seed_from_u64(cfg.seed);
+            let plans = plan_campaign(&fift.fi, &pr, &cfg.plan, &mut rng);
+            let det_vars = fift.detectors.iter().map(|d| d.var_name.clone()).collect();
+            CampaignEnv {
+                build: fift,
+                golden,
+                golden_cycles,
+                plans,
+                budget,
+                spec: prog.spec(),
+                coverage: Some(CoverageEnv { ranges, det_vars }),
+                dataset: cfg.dataset,
+                engine: cfg.engine,
+            }
+        }
+    }
+}
+
 /// Fig. 1-style error-sensitivity campaign: faults injected into the
 /// **baseline** program (FI build, no detectors). Alarms never fire, so
 /// outcomes are failure / masked / undetected ("SDC").
 pub fn run_sensitivity_campaign(prog: &dyn HostProgram, cfg: &CampaignConfig) -> CampaignResult {
-    let base = prog.build_kernel();
-    let (golden, golden_cycles) = golden_run(prog, cfg.dataset);
-    let profiler_build =
-        build(&base, BuildVariant::Profiler(FtOptions::default())).expect("profiler build");
-    let (_, pr) = profile_program(prog, &profiler_build, &[cfg.dataset]);
-    let fi_build = build(&base, BuildVariant::Fi).expect("FI build");
-
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let plans = plan_campaign(&fi_build.fi, &pr, &cfg.plan, &mut rng);
-    let budget = watchdog_budget(golden_cycles, cfg.watchdog_factor);
-    let spec = prog.spec();
-
-    let tele = campaign_telemetry(cfg);
-    let registry = Registry::new();
-    let progress = Progress::new(prog.name(), plans.len() as u64, cfg.progress_every);
-    tele.emit_with(|| Event::CampaignStarted {
-        program: prog.name().to_string(),
-        runs: plans.len() as u64,
-    });
-
-    let indexed: Vec<(usize, &InjectionPlan)> = plans.iter().enumerate().collect();
-    let results: Vec<InjectionResult> = indexed
-        .par_iter()
-        .map(|&(i, p)| {
-            let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
-            let run = run_program_with_engine(
-                prog,
-                &fi_build.kernel,
-                cfg.dataset,
-                &mut rt,
-                budget,
-                &tele,
-                cfg.engine,
-            );
-            let outcome = classify(&run.outcome, run.output(), &golden, &spec, false);
-            record_injection(
-                &tele,
-                &registry,
-                &progress,
-                i,
-                outcome,
-                rt.arm.delivered(),
-                None,
-            );
-            InjectionResult {
-                class: p.class,
-                hw: p.hw,
-                bits: p.bits,
-                delivered: rt.arm.delivered(),
-                outcome,
-            }
-        })
-        .collect();
-
-    finish_campaign(&tele, prog.name(), results.len());
-    CampaignResult {
-        program: prog.name(),
-        results,
-        golden_cycles,
-        detectors: 0,
-        metrics: registry.snapshot(),
-    }
+    run_orchestrated_campaign(
+        prog,
+        CampaignKind::Sensitivity,
+        cfg,
+        &OrchestratorConfig::default(),
+    )
+    .expect("journal-less campaign cannot fail")
+    .campaign
 }
 
 /// Fig. 14-style coverage campaign: faults injected into the **FI&FT**
@@ -198,100 +346,20 @@ pub fn run_coverage_campaign(
     ft: FtOptions,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let base = prog.build_kernel();
-    let (golden, golden_cycles) = golden_run(prog, cfg.dataset);
-
-    // The profiler's detector layout must match the FT build it configures.
-    let profiler_build = build(&base, BuildVariant::Profiler(ft)).expect("profiler build");
-    let mut train = cfg.training_datasets.clone();
-    if train.is_empty() {
-        train.push(cfg.dataset); // paper Fig. 14: same set for train and test
-    }
-    // The last profiled dataset must be the injection dataset so execution
-    // counts match the injected runs.
-    if *train.last().expect("nonempty") != cfg.dataset {
-        train.push(cfg.dataset);
-    }
-    let (mut ranges, pr) = profile_program(prog, &profiler_build, &train);
-    if cfg.alpha > 1.0 {
-        for r in &mut ranges {
-            *r = r.apply_alpha(cfg.alpha);
-        }
-    }
-
-    let fift = build(&base, BuildVariant::FiFt(ft)).expect("FI&FT build");
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let plans = plan_campaign(&fift.fi, &pr, &cfg.plan, &mut rng);
-    let budget = watchdog_budget(golden_cycles, cfg.watchdog_factor);
-    let spec = prog.spec();
-    let det_vars: Vec<String> = fift.detectors.iter().map(|d| d.var_name.clone()).collect();
-
-    let tele = campaign_telemetry(cfg);
-    let registry = Registry::new();
-    let progress = Progress::new(prog.name(), plans.len() as u64, cfg.progress_every);
-    tele.emit_with(|| Event::CampaignStarted {
-        program: prog.name().to_string(),
-        runs: plans.len() as u64,
-    });
-
-    let indexed: Vec<(usize, &InjectionPlan)> = plans.iter().enumerate().collect();
-    let results: Vec<InjectionResult> = indexed
-        .par_iter()
-        .map(|&(i, p)| {
-            let cb = ControlBlock::with_ranges(ranges.clone()).with_detector_vars(det_vars.clone());
-            let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
-            let run = run_program_with_engine(
-                prog,
-                &fift.kernel,
-                cfg.dataset,
-                &mut rt,
-                budget,
-                &tele,
-                cfg.engine,
-            );
-            let alarm = rt.cb.sdc_flag;
-            let outcome = classify(&run.outcome, run.output(), &golden, &spec, alarm);
-            for a in &rt.cb.alarms {
-                let det = if a.detector == NON_LOOP_DETECTOR {
-                    "nl".to_string()
-                } else {
-                    a.detector.to_string()
-                };
-                registry.incr(&format!("detector_fired.{det}"), 1);
-            }
-            record_injection(
-                &tele,
-                &registry,
-                &progress,
-                i,
-                outcome,
-                rt.arm.delivered(),
-                rt.detection_latency(),
-            );
-            InjectionResult {
-                class: p.class,
-                hw: p.hw,
-                bits: p.bits,
-                delivered: rt.arm.delivered(),
-                outcome,
-            }
-        })
-        .collect();
-
-    finish_campaign(&tele, prog.name(), results.len());
-    CampaignResult {
-        program: prog.name(),
-        results,
-        golden_cycles,
-        detectors: fift.detectors.len(),
-        metrics: registry.snapshot(),
-    }
+    run_orchestrated_campaign(
+        prog,
+        CampaignKind::Coverage(ft),
+        cfg,
+        &OrchestratorConfig::default(),
+    )
+    .expect("journal-less campaign cannot fail")
+    .campaign
 }
 
 /// Telemetry for a campaign: a JSONL file sink when the config names a trace
 /// path, disabled otherwise. Trace-file open failures degrade to disabled
 /// telemetry with a warning rather than aborting the campaign.
-fn campaign_telemetry(cfg: &CampaignConfig) -> Telemetry {
+pub(crate) fn campaign_telemetry(cfg: &CampaignConfig) -> Telemetry {
     match &cfg.trace_path {
         Some(path) => match JsonlSink::create(path) {
             Ok(sink) => Telemetry::new(Arc::new(sink)),
@@ -304,39 +372,22 @@ fn campaign_telemetry(cfg: &CampaignConfig) -> Telemetry {
     }
 }
 
-/// Per-injection bookkeeping shared by both campaign kinds: the
-/// `injection_run` trace event, the outcome/delivery counters, the
-/// detection-latency histogram, and the progress tick.
-#[allow(clippy::too_many_arguments)]
-fn record_injection(
-    tele: &Telemetry,
-    registry: &Registry,
-    progress: &Progress,
-    index: usize,
-    outcome: FiOutcome,
-    delivered: bool,
-    latency: Option<u64>,
-) {
-    let label = outcome.to_string();
+/// Per-injection bookkeeping: the `injection_run` trace event and the
+/// progress tick. (Counters are rebuilt deterministically at finalize from
+/// the recorded injections, so resumed campaigns report identical metrics.)
+pub(crate) fn record_injection(tele: &Telemetry, progress: &Progress, rec: &RecordedInjection) {
+    let label = rec.outcome.to_string();
     tele.emit_with(|| Event::InjectionRun {
-        index: index as u64,
+        index: rec.index,
         outcome: label.clone(),
-        delivered,
-        latency,
+        delivered: rec.delivered,
+        latency: rec.latency,
     });
-    registry.incr("runs", 1);
-    if delivered {
-        registry.incr("delivered", 1);
-    }
-    registry.incr(&format!("outcome.{label}"), 1);
-    if let Some(cycles) = latency {
-        registry.observe("detection_latency_cycles", cycles);
-    }
     progress.tick(&label);
 }
 
 /// Emit the campaign-finished event and flush the trace.
-fn finish_campaign(tele: &Telemetry, program: &str, runs: usize) {
+pub(crate) fn finish_campaign(tele: &Telemetry, program: &str, runs: usize) {
     tele.emit_with(|| Event::CampaignFinished {
         program: program.to_string(),
         runs: runs as u64,

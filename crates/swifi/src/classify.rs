@@ -42,6 +42,11 @@ impl FiOutcome {
         FiOutcome::Detected,
         FiOutcome::Undetected,
     ];
+
+    /// Parse the [`std::fmt::Display`] label back (CSV and journal readers).
+    pub fn parse(s: &str) -> Option<FiOutcome> {
+        FiOutcome::ALL.into_iter().find(|o| o.to_string() == s)
+    }
 }
 
 impl fmt::Display for FiOutcome {

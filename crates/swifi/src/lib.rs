@@ -14,6 +14,11 @@
 //! * **parallel campaign execution** ([`campaign`]) — each experiment runs
 //!   the program once on a fresh device with exactly one armed fault
 //!   (Rayon-parallel across experiments, deterministic per experiment);
+//! * **sharded orchestration** ([`orchestrator`]) — campaigns decomposed
+//!   into per-stratum work units with checkpoint journaling and resume
+//!   ([`journal`]), Wilson-interval adaptive early stopping ([`sampler`]),
+//!   retry/quarantine of panicking units, and round-robin multi-process
+//!   sharding whose journals merge back into one;
 //! * **outcome classification** ([`classify`]) — the paper's five-way
 //!   taxonomy (§VIII): failure / masked / detected & masked / detected /
 //!   undetected, driven by each program's output-correctness spec and a
@@ -32,14 +37,23 @@
 pub mod campaign;
 pub mod classify;
 pub mod cpu_study;
+pub mod journal;
 pub mod mask;
+pub mod orchestrator;
 pub mod plan;
 pub mod report;
+pub mod sampler;
 pub mod stats;
 pub mod value_impact;
 
 pub use campaign::{
-    run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignResult,
+    run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignKind, CampaignResult,
 };
 pub use classify::{FiOutcome, InjectionResult};
+pub use journal::{merge_journals, read_journal, JournalMeta, QuarantineRecord, UnitRecord};
+pub use orchestrator::{
+    run_orchestrated_campaign, ChaosConfig, OrchestratorConfig, ShardedCampaignResult,
+    StratumReport,
+};
+pub use sampler::AdaptiveConfig;
 pub use stats::OutcomeCounts;

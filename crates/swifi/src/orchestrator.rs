@@ -1,0 +1,830 @@
+//! Sharded, resumable campaign orchestration with adaptive sampling.
+//!
+//! The orchestrator decomposes a campaign into deterministic **work units**
+//! — one [`hauberk::Stratum`] (hardware component × data class) split into
+//! fixed-size chunks of plan indices — and executes them with:
+//!
+//! * **journaling** ([`crate::journal`]): every completed unit is appended
+//!   to a JSONL checkpoint, so `--resume` skips finished work and converges
+//!   to a summary byte-identical to an uninterrupted run;
+//! * **adaptive sampling** ([`crate::sampler`]): with a target CI width set,
+//!   each stratum stops drawing units once the Wilson interval on its SDC
+//!   rate is narrow enough — converged strata stop early while rare-outcome
+//!   strata keep sampling;
+//! * **graceful degradation**: a work unit whose execution panics is retried
+//!   up to `max_retries` times and then quarantined (recorded in the journal
+//!   and telemetry), never aborting the campaign;
+//! * **sharding** (`--shard i/m`): strata are distributed round-robin over
+//!   `m` independent processes whose journals later `merge-journals` into
+//!   one.
+//!
+//! ## Determinism contract
+//!
+//! Strata execute in [`Stratum`] order and the units of a stratum execute
+//! strictly in chunk order (parallelism lives *inside* a unit, across its
+//! injections), so the adaptive stopping decision for a stratum depends only
+//! on that stratum's own unit prefix. Metrics and results are rebuilt at
+//! finalize time from the recorded injections sorted by plan index — never
+//! accumulated live — so a journal-replayed unit and a freshly-executed unit
+//! contribute identically. Consequences, asserted in `tests/determinism.rs`:
+//!
+//! * same config, any interruption point → byte-identical summary;
+//! * adaptive **off**: the summary is also invariant to `shard_size`;
+//! * adaptive **on**: deterministic per `shard_size` (the stopping point is
+//!   quantized to unit boundaries, so coarser units sample more).
+
+use crate::campaign::{
+    campaign_telemetry, finish_campaign, prepare_campaign, record_injection, CampaignConfig,
+    CampaignEnv, CampaignKind, CampaignResult,
+};
+use crate::classify::InjectionResult;
+use crate::journal::{
+    read_journal, Fnv1a, JournalMeta, JournalReplay, JournalWriter, QuarantineRecord,
+    RecordedInjection, UnitRecord,
+};
+use crate::plan::InjectionPlan;
+use crate::report;
+use crate::sampler::{wilson_interval, AdaptiveConfig};
+use crate::stats::OutcomeCounts;
+use hauberk::program::HostProgram;
+use hauberk::units::{Stratum, WorkUnitId};
+use hauberk_telemetry::json::Json;
+use hauberk_telemetry::metrics::Registry;
+use hauberk_telemetry::progress::Progress;
+use hauberk_telemetry::{Event, Telemetry};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Fault-injection hook for the orchestrator's own failure paths: force the
+/// named work unit's first `fail_attempts` execution attempts to fail, so
+/// tests exercise retry and quarantine deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Stratum of the unit to sabotage.
+    pub stratum: Stratum,
+    /// Chunk of the unit to sabotage.
+    pub chunk: u32,
+    /// How many attempts fail before the unit is allowed to succeed (set it
+    /// above `max_retries` to force quarantine).
+    pub fail_attempts: u32,
+}
+
+/// Orchestration parameters, on top of a [`CampaignConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct OrchestratorConfig {
+    /// Injections per work unit (0 = default 32). Smaller units checkpoint
+    /// and adapt at finer grain but journal more records.
+    pub shard_size: usize,
+    /// Adaptive early stopping; `None` = exhaustive sweep.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Re-execution attempts for a panicking work unit before quarantine.
+    pub max_retries: u32,
+    /// Write a fresh checkpoint journal here (truncates an existing file).
+    pub journal_path: Option<PathBuf>,
+    /// Resume from (and keep appending to) this journal.
+    pub resume_from: Option<PathBuf>,
+    /// `(index, modulus)`: execute only strata with ordinal ≡ index (mod
+    /// modulus). Other strata are reported as planned-but-not-owned.
+    pub shard: Option<(u32, u32)>,
+    /// Test-only failure injection for the retry/quarantine path.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl OrchestratorConfig {
+    /// Default injections per work unit.
+    pub const DEFAULT_SHARD_SIZE: usize = 32;
+
+    /// Default retry budget before quarantine.
+    pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+    /// Config with explicit defaults (shard size 32, 2 retries, exhaustive,
+    /// no journal).
+    pub fn exhaustive() -> Self {
+        OrchestratorConfig {
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            ..Default::default()
+        }
+    }
+
+    fn effective_shard_size(&self) -> usize {
+        if self.shard_size == 0 {
+            Self::DEFAULT_SHARD_SIZE
+        } else {
+            self.shard_size
+        }
+    }
+}
+
+/// Per-stratum outcome of an orchestrated campaign.
+#[derive(Debug, Clone)]
+pub struct StratumReport {
+    /// The stratum.
+    pub stratum: Stratum,
+    /// Injections the plan holds for this stratum.
+    pub planned: u64,
+    /// Tally over the injections actually executed (or replayed).
+    pub counts: OutcomeCounts,
+    /// Wilson interval on the SDC rate at the reporting confidence.
+    pub ci: (f64, f64),
+    /// Whether adaptive sampling stopped this stratum before exhausting it.
+    pub stopped_early: bool,
+    /// Whether this process's shard owned the stratum.
+    pub owned: bool,
+}
+
+impl StratumReport {
+    /// Injections executed (or replayed) in this stratum.
+    pub fn executed(&self) -> u64 {
+        self.counts.total() as u64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stratum", Json::str(self.stratum.key())),
+            ("planned", Json::uint(self.planned)),
+            ("executed", Json::uint(self.executed())),
+            ("sdc", Json::Num(self.counts.sdc_ratio())),
+            ("ci_lo", Json::Num(self.ci.0)),
+            ("ci_hi", Json::Num(self.ci.1)),
+            ("stopped_early", Json::Bool(self.stopped_early)),
+            ("owned", Json::Bool(self.owned)),
+        ])
+    }
+}
+
+/// Output of [`run_orchestrated_campaign`]: the plain campaign result plus
+/// the orchestration ledger.
+#[derive(Debug, Clone)]
+pub struct ShardedCampaignResult {
+    /// The campaign result (results sorted by plan index; metrics rebuilt
+    /// deterministically at finalize).
+    pub campaign: CampaignResult,
+    /// Per-stratum reports, in stratum order.
+    pub strata: Vec<StratumReport>,
+    /// Units that exhausted their retry budget.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Total planned injections (all strata, owned or not).
+    pub planned: u64,
+    /// Injections executed or replayed by this process.
+    pub executed: u64,
+    /// Work units skipped because the journal already held them.
+    pub resumed_units: u64,
+    /// Injections recovered from the journal instead of re-executed.
+    pub resumed_injections: u64,
+    /// Torn/corrupt journal lines dropped during replay.
+    pub dropped_lines: u64,
+}
+
+impl ShardedCampaignResult {
+    /// Machine-readable summary. Contains only resume-invariant fields, so
+    /// an interrupted-and-resumed campaign serializes byte-identically to an
+    /// uninterrupted one (asserted in `tests/determinism.rs`); resume
+    /// statistics live on the struct, not in the summary.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            ("campaign", report::summary_json(&self.campaign)),
+            ("planned", Json::uint(self.planned)),
+            ("executed", Json::uint(self.executed)),
+            (
+                "strata",
+                Json::Arr(self.strata.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|q| {
+                            Json::obj([
+                                ("unit", Json::str(q.id.to_string())),
+                                ("attempts", Json::uint(q.attempts)),
+                                ("error", Json::str(q.error.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable summary (same resume-invariance as
+    /// [`Self::summary_json`]).
+    pub fn summarize(&self) -> String {
+        let mut out = report::summarize(&self.campaign);
+        let _ = writeln!(
+            out,
+            "  strata ({} of {} planned injections executed):",
+            self.executed, self.planned
+        );
+        for s in &self.strata {
+            let mut note = String::new();
+            if s.stopped_early {
+                note.push_str("  [converged]");
+            }
+            if !s.owned {
+                note.push_str("  [other shard]");
+            }
+            let _ = writeln!(
+                out,
+                "    {:<22} planned {:<5} executed {:<5} sdc {:5.1}%  ci [{:5.1}%, {:5.1}%]{note}",
+                s.stratum.key(),
+                s.planned,
+                s.executed(),
+                s.counts.sdc_ratio() * 100.0,
+                s.ci.0 * 100.0,
+                s.ci.1 * 100.0,
+            );
+        }
+        for q in &self.quarantined {
+            let _ = writeln!(
+                out,
+                "  quarantined {} after {} attempt(s): {}",
+                q.id, q.attempts, q.error
+            );
+        }
+        out
+    }
+}
+
+/// FNV-1a fingerprint over the full plan: fault sites, arming, masks. Same
+/// seed but different code or planning config → different fingerprint, so a
+/// stale journal is rejected instead of silently mis-replayed.
+pub fn fingerprint_plans(plans: &[InjectionPlan]) -> u64 {
+    let mut h = Fnv1a::default();
+    for p in plans {
+        h.write(format!("{:?}|{}|{}|{}\n", p.fault, p.class, p.hw, p.bits).as_bytes());
+    }
+    h.finish()
+}
+
+/// Run a campaign through the sharded orchestrator. Errors only on journal
+/// problems (unreadable resume file, foreign campaign, unwritable journal);
+/// execution failures degrade to quarantined units instead.
+pub fn run_orchestrated_campaign(
+    prog: &dyn HostProgram,
+    kind: CampaignKind,
+    cfg: &CampaignConfig,
+    orch: &OrchestratorConfig,
+) -> Result<ShardedCampaignResult, String> {
+    let env = prepare_campaign(prog, &kind, cfg);
+    let shard_size = orch.effective_shard_size();
+    let meta = JournalMeta {
+        program: prog.name().to_string(),
+        kind: kind.label().to_string(),
+        seed: cfg.seed,
+        plan_len: env.plans.len() as u64,
+        shard_size: shard_size as u64,
+        fingerprint: fingerprint_plans(&env.plans),
+    };
+
+    let mut replay = JournalReplay::default();
+    if let Some(path) = &orch.resume_from {
+        replay = read_journal(path)?;
+        if let Some(m) = &replay.meta {
+            if *m != meta {
+                // Name the field that actually disagrees — "fingerprint
+                // mismatch" when only the shard size differs sends the
+                // operator down the wrong road.
+                let diffs: Vec<String> = [
+                    ("program", m.program.clone(), meta.program.clone()),
+                    ("kind", m.kind.clone(), meta.kind.clone()),
+                    ("seed", m.seed.to_string(), meta.seed.to_string()),
+                    ("plans", m.plan_len.to_string(), meta.plan_len.to_string()),
+                    (
+                        "shard-size",
+                        m.shard_size.to_string(),
+                        meta.shard_size.to_string(),
+                    ),
+                    (
+                        "fingerprint",
+                        format!("{:016x}", m.fingerprint),
+                        format!("{:016x}", meta.fingerprint),
+                    ),
+                ]
+                .into_iter()
+                .filter(|(_, a, b)| a != b)
+                .map(|(k, a, b)| format!("{k} {a}, expected {b}"))
+                .collect();
+                return Err(format!(
+                    "{}: journal belongs to a different campaign ({})",
+                    path.display(),
+                    diffs.join("; ")
+                ));
+            }
+        }
+    }
+    let writer = match (&orch.resume_from, &orch.journal_path) {
+        (Some(path), _) => {
+            // Resumed journals already begin with a meta record unless the
+            // file was torn down to nothing.
+            let need_meta = replay.meta.is_none();
+            Some(JournalWriter::append(
+                path,
+                if need_meta { Some(&meta) } else { None },
+            )?)
+        }
+        (None, Some(path)) => Some(JournalWriter::create(path, &meta)?),
+        (None, None) => None,
+    };
+
+    // Partition plan indices by stratum (plan order preserved inside each).
+    let mut strata: BTreeMap<Stratum, Vec<usize>> = BTreeMap::new();
+    for (i, p) in env.plans.iter().enumerate() {
+        strata
+            .entry(Stratum {
+                hw: p.hw,
+                class: p.class,
+            })
+            .or_default()
+            .push(i);
+    }
+
+    let tele = campaign_telemetry(cfg);
+    let progress = Progress::new(prog.name(), env.plans.len() as u64, cfg.progress_every);
+    tele.emit_with(|| Event::CampaignStarted {
+        program: prog.name().to_string(),
+        runs: env.plans.len() as u64,
+    });
+
+    let mut reports: Vec<StratumReport> = Vec::with_capacity(strata.len());
+    let mut consumed_units: Vec<UnitRecord> = Vec::new();
+    let mut quarantined: Vec<QuarantineRecord> = Vec::new();
+    let mut resumed_units = 0u64;
+    let mut resumed_injections = 0u64;
+    let report_z = orch.adaptive.as_ref().map_or(1.96, |a| a.z);
+
+    for (ordinal, (stratum, idxs)) in strata.iter().enumerate() {
+        let owned = orch
+            .shard
+            .is_none_or(|(i, m)| m != 0 && ordinal as u32 % m == i);
+        if !owned {
+            reports.push(StratumReport {
+                stratum: *stratum,
+                planned: idxs.len() as u64,
+                counts: OutcomeCounts::default(),
+                ci: (0.0, 1.0),
+                stopped_early: false,
+                owned: false,
+            });
+            continue;
+        }
+
+        let mut counts = OutcomeCounts::default();
+        let mut stopped_early = false;
+        for (chunk, span) in idxs.chunks(shard_size).enumerate() {
+            if let Some(ad) = &orch.adaptive {
+                if ad.converged(&counts) {
+                    stopped_early = true;
+                    let skipped = (idxs.len() - chunk * shard_size) as u64;
+                    let width = crate::sampler::ci_width(&counts, ad.z);
+                    tele.emit_with(|| Event::StratumConverged {
+                        stratum: stratum.key(),
+                        samples: counts.total() as u64,
+                        ci_width: width,
+                        skipped,
+                    });
+                    break;
+                }
+            }
+            let id = WorkUnitId {
+                stratum: *stratum,
+                chunk: chunk as u32,
+            };
+            if let Some(u) = replay.units.get(&id) {
+                for r in &u.results {
+                    counts.add(r.outcome);
+                }
+                resumed_units += 1;
+                resumed_injections += u.results.len() as u64;
+                consumed_units.push(u.clone());
+                continue;
+            }
+            if let Some(q) = replay.quarantined.get(&id) {
+                quarantined.push(q.clone());
+                continue;
+            }
+
+            match execute_unit(&env, prog, &tele, orch, id, span) {
+                Ok(unit) => {
+                    if let Some(w) = &writer {
+                        w.unit(&unit)?;
+                    }
+                    for r in &unit.results {
+                        counts.add(r.outcome);
+                        record_injection(&tele, &progress, r);
+                    }
+                    consumed_units.push(unit);
+                }
+                Err(q) => {
+                    tele.emit_with(|| Event::UnitQuarantined {
+                        stratum: q.id.stratum.key(),
+                        chunk: q.id.chunk as u64,
+                        attempts: q.attempts,
+                        error: q.error.clone(),
+                    });
+                    if let Some(w) = &writer {
+                        w.quarantine(&q)?;
+                    }
+                    quarantined.push(q);
+                }
+            }
+        }
+
+        let ci = wilson_interval(counts.undetected as u64, counts.total() as u64, report_z);
+        reports.push(StratumReport {
+            stratum: *stratum,
+            planned: idxs.len() as u64,
+            counts,
+            ci,
+            stopped_early,
+            owned: true,
+        });
+    }
+
+    // Finalize: rebuild results and metrics from the recorded injections in
+    // plan order, so replayed and freshly-executed units are
+    // indistinguishable in the summary.
+    let mut recs: Vec<&RecordedInjection> =
+        consumed_units.iter().flat_map(|u| &u.results).collect();
+    recs.sort_by_key(|r| r.index);
+    let results: Vec<InjectionResult> = recs
+        .iter()
+        .map(|r| {
+            let p = &env.plans[r.index as usize];
+            InjectionResult {
+                class: p.class,
+                hw: p.hw,
+                bits: p.bits,
+                delivered: r.delivered,
+                outcome: r.outcome,
+            }
+        })
+        .collect();
+
+    let registry = Registry::new();
+    for r in &recs {
+        registry.incr("runs", 1);
+        if r.delivered {
+            registry.incr("delivered", 1);
+        }
+        registry.incr(&format!("outcome.{}", r.outcome), 1);
+        for a in &r.alarms {
+            registry.incr(&format!("detector_fired.{a}"), 1);
+        }
+        if let Some(cycles) = r.latency {
+            registry.observe("detection_latency_cycles", cycles);
+        }
+    }
+    for rep in reports.iter().filter(|r| r.owned) {
+        let key = rep.stratum.key();
+        registry.incr(&format!("stratum.{key}.planned"), rep.planned);
+        registry.incr(&format!("stratum.{key}.runs"), rep.executed());
+        registry.incr(
+            &format!("stratum.{key}.undetected"),
+            rep.counts.undetected as u64,
+        );
+    }
+    if !quarantined.is_empty() {
+        registry.incr("quarantined_units", quarantined.len() as u64);
+    }
+
+    finish_campaign(&tele, prog.name(), results.len());
+    let executed = results.len() as u64;
+    Ok(ShardedCampaignResult {
+        campaign: CampaignResult {
+            program: prog.name(),
+            results,
+            golden_cycles: env.golden_cycles,
+            detectors: env.detectors(),
+            metrics: registry.snapshot(),
+        },
+        strata: reports,
+        quarantined,
+        planned: env.plans.len() as u64,
+        executed,
+        resumed_units,
+        resumed_injections,
+        dropped_lines: replay.dropped_lines as u64,
+    })
+}
+
+/// Execute one work unit with retry: the unit's injections run in parallel,
+/// each behind its own `catch_unwind`, so a panic's message survives intact
+/// regardless of worker-thread count. A failed attempt re-executes the whole
+/// unit (injections are idempotent); exhausting the retry budget yields the
+/// quarantine record.
+fn execute_unit(
+    env: &CampaignEnv,
+    prog: &dyn HostProgram,
+    tele: &Telemetry,
+    orch: &OrchestratorConfig,
+    id: WorkUnitId,
+    span: &[usize],
+) -> Result<UnitRecord, QuarantineRecord> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let chaos_fails = orch.chaos.is_some_and(|c| {
+            c.stratum == id.stratum && c.chunk == id.chunk && attempt <= c.fail_attempts
+        });
+        let outcome: Result<Vec<RecordedInjection>, String> = if chaos_fails {
+            Err("chaos: injected work-unit failure".to_string())
+        } else {
+            let runs: Vec<Result<RecordedInjection, String>> = span
+                .par_iter()
+                .map(|&i| {
+                    catch_unwind(AssertUnwindSafe(|| env.run_one(prog, i, tele)))
+                        .map_err(panic_message)
+                })
+                .collect();
+            runs.into_iter().collect()
+        };
+        match outcome {
+            Ok(results) => {
+                return Ok(UnitRecord {
+                    id,
+                    lo: span[0] as u64,
+                    hi: *span.last().expect("nonempty unit") as u64 + 1,
+                    results,
+                });
+            }
+            Err(e) if attempt > orch.max_retries => {
+                return Err(QuarantineRecord {
+                    id,
+                    attempts: attempt as u64,
+                    error: e,
+                });
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: work unit {id} failed on attempt {attempt} \
+                     (retrying): {e}"
+                );
+            }
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk::builds::FtOptions;
+    use hauberk_benchmarks::{cp::Cp, ProblemScale};
+    use hauberk_kir::types::DataClass;
+    use hauberk_kir::HwComponent;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            plan: crate::plan::PlanConfig {
+                vars_per_program: 6,
+                masks_per_var: 8,
+                bit_counts: vec![1],
+                scheduler_per_mille: 80,
+                register_per_mille: 80,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hauberk-orchestrator-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn orchestrated_matches_plain_campaign() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let plain = crate::campaign::run_sensitivity_campaign(&prog, &cfg);
+        let orch = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                shard_size: 7, // odd size: summary must not depend on it
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report::to_csv(&plain), report::to_csv(&orch.campaign));
+        assert_eq!(orch.planned, orch.executed);
+        assert_eq!(orch.resumed_units, 0);
+        assert!(orch.strata.iter().all(|s| !s.stopped_early && s.owned));
+    }
+
+    #[test]
+    fn adaptive_stops_strata_early() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Coverage(FtOptions::default()),
+            &cfg,
+            &OrchestratorConfig {
+                shard_size: 8,
+                adaptive: Some(AdaptiveConfig {
+                    ci_width: 0.35,
+                    z: 1.96,
+                    min_samples: 8,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.executed < r.planned,
+            "loose CI target must skip work: {}/{}",
+            r.executed,
+            r.planned
+        );
+        assert!(r.strata.iter().any(|s| s.stopped_early));
+        // Reported tallies must agree with the retained results.
+        let total: u64 = r.strata.iter().map(|s| s.executed()).sum();
+        assert_eq!(total, r.executed);
+    }
+
+    #[test]
+    fn chaos_unit_retries_then_succeeds() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let plain = crate::campaign::run_sensitivity_campaign(&prog, &cfg);
+        // Fail the first attempt of one real unit; the retry must recover
+        // and the summary must match an undisturbed run exactly.
+        let stratum = Stratum {
+            hw: HwComponent::Fpu,
+            class: DataClass::Float,
+        };
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                shard_size: OrchestratorConfig::DEFAULT_SHARD_SIZE,
+                max_retries: 2,
+                chaos: Some(ChaosConfig {
+                    stratum,
+                    chunk: 0,
+                    fail_attempts: 1,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.quarantined.is_empty());
+        assert_eq!(report::to_csv(&plain), report::to_csv(&r.campaign));
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_unit() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let stratum = Stratum {
+            hw: HwComponent::Fpu,
+            class: DataClass::Float,
+        };
+        let journal = tmp("quarantine.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                max_retries: 1,
+                journal_path: Some(journal.clone()),
+                chaos: Some(ChaosConfig {
+                    stratum,
+                    chunk: 0,
+                    fail_attempts: 99,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(r.quarantined[0].attempts, 2, "1 try + 1 retry");
+        assert!(r.executed < r.planned, "quarantined unit's work is lost");
+        assert_eq!(
+            r.campaign.metrics.counter("quarantined_units"),
+            1,
+            "quarantine surfaces in metrics"
+        );
+        // The journal records the quarantine, and a resume honors it
+        // without re-executing the poisoned unit (chaos off now).
+        let replayed = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                max_retries: 1,
+                resume_from: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        std::fs::remove_file(&journal).ok();
+        assert_eq!(replayed.quarantined.len(), 1);
+        assert_eq!(replayed.summary_json(), r.summary_json());
+    }
+
+    #[test]
+    fn foreign_journal_is_rejected() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let journal = tmp("foreign.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                journal_path: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Same journal, different seed → different plan fingerprint.
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        let err = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &other,
+            &OrchestratorConfig {
+                resume_from: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        std::fs::remove_file(&journal).ok();
+        assert!(err.contains("different campaign"), "{err}");
+    }
+
+    #[test]
+    fn shards_partition_strata_and_merge() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let full = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig::default(),
+        )
+        .unwrap();
+        let j0 = tmp("shard0.jsonl");
+        let j1 = tmp("shard1.jsonl");
+        let merged = tmp("shard-merged.jsonl");
+        for p in [&j0, &j1, &merged] {
+            let _ = std::fs::remove_file(p);
+        }
+        for (i, path) in [(0u32, &j0), (1u32, &j1)] {
+            let r = run_orchestrated_campaign(
+                &prog,
+                CampaignKind::Sensitivity,
+                &cfg,
+                &OrchestratorConfig {
+                    journal_path: Some(path.clone()),
+                    shard: Some((i, 2)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(r.executed < r.planned, "each shard owns a strict subset");
+        }
+        crate::journal::merge_journals(&merged, &[&j0, &j1]).unwrap();
+        let resumed = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                resume_from: Some(merged.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for p in [&j0, &j1, &merged] {
+            let _ = std::fs::remove_file(p);
+        }
+        assert_eq!(
+            resumed.resumed_injections, resumed.executed,
+            "no re-execution"
+        );
+        assert_eq!(full.summary_json(), resumed.summary_json());
+        assert_eq!(full.summarize(), resumed.summarize());
+    }
+}

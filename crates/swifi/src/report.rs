@@ -44,14 +44,8 @@ pub fn outcomes_from_csv(csv: &str) -> Result<Vec<(String, FiOutcome)>, String> 
         if cols.len() != 6 {
             return Err(format!("line {}: expected 6 columns", i + 2));
         }
-        let outcome = match cols[5] {
-            "failure" => FiOutcome::Failure,
-            "masked" => FiOutcome::Masked,
-            "detected&masked" => FiOutcome::DetectedMasked,
-            "detected" => FiOutcome::Detected,
-            "undetected" => FiOutcome::Undetected,
-            other => return Err(format!("line {}: unknown outcome `{other}`", i + 2)),
-        };
+        let outcome = FiOutcome::parse(cols[5])
+            .ok_or_else(|| format!("line {}: unknown outcome `{}`", i + 2, cols[5]))?;
         out.push((cols[0].to_string(), outcome));
     }
     Ok(out)

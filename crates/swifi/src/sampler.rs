@@ -1,0 +1,147 @@
+//! Stratified adaptive sampling: Wilson confidence intervals with
+//! early stopping.
+//!
+//! A uniform sweep spends the same number of injections on every fault-site
+//! class even after a class's outcome rates have long converged. The
+//! orchestrator instead tracks, per [`hauberk::Stratum`], a Wilson score
+//! interval on the SDC (undetected-violation) rate and stops drawing work
+//! units from a stratum once the interval is narrower than the target —
+//! rare-outcome strata keep sampling while converged ones stop. The Wilson
+//! interval is preferred over the normal approximation because campaign
+//! strata routinely sit at p ≈ 0 (graphics programs, heavily protected
+//! builds), where the Wald interval collapses to zero width and would stop
+//! instantly with no evidence.
+
+use crate::classify::FiOutcome;
+use crate::stats::OutcomeCounts;
+
+/// Two-sided Wilson score interval for a binomial proportion.
+///
+/// Returns `(lo, hi)` for `successes` out of `n` trials at critical value
+/// `z` (1.96 ≈ 95%). For `n = 0` the interval is the vacuous `(0, 1)`.
+pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
+}
+
+/// Width of the Wilson interval on the SDC rate of one stratum's tally.
+pub fn ci_width(counts: &OutcomeCounts, z: f64) -> f64 {
+    let n = counts.total() as u64;
+    let (lo, hi) = wilson_interval(counts.undetected as u64, n, z);
+    hi - lo
+}
+
+/// Early-stopping policy for adaptive campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Target Wilson interval width on each stratum's SDC rate; a stratum
+    /// stops drawing work units once its interval is at most this wide.
+    pub ci_width: f64,
+    /// Critical value of the interval (default 1.96 ≈ 95% confidence).
+    pub z: f64,
+    /// Never stop a stratum before this many samples, regardless of the
+    /// interval (guards against freak early agreement in tiny prefixes).
+    pub min_samples: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            ci_width: 0.1,
+            z: 1.96,
+            min_samples: 32,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Whether a stratum with this tally has converged and may stop.
+    pub fn converged(&self, counts: &OutcomeCounts) -> bool {
+        (counts.total() as u64) >= self.min_samples && ci_width(counts, self.z) <= self.ci_width
+    }
+}
+
+/// Convenience: tally a slice of outcomes (journal replay and tests).
+pub fn tally(outcomes: &[FiOutcome]) -> OutcomeCounts {
+    let mut c = OutcomeCounts::default();
+    for &o in outcomes {
+        c.add(o);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_matches_known_values() {
+        // 10/100 at 95%: interval ≈ (0.0552, 0.1744) — standard reference
+        // values for the Wilson score interval.
+        let (lo, hi) = wilson_interval(10, 100, 1.96);
+        assert!((lo - 0.0552).abs() < 1e-3, "{lo}");
+        assert!((hi - 0.1744).abs() < 1e-3, "{hi}");
+        // Degenerate cases stay in [0, 1] and never collapse at p = 0.
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.1, "p=0 keeps a nonzero upper bound");
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.9 && hi == 1.0);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn width_shrinks_with_samples() {
+        let mut narrow = OutcomeCounts::default();
+        let mut wide = OutcomeCounts::default();
+        for i in 0..400 {
+            narrow.add(if i % 10 == 0 {
+                FiOutcome::Undetected
+            } else {
+                FiOutcome::Masked
+            });
+        }
+        for i in 0..40 {
+            wide.add(if i % 10 == 0 {
+                FiOutcome::Undetected
+            } else {
+                FiOutcome::Masked
+            });
+        }
+        assert!(ci_width(&narrow, 1.96) < ci_width(&wide, 1.96));
+        // ~sqrt(10) ratio between the two widths.
+        assert!(ci_width(&wide, 1.96) / ci_width(&narrow, 1.96) > 2.5);
+    }
+
+    #[test]
+    fn min_samples_gates_convergence() {
+        let cfg = AdaptiveConfig {
+            ci_width: 0.9,
+            z: 1.96,
+            min_samples: 16,
+        };
+        let mut c = OutcomeCounts::default();
+        for _ in 0..15 {
+            c.add(FiOutcome::Masked);
+        }
+        assert!(!cfg.converged(&c), "below min_samples");
+        c.add(FiOutcome::Masked);
+        assert!(cfg.converged(&c), "wide target met at min_samples");
+        let strict = AdaptiveConfig {
+            ci_width: 0.01,
+            ..cfg
+        };
+        assert!(!strict.converged(&c), "strict target not met");
+    }
+}

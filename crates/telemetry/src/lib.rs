@@ -119,7 +119,7 @@ pub enum Event {
         snapshot: ExecSnapshot,
     },
     /// The interpreter dispatched an instrumentation hook to the runtime.
-    /// High-volume: only emitted when [`Telemetry::hot_events`] is on.
+    /// High-volume: only emitted when [`Telemetry::with_hot_events`] is on.
     HookDispatch {
         /// Owning launch.
         launch_id: u64,
@@ -199,6 +199,31 @@ pub enum Event {
         /// Completed injection runs.
         runs: u64,
     },
+    /// A campaign work unit kept failing after its retry budget and was
+    /// quarantined: its samples are excluded from the summary and the
+    /// campaign continues without it.
+    UnitQuarantined {
+        /// Stratum key of the unit (`"FPU/floating-point"`, ...).
+        stratum: String,
+        /// Chunk index of the unit within its stratum.
+        chunk: u64,
+        /// Execution attempts made (1 + retries).
+        attempts: u64,
+        /// Panic/divergence message of the last attempt.
+        error: String,
+    },
+    /// Adaptive sampling closed a stratum: its confidence interval reached
+    /// the target width, so no further work units are drawn from it.
+    StratumConverged {
+        /// Stratum key.
+        stratum: String,
+        /// Samples drawn before stopping.
+        samples: u64,
+        /// Achieved Wilson interval width on the SDC rate.
+        ci_width: f64,
+        /// Planned samples that were skipped by stopping early.
+        skipped: u64,
+    },
 }
 
 impl Event {
@@ -215,6 +240,8 @@ impl Event {
             Event::CampaignStarted { .. } => "campaign_started",
             Event::InjectionRun { .. } => "injection_run",
             Event::CampaignFinished { .. } => "campaign_finished",
+            Event::UnitQuarantined { .. } => "unit_quarantined",
+            Event::StratumConverged { .. } => "stratum_converged",
         }
     }
 
@@ -313,6 +340,28 @@ impl Event {
             Event::CampaignFinished { program, runs } => {
                 put("program", Json::str(program.clone()));
                 put("runs", Json::uint(*runs));
+            }
+            Event::UnitQuarantined {
+                stratum,
+                chunk,
+                attempts,
+                error,
+            } => {
+                put("stratum", Json::str(stratum.clone()));
+                put("chunk", Json::uint(*chunk));
+                put("attempts", Json::uint(*attempts));
+                put("error", Json::str(error.clone()));
+            }
+            Event::StratumConverged {
+                stratum,
+                samples,
+                ci_width,
+                skipped,
+            } => {
+                put("stratum", Json::str(stratum.clone()));
+                put("samples", Json::uint(*samples));
+                put("ci_width", Json::Num(*ci_width));
+                put("skipped", Json::uint(*skipped));
             }
         }
         Json::Obj(obj)
@@ -643,6 +692,29 @@ mod tests {
                 .as_u64(),
             Some(100)
         );
+    }
+
+    #[test]
+    fn orchestrator_events_serialize() {
+        let q = Event::UnitQuarantined {
+            stratum: "FPU/floating-point".into(),
+            chunk: 4,
+            attempts: 3,
+            error: "worker panicked: index out of bounds".into(),
+        };
+        let j = q.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("unit_quarantined"));
+        assert_eq!(j.get("chunk").unwrap().as_u64(), Some(4));
+        let c = Event::StratumConverged {
+            stratum: "SCHED/integer".into(),
+            samples: 96,
+            ci_width: 0.081,
+            skipped: 160,
+        };
+        let j = json::parse(&c.to_json().to_string()).unwrap();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("stratum_converged"));
+        assert_eq!(j.get("skipped").unwrap().as_u64(), Some(160));
+        assert!((j.get("ci_width").unwrap().as_f64().unwrap() - 0.081).abs() < 1e-12);
     }
 
     #[test]

@@ -12,13 +12,21 @@
 //! All four (engine × thread-count) combinations are compared against each
 //! other in one test, so the thread-count global is never raced by a sibling
 //! test in this binary.
+//!
+//! The orchestrator tests extend the contract to sharded execution: the
+//! summary must be invariant to the work-unit size (adaptive off) and to any
+//! interruption point — killing a journaled campaign mid-flight and resuming
+//! it, even from a journal whose last record was torn mid-write, must
+//! converge to a summary byte-identical to an uninterrupted run.
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
 use hauberk_sim::ExecEngine;
-use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig};
+use hauberk_swifi::campaign::{run_coverage_campaign, CampaignConfig, CampaignKind};
+use hauberk_swifi::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
 use hauberk_swifi::plan::PlanConfig;
 use hauberk_swifi::report::{summary_json, to_csv};
+use std::path::PathBuf;
 
 fn campaign_fingerprint(engine: ExecEngine, threads: usize) -> (String, String) {
     rayon::set_thread_count(threads);
@@ -67,4 +75,142 @@ fn campaign_results_are_thread_and_engine_invariant() {
     let again = campaign_fingerprint(ExecEngine::Bytecode, 4);
     assert_eq!(base.0, again.0, "re-run CSV differs");
     assert_eq!(base.1, again.1, "re-run summary differs");
+}
+
+fn orch_cfg() -> CampaignConfig {
+    CampaignConfig {
+        plan: PlanConfig {
+            vars_per_program: 6,
+            masks_per_var: 8,
+            bit_counts: vec![1, 3],
+            scheduler_per_mille: 120,
+            register_per_mille: 120,
+        },
+        ..Default::default()
+    }
+}
+
+fn run_orch(orch: &OrchestratorConfig) -> (hauberk_swifi::ShardedCampaignResult, String, String) {
+    let prog = program_by_name("CP", ProblemScale::Quick).expect("CP exists");
+    let r = run_orchestrated_campaign(
+        prog.as_ref(),
+        CampaignKind::Coverage(FtOptions::default()),
+        &orch_cfg(),
+        orch,
+    )
+    .expect("orchestrated campaign");
+    let text = r.summarize();
+    let json = r.summary_json().to_string();
+    (r, text, json)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hauberk-determinism-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+/// With adaptive sampling off, the summary must not depend on how the plan
+/// is chunked into work units.
+#[test]
+fn sharded_summary_is_invariant_to_unit_size() {
+    let (_, text5, json5) = run_orch(&OrchestratorConfig {
+        shard_size: 5,
+        ..Default::default()
+    });
+    for shard_size in [32, 10_000] {
+        let (_, text, json) = run_orch(&OrchestratorConfig {
+            shard_size,
+            ..Default::default()
+        });
+        assert_eq!(
+            text5, text,
+            "text summary depends on shard size {shard_size}"
+        );
+        assert_eq!(
+            json5, json,
+            "JSON summary depends on shard size {shard_size}"
+        );
+    }
+}
+
+/// Simulate a kill: keep only a prefix of the journal, resume, and demand a
+/// summary byte-identical to the uninterrupted run. `keep_extra_bytes`
+/// additionally keeps a torn fragment of the next record, as a kill during a
+/// write would leave behind.
+fn interrupt_and_resume(keep_lines: usize, keep_extra_bytes: usize, tag: &str) {
+    let full_journal = tmp(&format!("{tag}-full.jsonl"));
+    let cut_journal = tmp(&format!("{tag}-cut.jsonl"));
+    for p in [&full_journal, &cut_journal] {
+        let _ = std::fs::remove_file(p);
+    }
+    let (full, full_text, full_json) = run_orch(&OrchestratorConfig {
+        shard_size: 5,
+        journal_path: Some(full_journal.clone()),
+        ..Default::default()
+    });
+    assert!(full.executed > 30, "enough units to interrupt meaningfully");
+
+    let text = std::fs::read_to_string(&full_journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > keep_lines + 1, "journal long enough to cut");
+    let mut cut: String = lines[..keep_lines]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    if keep_extra_bytes > 0 {
+        let torn = &lines[keep_lines][..keep_extra_bytes.min(lines[keep_lines].len() - 1)];
+        cut.push_str(torn); // no trailing newline: torn mid-write
+    }
+    std::fs::write(&cut_journal, &cut).unwrap();
+
+    let (resumed, res_text, res_json) = run_orch(&OrchestratorConfig {
+        shard_size: 5,
+        resume_from: Some(cut_journal.clone()),
+        ..Default::default()
+    });
+    let _ = std::fs::remove_file(&full_journal);
+    assert_eq!(
+        resumed.resumed_units as usize,
+        keep_lines - 1,
+        "meta + units kept"
+    );
+    assert!(
+        resumed.executed > resumed.resumed_injections,
+        "resume re-executes the remaining work"
+    );
+    assert_eq!(
+        resumed.dropped_lines,
+        u64::from(keep_extra_bytes > 0),
+        "torn fragment is dropped, clean cut drops nothing"
+    );
+    assert_eq!(full_text, res_text, "resumed text summary differs");
+    assert_eq!(full_json, res_json, "resumed JSON summary differs");
+    // The resumed journal is now complete: replaying it alone reproduces the
+    // same summary with zero fresh execution.
+    let (replayed, rep_text, _) = run_orch(&OrchestratorConfig {
+        shard_size: 5,
+        resume_from: Some(cut_journal.clone()),
+        ..Default::default()
+    });
+    let _ = std::fs::remove_file(&cut_journal);
+    assert_eq!(
+        replayed.resumed_injections, replayed.executed,
+        "completed journal replays without re-execution"
+    );
+    assert_eq!(full_text, rep_text, "replayed summary differs");
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically() {
+    // Keep the meta record plus 4 completed units — a mid-campaign kill.
+    interrupt_and_resume(5, 0, "clean");
+}
+
+#[test]
+fn torn_journal_resume_warns_and_converges() {
+    // Same, but the kill tore the 6th record mid-write: the reader must
+    // drop the fragment (with a warning), re-execute that unit, and still
+    // produce the byte-identical summary.
+    interrupt_and_resume(5, 25, "torn");
 }

@@ -253,3 +253,45 @@ proptest! {
         prop_assert_eq!(base_out, out);
     }
 }
+
+/// Named regression: the one shrunken counterexample proptest ever found —
+/// a single-statement kernel (`trip: 1, body: [FpDef(0, 0, 0)]`, i.e. one
+/// `f0 = f0 + 1.25` in a one-iteration loop). The minimal loop body once
+/// tripped the instrumented fault-free invariant, so the case is pinned here
+/// as an ordinary test instead of a `proptest-regressions` seed file.
+#[test]
+fn regression_minimal_single_fpdef_kernel() {
+    let g = GenKernel {
+        trip: 1,
+        body: vec![GenStmt::FpDef(0, 0, 0)],
+    };
+    let k = materialize(&g);
+    validate_kernel(&k).unwrap();
+
+    // Round-trips through the printer/parser.
+    let printed = print_kernel(&k);
+    assert_eq!(k, parse_kernel(&printed).unwrap());
+
+    // Baseline runs deterministically.
+    let (o1, r1) = run_generated(&k, g.trip, &mut NullRuntime);
+    let (o2, r2) = run_generated(&k, g.trip, &mut NullRuntime);
+    assert!(o1.is_completed());
+    assert_eq!(o1.stats().work_cycles, o2.stats().work_cycles);
+    assert_eq!(r1, r2);
+
+    // The instrumented fault-free run neither alarms nor perturbs output.
+    let profiler = build(&k, BuildVariant::Profiler(FtOptions::default())).unwrap();
+    let mut pr = ProfilerRuntime::default();
+    let (p_outcome, _) = run_generated(&profiler.kernel, g.trip, &mut pr);
+    assert!(p_outcome.is_completed());
+    let ranges: Vec<_> = (0..profiler.detectors.len())
+        .map(|d| hauberk::ranges::profile_ranges(pr.samples(d as u32)))
+        .collect();
+    let ft = build(&k, BuildVariant::Ft(FtOptions::default())).unwrap();
+    assert_eq!(ft.detectors.len(), ranges.len());
+    let mut rt = FtRuntime::new(ControlBlock::with_ranges(ranges));
+    let (ft_outcome, ft_out) = run_generated(&ft.kernel, g.trip, &mut rt);
+    assert!(ft_outcome.is_completed());
+    assert!(!rt.cb.sdc_flag, "alarms: {:?}", rt.cb.alarms);
+    assert_eq!(r1, ft_out);
+}
