@@ -1,0 +1,229 @@
+//! `serve_bench` — load-generate against an in-process campaign daemon and
+//! record throughput plus p50/p95/p99 latency at several concurrency levels.
+//!
+//! The daemon is spawned on an ephemeral loopback port with the same code
+//! path the `serve` binary uses; each client thread then loops a full
+//! submit → poll → result cycle over raw HTTP. Three latencies are measured
+//! per job: the `POST /v1/campaigns` round-trip (admission latency), one
+//! `GET /v1/campaigns/:id` round-trip (status-read latency, the cheap
+//! hot-path request), and the whole submit-to-result turnaround.
+//!
+//! ```text
+//! serve_bench [--jobs N] [--levels 1,4,8] [--workers N] [--out PATH]
+//! ```
+
+use hauberk_serve::{Server, ServerConfig};
+use hauberk_telemetry::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Small but non-trivial campaign: every job plans, executes, and
+/// classifies a few hundred injections.
+const JOB_BODY: &str = r#"{"program":"CP","vars":4,"masks":6,"bit_counts":[1]}"#;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// One request/response over a fresh connection (the daemon is
+/// `Connection: close`). Returns `(status, body)`.
+fn request(addr: SocketAddr, raw: String) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.write_all(raw.as_bytes()).expect("send request");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (
+        status,
+        String::from_utf8_lossy(&buf[head_end + 4..]).into_owned(),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn json_str_field(body: &str, key: &str) -> String {
+    hauberk_telemetry::json::parse(body)
+        .ok()
+        .and_then(|d| d.get(key).and_then(|v| v.as_str().map(String::from)))
+        .unwrap_or_else(|| panic!("no `{key}` in {body}"))
+}
+
+/// Latencies for one completed job, in nanoseconds.
+struct JobSample {
+    submit_ns: u64,
+    status_ns: u64,
+    turnaround_ns: u64,
+}
+
+/// Run one full submit → poll → result cycle.
+fn run_job(addr: SocketAddr) -> JobSample {
+    let t0 = Instant::now();
+    let (code, body) = post(addr, "/v1/campaigns", JOB_BODY);
+    let submit_ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(code, 201, "submit failed: {body}");
+    let id = json_str_field(&body, "id");
+
+    let mut status_ns = 0u64;
+    loop {
+        let ts = Instant::now();
+        let (code, body) = get(addr, &format!("/v1/campaigns/{id}"));
+        status_ns = status_ns.max(ts.elapsed().as_nanos() as u64);
+        assert_eq!(code, 200, "status failed: {body}");
+        match json_str_field(&body, "state").as_str() {
+            "done" => break,
+            "failed" | "canceled" => panic!("job {id} ended badly: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    let (code, body) = get(addr, &format!("/v1/campaigns/{id}/result"));
+    assert_eq!(code, 200, "result failed: {body}");
+    let turnaround_ns = t0.elapsed().as_nanos() as u64;
+    JobSample {
+        submit_ns,
+        status_ns,
+        turnaround_ns,
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank on the closed interval).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+fn quantiles_ms(mut ns: Vec<u64>) -> Json {
+    ns.sort_unstable();
+    let ms = |v: u64| v as f64 / 1e6;
+    Json::obj([
+        ("p50_ms", Json::Num(ms(percentile(&ns, 50.0)))),
+        ("p95_ms", Json::Num(ms(percentile(&ns, 95.0)))),
+        ("p99_ms", Json::Num(ms(percentile(&ns, 99.0)))),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs_per_level: usize = arg_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let levels: Vec<usize> = arg_value(&args, "--levels")
+        .unwrap_or_else(|| "1,4,8".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--levels takes a comma list"))
+        .collect();
+    let out_path = arg_value(&args, "--out");
+
+    let handle = Server::bind(ServerConfig {
+        workers,
+        queue_capacity: jobs_per_level * levels.iter().max().copied().unwrap_or(1),
+        ..ServerConfig::default()
+    })
+    .expect("bind daemon")
+    .spawn()
+    .expect("spawn daemon");
+    let addr = handle.addr();
+    let (code, _) = get(addr, "/healthz");
+    assert_eq!(code, 200, "daemon must be healthy before load");
+
+    let mut level_docs = Vec::new();
+    for &concurrency in &levels {
+        let t0 = Instant::now();
+        let samples: Vec<JobSample> = std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..concurrency)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        // Split the level's job count across its clients.
+                        let n = jobs_per_level / concurrency
+                            + usize::from(worker < jobs_per_level % concurrency);
+                        (0..n).map(|_| run_job(addr)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            threads
+                .into_iter()
+                .flat_map(|t| t.join().expect("client thread"))
+                .collect()
+        });
+        let wall = t0.elapsed();
+        assert_eq!(samples.len(), jobs_per_level);
+        let throughput = samples.len() as f64 / wall.as_secs_f64();
+        eprintln!(
+            "concurrency {concurrency:3}: {} jobs in {:.2}s = {throughput:.2} jobs/s",
+            samples.len(),
+            wall.as_secs_f64()
+        );
+        level_docs.push(Json::obj([
+            ("concurrency", Json::uint(concurrency as u64)),
+            ("jobs", Json::uint(samples.len() as u64)),
+            ("wall_s", Json::Num(wall.as_secs_f64())),
+            ("throughput_jobs_per_s", Json::Num(throughput)),
+            (
+                "submit",
+                quantiles_ms(samples.iter().map(|s| s.submit_ns).collect()),
+            ),
+            (
+                "status",
+                quantiles_ms(samples.iter().map(|s| s.status_ns).collect()),
+            ),
+            (
+                "turnaround",
+                quantiles_ms(samples.iter().map(|s| s.turnaround_ns).collect()),
+            ),
+        ]));
+    }
+
+    // The daemon must come out of the load healthy, with every job done.
+    let (code, metrics) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    let total = (jobs_per_level * levels.len()) as u64;
+    assert!(
+        metrics.contains(&format!("\"jobs_done\":{total}")),
+        "all {total} jobs must finish: {metrics}"
+    );
+    handle.shutdown();
+
+    let doc = Json::obj([
+        ("bench", Json::str("serve_bench")),
+        ("job_body", Json::str(JOB_BODY)),
+        ("daemon_workers", Json::uint(workers as u64)),
+        ("jobs_per_level", Json::uint(jobs_per_level as u64)),
+        ("levels", Json::Arr(level_docs)),
+    ]);
+    let rendered = format!("{doc}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

@@ -87,6 +87,7 @@ pub mod pipeline;
 pub mod program;
 pub mod ranges;
 pub mod runtime;
+pub mod textprog;
 pub mod translator;
 pub mod units;
 

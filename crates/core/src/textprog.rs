@@ -1,0 +1,321 @@
+//! A [`HostProgram`] synthesized from KIR kernel source text.
+//!
+//! The benchmark suite ships twelve hand-built host programs; the serve
+//! daemon additionally accepts *ad-hoc* kernels over the wire — raw
+//! mini-CUDA text plus a launch geometry — and must run full injection
+//! campaigns on them. [`TextProgram`] closes that gap: it parses and
+//! validates the kernel once at construction (so a malformed submission is
+//! a structured error, not a panic inside a worker) and synthesizes the
+//! host side deterministically from the parameter list:
+//!
+//! * every global pointer parameter becomes a device buffer of `elems`
+//!   elements; the **first** pointer parameter is the program output
+//!   (zero-initialized), every later buffer is filled with values derived
+//!   from the dataset seed via a [`SmallRng`] keyed on `(dataset, slot)` —
+//!   distinct datasets are distinct inputs, same dataset is bit-identical;
+//! * every scalar `i32`/`u32` parameter receives the element count (the
+//!   ubiquitous `n` bound, which keeps synthesized loops inside the
+//!   buffers), `f32` scalars receive a fixed non-trivial constant, and
+//!   `bool` scalars receive `true`.
+//!
+//! The correctness spec defaults to a PNS-style relative/absolute mix so
+//! small float jitter is not misread as corruption; integer-only kernels
+//! may tighten it to [`CorrectnessSpec::Exact`] via [`TextOptions`].
+
+use crate::program::{CorrectnessSpec, HostProgram, MemBreakdown};
+use hauberk_kir::parser::parse_kernel;
+use hauberk_kir::validate::validate_kernel;
+use hauberk_kir::{KernelDef, MemSpace, PrimTy, Ty, Value};
+use hauberk_sim::{Device, Launch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Launch geometry and synthesized-input sizing for a [`TextProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextOptions {
+    /// Grid size in blocks (1-D).
+    pub blocks: u32,
+    /// Threads per block (the bundled kernels keep this ≤ 32 so barriers
+    /// are exact; larger blocks execute warps sequentially).
+    pub threads_per_block: u32,
+    /// Elements per synthesized buffer; also the value handed to scalar
+    /// integer parameters. Clamped up to the launch's total threads so a
+    /// `store(out, tid, ..)` epilogue stays in bounds.
+    pub elems: u32,
+    /// Treat any float disagreement as corruption (integer kernels).
+    pub exact: bool,
+}
+
+impl Default for TextOptions {
+    fn default() -> Self {
+        TextOptions {
+            blocks: 4,
+            threads_per_block: 32,
+            elems: 64,
+            exact: false,
+        }
+    }
+}
+
+/// Hard ceilings on submitted geometry, so one hostile job cannot ask the
+/// simulator for a multi-hour launch or a buffer larger than device memory.
+pub const MAX_TEXT_THREADS: u64 = 1 << 16;
+/// Ceiling on `elems` (see [`MAX_TEXT_THREADS`]).
+pub const MAX_TEXT_ELEMS: u32 = 1 << 20;
+
+/// A host program built from kernel source text. See the module docs for
+/// the synthesized host-side conventions.
+#[derive(Debug, Clone)]
+pub struct TextProgram {
+    name: &'static str,
+    kernel: KernelDef,
+    launch: Launch,
+    elems: u32,
+    spec: CorrectnessSpec,
+}
+
+/// Intern a kernel name so [`HostProgram::name`] can return `&'static str`.
+/// Deduplicated: resubmitting the same kernel name (the common case for a
+/// daemon) costs nothing after the first call.
+fn intern_name(name: &str) -> &'static str {
+    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut g = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(s) = g.iter().find(|s| **s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    g.push(leaked);
+    leaked
+}
+
+impl TextProgram {
+    /// Parse, validate, and wrap `src`. Every rejection is a `String`
+    /// suitable for a structured 400 response: parse errors carry
+    /// line/column, semantic rejections name the offending parameter.
+    pub fn from_kir(src: &str, opts: TextOptions) -> Result<TextProgram, String> {
+        let kernel = parse_kernel(src).map_err(|e| e.to_string())?;
+        validate_kernel(&kernel).map_err(|e| format!("kernel `{}`: {e}", kernel.name))?;
+        if opts.blocks == 0 || opts.threads_per_block == 0 {
+            return Err("launch geometry must be non-zero".to_string());
+        }
+        let launch = Launch::grid1d(opts.blocks, opts.threads_per_block);
+        if launch.total_threads() > MAX_TEXT_THREADS {
+            return Err(format!(
+                "launch of {} threads exceeds the {MAX_TEXT_THREADS}-thread limit",
+                launch.total_threads()
+            ));
+        }
+        if opts.elems == 0 || opts.elems > MAX_TEXT_ELEMS {
+            return Err(format!(
+                "elems must be in 1..={MAX_TEXT_ELEMS}, got {}",
+                opts.elems
+            ));
+        }
+        for p in kernel.params() {
+            if let Ty::Ptr { space, .. } = p.ty {
+                if space != MemSpace::Global {
+                    return Err(format!(
+                        "parameter `{}`: only global pointers may cross the launch boundary",
+                        p.name
+                    ));
+                }
+            }
+        }
+        if !kernel.params().any(|p| matches!(p.ty, Ty::Ptr { .. })) {
+            return Err(format!(
+                "kernel `{}` has no pointer parameter to read output from",
+                kernel.name
+            ));
+        }
+        let elems = opts.elems.max(launch.total_threads() as u32);
+        let spec = if opts.exact {
+            CorrectnessSpec::Exact
+        } else {
+            CorrectnessSpec::RelAbs {
+                rel: 0.01,
+                abs: 1e-9,
+            }
+        };
+        Ok(TextProgram {
+            name: intern_name(&kernel.name),
+            kernel,
+            launch,
+            elems,
+            spec,
+        })
+    }
+
+    /// Elements per synthesized buffer.
+    pub fn elems(&self) -> u32 {
+        self.elems
+    }
+
+    fn buffer_params(&self) -> impl Iterator<Item = (usize, PrimTy)> + '_ {
+        self.kernel
+            .params()
+            .enumerate()
+            .filter_map(|(i, p)| match p.ty {
+                Ty::Ptr { elem, .. } => Some((i, elem)),
+                Ty::Prim(_) => None,
+            })
+    }
+}
+
+/// Deterministic fill for one synthesized input buffer: magnitude-bounded,
+/// strictly positive floats (so range detectors can train) and small
+/// non-negative integers.
+fn fill_values(elem: PrimTy, n: u32, dataset: u64, slot: usize) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(dataset.wrapping_mul(0x9E3779B97F4A7C15) ^ slot as u64);
+    (0..n)
+        .map(|_| match elem {
+            PrimTy::F32 => Value::F32(rng.gen_range(0.5f32..2.5f32)),
+            PrimTy::I32 => Value::I32(rng.gen_range(0i32..16)),
+            PrimTy::U32 => Value::U32(rng.gen_range(0u32..16)),
+            PrimTy::Bool => Value::Bool(rng.gen_range(0u32..2) == 1),
+        })
+        .collect()
+}
+
+impl HostProgram for TextProgram {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn build_kernel(&self) -> KernelDef {
+        self.kernel.clone()
+    }
+
+    fn launch(&self) -> Launch {
+        self.launch
+    }
+
+    fn setup(&self, dev: &mut Device, dataset: u64) -> Vec<Value> {
+        let mut first_ptr = true;
+        self.kernel
+            .params()
+            .enumerate()
+            .map(|(i, p)| match p.ty {
+                Ty::Ptr { elem, .. } => {
+                    let ptr = dev.alloc(elem, self.elems);
+                    if first_ptr {
+                        first_ptr = false; // output buffer: stays zeroed
+                    } else {
+                        dev.mem
+                            .copy_in(ptr, &fill_values(elem, self.elems, dataset, i));
+                    }
+                    Value::Ptr(ptr)
+                }
+                Ty::Prim(PrimTy::I32) => Value::I32(self.elems as i32),
+                Ty::Prim(PrimTy::U32) => Value::U32(self.elems),
+                Ty::Prim(PrimTy::F32) => Value::F32(1.5),
+                Ty::Prim(PrimTy::Bool) => Value::Bool(true),
+            })
+            .collect()
+    }
+
+    fn read_output(&self, dev: &Device, args: &[Value]) -> Vec<f64> {
+        let out = args
+            .iter()
+            .find_map(|a| a.as_ptr())
+            .expect("validated: at least one pointer parameter");
+        dev.mem
+            .copy_out(out, self.elems)
+            .iter()
+            .map(Value::as_numeric_f64)
+            .collect()
+    }
+
+    fn spec(&self) -> CorrectnessSpec {
+        self.spec
+    }
+
+    fn memory_breakdown(&self) -> MemBreakdown {
+        let mut m = MemBreakdown::default();
+        for (_, elem) in self.buffer_params() {
+            let bytes = self.elems as u64 * elem.size_bytes() as u64;
+            match elem {
+                PrimTy::F32 => m.fp_bytes += bytes,
+                PrimTy::I32 | PrimTy::U32 | PrimTy::Bool => m.int_bytes += bytes,
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::golden_run;
+
+    const DOT: &str = r#"
+        kernel dot(out: *global f32, x: *global f32, y: *global f32, n: i32) {
+            let tid: i32 = block_idx_x() * block_dim_x() + thread_idx_x();
+            let acc: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                acc = acc + load(x, i) * load(y, i);
+            }
+            store(out, tid, acc);
+        }
+    "#;
+
+    #[test]
+    fn builds_and_runs_a_text_kernel() {
+        let prog = TextProgram::from_kir(DOT, TextOptions::default()).unwrap();
+        assert_eq!(prog.name(), "dot");
+        let (golden, cycles) = golden_run(&prog, 0);
+        assert_eq!(golden.len(), prog.elems() as usize);
+        assert!(cycles > 0);
+        // Inputs are strictly positive, so every lane's dot product is too.
+        assert!(golden.iter().all(|v| *v > 0.0), "{:?}", &golden[..4]);
+    }
+
+    #[test]
+    fn datasets_are_distinct_and_deterministic() {
+        let prog = TextProgram::from_kir(DOT, TextOptions::default()).unwrap();
+        let (a, _) = golden_run(&prog, 0);
+        let (a2, _) = golden_run(&prog, 0);
+        let (b, _) = golden_run(&prog, 1);
+        assert_eq!(a, a2, "same dataset is bit-identical");
+        assert_ne!(a, b, "datasets differ");
+    }
+
+    #[test]
+    fn rejects_malformed_and_degenerate_kernels() {
+        assert!(
+            TextProgram::from_kir("kernel oops {", TextOptions::default())
+                .unwrap_err()
+                .contains("parse error")
+        );
+        // No pointer parameter: nowhere to read an output from.
+        let e = TextProgram::from_kir(
+            "kernel f(n: i32) { let x: i32 = n; }",
+            TextOptions::default(),
+        )
+        .unwrap_err();
+        assert!(e.contains("no pointer parameter"), "{e}");
+        // Oversized launch.
+        let e = TextProgram::from_kir(
+            DOT,
+            TextOptions {
+                blocks: 1 << 16,
+                threads_per_block: 32,
+                ..TextOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(e.contains("thread limit"), "{e}");
+    }
+
+    #[test]
+    fn interned_names_are_stable() {
+        let a = TextProgram::from_kir(DOT, TextOptions::default()).unwrap();
+        let b = TextProgram::from_kir(DOT, TextOptions::default()).unwrap();
+        assert!(
+            std::ptr::eq(a.name(), b.name()),
+            "second intern reuses the first"
+        );
+    }
+}

@@ -1,0 +1,644 @@
+//! Job specifications, job state, and the per-job event log that feeds the
+//! live progress stream.
+//!
+//! A job is one fault-injection campaign: a program (named benchmark or
+//! ad-hoc KIR kernel text), a campaign kind, and sizing knobs. The spec is
+//! parsed from untrusted JSON with an allow-listed key set — an unknown key
+//! is a structured 400, not a silently ignored typo — and validated at
+//! submit time (kernel parse + validation included), so everything that can
+//! be rejected synchronously is rejected before the job enters the queue.
+
+use hauberk::builds::FtOptions;
+use hauberk::program::HostProgram;
+use hauberk::textprog::{TextOptions, TextProgram};
+use hauberk::units::Stratum;
+use hauberk_benchmarks::{program_by_name, ProblemScale};
+use hauberk_swifi::campaign::{CampaignConfig, CampaignKind};
+use hauberk_swifi::mask::PAPER_BIT_COUNTS;
+use hauberk_swifi::orchestrator::{ChaosConfig, OrchestratorConfig};
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_swifi::sampler::AdaptiveConfig;
+use hauberk_telemetry::json::Json;
+use hauberk_telemetry::{lock_recover, Event, TelemetrySink};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What to execute: a registered benchmark or ad-hoc kernel text.
+#[derive(Debug, Clone)]
+pub enum ProgramSpec {
+    /// One of the bundled benchmark programs, by paper name (`"CP"`, ...).
+    Named(String),
+    /// Raw mini-CUDA kernel source, run via [`TextProgram`].
+    Kir(String),
+}
+
+/// A validated campaign submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Program under test.
+    pub program: ProgramSpec,
+    /// `"sensitivity"` (baseline build) or `"coverage"` (FI&FT build).
+    pub coverage: bool,
+    /// Planning seed.
+    pub seed: u64,
+    /// Virtual variables to target.
+    pub vars: usize,
+    /// Masks per variable.
+    pub masks: usize,
+    /// Mask bit counts to cycle through.
+    pub bit_counts: Vec<u32>,
+    /// Range-widening factor (coverage campaigns).
+    pub alpha: f64,
+    /// Injections per orchestrator work unit (0 = default).
+    pub shard_size: usize,
+    /// Retry budget before a crashing work unit is quarantined.
+    pub max_retries: u32,
+    /// Optional adaptive early stopping.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Launch geometry for KIR submissions (ignored for named programs).
+    pub launch: TextOptions,
+    /// Operator fault-injection hook: sabotage one work unit to validate the
+    /// daemon's retry → quarantine resilience end-to-end (tests and drills).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            program: ProgramSpec::Named("CP".to_string()),
+            coverage: false,
+            seed: CampaignConfig::default().seed,
+            vars: 20,
+            masks: 25,
+            bit_counts: PAPER_BIT_COUNTS.to_vec(),
+            alpha: 1.0,
+            shard_size: 0,
+            max_retries: OrchestratorConfig::DEFAULT_MAX_RETRIES,
+            adaptive: None,
+            launch: TextOptions::default(),
+            chaos: None,
+        }
+    }
+}
+
+fn want_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.as_u64()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn want_f64(j: &Json, key: &str) -> Result<f64, String> {
+    j.as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+impl JobSpec {
+    /// Parse and validate a submission document. Errors are end-user
+    /// messages for a 400 response.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        let Json::Obj(map) = doc else {
+            return Err("request body must be a JSON object".to_string());
+        };
+        const KNOWN: &[&str] = &[
+            "program",
+            "kernel",
+            "kind",
+            "seed",
+            "vars",
+            "masks",
+            "bit_counts",
+            "alpha",
+            "shard_size",
+            "max_retries",
+            "adaptive",
+            "launch",
+            "chaos",
+        ];
+        if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
+            return Err(format!("unknown field `{k}` (known: {})", KNOWN.join(", ")));
+        }
+
+        let program = match (map.get("program"), map.get("kernel")) {
+            (Some(_), Some(_)) => {
+                return Err("`program` and `kernel` are mutually exclusive".to_string())
+            }
+            (Some(p), None) => {
+                ProgramSpec::Named(p.as_str().ok_or("`program` must be a string")?.to_string())
+            }
+            (None, Some(k)) => {
+                ProgramSpec::Kir(k.as_str().ok_or("`kernel` must be a string")?.to_string())
+            }
+            (None, None) => return Err("one of `program` or `kernel` is required".to_string()),
+        };
+        let mut spec = JobSpec {
+            program,
+            ..JobSpec::default()
+        };
+        if let Some(k) = map.get("kind") {
+            spec.coverage = match k.as_str() {
+                Some("sensitivity") => false,
+                Some("coverage") => true,
+                _ => return Err("`kind` must be \"sensitivity\" or \"coverage\"".to_string()),
+            };
+        }
+        if let Some(v) = map.get("seed") {
+            spec.seed = want_u64(v, "seed")?;
+        }
+        if let Some(v) = map.get("vars") {
+            spec.vars = want_u64(v, "vars")?.clamp(1, 1024) as usize;
+        }
+        if let Some(v) = map.get("masks") {
+            spec.masks = want_u64(v, "masks")?.clamp(1, 1024) as usize;
+        }
+        if let Some(v) = map.get("alpha") {
+            spec.alpha = want_f64(v, "alpha")?;
+            if !(spec.alpha >= 1.0 && spec.alpha.is_finite()) {
+                return Err("`alpha` must be a finite number >= 1".to_string());
+            }
+        }
+        if let Some(v) = map.get("shard_size") {
+            spec.shard_size = want_u64(v, "shard_size")?.min(1 << 16) as usize;
+        }
+        if let Some(v) = map.get("max_retries") {
+            spec.max_retries = want_u64(v, "max_retries")?.min(16) as u32;
+        }
+        if let Some(v) = map.get("bit_counts") {
+            let arr = v.as_arr().ok_or("`bit_counts` must be an array")?;
+            if arr.is_empty() || arr.len() > 32 {
+                return Err("`bit_counts` must hold 1..=32 entries".to_string());
+            }
+            spec.bit_counts = arr
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .filter(|b| (1..=32).contains(b))
+                        .map(|b| b as u32)
+                        .ok_or_else(|| {
+                            "`bit_counts` entries must be integers in 1..=32".to_string()
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(v) = map.get("adaptive") {
+            let mut a = AdaptiveConfig::default();
+            if let Some(w) = v.get("ci_width") {
+                a.ci_width = want_f64(w, "adaptive.ci_width")?;
+                if !(a.ci_width > 0.0 && a.ci_width < 1.0) {
+                    return Err("`adaptive.ci_width` must be in (0, 1)".to_string());
+                }
+            }
+            if let Some(n) = v.get("min_samples") {
+                a.min_samples = want_u64(n, "adaptive.min_samples")?;
+            }
+            spec.adaptive = Some(a);
+        }
+        if let Some(v) = map.get("chaos") {
+            let key = v
+                .get("stratum")
+                .and_then(|s| s.as_str())
+                .ok_or("`chaos.stratum` (a stratum key like \"FPU/floating-point\") is required")?;
+            let stratum = Stratum::parse_key(key)
+                .ok_or_else(|| format!("`chaos.stratum`: unknown stratum key `{key}`"))?;
+            let mut chaos = ChaosConfig {
+                stratum,
+                chunk: 0,
+                fail_attempts: 1,
+                panics: false,
+            };
+            if let Some(c) = v.get("chunk") {
+                chaos.chunk = want_u64(c, "chaos.chunk")?.min(u32::MAX as u64) as u32;
+            }
+            if let Some(f) = v.get("fail_attempts") {
+                chaos.fail_attempts =
+                    want_u64(f, "chaos.fail_attempts")?.min(u32::MAX as u64) as u32;
+            }
+            if let Some(p) = v.get("panics") {
+                chaos.panics = p.as_bool().ok_or("`chaos.panics` must be a boolean")?;
+            }
+            spec.chaos = Some(chaos);
+        }
+        if let Some(v) = map.get("launch") {
+            if let Some(b) = v.get("blocks") {
+                spec.launch.blocks = want_u64(b, "launch.blocks")? as u32;
+            }
+            if let Some(t) = v.get("threads") {
+                spec.launch.threads_per_block = want_u64(t, "launch.threads")? as u32;
+            }
+            if let Some(e) = v.get("elems") {
+                spec.launch.elems = want_u64(e, "launch.elems")? as u32;
+            }
+            if let Some(x) = v.get("exact") {
+                spec.launch.exact = x.as_bool().ok_or("`launch.exact` must be a boolean")?;
+            }
+        }
+
+        // Build the program once now so a bad submission fails at POST time
+        // with a structured message, not inside a worker thread.
+        spec.build_program()?;
+        Ok(spec)
+    }
+
+    /// Canonical JSON form (round-trips through [`JobSpec::from_json`];
+    /// persisted as `<id>.spec.json` so a restarted daemon can re-run the
+    /// job against its journal).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![
+            (
+                "kind",
+                Json::str(if self.coverage {
+                    "coverage"
+                } else {
+                    "sensitivity"
+                }),
+            ),
+            ("seed", Json::uint(self.seed)),
+            ("vars", Json::uint(self.vars as u64)),
+            ("masks", Json::uint(self.masks as u64)),
+            (
+                "bit_counts",
+                Json::Arr(
+                    self.bit_counts
+                        .iter()
+                        .map(|b| Json::uint(*b as u64))
+                        .collect(),
+                ),
+            ),
+            ("alpha", Json::Num(self.alpha)),
+            ("shard_size", Json::uint(self.shard_size as u64)),
+            ("max_retries", Json::uint(self.max_retries as u64)),
+        ];
+        match &self.program {
+            ProgramSpec::Named(n) => pairs.push(("program", Json::str(n.clone()))),
+            ProgramSpec::Kir(src) => {
+                pairs.push(("kernel", Json::str(src.clone())));
+                pairs.push((
+                    "launch",
+                    Json::obj([
+                        ("blocks", Json::uint(self.launch.blocks as u64)),
+                        ("threads", Json::uint(self.launch.threads_per_block as u64)),
+                        ("elems", Json::uint(self.launch.elems as u64)),
+                        ("exact", Json::Bool(self.launch.exact)),
+                    ]),
+                ));
+            }
+        }
+        if let Some(a) = &self.adaptive {
+            pairs.push((
+                "adaptive",
+                Json::obj([
+                    ("ci_width", Json::Num(a.ci_width)),
+                    ("min_samples", Json::uint(a.min_samples)),
+                ]),
+            ));
+        }
+        if let Some(c) = &self.chaos {
+            pairs.push((
+                "chaos",
+                Json::obj([
+                    ("stratum", Json::str(c.stratum.key())),
+                    ("chunk", Json::uint(c.chunk as u64)),
+                    ("fail_attempts", Json::uint(c.fail_attempts as u64)),
+                    ("panics", Json::Bool(c.panics)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Instantiate the program under test.
+    pub fn build_program(&self) -> Result<Box<dyn HostProgram>, String> {
+        match &self.program {
+            ProgramSpec::Named(name) => program_by_name(name, ProblemScale::Quick)
+                .ok_or_else(|| format!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)")),
+            ProgramSpec::Kir(src) => {
+                Ok(Box::new(TextProgram::from_kir(src, self.launch)?) as Box<dyn HostProgram>)
+            }
+        }
+    }
+
+    /// The campaign kind this spec requests.
+    pub fn campaign_kind(&self) -> CampaignKind {
+        if self.coverage {
+            CampaignKind::Coverage(FtOptions::default())
+        } else {
+            CampaignKind::Sensitivity
+        }
+    }
+
+    /// The [`CampaignConfig`] this spec maps to. Exposed (and used by the
+    /// e2e test) so "the same campaign run in-process" is definable
+    /// byte-for-byte.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            plan: PlanConfig {
+                vars_per_program: self.vars,
+                masks_per_var: self.masks,
+                bit_counts: self.bit_counts.clone(),
+                scheduler_per_mille: 60,
+                register_per_mille: 60,
+            },
+            seed: self.seed,
+            alpha: self.alpha,
+            ..Default::default()
+        }
+    }
+
+    /// The orchestrator knobs this spec maps to (journal paths are the
+    /// daemon's business, not the submitter's).
+    pub fn orchestrator_config(&self) -> OrchestratorConfig {
+        OrchestratorConfig {
+            shard_size: self.shard_size,
+            adaptive: self.adaptive.clone(),
+            max_retries: self.max_retries,
+            chaos: self.chaos,
+            ..Default::default()
+        }
+    }
+}
+
+/// Job lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing the campaign.
+    Running,
+    /// Finished; the result document is available.
+    Done,
+    /// Execution failed (panic or journal error); the error is recorded.
+    Failed,
+    /// The daemon shut down before a worker picked the job up. Its spec is
+    /// persisted, so a restarted daemon re-queues it.
+    Canceled,
+}
+
+impl JobPhase {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::Canceled => "canceled",
+        }
+    }
+
+    /// Whether the phase is final.
+    pub fn terminal(&self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Failed | JobPhase::Canceled)
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    phase: JobPhase,
+    /// Final summary document (exact bytes served by `/result`).
+    result: Option<String>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct EventBuf {
+    lines: Vec<String>,
+    dropped: u64,
+}
+
+/// One submitted campaign job: spec, lifecycle state, progress counters,
+/// and the bounded event log backing the `/events` stream.
+#[derive(Debug)]
+pub struct Job {
+    /// Job id (`"cj-<n>"`).
+    pub id: String,
+    /// The validated spec.
+    pub spec: JobSpec,
+    state: Mutex<JobState>,
+    events: Mutex<EventBuf>,
+    wake: Condvar,
+    planned: AtomicU64,
+    injections: AtomicU64,
+}
+
+/// Retained event lines per job; beyond this the log counts drops instead
+/// of growing (the stream reports the gap).
+pub const MAX_EVENT_LINES: usize = 100_000;
+
+impl Job {
+    /// New queued job.
+    pub fn new(id: String, spec: JobSpec) -> Arc<Job> {
+        let job = Arc::new(Job {
+            id,
+            spec,
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                result: None,
+                error: None,
+            }),
+            events: Mutex::new(EventBuf::default()),
+            wake: Condvar::new(),
+            planned: AtomicU64::new(0),
+            injections: AtomicU64::new(0),
+        });
+        job.push_lifecycle("queued");
+        job
+    }
+
+    /// A job recovered from a persisted result document (daemon restart).
+    pub fn recovered(id: String, spec: JobSpec, result: Result<String, String>) -> Arc<Job> {
+        let job = Job::new(id, spec);
+        match result {
+            Ok(summary) => job.finish(summary),
+            Err(error) => job.fail(error),
+        }
+        job
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> JobPhase {
+        lock_recover(&self.state).phase
+    }
+
+    /// Final summary document, when done.
+    pub fn result(&self) -> Option<String> {
+        lock_recover(&self.state).result.clone()
+    }
+
+    /// Failure message, when failed.
+    pub fn error(&self) -> Option<String> {
+        lock_recover(&self.state).error.clone()
+    }
+
+    /// Status document for `GET /v1/campaigns/:id`.
+    pub fn status_json(&self) -> Json {
+        let st = lock_recover(&self.state);
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(self.id.clone())),
+            ("state".to_string(), Json::str(st.phase.label())),
+            (
+                "planned".to_string(),
+                Json::uint(self.planned.load(Ordering::Relaxed)),
+            ),
+            (
+                "injections_done".to_string(),
+                Json::uint(self.injections.load(Ordering::Relaxed)),
+            ),
+        ];
+        if let Some(e) = &st.error {
+            pairs.push(("error".to_string(), Json::str(e.clone())));
+        }
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    /// Transition to `Running`.
+    pub fn start(&self) {
+        lock_recover(&self.state).phase = JobPhase::Running;
+        self.push_lifecycle("running");
+    }
+
+    /// Transition to `Done` with the final summary document.
+    pub fn finish(&self, summary: String) {
+        {
+            let mut st = lock_recover(&self.state);
+            st.phase = JobPhase::Done;
+            st.result = Some(summary);
+        }
+        self.push_lifecycle("done");
+    }
+
+    /// Transition to `Failed`.
+    pub fn fail(&self, error: String) {
+        {
+            let mut st = lock_recover(&self.state);
+            st.phase = JobPhase::Failed;
+            st.error = Some(error);
+        }
+        self.push_lifecycle("failed");
+    }
+
+    /// Transition to `Canceled` (daemon shutdown before execution).
+    pub fn cancel(&self) {
+        lock_recover(&self.state).phase = JobPhase::Canceled;
+        self.push_lifecycle("canceled");
+    }
+
+    fn push_lifecycle(&self, state: &str) {
+        let line = Json::obj([("ev", Json::str("job_state")), ("state", Json::str(state))]);
+        self.push_line(line.to_string());
+    }
+
+    fn push_line(&self, line: String) {
+        {
+            let mut buf = lock_recover(&self.events);
+            if buf.lines.len() < MAX_EVENT_LINES {
+                buf.lines.push(line);
+            } else {
+                buf.dropped += 1;
+            }
+        }
+        self.wake.notify_all();
+    }
+
+    /// Event lines after `from`, blocking up to `wait` for new ones.
+    /// Returns `(new_lines, dropped_so_far, terminal)`; an empty batch with
+    /// `terminal = true` means the stream is complete.
+    pub fn events_since(&self, from: usize, wait: Duration) -> (Vec<String>, u64, bool) {
+        let mut buf = lock_recover(&self.events);
+        if buf.lines.len() <= from && !self.phase().terminal() {
+            let (b, _timeout) = self
+                .wake
+                .wait_timeout(buf, wait)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            buf = b;
+        }
+        let lines = buf.lines.get(from..).unwrap_or(&[]).to_vec();
+        let dropped = buf.dropped;
+        drop(buf);
+        (lines, dropped, self.phase().terminal())
+    }
+}
+
+/// Telemetry sink wired into a job's campaign run: serializes every event
+/// into the job's log (feeding `/events`) and keeps the cheap progress
+/// counters behind `GET /v1/campaigns/:id` fresh.
+#[derive(Debug)]
+pub struct JobEventSink {
+    job: Arc<Job>,
+}
+
+impl JobEventSink {
+    /// Sink feeding `job`.
+    pub fn new(job: Arc<Job>) -> Self {
+        JobEventSink { job }
+    }
+}
+
+impl TelemetrySink for JobEventSink {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::CampaignStarted { runs, .. } => {
+                self.job.planned.store(*runs, Ordering::Relaxed);
+            }
+            Event::InjectionRun { .. } => {
+                self.job.injections.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.job.push_line(event.to_json().to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hauberk_telemetry::json::parse;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let doc = parse(
+            r#"{"program":"CP","kind":"coverage","seed":7,"vars":4,"masks":3,
+                "bit_counts":[1,3],"alpha":10.0,"adaptive":{"ci_width":0.2,"min_samples":16}}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert!(spec.coverage);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.bit_counts, vec![1, 3]);
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.to_json(), spec.to_json());
+    }
+
+    #[test]
+    fn unknown_and_invalid_fields_are_structured_errors() {
+        for (body, needle) in [
+            (r#"{"prorgam":"CP"}"#, "unknown field `prorgam`"),
+            (r#"{"program":"NOPE"}"#, "unknown program"),
+            (r#"{"program":"CP","kind":"both"}"#, "`kind` must be"),
+            (r#"[1,2]"#, "must be a JSON object"),
+            (
+                r#"{"program":"CP","kernel":"kernel x() {}"}"#,
+                "mutually exclusive",
+            ),
+            (r#"{"kernel":"kernel broken {"}"#, "parse error"),
+            (r#"{}"#, "one of `program` or `kernel`"),
+        ] {
+            let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn job_event_log_streams_and_terminates() {
+        let job = Job::new("cj-1".into(), JobSpec::default());
+        let (lines, dropped, terminal) = job.events_since(0, Duration::from_millis(1));
+        assert_eq!(lines.len(), 1, "queued lifecycle event");
+        assert_eq!(dropped, 0);
+        assert!(!terminal);
+        job.start();
+        job.finish("{}".to_string());
+        let (lines, _, terminal) = job.events_since(1, Duration::from_millis(1));
+        assert_eq!(lines.len(), 2, "running + done");
+        assert!(terminal);
+        assert_eq!(job.phase(), JobPhase::Done);
+        assert_eq!(job.result().as_deref(), Some("{}"));
+    }
+}

@@ -1,0 +1,626 @@
+//! The daemon: listener, bounded job queue, worker pool, and route handlers.
+//!
+//! The flow is `TcpListener → per-connection thread (capped) → route →
+//! bounded queue → worker pool → swifi orchestrator → journal/result files`.
+//! Every stage is bounded: connections beyond [`ServerConfig::max_connections`]
+//! get 503, submissions beyond [`ServerConfig::queue_capacity`] get 429 with
+//! `Retry-After`, bodies beyond [`ServerConfig::max_body_bytes`] get 413
+//! before being read, and a worker that panics inside a campaign marks the
+//! job failed and keeps serving.
+//!
+//! With a state directory configured, every accepted job persists its spec,
+//! its orchestrator journal, and (on completion) the exact result bytes, so
+//! a restarted daemon serves finished results immediately and resumes
+//! interrupted jobs from their journals.
+
+use crate::http::{self, ChunkedWriter, Limits, RecvError, Request};
+use crate::jobs::{Job, JobEventSink, JobPhase, JobSpec};
+use hauberk_swifi::orchestrator::run_orchestrated_campaign_traced;
+use hauberk_telemetry::json::{parse_with_limits, Json, ParseLimits};
+use hauberk_telemetry::metrics::Registry;
+use hauberk_telemetry::{lock_recover, Telemetry};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Campaign worker threads.
+    pub workers: usize,
+    /// Jobs admitted beyond the running ones; the backpressure bound.
+    pub queue_capacity: usize,
+    /// Request body cap (shared by the HTTP layer and the JSON parser).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout (slow-loris bound).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout (stuck-client bound).
+    pub write_timeout: Duration,
+    /// Concurrent connection threads; beyond this, 503.
+    pub max_connections: usize,
+    /// Where specs/journals/results persist. `None` = fully in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// `Retry-After` seconds advertised on 429.
+    pub retry_after_secs: u64,
+    /// Start with the worker pool paused (tests use this to fill the queue
+    /// deterministically); release with [`ServerHandle::resume`].
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            max_connections: 64,
+            state_dir: None,
+            retry_after_secs: 2,
+            start_paused: false,
+        }
+    }
+}
+
+/// Shared daemon state.
+struct Inner {
+    cfg: ServerConfig,
+    jobs: Mutex<BTreeMap<String, Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Wakes workers on enqueue, pause-release, and shutdown.
+    work: Condvar,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+    next_id: AtomicU64,
+    conns: AtomicUsize,
+    metrics: Registry,
+}
+
+impl Inner {
+    fn job(&self, id: &str) -> Option<Arc<Job>> {
+        lock_recover(&self.jobs).get(id).cloned()
+    }
+
+    fn state_path(&self, id: &str, suffix: &str) -> Option<PathBuf> {
+        self.cfg
+            .state_dir
+            .as_ref()
+            .map(|d| d.join(format!("{id}.{suffix}")))
+    }
+
+    fn persist(&self, id: &str, suffix: &str, contents: &str) {
+        if let Some(path) = self.state_path(id, suffix) {
+            // Write-then-rename so a crash mid-write never leaves a torn
+            // document where the recovery scan expects valid JSON.
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, contents).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    fn enqueue(&self, job: Arc<Job>) {
+        lock_recover(&self.queue).push_back(job);
+        self.work.notify_all();
+    }
+
+    /// Worker loop: pop → run → record, until shutdown drains the queue.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = lock_recover(&self.queue);
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if !self.paused.load(Ordering::SeqCst) {
+                        if let Some(job) = q.pop_front() {
+                            break job;
+                        }
+                    }
+                    let (g, _) = self
+                        .work
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    q = g;
+                }
+            };
+            self.run_job(&job);
+        }
+    }
+
+    /// Execute one campaign. Panics inside the campaign (hostile kernel,
+    /// simulator divergence past the retry budget) are caught here so the
+    /// worker — and the daemon — outlive the job.
+    fn run_job(&self, job: &Arc<Job>) {
+        job.start();
+        self.metrics.incr("jobs_started", 1);
+        let tele = Telemetry::new(Arc::new(JobEventSink::new(job.clone())));
+        let journal = self.state_path(&job.id, "journal.jsonl");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let prog = job.spec.build_program()?;
+            let cfg = job.spec.campaign_config();
+            let mut orch = job.spec.orchestrator_config();
+            orch.journal_path = journal.clone();
+            orch.resume_from = journal.clone().filter(|p| p.exists());
+            run_orchestrated_campaign_traced(
+                prog.as_ref(),
+                job.spec.campaign_kind(),
+                &cfg,
+                &orch,
+                tele,
+            )
+            .map(|res| res.summary_json().to_string())
+        }));
+        match outcome {
+            Ok(Ok(summary)) => {
+                self.persist(&job.id, "result.json", &summary);
+                job.finish(summary);
+                self.metrics.incr("jobs_done", 1);
+            }
+            Ok(Err(err)) => {
+                self.record_failure(job, err);
+            }
+            Err(panic) => {
+                let msg = panic_message(panic);
+                self.record_failure(job, format!("campaign panicked: {msg}"));
+            }
+        }
+    }
+
+    fn record_failure(&self, job: &Arc<Job>, err: String) {
+        let doc = Json::obj([("error", Json::str(err.clone()))]).to_string();
+        // Persisting the failure prevents a crash-loop: the recovery scan
+        // sees `<id>.failed.json` and does NOT re-enqueue the job.
+        self.persist(&job.id, "failed.json", &doc);
+        job.fail(err);
+        self.metrics.incr("jobs_failed", 1);
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// A bound daemon, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// Control handle for a daemon running on background threads.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    join: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Release a [`ServerConfig::start_paused`] worker pool.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::SeqCst);
+        self.inner.work.notify_all();
+    }
+
+    /// Request shutdown and wait for in-flight jobs to drain.
+    pub fn shutdown(self) {
+        self.inner.request_shutdown();
+        for j in self.join {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Inner {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+        // Jobs still queued will not run in this process lifetime; their
+        // specs are on disk (when persistence is on), so a restart re-queues
+        // them. Mark them so clients polling status see a truthful state.
+        let canceled: Vec<Arc<Job>> = lock_recover(&self.queue).drain(..).collect();
+        for job in canceled {
+            job.cancel();
+        }
+    }
+}
+
+impl Server {
+    /// Bind the listener, recover persisted jobs, and prepare the pool.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            paused: AtomicBool::new(cfg.start_paused),
+            cfg,
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            conns: AtomicUsize::new(0),
+            metrics: Registry::new(),
+        });
+        recover_state(&inner);
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// External shutdown trigger for [`Server::run`] (the binary connects
+    /// its signal handler to this).
+    pub fn shutdown_flag(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let inner = self.inner.clone();
+        Arc::new(move || inner.request_shutdown())
+    }
+
+    /// Run the daemon on background threads; returns a control handle.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let Server { listener, inner } = self;
+        let mut join = spawn_workers(&inner);
+        let accept_inner = inner.clone();
+        join.push(std::thread::spawn(move || {
+            accept_loop(&listener, &accept_inner);
+        }));
+        Ok(ServerHandle { inner, addr, join })
+    }
+
+    /// Run the daemon on the calling thread until shutdown is requested
+    /// (via the closure from [`Server::shutdown_flag`]), then drain.
+    pub fn run(self) {
+        let workers = spawn_workers(&self.inner);
+        accept_loop(&self.listener, &self.inner);
+        for j in workers {
+            let _ = j.join();
+        }
+    }
+}
+
+fn spawn_workers(inner: &Arc<Inner>) -> Vec<std::thread::JoinHandle<()>> {
+    (0..inner.cfg.workers.max(1))
+        .map(|_| {
+            let inner = inner.clone();
+            std::thread::spawn(move || inner.worker_loop())
+        })
+        .collect()
+}
+
+/// Poll-accept until shutdown. Nonblocking + sleep keeps the loop able to
+/// observe the shutdown flag without platform-specific socket tricks.
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.conns.load(Ordering::SeqCst) >= inner.cfg.max_connections {
+                    inner.metrics.incr("http_rejected_overload", 1);
+                    let mut s = stream;
+                    let _ = http::write_response(
+                        &mut s,
+                        503,
+                        "application/json",
+                        &[],
+                        br#"{"error":"connection limit reached"}"#,
+                    );
+                    continue;
+                }
+                inner.conns.fetch_add(1, Ordering::SeqCst);
+                let inner = inner.clone();
+                std::thread::spawn(move || {
+                    handle_connection(stream, &inner);
+                    inner.conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Recovery scan over the state directory: finished jobs serve their
+/// persisted results, failed jobs stay failed (no crash-loop), and jobs
+/// with only a spec re-enter the queue, where the orchestrator journal
+/// replays whatever already ran.
+fn recover_state(inner: &Arc<Inner>) {
+    let Some(dir) = inner.cfg.state_dir.clone() else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let mut max_id = 0u64;
+    let mut specs: Vec<(u64, String, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            let Some(id) = name.strip_suffix(".spec.json") else {
+                continue;
+            };
+            let Some(n) = id.strip_prefix("cj-").and_then(|n| n.parse::<u64>().ok()) else {
+                continue;
+            };
+            max_id = max_id.max(n);
+            specs.push((n, id.to_string(), entry.path()));
+        }
+    }
+    specs.sort();
+    inner.next_id.store(max_id + 1, Ordering::SeqCst);
+    for (_, id, spec_path) in specs {
+        let Ok(raw) = std::fs::read_to_string(&spec_path) else {
+            continue;
+        };
+        let spec = parse_with_limits(&raw, ParseLimits::default())
+            .map_err(|e| e.to_string())
+            .and_then(|doc| JobSpec::from_json(&doc));
+        let spec = match spec {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "serve: skipping unreadable spec {}: {e}",
+                    spec_path.display()
+                );
+                continue;
+            }
+        };
+        let result = inner
+            .state_path(&id, "result.json")
+            .and_then(|p| std::fs::read_to_string(p).ok());
+        let failed = inner
+            .state_path(&id, "failed.json")
+            .and_then(|p| std::fs::read_to_string(p).ok());
+        let job = if let Some(summary) = result {
+            Job::recovered(id.clone(), spec, Ok(summary))
+        } else if let Some(doc) = failed {
+            let msg = parse_with_limits(&doc, ParseLimits::default())
+                .ok()
+                .and_then(|j| j.get("error").and_then(|e| e.as_str().map(String::from)))
+                .unwrap_or(doc);
+            Job::recovered(id.clone(), spec, Err(msg))
+        } else {
+            let job = Job::new(id.clone(), spec);
+            inner.enqueue(job.clone());
+            inner.metrics.incr("jobs_recovered", 1);
+            job
+        };
+        lock_recover(&inner.jobs).insert(id, job);
+    }
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json) {
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &[],
+        doc.to_string().as_bytes(),
+    );
+}
+
+fn error_json(stream: &mut TcpStream, status: u16, msg: &str) {
+    respond_json(stream, status, &Json::obj([("error", Json::str(msg))]));
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+    let limits = Limits {
+        max_body_bytes: inner.cfg.max_body_bytes,
+        ..Limits::default()
+    };
+    let req = match http::read_request(&mut stream, &limits) {
+        Ok(req) => req,
+        Err(RecvError::Closed) => return,
+        Err(RecvError::Timeout) => {
+            inner.metrics.incr("http_timeouts", 1);
+            return error_json(&mut stream, 408, "request timed out");
+        }
+        Err(RecvError::BodyTooLarge { limit }) => {
+            inner.metrics.incr("http_oversized", 1);
+            return error_json(
+                &mut stream,
+                413,
+                &format!("body exceeds the {limit}-byte limit"),
+            );
+        }
+        Err(RecvError::Malformed(msg)) => {
+            inner.metrics.incr("http_malformed", 1);
+            return error_json(&mut stream, 400, &msg);
+        }
+    };
+    inner.metrics.incr("http_requests", 1);
+    route(&mut stream, &req, inner);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let _ = http::write_response(stream, 200, "text/plain", &[], b"ok");
+        }
+        ("GET", ["metrics"]) => handle_metrics(stream, inner),
+        ("POST", ["v1", "campaigns"]) => handle_submit(stream, req, inner),
+        ("GET", ["v1", "campaigns", id]) => match inner.job(id) {
+            Some(job) => respond_json(stream, 200, &job.status_json()),
+            None => error_json(stream, 404, "no such campaign"),
+        },
+        ("GET", ["v1", "campaigns", id, "events"]) => match inner.job(id) {
+            Some(job) => handle_events(stream, &job, inner),
+            None => error_json(stream, 404, "no such campaign"),
+        },
+        ("GET", ["v1", "campaigns", id, "result"]) => match inner.job(id) {
+            Some(job) => handle_result(stream, &job),
+            None => error_json(stream, 404, "no such campaign"),
+        },
+        (_, ["healthz" | "metrics"]) | (_, ["v1", "campaigns", ..]) => {
+            error_json(stream, 405, "method not allowed")
+        }
+        _ => error_json(stream, 404, "no such route"),
+    }
+}
+
+fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return error_json(stream, 400, "body is not UTF-8"),
+    };
+    let parse_limits = ParseLimits {
+        max_bytes: inner.cfg.max_body_bytes,
+        ..ParseLimits::default()
+    };
+    let doc = match parse_with_limits(body, parse_limits) {
+        Ok(doc) => doc,
+        Err(e) => return error_json(stream, 400, &format!("invalid JSON: {e}")),
+    };
+    let spec = match JobSpec::from_json(&doc) {
+        Ok(spec) => spec,
+        Err(e) => {
+            inner.metrics.incr("submit_rejected", 1);
+            return error_json(stream, 400, &e);
+        }
+    };
+
+    // Admission control under the queue lock so capacity is exact: two
+    // racing submissions cannot both squeeze into the last slot.
+    let job = {
+        let mut q = lock_recover(&inner.queue);
+        if q.len() >= inner.cfg.queue_capacity {
+            inner.metrics.incr("submit_backpressured", 1);
+            drop(q);
+            let retry = inner.cfg.retry_after_secs.to_string();
+            let doc = Json::obj([("error", Json::str("job queue is full; retry later"))]);
+            let _ = http::write_response(
+                stream,
+                429,
+                "application/json",
+                &[("Retry-After", retry)],
+                doc.to_string().as_bytes(),
+            );
+            return;
+        }
+        let id = format!("cj-{}", inner.next_id.fetch_add(1, Ordering::SeqCst));
+        let job = Job::new(id, spec);
+        q.push_back(job.clone());
+        job
+    };
+    inner.work.notify_all();
+    inner.persist(&job.id, "spec.json", &job.spec.to_json().to_string());
+    lock_recover(&inner.jobs).insert(job.id.clone(), job.clone());
+    inner.metrics.incr("submit_accepted", 1);
+    respond_json(
+        stream,
+        201,
+        &Json::obj([
+            ("id", Json::str(job.id.clone())),
+            ("state", Json::str(job.phase().label())),
+        ]),
+    );
+}
+
+/// Stream the job's event log as chunked JSONL until the job reaches a
+/// terminal phase and the log is drained (or the client goes away, or the
+/// daemon shuts down — either truncates the stream, which is the honest
+/// signal).
+fn handle_events(stream: &mut TcpStream, job: &Arc<Job>, inner: &Arc<Inner>) {
+    let mut w = match ChunkedWriter::start(stream, 200, "application/jsonl") {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut cursor = 0usize;
+    let mut reported_drops = 0u64;
+    loop {
+        let (lines, dropped, terminal) = job.events_since(cursor, Duration::from_millis(250));
+        let mut batch = String::new();
+        for line in &lines {
+            batch.push_str(line);
+            batch.push('\n');
+        }
+        cursor += lines.len();
+        if dropped > reported_drops {
+            batch.push_str(
+                &Json::obj([
+                    ("ev", Json::str("events_dropped")),
+                    ("count", Json::uint(dropped - reported_drops)),
+                ])
+                .to_string(),
+            );
+            batch.push('\n');
+            reported_drops = dropped;
+        }
+        if w.chunk(batch.as_bytes()).is_err() {
+            return; // client went away
+        }
+        if (terminal && lines.is_empty()) || inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let _ = w.finish();
+}
+
+fn handle_result(stream: &mut TcpStream, job: &Arc<Job>) {
+    match job.phase() {
+        JobPhase::Done => {
+            let body = job.result().unwrap_or_default();
+            let _ = http::write_response(stream, 200, "application/json", &[], body.as_bytes());
+        }
+        JobPhase::Failed => {
+            error_json(stream, 500, &job.error().unwrap_or_default());
+        }
+        JobPhase::Canceled => {
+            error_json(
+                stream,
+                503,
+                "job was canceled by daemon shutdown; it resumes on restart",
+            );
+        }
+        JobPhase::Queued | JobPhase::Running => {
+            respond_json(stream, 202, &job.status_json());
+        }
+    }
+}
+
+fn handle_metrics(stream: &mut TcpStream, inner: &Arc<Inner>) {
+    let queue_depth = lock_recover(&inner.queue).len() as u64;
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    for job in lock_recover(&inner.jobs).values() {
+        *phases.entry(job.phase().label().to_string()).or_insert(0) += 1;
+    }
+    let doc = Json::obj([
+        ("metrics", inner.metrics.snapshot().to_json()),
+        ("queue_depth", Json::uint(queue_depth)),
+        (
+            "queue_capacity",
+            Json::uint(inner.cfg.queue_capacity as u64),
+        ),
+        (
+            "jobs",
+            Json::Obj(
+                phases
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::uint(v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    respond_json(stream, 200, &doc);
+}

@@ -70,6 +70,9 @@ pub struct ChaosConfig {
     /// How many attempts fail before the unit is allowed to succeed (set it
     /// above `max_retries` to force quarantine).
     pub fail_attempts: u32,
+    /// Fail by `panic!`-ing on a worker thread (exercising the real
+    /// `catch_unwind` recovery) instead of returning a synthetic error.
+    pub panics: bool,
 }
 
 /// Orchestration parameters, on top of a [`CampaignConfig`].
@@ -270,6 +273,21 @@ pub fn run_orchestrated_campaign(
     cfg: &CampaignConfig,
     orch: &OrchestratorConfig,
 ) -> Result<ShardedCampaignResult, String> {
+    run_orchestrated_campaign_traced(prog, kind, cfg, orch, campaign_telemetry(cfg))
+}
+
+/// [`run_orchestrated_campaign`] with a caller-supplied telemetry pipeline
+/// instead of the file sink derived from `cfg.trace_path`. The serve daemon
+/// uses this to fan campaign events into per-job in-memory buffers that back
+/// its live progress streams; the summary is byte-identical either way
+/// (telemetry is observation only, never input to the result).
+pub fn run_orchestrated_campaign_traced(
+    prog: &dyn HostProgram,
+    kind: CampaignKind,
+    cfg: &CampaignConfig,
+    orch: &OrchestratorConfig,
+    tele: Telemetry,
+) -> Result<ShardedCampaignResult, String> {
     let env = prepare_campaign(prog, &kind, cfg);
     let shard_size = orch.effective_shard_size();
     let meta = JournalMeta {
@@ -343,7 +361,6 @@ pub fn run_orchestrated_campaign(
             .push(i);
     }
 
-    let tele = campaign_telemetry(cfg);
     let progress = Progress::new(prog.name(), env.plans.len() as u64, cfg.progress_every);
     tele.emit_with(|| Event::CampaignStarted {
         program: prog.name().to_string(),
@@ -528,20 +545,29 @@ fn execute_unit(
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        let chaos_fails = orch.chaos.is_some_and(|c| {
+        let chaos = orch.chaos.filter(|c| {
             c.stratum == id.stratum && c.chunk == id.chunk && attempt <= c.fail_attempts
         });
-        let outcome: Result<Vec<RecordedInjection>, String> = if chaos_fails {
-            Err("chaos: injected work-unit failure".to_string())
-        } else {
-            let runs: Vec<Result<RecordedInjection, String>> = span
-                .par_iter()
-                .map(|&i| {
-                    catch_unwind(AssertUnwindSafe(|| env.run_one(prog, i, tele)))
+        let outcome: Result<Vec<RecordedInjection>, String> = match chaos {
+            Some(c) if !c.panics => Err("chaos: injected work-unit failure".to_string()),
+            _ => {
+                // `chaos.panics` panics *inside* the per-injection
+                // `catch_unwind`, so the recovery under test is the real one,
+                // not a shortcut around it.
+                let runs: Vec<Result<RecordedInjection, String>> = span
+                    .par_iter()
+                    .map(|&i| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            if chaos.is_some() {
+                                panic!("chaos: injected work-unit panic");
+                            }
+                            env.run_one(prog, i, tele)
+                        }))
                         .map_err(panic_message)
-                })
-                .collect();
-            runs.into_iter().collect()
+                    })
+                    .collect();
+                runs.into_iter().collect()
+            }
         };
         match outcome {
             Ok(results) => {
@@ -681,6 +707,7 @@ mod tests {
                     stratum,
                     chunk: 0,
                     fail_attempts: 1,
+                    panics: false,
                 }),
                 ..Default::default()
             },
@@ -711,6 +738,7 @@ mod tests {
                     stratum,
                     chunk: 0,
                     fail_attempts: 99,
+                    panics: false,
                 }),
                 ..Default::default()
             },
@@ -740,6 +768,43 @@ mod tests {
         std::fs::remove_file(&journal).ok();
         assert_eq!(replayed.quarantined.len(), 1);
         assert_eq!(replayed.summary_json(), r.summary_json());
+    }
+
+    #[test]
+    fn panicking_unit_is_quarantined_with_its_message() {
+        // Same shape as `exhausted_retries_quarantine_the_unit`, but the
+        // sabotaged unit genuinely panics on a rayon worker thread, so the
+        // `catch_unwind` in `execute_unit` (the path a hostile kernel or a
+        // simulator bug would take) is what does the recovering.
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let stratum = Stratum {
+            hw: HwComponent::Fpu,
+            class: DataClass::Float,
+        };
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                max_retries: 1,
+                chaos: Some(ChaosConfig {
+                    stratum,
+                    chunk: 0,
+                    fail_attempts: 99,
+                    panics: true,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(r.quarantined[0].attempts, 2, "1 try + 1 retry");
+        assert!(
+            r.quarantined[0].error.contains("injected work-unit panic"),
+            "panic payload survives: {}",
+            r.quarantined[0].error
+        );
     }
 
     #[test]

@@ -176,11 +176,54 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Parsing limits for untrusted input. The daemon feeds request bodies
+/// straight into [`parse`], so both knobs exist to keep a hostile client
+/// from exhausting the process: `max_depth` bounds recursion (a body of
+/// nothing but `[` would otherwise overflow the stack) and `max_bytes`
+/// bounds the allocation a single document may force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth (arrays + objects combined).
+    pub max_depth: usize,
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        // Deep enough for any document this workspace writes, shallow
+        // enough that the recursive-descent parser stays well inside a
+        // default thread stack.
+        ParseLimits {
+            max_depth: 128,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else),
+/// under [`ParseLimits::default`].
 pub fn parse(input: &str) -> Result<Json, ParseError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// [`parse`] with explicit limits — use tighter ones for untrusted input.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, ParseError> {
+    if input.len() > limits.max_bytes {
+        return Err(ParseError {
+            msg: format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                input.len(),
+                limits.max_bytes
+            ),
+            at: 0,
+        });
+    }
     let mut p = Parser {
         b: input.as_bytes(),
         i: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     p.ws();
     let v = p.value()?;
@@ -194,6 +237,8 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -253,11 +298,21 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.ws();
         if self.eat(b'}') {
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -273,15 +328,18 @@ impl<'a> Parser<'a> {
                 continue;
             }
             self.expect(b'}')?;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.ws();
         if self.eat(b']') {
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -292,6 +350,7 @@ impl<'a> Parser<'a> {
                 continue;
             }
             self.expect(b']')?;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
     }
@@ -448,6 +507,46 @@ mod tests {
         let v = Json::str("warp μ → λ");
         assert_eq!(parse(&v.to_string()).unwrap(), v);
         assert_eq!(parse("\"\\u00b5 ok\"").unwrap().as_str(), Some("\u{b5} ok"));
+    }
+
+    #[test]
+    fn hostile_deep_arrays_error_instead_of_overflowing() {
+        // 100k unclosed brackets: without the depth limit this recursion
+        // would blow the stack long before hitting "expected a value".
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+        // Same for objects.
+        let bomb = "{\"k\":".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let nested = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        let lim = ParseLimits {
+            max_depth: 4,
+            ..ParseLimits::default()
+        };
+        assert!(parse_with_limits(&nested(4), lim).is_ok());
+        assert!(parse_with_limits(&nested(5), lim).is_err());
+        // Depth is the *current* nesting, not a cumulative count: many
+        // shallow siblings stay fine.
+        let siblings = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(parse_with_limits(&siblings, lim).is_ok());
+    }
+
+    #[test]
+    fn size_limit_rejects_oversized_input() {
+        let lim = ParseLimits {
+            max_bytes: 16,
+            ..ParseLimits::default()
+        };
+        assert!(parse_with_limits("[1,2,3]", lim).is_ok());
+        let big = format!("\"{}\"", "a".repeat(64));
+        let err = parse_with_limits(&big, lim).unwrap_err();
+        assert!(err.msg.contains("byte limit"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,19 @@ use std::fmt::Debug;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// Telemetry state (sink buffers, progress tallies, metric registries) is
+/// shared across campaign worker threads, and a worker that panics while
+/// holding one of these locks poisons it. The data under every telemetry
+/// mutex is a plain tally that stays internally consistent at each store, so
+/// the right response is to keep serving it — a long-running daemon must not
+/// let one crashed job wedge metrics for every later request.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A point-in-time copy of the simulator's execution statistics, attached to
 /// kernel-exit events. Mirrors `hauberk_sim::ExecStats` without depending on
@@ -427,14 +439,12 @@ impl MemorySink {
 
     /// Event-kind → count.
     pub fn counts(&self) -> BTreeMap<&'static str, u64> {
-        self.inner.lock().unwrap().counts.clone()
+        lock_recover(&self.inner).counts.clone()
     }
 
     /// Count for one kind.
     pub fn count(&self, kind: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner)
             .counts
             .get(kind)
             .copied()
@@ -443,18 +453,18 @@ impl MemorySink {
 
     /// Copy of the retained events.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().events.clone()
+        lock_recover(&self.inner).events.clone()
     }
 
     /// Events dropped once `capacity` was reached.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        lock_recover(&self.inner).dropped
     }
 }
 
 impl TelemetrySink for MemorySink {
     fn emit(&self, event: &Event) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock_recover(&self.inner);
         *g.counts.entry(event.kind()).or_insert(0) += 1;
         if g.events.len() < self.capacity {
             g.events.push(event.clone());
@@ -491,14 +501,14 @@ impl JsonlSink {
 impl TelemetrySink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_json().to_string();
-        let mut g = self.w.lock().unwrap();
+        let mut g = lock_recover(&self.w);
         // Trace output is best-effort; a full disk should not kill a
         // campaign that is also aggregating in memory.
         let _ = writeln!(g, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().unwrap().flush();
+        let _ = lock_recover(&self.w).flush();
     }
 }
 
@@ -715,6 +725,31 @@ mod tests {
         assert_eq!(j.get("ev").unwrap().as_str(), Some("stratum_converged"));
         assert_eq!(j.get("skipped").unwrap().as_u64(), Some(160));
         assert!((j.get("ci_width").unwrap().as_f64().unwrap() - 0.081).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_sink_keeps_serving() {
+        // A worker that panics while holding the sink lock must not wedge
+        // telemetry for every later emitter (the serve daemon runs for
+        // days; its /metrics endpoint reads these locks on every scrape).
+        let sink = Arc::new(MemorySink::unbounded());
+        let s2 = sink.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _g = lock_recover(&s2.inner);
+            panic!("worker dies while holding the sink lock");
+        });
+        sink.emit(&Event::Guardian {
+            action: "restarted".into(),
+            device: 0,
+        });
+        assert_eq!(sink.count("guardian"), 1);
+
+        let p = progress::Progress::new("poisoned", 2, 0);
+        let reg = metrics::Registry::new();
+        reg.incr("before", 1);
+        p.tick("ok");
+        assert_eq!(p.done(), 1);
+        assert_eq!(reg.snapshot().counter("before"), 1);
     }
 
     #[test]

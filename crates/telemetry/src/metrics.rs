@@ -221,25 +221,25 @@ impl Registry {
 
     /// Add `by` to counter `name`.
     pub fn incr(&self, name: &str, by: u64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::lock_recover(&self.inner);
         *g.counters.entry(name.to_string()).or_insert(0) += by;
     }
 
     /// Record `v` into histogram `name`.
     pub fn observe(&self, name: &str, v: u64) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::lock_recover(&self.inner);
         g.histograms.entry(name.to_string()).or_default().observe(v);
     }
 
     /// Merge a pre-aggregated histogram into histogram `name`.
     pub fn merge_histogram(&self, name: &str, h: &Histogram) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::lock_recover(&self.inner);
         g.histograms.entry(name.to_string()).or_default().merge(h);
     }
 
     /// Copy out the current contents.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner.lock().unwrap().clone()
+        crate::lock_recover(&self.inner).clone()
     }
 }
 

@@ -35,7 +35,7 @@ impl Progress {
     /// Record one completed unit with its outcome label.
     pub fn tick(&self, outcome: &str) {
         {
-            let mut g = self.outcomes.lock().unwrap();
+            let mut g = crate::lock_recover(&self.outcomes);
             *g.entry(outcome.to_string()).or_insert(0) += 1;
         }
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -51,7 +51,7 @@ impl Progress {
 
     /// Outcome label → count, aggregated across threads.
     pub fn outcome_counts(&self) -> BTreeMap<String, u64> {
-        self.outcomes.lock().unwrap().clone()
+        crate::lock_recover(&self.outcomes).clone()
     }
 
     fn print_line(&self, done: u64) {
