@@ -5,7 +5,7 @@
 //! ```text
 //! campaign <program> [--sensitivity|--coverage] [--vars N] [--masks N]
 //!          [--alpha F] [--csv PATH] [--trace-out PATH] [--progress N]
-//!          [--json] [--engine tree-walk|bytecode] [--threads N]
+//!          [--json] [--engine tree-walk|bytecode|batch] [--threads N]
 //!          [--shard-size N] [--journal PATH | --resume PATH]
 //!          [--adaptive] [--ci-width F] [--min-samples N]
 //!          [--max-retries N] [--shard I/M]
@@ -98,7 +98,7 @@ fn main() {
         .unwrap_or(0);
     let engine = arg_value(&args, "--engine").map(|v| {
         hauberk_sim::ExecEngine::parse(&v)
-            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk or bytecode)"))
+            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk, bytecode, or batch)"))
     });
     if let Some(e) = engine {
         // Pin golden/profiling runs too, not just the injection loop.

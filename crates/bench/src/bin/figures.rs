@@ -4,7 +4,7 @@
 //! figures [fig1|fig2|fig3|fig4|fig9|fig10|fig13|fig14|fig15|fig16|alpha|guardian|all]
 //!         [--paper]     use larger problem sizes / experiment counts
 //!         [--json]      one JSON document instead of text sections
-//!         [--engine E]  execution engine: tree-walk or bytecode (default)
+//!         [--engine E]  execution engine: tree-walk, bytecode (default), or batch
 //!         [--threads N] pin the campaign worker-thread count (0 = one per core)
 //! ```
 
@@ -28,7 +28,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
     {
         let e = hauberk_sim::ExecEngine::parse(v)
-            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk or bytecode)"));
+            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk, bytecode, or batch)"));
         hauberk_sim::set_default_engine(e);
     }
     if let Some(n) = args

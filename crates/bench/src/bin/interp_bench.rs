@@ -1,9 +1,9 @@
-//! `interp_bench` — measure the bytecode VM against the tree-walking
-//! interpreter on the simulator's standard hot-path kernel (the same FP loop
-//! `telemetry_overhead` and `sim_throughput` use), and record the speedup
-//! the compiled engine delivers per launch.
+//! `interp_bench` — measure all three execution engines (tree walker,
+//! bytecode VM, batched lane-vector VM) on the simulator's standard hot-path
+//! kernel (the same FP loop `telemetry_overhead` and `sim_throughput` use),
+//! and record the pairwise speedups the compiled tiers deliver per launch.
 //!
-//! Also verifies, on every run, that both engines produce identical
+//! Also verifies, on every run, that all engines produce identical
 //! `ExecStats` and identical output memory — a cheap standing differential
 //! check in addition to the property suite.
 //!
@@ -70,47 +70,76 @@ fn main() {
     )
     .unwrap();
 
-    // Standing equivalence check: same stats, same memory, every run.
-    let (tw_stats, tw_out) = one_launch(&kernel, ExecEngine::TreeWalk);
-    let (bc_stats, bc_out) = one_launch(&kernel, ExecEngine::Bytecode);
-    assert_eq!(tw_stats, bc_stats, "engines must produce identical stats");
-    assert_eq!(tw_out, bc_out, "engines must produce identical output");
+    const ENGINES: [ExecEngine; 3] = ExecEngine::ALL;
 
-    let engines = [ExecEngine::TreeWalk, ExecEngine::Bytecode];
+    // Standing equivalence check: same stats, same memory, every run, across
+    // all three engines.
+    let (ref_stats, ref_out) = one_launch(&kernel, ENGINES[0]);
+    for &e in &ENGINES[1..] {
+        let (stats, out) = one_launch(&kernel, e);
+        assert_eq!(
+            ref_stats,
+            stats,
+            "{} stats diverge from reference",
+            e.name()
+        );
+        assert_eq!(ref_out, out, "{} output diverges from reference", e.name());
+    }
+
     // Interleave rounds and keep the fastest per engine, so machine drift
     // cancels instead of biasing whichever engine ran last.
     const ROUNDS: u32 = 5;
     let per_round = (iters / ROUNDS).max(1);
-    let mut best = [f64::INFINITY; 2];
+    let mut best = [f64::INFINITY; ENGINES.len()];
     for _ in 0..ROUNDS {
-        for (i, &e) in engines.iter().enumerate() {
+        for (i, &e) in ENGINES.iter().enumerate() {
             best[i] = best[i].min(batch(&kernel, e, per_round));
         }
     }
-    let speedup = best[0] / best[1];
-    for (i, &e) in engines.iter().enumerate() {
+    for (i, &e) in ENGINES.iter().enumerate() {
         eprintln!("{:>10}: {:>12.0} ns/launch", e.name(), best[i]);
     }
-    eprintln!("   speedup: {speedup:>11.2}x");
+    // Pairwise speedup matrix: speedups[slow][fast] = ns(slow)/ns(fast).
+    let mut pair_rows = Vec::new();
+    for (i, &slow) in ENGINES.iter().enumerate() {
+        for (j, &fast) in ENGINES.iter().enumerate() {
+            if i >= j {
+                continue;
+            }
+            let s = best[i] / best[j];
+            eprintln!("{:>10} vs {:<10}: {s:>7.2}x", fast.name(), slow.name());
+            pair_rows.push((
+                format!(
+                    "{}_over_{}",
+                    fast.name().replace('-', "_"),
+                    slow.name().replace('-', "_")
+                ),
+                Json::Num(s),
+            ));
+        }
+    }
 
+    let results = Json::Obj(
+        ENGINES
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                (
+                    e.name().replace('-', "_"),
+                    Json::obj([("ns_per_launch", Json::Num(best[i]))]),
+                )
+            })
+            .collect(),
+    );
     let doc = Json::obj([
         ("bench", Json::str("interp_bench")),
         ("kernel", Json::str("spin fp_loop_16x32")),
         ("iters", Json::uint(iters as u64)),
-        (
-            "results",
-            Json::obj([
-                (
-                    "tree_walk",
-                    Json::obj([("ns_per_launch", Json::Num(best[0]))]),
-                ),
-                (
-                    "bytecode",
-                    Json::obj([("ns_per_launch", Json::Num(best[1]))]),
-                ),
-            ]),
-        ),
-        ("speedup", Json::Num(speedup)),
+        ("results", results),
+        // Kept for dashboards that read the historical two-engine field:
+        // the headline bytecode-over-tree-walk ratio.
+        ("speedup", Json::Num(best[0] / best[1])),
+        ("speedups", Json::Obj(pair_rows.into_iter().collect())),
         ("stats_identical", Json::Bool(true)),
     ]);
     let rendered = format!("{doc}\n");

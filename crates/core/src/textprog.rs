@@ -80,9 +80,7 @@ pub struct TextProgram {
 /// daemon) costs nothing after the first call.
 fn intern_name(name: &str) -> &'static str {
     static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut g = NAMES
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut g = hauberk_telemetry::lock_recover(&NAMES);
     if let Some(s) = g.iter().find(|s| **s == name) {
         return s;
     }

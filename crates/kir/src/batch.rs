@@ -1,0 +1,422 @@
+//! Batch-form planning over lowered bytecode: the structural half of the
+//! third execution tier.
+//!
+//! [`plan_batches`] scans a [`LoweredKernel`]'s instruction stream for
+//! **regions** — maximal straight-line runs of value-producing ops (no
+//! control flow, no memory traffic, no hooks) — and precomputes, per region,
+//! everything about the producer-tag bookkeeping that is static:
+//!
+//! * which ops *charge* cycles (everything except `Lit`/`Copy`/`Bits`, which
+//!   the engines treat as free register moves) and, for each charging op
+//!   after the first, whether it statically depends on its predecessor
+//!   (charging ops receive consecutive tags, so an intra-region dependence is
+//!   a compile-time fact);
+//! * for the **first** charging op, the set of entry registers whose
+//!   producer tag must be compared against the pipeline state at runtime
+//!   (the only dynamic input to the whole charge sequence);
+//! * a **tag write-back program**: for every register the region writes, how
+//!   to reconstruct its producer tag afterwards ([`TagSrc`]).
+//!
+//! A batch engine can then execute a full-mask region as one block: look up a
+//! precomputed cycle total keyed on (first-op dependence × entry pipeline
+//! state), run the data plane as lane-blocked micro-ops, and replay the tag
+//! program — bit-identical to per-op execution, without per-op dispatch.
+//!
+//! Which ops are *batchable* is an engine property (it depends on which
+//! micro-op loops the engine implements and which op/type combinations can
+//! trap), so the pass takes a predicate instead of hard-coding the set. The
+//! structure computed here is engine-agnostic: this module knows nothing
+//! about cycle costs or op classes.
+//!
+//! Regions may start mid-run at any jump target (so a loop entered from the
+//! back edge still lands on a region), and a control transfer *into* the
+//! middle of a region is harmless: the per-op engine simply executes the
+//! suffix instruction by instruction.
+
+use crate::lower::{LoweredKernel, Op, Reg};
+use std::collections::HashMap;
+
+/// How a register's producer tag is reconstructed after a region executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSrc {
+    /// Tag 0 (the register was last written by a `Lit`).
+    Zero,
+    /// The tag register `r` held at region entry (a `Copy`/`Bits` chain
+    /// bottoms out at an unwritten register).
+    Entry(Reg),
+    /// The tag of the region's `i`-th charging op (entry `next_tag + i`).
+    Charge(u32),
+}
+
+/// One batchable straight-line region of `[start, end)` ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRegion {
+    /// First op of the region.
+    pub start: u32,
+    /// One past the last op.
+    pub end: u32,
+    /// Number of charging ops (tags advance by exactly this much).
+    pub n_charges: u32,
+    /// Entry registers feeding the first charging op's operands; the op is
+    /// *dependent* iff any of their entry producer tags equals the
+    /// pipeline's `last_tag` (and `last_tag != 0`). Empty when every operand
+    /// was defined by a `Lit` inside the region (never dependent).
+    pub first_dep_entries: Vec<Reg>,
+    /// `dep_static[c]` (for `c > 0`): whether charging op `c` consumes the
+    /// value produced by charging op `c - 1`. Index 0 is always `false`
+    /// (that op's dependence is the dynamic check above).
+    pub dep_static: Vec<bool>,
+    /// Producer-tag write-back program, ordered by register.
+    pub writeback: Vec<(Reg, TagSrc)>,
+}
+
+/// The batch plan for one lowered kernel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchPlan {
+    /// All planned regions.
+    pub regions: Vec<BatchRegion>,
+    /// `region_at[pc]` is the index into [`BatchPlan::regions`] of the region
+    /// starting at `pc`, or [`NO_REGION`].
+    pub region_at: Vec<u32>,
+}
+
+/// Sentinel for "no region starts here" in [`BatchPlan::region_at`].
+pub const NO_REGION: u32 = u32::MAX;
+
+/// Whether `op` is a value op that charges cycles (advances the tag counter).
+/// `Lit`/`Copy`/`Bits` move data and forward tags for free; everything else
+/// the planner accepts is a charging ALU op.
+pub fn is_charging(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Un { .. } | Op::Bin { .. } | Op::Call1 { .. } | Op::Call2 { .. } | Op::Cast { .. }
+    )
+}
+
+/// Operand registers an op reads (value ops only).
+fn operands(op: &Op) -> [Option<Reg>; 2] {
+    match op {
+        Op::Un { src, .. } | Op::Cast { src, .. } => [Some(*src), None],
+        Op::Call1 { a, .. } => [Some(*a), None],
+        Op::Bin { a, b, .. } | Op::Call2 { a, b, .. } => [Some(*a), Some(*b)],
+        _ => [None, None],
+    }
+}
+
+/// Destination register a batchable op writes.
+fn dest(op: &Op) -> Reg {
+    match op {
+        Op::Lit { dst, .. }
+        | Op::Copy { dst, .. }
+        | Op::Bits { dst, .. }
+        | Op::Un { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::Call1 { dst, .. }
+        | Op::Call2 { dst, .. }
+        | Op::Cast { dst, .. } => *dst,
+        other => unreachable!("dest of non-value op {other:?}"),
+    }
+}
+
+/// Collect every pc that some instruction can transfer control to.
+fn jump_targets(code: &[Op]) -> Vec<u32> {
+    let mut t = Vec::new();
+    for op in code {
+        match op {
+            Op::IfSplit {
+                else_pc, end_pc, ..
+            } => {
+                t.push(*else_pc);
+                t.push(*end_pc);
+            }
+            Op::EndArm { join_pc } | Op::Break { join_pc } | Op::Continue { join_pc } => {
+                t.push(*join_pc)
+            }
+            Op::LoopTest { exit_pc, .. } => t.push(*exit_pc),
+            Op::LoopNext {
+                head_pc, exit_pc, ..
+            } => {
+                t.push(*head_pc);
+                t.push(*exit_pc);
+            }
+            Op::Jump { pc } => t.push(*pc),
+            _ => {}
+        }
+    }
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Analyze the region `[start, end)` (all ops batchable by construction).
+fn analyze(code: &[Op], start: u32, end: u32) -> BatchRegion {
+    // Producer source of registers written so far in the region.
+    let mut cur: HashMap<Reg, TagSrc> = HashMap::new();
+    let src_of = |cur: &HashMap<Reg, TagSrc>, r: Reg| *cur.get(&r).unwrap_or(&TagSrc::Entry(r));
+
+    let mut n_charges: u32 = 0;
+    let mut first_dep_entries: Vec<Reg> = Vec::new();
+    let mut dep_static: Vec<bool> = Vec::new();
+    for op in &code[start as usize..end as usize] {
+        if is_charging(op) {
+            let c = n_charges;
+            let mut dep = false;
+            for r in operands(op).into_iter().flatten() {
+                match src_of(&cur, r) {
+                    TagSrc::Entry(e) => {
+                        if c == 0 && !first_dep_entries.contains(&e) {
+                            first_dep_entries.push(e);
+                        }
+                    }
+                    TagSrc::Charge(j) => {
+                        // Entry tags are all smaller than any region tag, so
+                        // only the immediately preceding charge can match the
+                        // pipeline's last_tag.
+                        if c > 0 && j == c - 1 {
+                            dep = true;
+                        }
+                    }
+                    TagSrc::Zero => {}
+                }
+            }
+            dep_static.push(dep);
+            cur.insert(dest(op), TagSrc::Charge(c));
+            n_charges += 1;
+        } else {
+            match op {
+                Op::Lit { dst, .. } => {
+                    cur.insert(*dst, TagSrc::Zero);
+                }
+                Op::Copy { dst, src } | Op::Bits { dst, src } => {
+                    let s = src_of(&cur, *src);
+                    cur.insert(*dst, s);
+                }
+                other => unreachable!("non-batchable op {other:?} inside region"),
+            }
+        }
+    }
+    let mut writeback: Vec<(Reg, TagSrc)> = cur.into_iter().collect();
+    writeback.sort_unstable_by_key(|(r, _)| *r);
+    BatchRegion {
+        start,
+        end,
+        n_charges,
+        first_dep_entries,
+        dep_static,
+        writeback,
+    }
+}
+
+/// Plan batch regions over `kernel`'s code. `batchable` decides which ops the
+/// executing engine can run inside a region (it must accept only value ops —
+/// `Lit`/`Copy`/`Bits`/`Un`/`Bin`/`Call1`/`Call2`/`Cast` — and should reject
+/// any op/type combination whose lane loop can trap; the planner additionally
+/// never batches memory, hook, sync, or control ops).
+pub fn plan_batches(kernel: &LoweredKernel, batchable: &dyn Fn(&Op) -> bool) -> BatchPlan {
+    let code = &kernel.code;
+    let ok = |op: &Op| -> bool {
+        matches!(
+            op,
+            Op::Lit { .. }
+                | Op::Copy { .. }
+                | Op::Bits { .. }
+                | Op::Un { .. }
+                | Op::Bin { .. }
+                | Op::Call1 { .. }
+                | Op::Call2 { .. }
+                | Op::Cast { .. }
+        ) && batchable(op)
+    };
+    let targets = jump_targets(code);
+    let mut plan = BatchPlan {
+        regions: Vec::new(),
+        region_at: vec![NO_REGION; code.len()],
+    };
+    let emit = |plan: &mut BatchPlan, start: u32, end: u32| {
+        let region = analyze(code, start, end);
+        // Singleton free-op regions gain nothing over direct dispatch.
+        if region.n_charges == 0 && end - start < 2 {
+            return;
+        }
+        plan.region_at[start as usize] = plan.regions.len() as u32;
+        plan.regions.push(region);
+    };
+    let mut i = 0usize;
+    while i < code.len() {
+        if !ok(&code[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i as u32;
+        while i < code.len() && ok(&code[i]) {
+            i += 1;
+        }
+        let end = i as u32;
+        emit(&mut plan, start, end);
+        // A jump target inside the run gets its own suffix region, so control
+        // transfers landing mid-run still hit a fast path.
+        for &t in &targets {
+            if t > start && t < end {
+                emit(&mut plan, t, end);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::lower::lower_kernel;
+    use crate::{Expr, PrimTy, Ty};
+
+    fn plan_all(k: &LoweredKernel) -> BatchPlan {
+        plan_batches(k, &|_| true)
+    }
+
+    #[test]
+    fn straight_line_alu_forms_one_region() {
+        let mut b = KernelBuilder::new("alu");
+        let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+        let v = b.let_(
+            "v",
+            Ty::F32,
+            Expr::add(
+                Expr::mul(Expr::f32(2.0), Expr::f32(3.0)),
+                Expr::mul(Expr::f32(4.0), Expr::f32(5.0)),
+            ),
+        );
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(v));
+        let k = b.finish();
+        let l = lower_kernel(&k);
+        let p = plan_all(&l);
+        // One ALU region (the three bin ops) before the store.
+        let big = p.regions.iter().find(|r| r.n_charges == 3);
+        assert!(big.is_some(), "{p:?}");
+        let r = big.unwrap();
+        // mul, mul (independent), add (consumes the second mul).
+        assert_eq!(r.dep_static, vec![false, false, true]);
+        // The first mul reads two interned constants: const-pool registers
+        // are never written, so they surface as entry registers (their
+        // producer tag is 0 at runtime and the check is always false).
+        assert_eq!(r.first_dep_entries.len(), 2);
+        // v and the temporaries get Charge write-backs.
+        assert!(r
+            .writeback
+            .iter()
+            .any(|(_, s)| matches!(s, TagSrc::Charge(2))));
+    }
+
+    #[test]
+    fn copies_forward_entry_tags() {
+        let mut b = KernelBuilder::new("copy");
+        let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+        let x = b.let_("x", Ty::F32, Expr::f32(1.0));
+        let y = b.let_("y", Ty::F32, Expr::var(x));
+        let z = b.let_("z", Ty::F32, Expr::add(Expr::var(y), Expr::f32(1.0)));
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(z));
+        let k = b.finish();
+        let l = lower_kernel(&k);
+        let p = plan_all(&l);
+        let r = p.regions.iter().find(|r| r.n_charges == 1).expect("region");
+        // x := lit, y := copy x: the copy chain bottoms out at the in-region
+        // Lit, so both registers write back tag Zero.
+        assert!(
+            r.writeback
+                .iter()
+                .filter(|(_, s)| matches!(s, TagSrc::Zero))
+                .count()
+                >= 2,
+            "{r:?}"
+        );
+        // z gets the add's charge tag.
+        assert!(r
+            .writeback
+            .iter()
+            .any(|(_, s)| matches!(s, TagSrc::Charge(0))));
+    }
+
+    #[test]
+    fn first_charge_reads_entry_registers() {
+        let mut b = KernelBuilder::new("entry");
+        let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+        let n = b.param("n", Ty::F32);
+        // The add reads `n`, whose producer tag is a region input.
+        let v = b.let_("v", Ty::F32, Expr::add(Expr::var(n), Expr::f32(1.0)));
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(v));
+        let k = b.finish();
+        let l = lower_kernel(&k);
+        let p = plan_all(&l);
+        let r = p.regions.iter().find(|r| r.n_charges >= 1).expect("region");
+        assert!(r.first_dep_entries.contains(&n), "{r:?}");
+    }
+
+    #[test]
+    fn predicate_splits_regions() {
+        let mut b = KernelBuilder::new("split");
+        let out = b.param("out", Ty::global_ptr(PrimTy::I32));
+        let v = b.let_(
+            "v",
+            Ty::I32,
+            Expr::add(
+                Expr::div(Expr::i32(10), Expr::i32(2)),
+                Expr::mul(Expr::i32(3), Expr::i32(4)),
+            ),
+        );
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(v));
+        let k = b.finish();
+        let l = lower_kernel(&k);
+        // Reject integer division (a trap point for a strict-mode engine).
+        let p = plan_batches(&l, &|op| {
+            !matches!(
+                op,
+                Op::Bin {
+                    op: crate::BinOp::Div,
+                    ..
+                }
+            )
+        });
+        // The div op belongs to no region.
+        for r in &p.regions {
+            for op in &l.code[r.start as usize..r.end as usize] {
+                assert!(
+                    !matches!(
+                        op,
+                        Op::Bin {
+                            op: crate::BinOp::Div,
+                            ..
+                        }
+                    ),
+                    "div batched"
+                );
+            }
+        }
+        // But other ALU work is still planned.
+        assert!(p.regions.iter().any(|r| r.n_charges >= 1));
+    }
+
+    #[test]
+    fn jump_targets_get_suffix_regions() {
+        let mut b = KernelBuilder::new("loopy");
+        let out = b.param("out", Ty::global_ptr(PrimTy::F32));
+        let n = b.param("n", Ty::I32);
+        let acc = b.let_("acc", Ty::F32, Expr::f32(0.0));
+        let i = b.local("i", Ty::I32);
+        b.for_range(i, Expr::var(n), |b| {
+            b.assign(
+                acc,
+                Expr::add(Expr::var(acc), Expr::mul(Expr::f32(1.5), Expr::f32(0.5))),
+            );
+        });
+        b.store(Expr::var(out), Expr::i32(0), Expr::var(acc));
+        let k = b.finish();
+        let l = lower_kernel(&k);
+        let p = plan_all(&l);
+        // Every region's span contains only value ops and region_at agrees.
+        for (idx, r) in p.regions.iter().enumerate() {
+            assert_eq!(p.region_at[r.start as usize], idx as u32);
+            assert!(r.end > r.start);
+        }
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod builder;
 pub mod expr;
 pub mod kernel;

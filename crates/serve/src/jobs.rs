@@ -61,6 +61,10 @@ pub struct JobSpec {
     /// Operator fault-injection hook: sabotage one work unit to validate the
     /// daemon's retry → quarantine resilience end-to-end (tests and drills).
     pub chaos: Option<ChaosConfig>,
+    /// Execution engine (`None` = the process-wide default). Validated at
+    /// POST time and recorded in the campaign journal header, so a resumed
+    /// or merged campaign can never silently mix engines.
+    pub engine: Option<hauberk_sim::ExecEngine>,
 }
 
 impl Default for JobSpec {
@@ -78,6 +82,7 @@ impl Default for JobSpec {
             adaptive: None,
             launch: TextOptions::default(),
             chaos: None,
+            engine: None,
         }
     }
 }
@@ -113,6 +118,7 @@ impl JobSpec {
             "adaptive",
             "launch",
             "chaos",
+            "engine",
         ];
         if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
             return Err(format!("unknown field `{k}` (known: {})", KNOWN.join(", ")));
@@ -140,6 +146,12 @@ impl JobSpec {
                 Some("coverage") => true,
                 _ => return Err("`kind` must be \"sensitivity\" or \"coverage\"".to_string()),
             };
+        }
+        if let Some(v) = map.get("engine") {
+            let name = v.as_str().ok_or("`engine` must be a string")?;
+            spec.engine = Some(hauberk_sim::ExecEngine::parse(name).ok_or_else(|| {
+                format!("`engine` must be one of tree-walk, bytecode, batch (got `{name}`)")
+            })?);
         }
         if let Some(v) = map.get("seed") {
             spec.seed = want_u64(v, "seed")?;
@@ -267,6 +279,9 @@ impl JobSpec {
             ("shard_size", Json::uint(self.shard_size as u64)),
             ("max_retries", Json::uint(self.max_retries as u64)),
         ];
+        if let Some(e) = self.engine {
+            pairs.push(("engine", Json::str(e.name())));
+        }
         match &self.program {
             ProgramSpec::Named(n) => pairs.push(("program", Json::str(n.clone()))),
             ProgramSpec::Kir(src) => {
@@ -339,6 +354,7 @@ impl JobSpec {
             },
             seed: self.seed,
             alpha: self.alpha,
+            engine: self.engine,
             ..Default::default()
         }
     }
@@ -596,13 +612,16 @@ mod tests {
     fn spec_round_trips_through_json() {
         let doc = parse(
             r#"{"program":"CP","kind":"coverage","seed":7,"vars":4,"masks":3,
-                "bit_counts":[1,3],"alpha":10.0,"adaptive":{"ci_width":0.2,"min_samples":16}}"#,
+                "bit_counts":[1,3],"alpha":10.0,"engine":"batch",
+                "adaptive":{"ci_width":0.2,"min_samples":16}}"#,
         )
         .unwrap();
         let spec = JobSpec::from_json(&doc).unwrap();
         assert!(spec.coverage);
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.bit_counts, vec![1, 3]);
+        assert_eq!(spec.engine, Some(hauberk_sim::ExecEngine::Batch));
+        assert_eq!(spec.campaign_config().engine, spec.engine);
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.to_json(), spec.to_json());
     }
@@ -620,6 +639,10 @@ mod tests {
             ),
             (r#"{"kernel":"kernel broken {"}"#, "parse error"),
             (r#"{}"#, "one of `program` or `kernel`"),
+            (
+                r#"{"program":"CP","engine":"warp-drive"}"#,
+                "`engine` must be one of",
+            ),
         ] {
             let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");

@@ -67,7 +67,7 @@ fn cache() -> &'static Mutex<HashMap<String, Arc<CompiledKernel>>> {
 /// compiled once per campaign and shared across all rayon workers.
 pub fn compile_cached(kernel: &KernelDef, cost: &CostModel) -> Arc<CompiledKernel> {
     let key = format!("{:?}\u{0}{}", cost, print_kernel(kernel));
-    let mut map = cache().lock().unwrap_or_else(|e| e.into_inner());
+    let mut map = hauberk_telemetry::lock_recover(cache());
     if let Some(c) = map.get(&key) {
         return Arc::clone(c);
     }

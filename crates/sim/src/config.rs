@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which execution engine a device uses to run kernels.
 ///
-/// Both engines implement identical semantics (same `ExecStats`, same trap
+/// All engines implement identical semantics (same `ExecStats`, same trap
 /// ordering, same hook/fault behavior — enforced by the differential property
 /// suite); they differ only in speed and in representation:
 ///
@@ -14,31 +14,47 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// * [`Bytecode`](ExecEngine::Bytecode) runs flat register bytecode compiled
 ///   once per kernel (see `hauberk-kir::lower` and the `bytecode`/`vm`
 ///   modules). The default for campaigns.
+/// * [`Batch`](ExecEngine::Batch) runs the same bytecode with a batch plan:
+///   full-mask straight-line regions execute as lane-blocked micro-ops with
+///   precomputed cycle-charge tables (see `hauberk-kir::batch` and the
+///   `vm_batch` module), falling back to the per-op VM at any
+///   divergence/barrier/atomic boundary. The fastest tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecEngine {
     /// The tree-walking reference interpreter.
     TreeWalk,
     /// The compiled register-bytecode VM.
     Bytecode,
+    /// The batched lane-vector VM (bytecode plus full-mask region batching).
+    Batch,
 }
 
 impl ExecEngine {
+    /// Every engine, oracle first (the order the differential suites use).
+    pub const ALL: [ExecEngine; 3] = [
+        ExecEngine::TreeWalk,
+        ExecEngine::Bytecode,
+        ExecEngine::Batch,
+    ];
+
     /// Stable CLI/telemetry name.
     pub fn name(self) -> &'static str {
         match self {
             ExecEngine::TreeWalk => "tree-walk",
             ExecEngine::Bytecode => "bytecode",
+            ExecEngine::Batch => "batch",
         }
     }
 
-    /// Parse a CLI spelling (`tree-walk`/`treewalk`/`tree`/`interp` or
-    /// `bytecode`/`vm`).
+    /// Parse a CLI spelling (`tree-walk`/`treewalk`/`tree`/`interp`,
+    /// `bytecode`/`vm`, or `batch`/`vector`/`simd`).
     pub fn parse(s: &str) -> Option<ExecEngine> {
         match s.to_ascii_lowercase().as_str() {
             "tree-walk" | "treewalk" | "tree" | "interp" | "interpreter" => {
                 Some(ExecEngine::TreeWalk)
             }
             "bytecode" | "vm" | "compiled" => Some(ExecEngine::Bytecode),
+            "batch" | "vector" | "simd" | "lane-vector" => Some(ExecEngine::Batch),
             _ => None,
         }
     }
@@ -51,18 +67,19 @@ impl std::fmt::Display for ExecEngine {
 }
 
 /// Process-wide default engine for newly constructed [`DeviceConfig`]s
-/// (0 = tree-walk, 1 = bytecode).
+/// (0 = tree-walk, 1 = bytecode, 2 = batch).
 static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(1);
 
 /// Set the process-wide default engine used by [`DeviceConfig::gpu`] /
 /// [`DeviceConfig::cpu`] (and everything built on them). Campaign binaries
-/// call this from their `--engine` flag; tests use it to force both engines
+/// call this from their `--engine` flag; tests use it to force all engines
 /// through identical code paths.
 pub fn set_default_engine(e: ExecEngine) {
     DEFAULT_ENGINE.store(
         match e {
             ExecEngine::TreeWalk => 0,
             ExecEngine::Bytecode => 1,
+            ExecEngine::Batch => 2,
         },
         Ordering::Relaxed,
     );
@@ -70,10 +87,10 @@ pub fn set_default_engine(e: ExecEngine) {
 
 /// The current process-wide default engine.
 pub fn default_engine() -> ExecEngine {
-    if DEFAULT_ENGINE.load(Ordering::Relaxed) == 0 {
-        ExecEngine::TreeWalk
-    } else {
-        ExecEngine::Bytecode
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        0 => ExecEngine::TreeWalk,
+        2 => ExecEngine::Batch,
+        _ => ExecEngine::Bytecode,
     }
 }
 

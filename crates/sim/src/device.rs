@@ -1,14 +1,13 @@
 //! The simulated device: global memory, launch orchestration, SM time model.
 
-use crate::bytecode::compile_cached;
-use crate::config::{DeviceConfig, ExecEngine};
+use crate::backend::WarpCtx;
+use crate::config::DeviceConfig;
 use crate::fault::MemoryBurst;
 use crate::hooks::HookRuntime;
-use crate::interp::{ExecErr, WarpExec, WarpGeom};
+use crate::interp::{ExecErr, WarpGeom};
 use crate::memory::MemRegion;
 use crate::outcome::{LaunchOutcome, TrapReason};
 use crate::stats::ExecStats;
-use crate::vm::VmExec;
 use hauberk_kir::validate::validate_kernel;
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
 use hauberk_telemetry::{next_launch_id, Event, Telemetry};
@@ -183,13 +182,12 @@ impl Device {
             };
         }
 
-        // Bytecode engine: compile once per launch through the build cache
-        // (campaigns relaunch the same instrumented kernel thousands of
-        // times; the cache makes this a lookup).
-        let compiled = match self.config.engine {
-            ExecEngine::Bytecode => Some(compile_cached(kernel, &self.config.cost)),
-            ExecEngine::TreeWalk => None,
-        };
+        // Engine selection is a backend lookup; preparation (compilation
+        // through the build caches) runs once per launch — campaigns
+        // relaunch the same instrumented kernel thousands of times, so the
+        // caches make this a lookup.
+        let backend = self.config.engine.backend();
+        let prepared = backend.prepare(kernel, &self.config);
 
         let tpb = launch.block.0 * launch.block.1;
         let warps_per_block = tpb.div_ceil(self.config.warp_width);
@@ -219,37 +217,22 @@ impl Device {
                         block_idx: (bx, by),
                         warp_id,
                     };
-                    let run_result = if let Some(compiled) = &compiled {
-                        VmExec::new(
-                            compiled,
-                            &self.config,
-                            &mut self.mem,
-                            &mut shared,
+                    let run_result = backend.run_warp(
+                        &prepared,
+                        kernel,
+                        WarpCtx {
+                            cfg: &self.config,
+                            global: &mut self.mem,
+                            shared: &mut shared,
                             runtime,
-                            &mut stats,
-                            &mut budget,
+                            stats: &mut stats,
+                            budget: &mut budget,
                             geom,
                             args,
                             tele,
                             launch_id,
-                        )
-                        .run()
-                    } else {
-                        WarpExec::new(
-                            kernel,
-                            &self.config,
-                            &mut self.mem,
-                            &mut shared,
-                            runtime,
-                            &mut stats,
-                            &mut budget,
-                            geom,
-                            args,
-                            tele,
-                            launch_id,
-                        )
-                        .run()
-                    };
+                        },
+                    );
                     match run_result {
                         Ok(()) => {}
                         Err(ExecErr::Trap(reason)) => {

@@ -116,6 +116,16 @@ pub trait HookRuntime {
     ) -> Option<RegCorruption> {
         None
     }
+
+    /// Whether this runtime ignores every callback: it neither observes nor
+    /// mutates hook arguments, targets, loop iterators, or decision masks,
+    /// and never reports a corruption. Engines may then skip materializing
+    /// typed lane-state views at dispatch points (charges, stats, and
+    /// telemetry are unaffected). Only override to return `true` for a
+    /// runtime whose callbacks are all no-ops.
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// A runtime that ignores all events (baseline executions).
@@ -124,6 +134,10 @@ pub struct NullRuntime;
 
 impl HookRuntime for NullRuntime {
     fn on_hook(&mut self, _hook: &Hook, _ctx: &mut HookCtx<'_>) {}
+
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 //! `__syncthreads()` is exact within a warp (lockstep) and the bundled
 //! kernels do not rely on inter-warp shared-memory hand-off.
 
+pub mod backend;
 pub mod bytecode;
 pub mod config;
 pub mod device;
@@ -54,7 +55,9 @@ pub mod memory;
 pub mod outcome;
 pub mod stats;
 pub mod vm;
+pub mod vm_batch;
 
+pub use backend::{BatchBackend, BytecodeBackend, ExecBackend, Prepared, TreeWalkBackend, WarpCtx};
 pub use bytecode::{compile_cached, disassemble, CompiledKernel};
 pub use config::{default_engine, set_default_engine, CostModel, DeviceConfig, ExecEngine};
 pub use device::{Device, Launch};
@@ -62,3 +65,4 @@ pub use fault::{ArmedFault, FaultSite, MemoryBurst};
 pub use hooks::{HookCtx, HookRuntime, LoopCheckCtx, NullRuntime, RegCorruption};
 pub use outcome::{LaunchOutcome, TrapReason};
 pub use stats::{ExecStats, OpClass};
+pub use vm_batch::{compile_batch, compile_batch_cached, BatchCompiled, BatchKernel};

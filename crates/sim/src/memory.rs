@@ -23,10 +23,18 @@ use crate::outcome::TrapReason;
 use hauberk_kir::{MemSpace, PrimTy, PtrVal, Value};
 
 /// A linear, word-granular memory region.
+///
+/// The backing store is materialized lazily: `words` only ever covers the
+/// allocated extent `[0, brk)`. Addresses at or beyond `brk` are never
+/// backed — permissive mode synthesizes deterministic garbage for loads and
+/// drops stores there, strict mode traps — so a fresh multi-megabyte device
+/// costs nothing until kernels actually allocate.
 #[derive(Debug, Clone)]
 pub struct MemRegion {
     space: MemSpace,
     words: Vec<u32>,
+    /// Device address-space size, in bytes (word-aligned).
+    capacity: u32,
     /// Allocation bump pointer, in bytes.
     brk: u32,
     strict: bool,
@@ -49,7 +57,8 @@ impl MemRegion {
     pub fn new(space: MemSpace, capacity_bytes: u32, strict: bool) -> Self {
         MemRegion {
             space,
-            words: vec![0; (capacity_bytes / 4) as usize],
+            words: Vec::new(),
+            capacity: capacity_bytes / 4 * 4,
             brk: 0,
             strict,
         }
@@ -57,7 +66,7 @@ impl MemRegion {
 
     /// Capacity in bytes.
     pub fn capacity(&self) -> u32 {
-        (self.words.len() * 4) as u32
+        self.capacity
     }
 
     /// Bytes allocated so far.
@@ -74,9 +83,10 @@ impl MemRegion {
         if end > self.capacity() {
             return None;
         }
-        for w in &mut self.words[(base / 4) as usize..(end as usize).div_ceil(4)] {
-            *w = 0;
-        }
+        // `base` is 256-byte aligned, so it sits at or past the backed
+        // extent; the resize zero-fills the alignment gap and the new
+        // allocation in one pass.
+        self.words.resize((end as usize).div_ceil(4), 0);
         self.brk = end;
         Some(PtrVal {
             space: self.space,
@@ -87,7 +97,7 @@ impl MemRegion {
 
     /// Reset the allocator and zero the region (fresh device state).
     pub fn reset(&mut self) {
-        self.words.fill(0);
+        self.words.clear();
         self.brk = 0;
     }
 
@@ -199,17 +209,24 @@ impl MemRegion {
         self.copy_in(ptr, &vals);
     }
 
-    /// Convenience: read back `n` `f32`s.
+    /// Convenience: read back `n` `f32`s. Unbacked words read as zero, as
+    /// they did when the full region was materialized eagerly.
     pub fn copy_out_f32(&self, ptr: PtrVal, n: u32) -> Vec<f32> {
         (0..n)
-            .map(|i| f32::from_bits(self.words[((ptr.addr + i * 4) / 4) as usize]))
+            .map(|i| {
+                let idx = ((ptr.addr + i * 4) / 4) as usize;
+                f32::from_bits(self.words.get(idx).copied().unwrap_or(0))
+            })
             .collect()
     }
 
-    /// Convenience: read back `n` `i32`s.
+    /// Convenience: read back `n` `i32`s. Unbacked words read as zero.
     pub fn copy_out_i32(&self, ptr: PtrVal, n: u32) -> Vec<i32> {
         (0..n)
-            .map(|i| self.words[((ptr.addr + i * 4) / 4) as usize] as i32)
+            .map(|i| {
+                let idx = ((ptr.addr + i * 4) / 4) as usize;
+                self.words.get(idx).copied().unwrap_or(0) as i32
+            })
             .collect()
     }
 }

@@ -63,6 +63,10 @@ use crate::interp::{
 use crate::memory::MemRegion;
 use crate::outcome::TrapReason;
 use crate::stats::{ExecStats, OpClass};
+use crate::vm_batch::{
+    run_micro_ops, sorted_segment_count, table_idx, BatchKernel, ChargeEntry, NO_REGION,
+};
+use hauberk_kir::batch::TagSrc;
 use hauberk_kir::lower::{Op, Reg, NO_REG};
 use hauberk_kir::{BinOp, MathFn, MemSpace, PrimTy, PtrVal, Ty, UnOp, Value};
 use hauberk_telemetry::{Event, Telemetry};
@@ -486,6 +490,11 @@ pub struct VmExec<'a> {
     marg: Vec<Vec<Value>>,
     /// Scratch for the materialized hook-target / loop-iterator view.
     mtgt: Vec<Value>,
+    /// The batch tier's region plan, when running as the batch engine
+    /// (`None` = plain per-op bytecode execution).
+    batch: Option<&'a BatchKernel>,
+    /// Scratch for region producer-tag write-back (two-phase, alias-safe).
+    wb_scratch: Vec<Tag>,
     tele: &'a Telemetry,
     launch_id: u64,
 }
@@ -552,9 +561,20 @@ impl<'a> VmExec<'a> {
             addrs: vec![0; width],
             marg: Vec::new(),
             mtgt: Vec::new(),
+            batch: None,
+            wb_scratch: Vec::new(),
             tele,
             launch_id,
         }
+    }
+
+    /// Attach a batch-tier region plan: full-mask region fast paths (and the
+    /// batch-only memory/loop-check shortcuts) activate, turning this
+    /// executor into the batch engine. The plan must have been built from
+    /// the same `CompiledKernel` and cost model.
+    pub fn with_batch(mut self, batch: &'a BatchKernel) -> Self {
+        self.batch = Some(batch);
+        self
     }
 
     /// Run the warp to completion.
@@ -584,6 +604,19 @@ impl<'a> VmExec<'a> {
     }
 
     fn charge_mem(&mut self, mask: u32, deps: [Tag; 2]) -> Result<(), ExecErr> {
+        // Batch tier: lane addresses are almost always non-decreasing
+        // (coalesced access), in which case the distinct-segment count falls
+        // out of one pass with no sort. Charges are identical to
+        // `charge_mem_op` (same count, same order of stat updates).
+        if self.batch.is_some() {
+            if let Some(nseg) =
+                sorted_segment_count(&self.addrs, mask, self.width, self.cfg.cost.segment_bytes)
+            {
+                self.stats.mem_segments += nseg;
+                self.charge(OpClass::Mem, deps)?;
+                return self.add_cycles((nseg - 1) * self.cfg.cost.mem_segment_extra);
+            }
+        }
         charge_mem_op(
             &mut self.pipe,
             self.stats,
@@ -657,6 +690,16 @@ impl<'a> VmExec<'a> {
             });
         }
         let has_iter = iter != NO_REG;
+        // Batch tier: a passive runtime neither reads nor mutates the
+        // iterator or the decision mask, so materializing a typed view is
+        // pure waste. The producer-tag invalidation below still happens
+        // (both engines do it unconditionally), keeping pairing identical.
+        if self.batch.is_some() && self.runtime.is_passive() {
+            if has_iter {
+                self.producer[iter as usize] = 0;
+            }
+            return;
+        }
         if has_iter {
             let ty = self.compiled.lowered.vars[iter as usize].ty;
             self.materialize(iter, ty);
@@ -707,6 +750,17 @@ impl<'a> VmExec<'a> {
                 warp: geom.warp_id,
                 cycles,
             });
+        }
+        // Batch tier: a passive runtime ignores the hook entirely — skip
+        // materializing argument/target views. Charges, stats, telemetry
+        // (above) and the target producer invalidation (the runtime "may
+        // have" corrupted it as far as pairing is concerned) still happen,
+        // and `register_corruption` is `None` by the passivity contract.
+        if self.batch.is_some() && self.runtime.is_passive() {
+            if let Some(v) = h.target {
+                self.producer[v as usize] = 0;
+            }
+            return Ok(());
         }
         let lk = &compiled.lowered;
         let n_vars = lk.n_vars() as usize;
@@ -774,6 +828,67 @@ impl<'a> VmExec<'a> {
         Ok(())
     }
 
+    /// Execute one batch region as a block: look up the charge outcome for
+    /// the current pipeline state, apply it, run the lane-blocked data
+    /// plane, and replay the producer-tag write-back program. Returns the pc
+    /// to resume at, or `None` when the charge might exceed the remaining
+    /// budget (the caller falls back to per-op dispatch, which reproduces
+    /// the exact hang semantics).
+    fn run_region(&mut self, bk: &'a BatchKernel, ri: u32) -> Option<usize> {
+        let r = &bk.regions[ri as usize];
+        let entry = if r.n_charges == 0 {
+            ChargeEntry::default()
+        } else {
+            // The only dynamic input: whether the first charging op consumes
+            // the previous op's result (entry registers written in the
+            // region shadow nothing — `first_dep_entries` are region inputs).
+            let dep0 = self.pipe.last_tag != 0
+                && r.first_dep_entries
+                    .iter()
+                    .any(|&e| self.producer[e as usize] == self.pipe.last_tag);
+            r.table[table_idx(dep0, self.pipe.last_class, self.pipe.last_paired)]
+        };
+        if *self.budget < entry.cycles {
+            return None;
+        }
+        // Cycle plane: exactly the sum of what per-op `charge_op` calls
+        // would have charged (each per-op budget check passes because the
+        // running budget only shrinks and the total fits).
+        self.stats.work_cycles += entry.cycles;
+        if self.loop_depth > 0 {
+            self.stats.loop_cycles += entry.cycles;
+        }
+        *self.budget -= entry.cycles;
+        self.stats.paired_ops += entry.paired;
+        for i in 0..5 {
+            self.stats.class_counts[i] += r.class_deltas[i];
+        }
+        let tag0 = self.pipe.next_tag;
+        if r.n_charges > 0 {
+            self.pipe.next_tag += r.n_charges;
+            self.pipe.last_tag = self.pipe.next_tag - 1;
+            self.pipe.last_class = Some(r.exit_class);
+            self.pipe.last_paired = entry.exit_paired;
+        }
+        // Data plane.
+        let w = self.width;
+        run_micro_ops(&mut self.regs, w, w, &r.micro);
+        // Tag plane: two-phase write-back so an `Entry(e)` source reads e's
+        // tag from *before* the region even if e itself is written back.
+        self.wb_scratch.clear();
+        for &(_, src) in &r.writeback {
+            self.wb_scratch.push(match src {
+                TagSrc::Zero => 0,
+                TagSrc::Entry(e) => self.producer[e as usize],
+                TagSrc::Charge(c) => tag0 + c as Tag,
+            });
+        }
+        for (i, &(reg, _)) in r.writeback.iter().enumerate() {
+            self.producer[reg as usize] = self.wb_scratch[i];
+        }
+        Some(r.end as usize)
+    }
+
     /// The dispatch loop.
     fn exec(&mut self, entry_mask: u32) -> Result<(), ExecErr> {
         // Copy the &'a reference out so instruction borrows are independent
@@ -785,7 +900,24 @@ impl<'a> VmExec<'a> {
         let mut pc: usize = 0;
         let mut mask = entry_mask;
         let mut frames: Vec<Frame> = Vec::with_capacity(8);
+        let batch = self.batch;
         loop {
+            // Batch tier: at full mask, a region starting here executes as
+            // one block (precomputed charges, lane-blocked data plane, tag
+            // write-back) — unless its charge might not fit the remaining
+            // budget, in which case per-op dispatch below reproduces the
+            // exact partial charges of the hang.
+            if mask == full {
+                if let Some(bk) = batch {
+                    let ri = bk.region_at[pc];
+                    if ri != NO_REGION {
+                        if let Some(next) = self.run_region(bk, ri) {
+                            pc = next;
+                            continue;
+                        }
+                    }
+                }
+            }
             match &code[pc] {
                 Op::Lit { dst, v } => {
                     let d = *dst as usize;
@@ -889,19 +1021,56 @@ impl<'a> VmExec<'a> {
                     idx_ty,
                 } => {
                     let d = *dst as usize;
-                    self.effective_addrs(*ptr, *idx, *elem, *idx_ty, mask);
                     let deps = [self.producer[*ptr as usize], self.producer[*idx as usize]];
-                    self.charge_mem(mask, deps)?;
-                    let region: &mut MemRegion = match space {
-                        MemSpace::Global => self.global,
-                        MemSpace::Shared => self.shared,
-                    };
                     // `from_bits∘to_bits` is the identity for every element
                     // type except Bool, which masks to bit 0.
                     let vmask = if *elem == PrimTy::Bool { 1 } else { !0u32 };
-                    let db = d * width;
-                    for l in lanes(mask, width) {
-                        self.regs[db + l] = region.read_word(self.addrs[l])? & vmask;
+                    // Batch tier, full mask: a warp-uniform pointer + index
+                    // (a broadcast load) touches exactly one address — skip
+                    // per-lane address math and the segment scan. Charges
+                    // match `charge_mem` on a one-segment address set, and
+                    // unallocated-read garbage is a pure function of the
+                    // address, so the broadcast is bit-exact.
+                    let mut broadcast = false;
+                    if batch.is_some() && mask == full {
+                        let (pb, ib) = (*ptr as usize * width, *idx as usize * width);
+                        let (p0, i0) = (self.regs[pb], self.regs[ib]);
+                        // Branchless OR-reduce over both rows: an early-exit
+                        // `all()` compiles to a serial compare chain, while
+                        // this single fused accumulation vectorizes.
+                        let prow = &self.regs[pb..pb + width];
+                        let irow = &self.regs[ib..ib + width];
+                        let diff = prow
+                            .iter()
+                            .zip(irow)
+                            .fold(0u32, |acc, (&p, &i)| acc | (p ^ p0) | (i ^ i0));
+                        if diff == 0 {
+                            let addr = (p0 as i64).wrapping_add(
+                                index_of(*idx_ty, i0).wrapping_mul(elem.size_bytes() as i64),
+                            ) as u32;
+                            self.stats.mem_segments += 1;
+                            self.charge(OpClass::Mem, deps)?;
+                            let region: &MemRegion = match space {
+                                MemSpace::Global => self.global,
+                                MemSpace::Shared => self.shared,
+                            };
+                            let word = region.read_word(addr)? & vmask;
+                            let db = d * width;
+                            self.regs[db..db + width].fill(word);
+                            broadcast = true;
+                        }
+                    }
+                    if !broadcast {
+                        self.effective_addrs(*ptr, *idx, *elem, *idx_ty, mask);
+                        self.charge_mem(mask, deps)?;
+                        let region: &mut MemRegion = match space {
+                            MemSpace::Global => self.global,
+                            MemSpace::Shared => self.shared,
+                        };
+                        let db = d * width;
+                        for l in lanes(mask, width) {
+                            self.regs[db + l] = region.read_word(self.addrs[l])? & vmask;
+                        }
                     }
                     self.producer[d] = self.pipe.last_tag;
                     pc += 1;
@@ -987,13 +1156,13 @@ impl<'a> VmExec<'a> {
                     let c = *cond as usize;
                     self.charge(OpClass::Ctl, [self.producer[c], 0])?;
                     let cb = c * width;
+                    // Conditions are statically Bool (0/1 invariant); same
+                    // whole-row fold as LoopTest.
                     let mut t_mask = 0u32;
-                    for l in lanes(mask, width) {
-                        // Conditions are statically Bool (0/1 invariant).
-                        if self.regs[cb + l] & 1 != 0 {
-                            t_mask |= 1 << l;
-                        }
+                    for (l, &v) in self.regs[cb..cb + width].iter().enumerate() {
+                        t_mask |= (v & 1) << l;
                     }
+                    t_mask &= mask;
                     let e_mask = mask & !t_mask;
                     frames.push(Frame::If {
                         e_mask,
@@ -1066,12 +1235,15 @@ impl<'a> VmExec<'a> {
                     let c = *cond as usize;
                     self.charge(OpClass::Ctl, [self.producer[c], 0])?;
                     let cb = c * width;
+                    // Whole-row fold (then mask): reads of inactive lanes are
+                    // harmless (registers always readable, stale bits masked
+                    // off) and the unconditional loop vectorizes where the
+                    // per-set-bit walk cannot.
                     let mut cond_mask = 0u32;
-                    for l in lanes(mask, width) {
-                        if self.regs[cb + l] & 1 != 0 {
-                            cond_mask |= 1 << l;
-                        }
+                    for (l, &v) in self.regs[cb..cb + width].iter().enumerate() {
+                        cond_mask |= (v & 1) << l;
                     }
+                    cond_mask &= mask;
                     let iteration = match frames.last() {
                         Some(Frame::Loop { iteration, .. }) => *iteration,
                         _ => unreachable!("LoopTest without a loop-frame"),
@@ -1151,7 +1323,7 @@ impl<'a> VmExec<'a> {
 
 /// Charge class of a math intrinsic (depends on the first argument's static
 /// type, which always equals the tree walker's lane type).
-fn call_class(f: MathFn, ty: PrimTy) -> OpClass {
+pub(crate) fn call_class(f: MathFn, ty: PrimTy) -> OpClass {
     match f {
         MathFn::Abs | MathFn::Min | MathFn::Max => {
             if ty == PrimTy::F32 {

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! {"rec":"meta", "program":…, "kind":…, "seed":…, "plan_len":…,
-//!  "shard_size":…, "fingerprint":…}           // first line, identity check
+//!  "shard_size":…, "fingerprint":…, "engine":…} // first line, identity check
 //! {"rec":"unit", "stratum":…, "chunk":…, "lo":…, "hi":…, "results":[…]}
 //! {"rec":"quarantine", "stratum":…, "chunk":…, "attempts":…, "error":…}
 //! ```
@@ -31,7 +31,8 @@ use std::path::Path;
 use std::sync::Mutex;
 
 /// Journal format version; bumped on incompatible record changes.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Version 2 added the `engine` field to the meta record.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// Campaign identity, written as the journal's first record and checked on
 /// resume: resuming a journal written by a different campaign (program,
@@ -51,6 +52,11 @@ pub struct JournalMeta {
     /// FNV-1a fingerprint over the full plan (sites, threads, occurrences,
     /// masks) — catches "same seed, different code/config" mismatches.
     pub fingerprint: u64,
+    /// Execution engine name (`ExecEngine::name()`). All engines are
+    /// observationally equivalent, so mixing them would be *safe* — but a
+    /// mixed-engine journal can no longer certify which tier produced the
+    /// results, so resume and merge refuse the mix instead.
+    pub engine: String,
 }
 
 impl JournalMeta {
@@ -69,6 +75,7 @@ impl JournalMeta {
                 "fingerprint",
                 Json::str(format!("{:016x}", self.fingerprint)),
             ),
+            ("engine", Json::str(self.engine.clone())),
         ])
     }
 
@@ -80,6 +87,11 @@ impl JournalMeta {
             plan_len: j.get("plan_len")?.as_u64()?,
             shard_size: j.get("shard_size")?.as_u64()?,
             fingerprint: u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?,
+            // Absent in version-1 journals: those were all written by the
+            // bytecode-default era, but guessing would defeat the point of
+            // recording it — refuse to parse instead (the meta drops and the
+            // orchestrator reports the journal as unusable).
+            engine: j.get("engine")?.as_str()?.to_string(),
         })
     }
 }
@@ -356,7 +368,7 @@ impl JournalWriter {
     }
 
     fn write_line(&self, j: &Json) -> Result<(), String> {
-        let mut g = self.w.lock().unwrap();
+        let mut g = hauberk_telemetry::lock_recover(&self.w);
         writeln!(g, "{j}").map_err(|e| e.to_string())?;
         g.flush().map_err(|e| e.to_string())
     }
@@ -397,10 +409,12 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[impl AsRef<Path>]) -> Res
             Some(prev) if *prev != m => {
                 return Err(format!(
                     "{}: journal belongs to a different campaign \
-                     (fingerprint {:#x} vs {:#x})",
+                     (fingerprint {:#x} vs {:#x}, engine {} vs {})",
                     input.as_ref().display(),
                     m.fingerprint,
-                    prev.fingerprint
+                    prev.fingerprint,
+                    m.engine,
+                    prev.engine
                 ));
             }
             Some(_) => {}
@@ -450,6 +464,7 @@ mod tests {
             plan_len: 64,
             shard_size: 8,
             fingerprint: 0xDEADBEEF,
+            engine: "bytecode".into(),
         }
     }
 
@@ -573,6 +588,16 @@ mod tests {
         let mut other = meta();
         other.fingerprint ^= 1;
         let w = JournalWriter::append(&c, Some(&other)).unwrap();
+        w.unit(&unit(2, 4)).unwrap();
+        drop(w);
+        let err = merge_journals(&out, &[&a, &c]).unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+
+        // Same campaign identity but a different execution engine also
+        // refuses: the meta comparison covers every field.
+        let mut cross = meta();
+        cross.engine = "batch".into();
+        let w = JournalWriter::append(&c, Some(&cross)).unwrap();
         w.unit(&unit(2, 4)).unwrap();
         drop(w);
         let err = merge_journals(&out, &[&a, &c]).unwrap_err();

@@ -297,6 +297,11 @@ pub fn run_orchestrated_campaign_traced(
         plan_len: env.plans.len() as u64,
         shard_size: shard_size as u64,
         fingerprint: fingerprint_plans(&env.plans),
+        engine: cfg
+            .engine
+            .unwrap_or_else(hauberk_sim::default_engine)
+            .name()
+            .to_string(),
     };
 
     let mut replay = JournalReplay::default();
@@ -322,6 +327,7 @@ pub fn run_orchestrated_campaign_traced(
                         format!("{:016x}", m.fingerprint),
                         format!("{:016x}", meta.fingerprint),
                     ),
+                    ("engine", m.engine.clone(), meta.engine.clone()),
                 ]
                 .into_iter()
                 .filter(|(_, a, b)| a != b)
@@ -838,6 +844,42 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&journal).ok();
         assert!(err.contains("different campaign"), "{err}");
+    }
+
+    /// A journal written under one engine refuses to resume under another,
+    /// and the error names the engine field (not a fingerprint red herring —
+    /// the plans are identical, only the meta's engine differs).
+    #[test]
+    fn cross_engine_resume_is_rejected() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let mut cfg = small_cfg();
+        cfg.engine = Some(hauberk_sim::ExecEngine::Bytecode);
+        let journal = tmp("cross-engine.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                journal_path: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut other = cfg.clone();
+        other.engine = Some(hauberk_sim::ExecEngine::Batch);
+        let err = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &other,
+            &OrchestratorConfig {
+                resume_from: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        std::fs::remove_file(&journal).ok();
+        assert!(err.contains("engine bytecode, expected batch"), "{err}");
     }
 
     #[test]

@@ -55,6 +55,8 @@ fn campaign_results_are_thread_and_engine_invariant() {
         (ExecEngine::TreeWalk, 4),
         (ExecEngine::Bytecode, 1),
         (ExecEngine::Bytecode, 4),
+        (ExecEngine::Batch, 1),
+        (ExecEngine::Batch, 4),
     ];
     let mut runs = Vec::new();
     for (engine, threads) in combos {

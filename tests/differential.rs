@@ -1,13 +1,15 @@
-//! Differential property suite: the bytecode VM against the tree-walking
-//! interpreter.
+//! Differential property suite: all three execution engines against each
+//! other — the tree-walking interpreter, the bytecode VM, and the batched
+//! lane-vector VM.
 //!
-//! The compiled engine (`hauberk-sim`'s `vm` module) is fast because it
-//! precomputes types, jump targets, and charge classes at lowering time; the
-//! tree walker stays simple and obviously faithful to the KIR semantics.
-//! This suite is the proof that the two agree: randomly generated kernels —
+//! The compiled engines (`hauberk-sim`'s `vm` and `vm_batch` modules) are
+//! fast because they precompute types, jump targets, charge classes, and —
+//! for the batch tier — lane-blocked region plans at lowering time; the tree
+//! walker stays simple and obviously faithful to the KIR semantics. This
+//! suite is the proof that all three agree: randomly generated kernels —
 //! arithmetic over every primitive type, casts, nested control flow,
 //! `while`/`break`/`continue`, shared memory with barriers, atomics — run
-//! under both engines and must produce
+//! under every engine and must produce
 //!
 //!   * identical [`LaunchOutcome`]s (including [`ExecStats`] and traps),
 //!   * bit-identical output memory,
@@ -17,8 +19,12 @@
 //!
 //! fault-free *and* under injected faults with pinned parameters (site,
 //! thread, occurrence, XOR mask all derived from the proptest case, so every
-//! failure replays exactly). On any mismatch the test panics with the
-//! offending kernel pretty-printed next to its bytecode disassembly.
+//! failure replays exactly). The generator is heavy on divergence (guarded
+//! accumulation, data-dependent `while` loops, per-lane `break`/`continue`),
+//! so the batch tier's region fast path and its scalar fallback at
+//! divergence/barrier/atomic boundaries are both exercised constantly. On
+//! any mismatch the test panics with the offending kernel pretty-printed
+//! next to its bytecode disassembly.
 //!
 //! Case counts: 256 per property in release (the CI release-test job), a
 //! smaller smoke count under `cfg(debug_assertions)` so `cargo test` stays
@@ -546,42 +552,48 @@ fn run_engine<R: HookRuntime>(
     )
 }
 
-/// The divergence trap: compare two engine runs and, on any mismatch, panic
-/// with the kernel source, its bytecode disassembly, and the first point of
-/// divergence — everything needed to reproduce and debug by hand.
-fn check_agreement(kernel: &KernelDef, label: &str, tw: &RunResult, bc: &RunResult) {
+/// The divergence trap: compare every engine's run against the tree-walk
+/// reference (the first entry) and, on any mismatch, panic with the kernel
+/// source, its bytecode disassembly, and the first point of divergence —
+/// everything needed to reproduce and debug by hand.
+fn check_agreement(kernel: &KernelDef, label: &str, runs: &[(ExecEngine, &RunResult)]) {
     let mut diffs = String::new();
-    if tw.outcome != bc.outcome {
-        diffs.push_str(&format!(
-            "outcome differs:\n  tree-walk: {:?}\n  bytecode:  {:?}\n",
-            tw.outcome, bc.outcome
-        ));
-    }
-    if tw.out_bits != bc.out_bits {
-        let i = tw
-            .out_bits
-            .iter()
-            .zip(&bc.out_bits)
-            .position(|(a, b)| a != b)
-            .unwrap_or(usize::MAX);
-        diffs.push_str(&format!(
-            "output memory differs first at word {i}: tree-walk={:#010x} bytecode={:#010x}\n",
-            tw.out_bits.get(i).copied().unwrap_or(0),
-            bc.out_bits.get(i).copied().unwrap_or(0),
-        ));
-    }
-    if tw.log != bc.log {
-        let i = tw.log.iter().zip(&bc.log).position(|(a, b)| a != b);
-        match i {
-            Some(i) => diffs.push_str(&format!(
-                "runtime event {i} differs:\n  tree-walk: {}\n  bytecode:  {}\n",
-                tw.log[i], bc.log[i]
-            )),
-            None => diffs.push_str(&format!(
-                "runtime event count differs: tree-walk={} bytecode={}\n",
-                tw.log.len(),
-                bc.log.len()
-            )),
+    let (ref_engine, reference) = runs[0];
+    for &(engine, run) in &runs[1..] {
+        let rn = ref_engine.name();
+        let en = engine.name();
+        if reference.outcome != run.outcome {
+            diffs.push_str(&format!(
+                "outcome differs:\n  {rn}: {:?}\n  {en}: {:?}\n",
+                reference.outcome, run.outcome
+            ));
+        }
+        if reference.out_bits != run.out_bits {
+            let i = reference
+                .out_bits
+                .iter()
+                .zip(&run.out_bits)
+                .position(|(a, b)| a != b)
+                .unwrap_or(usize::MAX);
+            diffs.push_str(&format!(
+                "output memory differs first at word {i}: {rn}={:#010x} {en}={:#010x}\n",
+                reference.out_bits.get(i).copied().unwrap_or(0),
+                run.out_bits.get(i).copied().unwrap_or(0),
+            ));
+        }
+        if reference.log != run.log {
+            let i = reference.log.iter().zip(&run.log).position(|(a, b)| a != b);
+            match i {
+                Some(i) => diffs.push_str(&format!(
+                    "runtime event {i} differs:\n  {rn}: {}\n  {en}: {}\n",
+                    reference.log[i], run.log[i]
+                )),
+                None => diffs.push_str(&format!(
+                    "runtime event count differs: {rn}={} {en}={}\n",
+                    reference.log.len(),
+                    run.log.len()
+                )),
+            }
         }
     }
     if !diffs.is_empty() {
@@ -665,8 +677,13 @@ proptest! {
         validate_kernel(&k).unwrap();
         let (tw, _) = run_engine(&k, g.trip, ExecEngine::TreeWalk, NullRuntime);
         let (bc, _) = run_engine(&k, g.trip, ExecEngine::Bytecode, NullRuntime);
+        let (ba, _) = run_engine(&k, g.trip, ExecEngine::Batch, NullRuntime);
         prop_assert!(tw.outcome.is_completed(), "generated kernels terminate: {:?}", tw.outcome);
-        check_agreement(&k, "fault-free baseline", &tw, &bc);
+        check_agreement(&k, "fault-free baseline", &[
+            (ExecEngine::TreeWalk, &tw),
+            (ExecEngine::Bytecode, &bc),
+            (ExecEngine::Batch, &ba),
+        ]);
     }
 
     /// Fault-free agreement on the fully instrumented FT build: the hook
@@ -682,12 +699,19 @@ proptest! {
         let mk = || FtRuntime::new(ControlBlock::with_ranges(ranges.clone()));
         let (tw, rt_tw) = run_engine(&ft.kernel, g.trip, ExecEngine::TreeWalk, mk());
         let (bc, rt_bc) = run_engine(&ft.kernel, g.trip, ExecEngine::Bytecode, mk());
-        check_agreement(&ft.kernel, "instrumented FT", &tw, &bc);
+        let (ba, rt_ba) = run_engine(&ft.kernel, g.trip, ExecEngine::Batch, mk());
+        check_agreement(&ft.kernel, "instrumented FT", &[
+            (ExecEngine::TreeWalk, &tw),
+            (ExecEngine::Bytecode, &bc),
+            (ExecEngine::Batch, &ba),
+        ]);
         prop_assert!(!rt_tw.cb.sdc_flag, "fault-free FT run alarmed: {:?}", rt_tw.cb.alarms);
-        prop_assert_eq!(
-            format!("{:?}", rt_tw.cb.alarms),
-            format!("{:?}", rt_bc.cb.alarms)
-        );
+        for rt in [&rt_bc, &rt_ba] {
+            prop_assert_eq!(
+                format!("{:?}", rt_tw.cb.alarms),
+                format!("{:?}", rt.cb.alarms)
+            );
+        }
     }
 
     /// Agreement under an injected fault on the FI build: same corruption
@@ -712,9 +736,17 @@ proptest! {
             &fi.kernel, g.trip, ExecEngine::TreeWalk, FiRuntime::new(Some(fault)));
         let (bc, rt_bc) = run_engine(
             &fi.kernel, g.trip, ExecEngine::Bytecode, FiRuntime::new(Some(fault)));
-        check_agreement(&fi.kernel, &format!("FI fault={fault:?}"), &tw, &bc);
-        prop_assert_eq!(rt_tw.arm.delivered(), rt_bc.arm.delivered());
-        prop_assert_eq!(rt_tw.delivered_cycle, rt_bc.delivered_cycle);
+        let (ba, rt_ba) = run_engine(
+            &fi.kernel, g.trip, ExecEngine::Batch, FiRuntime::new(Some(fault)));
+        check_agreement(&fi.kernel, &format!("FI fault={fault:?}"), &[
+            (ExecEngine::TreeWalk, &tw),
+            (ExecEngine::Bytecode, &bc),
+            (ExecEngine::Batch, &ba),
+        ]);
+        for rt in [&rt_bc, &rt_ba] {
+            prop_assert_eq!(rt_tw.arm.delivered(), rt.arm.delivered());
+            prop_assert_eq!(rt_tw.delivered_cycle, rt.delivered_cycle);
+        }
     }
 
     /// Agreement of the full detection pipeline under faults: the FI&FT
@@ -738,13 +770,62 @@ proptest! {
         let mk = || FiFtRuntime::new(Some(fault), ControlBlock::with_ranges(ranges.clone()));
         let (tw, rt_tw) = run_engine(&fift.kernel, g.trip, ExecEngine::TreeWalk, mk());
         let (bc, rt_bc) = run_engine(&fift.kernel, g.trip, ExecEngine::Bytecode, mk());
-        check_agreement(&fift.kernel, &format!("FI&FT fault={fault:?}"), &tw, &bc);
-        prop_assert_eq!(rt_tw.arm.delivered(), rt_bc.arm.delivered());
-        prop_assert_eq!(rt_tw.cb.sdc_flag, rt_bc.cb.sdc_flag);
-        prop_assert_eq!(rt_tw.first_alarm_cycle, rt_bc.first_alarm_cycle);
-        prop_assert_eq!(
-            format!("{:?}", rt_tw.cb.alarms),
-            format!("{:?}", rt_bc.cb.alarms)
-        );
+        let (ba, rt_ba) = run_engine(&fift.kernel, g.trip, ExecEngine::Batch, mk());
+        check_agreement(&fift.kernel, &format!("FI&FT fault={fault:?}"), &[
+            (ExecEngine::TreeWalk, &tw),
+            (ExecEngine::Bytecode, &bc),
+            (ExecEngine::Batch, &ba),
+        ]);
+        for rt in [&rt_bc, &rt_ba] {
+            prop_assert_eq!(rt_tw.arm.delivered(), rt.arm.delivered());
+            prop_assert_eq!(rt_tw.cb.sdc_flag, rt.cb.sdc_flag);
+            prop_assert_eq!(rt_tw.first_alarm_cycle, rt.first_alarm_cycle);
+            prop_assert_eq!(
+                format!("{:?}", rt_tw.cb.alarms),
+                format!("{:?}", rt.cb.alarms)
+            );
+        }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic divergence-heavy case
+// ---------------------------------------------------------------------------
+
+/// A hand-built kernel that alternates full-mask arithmetic runs (batch
+/// regions) with per-lane divergence, a barrier-staged shared-memory
+/// shuffle, and contended atomics — every batch→scalar fallback boundary in
+/// one kernel. The three engines must agree bit-for-bit.
+#[test]
+fn divergence_heavy_three_way() {
+    let g = GenKernel {
+        trip: 9,
+        body: vec![
+            GenStmt::FpDef(0, 1, 7),
+            GenStmt::IntDef(1, 2, 2),
+            GenStmt::UDef(0, 1, 1),
+            GenStmt::Guarded(2, 0, 4),
+            GenStmt::WhileDec(1, 1),
+            GenStmt::WhileDec(3, 2),
+            GenStmt::SharedMix(0, 2),
+            GenStmt::AtomicBump(3),
+            GenStmt::Cast(2, 1, 3),
+            GenStmt::FpAcc(1, 0),
+        ],
+    };
+    let k = materialize(&g);
+    validate_kernel(&k).unwrap();
+    let (tw, _) = run_engine(&k, g.trip, ExecEngine::TreeWalk, NullRuntime);
+    let (bc, _) = run_engine(&k, g.trip, ExecEngine::Bytecode, NullRuntime);
+    let (ba, _) = run_engine(&k, g.trip, ExecEngine::Batch, NullRuntime);
+    assert!(tw.outcome.is_completed(), "{:?}", tw.outcome);
+    check_agreement(
+        &k,
+        "divergence-heavy",
+        &[
+            (ExecEngine::TreeWalk, &tw),
+            (ExecEngine::Bytecode, &bc),
+            (ExecEngine::Batch, &ba),
+        ],
+    );
 }
