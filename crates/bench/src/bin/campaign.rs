@@ -8,7 +8,7 @@
 //!          [--json] [--engine tree-walk|bytecode|batch] [--threads N]
 //!          [--shard-size N] [--journal PATH | --resume PATH]
 //!          [--adaptive] [--ci-width F] [--min-samples N]
-//!          [--max-retries N] [--shard I/M]
+//!          [--max-retries N] [--shard I/M] [--profile]
 //! campaign merge-journals --out PATH <journal> [<journal> ...]
 //! ```
 //!
@@ -26,6 +26,10 @@
 //!   `merge-journals` + `--resume` to finalize.
 //! * `--max-retries N` retries a panicking work unit N times before
 //!   quarantining it (default 2).
+//! * `--profile` prints the per-phase wall-time breakdown (plan / execute /
+//!   journal / classify / sample-decision) and any straggler work units
+//!   after the summary. The profile is also appended to the journal as a
+//!   trailing `"rec":"profile"` record when `--journal`/`--resume` is set.
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
@@ -167,6 +171,7 @@ fn main() {
         journal_path: journal_path.map(Into::into),
         resume_from: resume_from.map(Into::into),
         shard,
+        trace: None,
         chaos: None,
     };
 
@@ -198,6 +203,18 @@ fn main() {
 
     em.text(sharded.summarize());
     em.json_section("summary", sharded.summary_json());
+    if args.iter().any(|a| a == "--profile") {
+        em.table(&sharded.profile.table());
+        em.json_section("profile", sharded.profile.to_json());
+        for s in &sharded.profile.stragglers {
+            em.text(format!(
+                "straggler: {} took {:.2} ms (threshold {:.2} ms)",
+                s.unit,
+                s.dur_ns as f64 / 1e6,
+                s.threshold_ns as f64 / 1e6
+            ));
+        }
+    }
     if let Some(path) = csv_path {
         std::fs::write(&path, to_csv(&sharded.campaign)).expect("write CSV");
         em.text(format!(

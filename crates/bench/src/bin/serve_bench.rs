@@ -8,6 +8,11 @@
 //! `GET /v1/campaigns/:id` round-trip (status-read latency, the cheap
 //! hot-path request), and the whole submit-to-result turnaround.
 //!
+//! Two observability measurements ride along: `/metrics` scrape latency in
+//! both content types (JSON and Prometheus text exposition, selected via
+//! `Accept: text/plain`), and the job turnaround delta between span-on
+//! (default) and span-off (`"spans": false`) submissions.
+//!
 //! ```text
 //! serve_bench [--jobs N] [--levels 1,4,8] [--workers N] [--out PATH]
 //! ```
@@ -57,6 +62,13 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     request(addr, format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n"))
 }
 
+fn get_accept(addr: SocketAddr, path: &str, accept: &str) -> (u16, String) {
+    request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: b\r\nAccept: {accept}\r\n\r\n"),
+    )
+}
+
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     request(
         addr,
@@ -83,8 +95,12 @@ struct JobSample {
 
 /// Run one full submit → poll → result cycle.
 fn run_job(addr: SocketAddr) -> JobSample {
+    run_job_body(addr, JOB_BODY)
+}
+
+fn run_job_body(addr: SocketAddr, job_body: &str) -> JobSample {
     let t0 = Instant::now();
-    let (code, body) = post(addr, "/v1/campaigns", JOB_BODY);
+    let (code, body) = post(addr, "/v1/campaigns", job_body);
     let submit_ns = t0.elapsed().as_nanos() as u64;
     assert_eq!(code, 201, "submit failed: {body}");
     let id = json_str_field(&body, "id");
@@ -209,6 +225,40 @@ fn main() {
         metrics.contains(&format!("\"jobs_done\":{total}")),
         "all {total} jobs must finish: {metrics}"
     );
+
+    // /metrics scrape latency, JSON document vs Prometheus text exposition.
+    const SCRAPES: usize = 60;
+    let scrape = |accept: &str, must_contain: &str| -> Json {
+        let samples: Vec<u64> = (0..SCRAPES)
+            .map(|_| {
+                let t = Instant::now();
+                let (code, body) = get_accept(addr, "/metrics", accept);
+                let ns = t.elapsed().as_nanos() as u64;
+                assert_eq!(code, 200);
+                assert!(body.contains(must_contain), "{accept} scrape: {body}");
+                ns
+            })
+            .collect();
+        quantiles_ms(samples)
+    };
+    let scrape_json = scrape("application/json", "\"jobs_done\"");
+    let scrape_prom = scrape("text/plain", "# TYPE queue_depth gauge");
+    eprintln!("metrics scrape: json {scrape_json} prometheus {scrape_prom}");
+
+    // Span-on vs span-off turnaround, interleaved single-client so slow
+    // machine drift cancels instead of biasing one mode.
+    let span_jobs = jobs_per_level.clamp(4, 16);
+    let span_off_body = r#"{"program":"CP","vars":4,"masks":6,"bit_counts":[1],"spans":false}"#;
+    let (mut on_ns, mut off_ns) = (Vec::new(), Vec::new());
+    for _ in 0..span_jobs {
+        on_ns.push(run_job_body(addr, JOB_BODY).turnaround_ns);
+        off_ns.push(run_job_body(addr, span_off_body).turnaround_ns);
+    }
+    on_ns.sort_unstable();
+    off_ns.sort_unstable();
+    let span_delta_pct =
+        (percentile(&on_ns, 50.0) as f64 / percentile(&off_ns, 50.0) as f64 - 1.0) * 100.0;
+    eprintln!("span-on vs span-off turnaround (p50): {span_delta_pct:+.2}%");
     handle.shutdown();
 
     let doc = Json::obj([
@@ -217,6 +267,19 @@ fn main() {
         ("daemon_workers", Json::uint(workers as u64)),
         ("jobs_per_level", Json::uint(jobs_per_level as u64)),
         ("levels", Json::Arr(level_docs)),
+        (
+            "metrics_scrape",
+            Json::obj([("json", scrape_json), ("prometheus", scrape_prom)]),
+        ),
+        (
+            "span_toggle",
+            Json::obj([
+                ("jobs_per_mode", Json::uint(span_jobs as u64)),
+                ("span_on_turnaround", quantiles_ms(on_ns)),
+                ("span_off_turnaround", quantiles_ms(off_ns)),
+                ("p50_delta_pct", Json::Num(span_delta_pct)),
+            ]),
+        ),
     ]);
     let rendered = format!("{doc}\n");
     match out_path {

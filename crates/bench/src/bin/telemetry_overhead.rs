@@ -7,6 +7,11 @@
 //! [`MemorySink`], and reports ns/launch plus overhead relative to the
 //! disabled baseline.
 //!
+//! Two additional modes isolate the tracing-span layer against an *enabled*
+//! sink that discards everything: `spans_on` builds and emits a launch span
+//! per run, `spans_off` takes the `with_spans(false)` early-out. Their ratio
+//! is reported as `span_overhead_pct` (target: < 1%).
+//!
 //! ```text
 //! telemetry_overhead [--iters N] [--out PATH]
 //! ```
@@ -16,10 +21,22 @@ use hauberk_kir::parser::parse_kernel;
 use hauberk_kir::{PrimTy, Value};
 use hauberk_sim::{Device, Launch, NullRuntime};
 use hauberk_telemetry::json::Json;
-use hauberk_telemetry::{MemorySink, NullSink, Telemetry};
+use hauberk_telemetry::{Event, MemorySink, NullSink, Telemetry, TelemetrySink};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A sink that reports itself enabled but discards every event: the span
+/// path runs for real (guard bookkeeping, attribute strings, emit call)
+/// without measuring any sink's own storage cost.
+#[derive(Debug)]
+struct EnabledNullSink;
+
+impl TelemetrySink for EnabledNullSink {
+    fn emit(&self, event: &Event) {
+        black_box(event);
+    }
+}
 
 fn one_launch(kernel: &KernelDef, tele: &Telemetry) {
     let mut dev = Device::small_gpu().with_telemetry(tele.clone());
@@ -76,6 +93,11 @@ fn main() {
             "null_sink_hot",
             Telemetry::new(Arc::new(NullSink)).with_hot_events(true),
         ),
+        (
+            "spans_off",
+            Telemetry::new(Arc::new(EnabledNullSink)).with_spans(false),
+        ),
+        ("spans_on", Telemetry::new(Arc::new(EnabledNullSink))),
         ("memory_sink", Telemetry::new(Arc::new(memory))),
     ];
 
@@ -83,7 +105,7 @@ fn main() {
     // back-to-back batches see the same machine state, so slow drift
     // (thermal, scheduler) cancels instead of biasing whichever mode ran
     // last.
-    const ROUNDS: u32 = 5;
+    const ROUNDS: u32 = 11;
     let per_round = (iters / ROUNDS).max(1);
     for (_, tele) in &modes {
         one_launch(&kernel, tele); // warm up allocator + caches once per mode
@@ -116,11 +138,21 @@ fn main() {
             )
         })
         .collect();
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(f64::NAN)
+    };
+    let span_overhead_pct = (ns_of("spans_on") / ns_of("spans_off") - 1.0) * 100.0;
+    eprintln!("span overhead (spans_on vs spans_off): {span_overhead_pct:.2}%");
     let doc = Json::obj([
         ("bench", Json::str("telemetry_overhead")),
         ("kernel", Json::str("spin fp_loop_16x32")),
         ("iters", Json::uint(iters as u64)),
         ("results", Json::Obj(entries.into_iter().collect())),
+        ("span_overhead_pct", Json::Num(span_overhead_pct)),
     ]);
     let rendered = format!("{doc}\n");
     match out_path {

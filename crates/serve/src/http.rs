@@ -227,11 +227,19 @@ impl<'a> ChunkedWriter<'a> {
         stream: &'a mut TcpStream,
         status: u16,
         content_type: &str,
+        extra_headers: &[(&str, String)],
     ) -> std::io::Result<Self> {
-        let head = format!(
-            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
             status_reason(status)
         );
+        for (k, v) in extra_headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.flush()?;
         Ok(ChunkedWriter { stream })

@@ -65,6 +65,15 @@ pub struct JobSpec {
     /// POST time and recorded in the campaign journal header, so a resumed
     /// or merged campaign can never silently mix engines.
     pub engine: Option<hauberk_sim::ExecEngine>,
+    /// Correlation trace id. Usually assigned by the daemon from the
+    /// submitting request (echoed back as `X-Hauberk-Trace`); a client may
+    /// also pin its own. Stamped onto the campaign's root span so every
+    /// span in the job's event log carries it.
+    pub trace: Option<String>,
+    /// Emit tracing spans into the job's event log (default `true`).
+    /// `"spans": false` drops the span layer for latency-critical
+    /// submissions; `serve_bench` uses it to price the layer.
+    pub spans: bool,
 }
 
 impl Default for JobSpec {
@@ -83,6 +92,8 @@ impl Default for JobSpec {
             launch: TextOptions::default(),
             chaos: None,
             engine: None,
+            trace: None,
+            spans: true,
         }
     }
 }
@@ -119,6 +130,8 @@ impl JobSpec {
             "launch",
             "chaos",
             "engine",
+            "trace",
+            "spans",
         ];
         if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
             return Err(format!("unknown field `{k}` (known: {})", KNOWN.join(", ")));
@@ -152,6 +165,20 @@ impl JobSpec {
             spec.engine = Some(hauberk_sim::ExecEngine::parse(name).ok_or_else(|| {
                 format!("`engine` must be one of tree-walk, bytecode, batch (got `{name}`)")
             })?);
+        }
+        if let Some(v) = map.get("trace") {
+            let t = v.as_str().ok_or("`trace` must be a string")?;
+            if t.is_empty() || t.len() > 128 || !t.chars().all(|c| c.is_ascii_graphic()) {
+                return Err(
+                    "`trace` must be 1..=128 printable ASCII characters (it is echoed \
+                     as a response header)"
+                        .to_string(),
+                );
+            }
+            spec.trace = Some(t.to_string());
+        }
+        if let Some(v) = map.get("spans") {
+            spec.spans = v.as_bool().ok_or("`spans` must be a boolean")?;
         }
         if let Some(v) = map.get("seed") {
             spec.seed = want_u64(v, "seed")?;
@@ -282,6 +309,12 @@ impl JobSpec {
         if let Some(e) = self.engine {
             pairs.push(("engine", Json::str(e.name())));
         }
+        if let Some(t) = &self.trace {
+            pairs.push(("trace", Json::str(t.clone())));
+        }
+        if !self.spans {
+            pairs.push(("spans", Json::Bool(false)));
+        }
         match &self.program {
             ProgramSpec::Named(n) => pairs.push(("program", Json::str(n.clone()))),
             ProgramSpec::Kir(src) => {
@@ -367,6 +400,7 @@ impl JobSpec {
             adaptive: self.adaptive.clone(),
             max_retries: self.max_retries,
             chaos: self.chaos,
+            trace: self.trace.clone(),
             ..Default::default()
         }
     }
@@ -433,6 +467,7 @@ pub struct Job {
     wake: Condvar,
     planned: AtomicU64,
     injections: AtomicU64,
+    queued_at: std::time::Instant,
 }
 
 /// Retained event lines per job; beyond this the log counts drops instead
@@ -454,9 +489,16 @@ impl Job {
             wake: Condvar::new(),
             planned: AtomicU64::new(0),
             injections: AtomicU64::new(0),
+            queued_at: std::time::Instant::now(),
         });
         job.push_lifecycle("queued");
         job
+    }
+
+    /// Time since the job was admitted (drives the `/metrics` queue-age
+    /// gauge: how stale is the oldest queued job?).
+    pub fn queued_for(&self) -> Duration {
+        self.queued_at.elapsed()
     }
 
     /// A job recovered from a persisted result document (daemon restart).
@@ -612,7 +654,7 @@ mod tests {
     fn spec_round_trips_through_json() {
         let doc = parse(
             r#"{"program":"CP","kind":"coverage","seed":7,"vars":4,"masks":3,
-                "bit_counts":[1,3],"alpha":10.0,"engine":"batch",
+                "bit_counts":[1,3],"alpha":10.0,"engine":"batch","trace":"ht-cafe",
                 "adaptive":{"ci_width":0.2,"min_samples":16}}"#,
         )
         .unwrap();
@@ -622,8 +664,25 @@ mod tests {
         assert_eq!(spec.bit_counts, vec![1, 3]);
         assert_eq!(spec.engine, Some(hauberk_sim::ExecEngine::Batch));
         assert_eq!(spec.campaign_config().engine, spec.engine);
+        assert_eq!(spec.trace.as_deref(), Some("ht-cafe"));
+        assert_eq!(
+            spec.orchestrator_config().trace.as_deref(),
+            Some("ht-cafe"),
+            "trace reaches the orchestrator (and so the root span)"
+        );
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.to_json(), spec.to_json());
+    }
+
+    #[test]
+    fn spans_toggle_defaults_on_and_round_trips_off() {
+        let on = JobSpec::from_json(&parse(r#"{"program":"CP"}"#).unwrap()).unwrap();
+        assert!(on.spans);
+        assert!(!on.to_json().to_string().contains("spans"));
+        let off = JobSpec::from_json(&parse(r#"{"program":"CP","spans":false}"#).unwrap()).unwrap();
+        assert!(!off.spans);
+        let back = JobSpec::from_json(&off.to_json()).unwrap();
+        assert!(!back.spans);
     }
 
     #[test]
@@ -642,6 +701,10 @@ mod tests {
             (
                 r#"{"program":"CP","engine":"warp-drive"}"#,
                 "`engine` must be one of",
+            ),
+            (
+                r#"{"program":"CP","trace":"bad header\r\n"}"#,
+                "`trace` must be",
             ),
         ] {
             let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();

@@ -17,14 +17,14 @@ use crate::http::{self, ChunkedWriter, Limits, RecvError, Request};
 use crate::jobs::{Job, JobEventSink, JobPhase, JobSpec};
 use hauberk_swifi::orchestrator::run_orchestrated_campaign_traced;
 use hauberk_telemetry::json::{parse_with_limits, Json, ParseLimits};
-use hauberk_telemetry::metrics::Registry;
+use hauberk_telemetry::metrics::{to_prometheus, Registry};
 use hauberk_telemetry::{lock_recover, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -81,11 +81,32 @@ struct Inner {
     next_id: AtomicU64,
     conns: AtomicUsize,
     metrics: Registry,
+    /// Daemon start (uptime gauge).
+    started: Instant,
+    /// Workers currently executing a campaign (occupancy gauge).
+    busy: AtomicUsize,
+    /// Trace-id sequence; mixed with `trace_seed` per request.
+    next_trace: AtomicU64,
+    /// Process-unique salt so trace ids differ across daemon restarts.
+    trace_seed: u64,
 }
 
 impl Inner {
     fn job(&self, id: &str) -> Option<Arc<Job>> {
         lock_recover(&self.jobs).get(id).cloned()
+    }
+
+    /// A fresh request trace id (`ht-<16 hex>`): a splitmix64 step over a
+    /// per-process seed and a counter — unique within the process, very
+    /// unlikely to collide across restarts, and requiring no RNG dependency.
+    fn fresh_trace(&self) -> String {
+        let n = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .trace_seed
+            .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        format!("ht-{:016x}", z ^ (z >> 31))
     }
 
     fn state_path(&self, id: &str, suffix: &str) -> Option<PathBuf> {
@@ -132,7 +153,9 @@ impl Inner {
                     q = g;
                 }
             };
+            self.busy.fetch_add(1, Ordering::SeqCst);
             self.run_job(&job);
+            self.busy.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -142,7 +165,8 @@ impl Inner {
     fn run_job(&self, job: &Arc<Job>) {
         job.start();
         self.metrics.incr("jobs_started", 1);
-        let tele = Telemetry::new(Arc::new(JobEventSink::new(job.clone())));
+        let tele =
+            Telemetry::new(Arc::new(JobEventSink::new(job.clone()))).with_spans(job.spec.spans);
         let journal = self.state_path(&job.id, "journal.jsonl");
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let prog = job.spec.build_program()?;
@@ -258,6 +282,14 @@ impl Server {
             next_id: AtomicU64::new(1),
             conns: AtomicUsize::new(0),
             metrics: Registry::new(),
+            started: Instant::now(),
+            busy: AtomicUsize::new(0),
+            next_trace: AtomicU64::new(0),
+            trace_seed: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+                ^ (std::process::id() as u64) << 32,
         });
         recover_state(&inner);
         Ok(Server { listener, inner })
@@ -407,21 +439,33 @@ fn recover_state(inner: &Arc<Inner>) {
     }
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json) {
+/// The `X-Hauberk-Trace` header every response carries.
+fn trace_header(trace: &str) -> (&'static str, String) {
+    ("X-Hauberk-Trace", trace.to_string())
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Json, trace: &str) {
     let _ = http::write_response(
         stream,
         status,
         "application/json",
-        &[],
+        &[trace_header(trace)],
         doc.to_string().as_bytes(),
     );
 }
 
-fn error_json(stream: &mut TcpStream, status: u16, msg: &str) {
-    respond_json(stream, status, &Json::obj([("error", Json::str(msg))]));
+fn error_json(stream: &mut TcpStream, status: u16, msg: &str, trace: &str) {
+    respond_json(
+        stream,
+        status,
+        &Json::obj([("error", Json::str(msg))]),
+        trace,
+    );
 }
 
 fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let t_req = Instant::now();
+    let trace = inner.fresh_trace();
     let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
     let limits = Limits {
@@ -433,7 +477,7 @@ fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
         Err(RecvError::Closed) => return,
         Err(RecvError::Timeout) => {
             inner.metrics.incr("http_timeouts", 1);
-            return error_json(&mut stream, 408, "request timed out");
+            return error_json(&mut stream, 408, "request timed out", &trace);
         }
         Err(RecvError::BodyTooLarge { limit }) => {
             inner.metrics.incr("http_oversized", 1);
@@ -441,48 +485,116 @@ fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
                 &mut stream,
                 413,
                 &format!("body exceeds the {limit}-byte limit"),
+                &trace,
             );
         }
         Err(RecvError::Malformed(msg)) => {
             inner.metrics.incr("http_malformed", 1);
-            return error_json(&mut stream, 400, &msg);
+            return error_json(&mut stream, 400, &msg, &trace);
         }
     };
+    // A client may pin its own trace id; anything unfit for a response
+    // header falls back to the generated one.
+    let trace = match req.header("x-hauberk-trace") {
+        Some(t) if !t.is_empty() && t.len() <= 128 && t.chars().all(|c| c.is_ascii_graphic()) => {
+            t.to_string()
+        }
+        _ => trace,
+    };
     inner.metrics.incr("http_requests", 1);
-    route(&mut stream, &req, inner);
+    let endpoint = route(&mut stream, &req, inner, &trace);
+    inner.metrics.observe(
+        &format!("http_latency_us.{endpoint}"),
+        t_req.elapsed().as_micros() as u64,
+    );
 }
 
-fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+/// Dispatch one request; returns the endpoint label used as the per-endpoint
+/// latency histogram key.
+fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trace: &str) -> &'static str {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let _ = http::write_response(stream, 200, "text/plain", &[], b"ok");
+            handle_healthz(stream, inner, trace);
+            "healthz"
         }
-        ("GET", ["metrics"]) => handle_metrics(stream, inner),
-        ("POST", ["v1", "campaigns"]) => handle_submit(stream, req, inner),
-        ("GET", ["v1", "campaigns", id]) => match inner.job(id) {
-            Some(job) => respond_json(stream, 200, &job.status_json()),
-            None => error_json(stream, 404, "no such campaign"),
-        },
-        ("GET", ["v1", "campaigns", id, "events"]) => match inner.job(id) {
-            Some(job) => handle_events(stream, &job, inner),
-            None => error_json(stream, 404, "no such campaign"),
-        },
-        ("GET", ["v1", "campaigns", id, "result"]) => match inner.job(id) {
-            Some(job) => handle_result(stream, &job),
-            None => error_json(stream, 404, "no such campaign"),
-        },
+        ("GET", ["metrics"]) => {
+            handle_metrics(stream, req, inner, trace);
+            "metrics"
+        }
+        ("POST", ["v1", "campaigns"]) => {
+            handle_submit(stream, req, inner, trace);
+            "submit"
+        }
+        ("GET", ["v1", "campaigns", id]) => {
+            match inner.job(id) {
+                Some(job) => respond_json(stream, 200, &job.status_json(), trace),
+                None => error_json(stream, 404, "no such campaign", trace),
+            }
+            "status"
+        }
+        ("GET", ["v1", "campaigns", id, "events"]) => {
+            match inner.job(id) {
+                Some(job) => handle_events(stream, &job, inner, trace),
+                None => error_json(stream, 404, "no such campaign", trace),
+            }
+            "events"
+        }
+        ("GET", ["v1", "campaigns", id, "result"]) => {
+            match inner.job(id) {
+                Some(job) => handle_result(stream, &job, trace),
+                None => error_json(stream, 404, "no such campaign", trace),
+            }
+            "result"
+        }
         (_, ["healthz" | "metrics"]) | (_, ["v1", "campaigns", ..]) => {
-            error_json(stream, 405, "method not allowed")
+            error_json(stream, 405, "method not allowed", trace);
+            "other"
         }
-        _ => error_json(stream, 404, "no such route"),
+        _ => {
+            error_json(stream, 404, "no such route", trace);
+            "other"
+        }
     }
 }
 
-fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+/// `GET /healthz`: liveness plus enough occupancy detail for a one-glance
+/// triage — build version, uptime, worker/queue saturation.
+fn handle_healthz(stream: &mut TcpStream, inner: &Arc<Inner>, trace: &str) {
+    let doc = Json::obj([
+        ("status", Json::str("ok")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_secs", Json::uint(inner.started.elapsed().as_secs())),
+        ("workers", Json::uint(inner.cfg.workers.max(1) as u64)),
+        (
+            "busy_workers",
+            Json::uint(inner.busy.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "queue_depth",
+            Json::uint(lock_recover(&inner.queue).len() as u64),
+        ),
+        (
+            "queue_capacity",
+            Json::uint(inner.cfg.queue_capacity as u64),
+        ),
+    ]);
+    let _ = http::write_response(
+        stream,
+        200,
+        "application/json",
+        &[
+            ("Cache-Control", "no-store".to_string()),
+            trace_header(trace),
+        ],
+        doc.to_string().as_bytes(),
+    );
+}
+
+fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trace: &str) {
     let body = match std::str::from_utf8(&req.body) {
         Ok(b) => b,
-        Err(_) => return error_json(stream, 400, "body is not UTF-8"),
+        Err(_) => return error_json(stream, 400, "body is not UTF-8", trace),
     };
     let parse_limits = ParseLimits {
         max_bytes: inner.cfg.max_body_bytes,
@@ -490,15 +602,21 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
     };
     let doc = match parse_with_limits(body, parse_limits) {
         Ok(doc) => doc,
-        Err(e) => return error_json(stream, 400, &format!("invalid JSON: {e}")),
+        Err(e) => return error_json(stream, 400, &format!("invalid JSON: {e}"), trace),
     };
-    let spec = match JobSpec::from_json(&doc) {
+    let mut spec = match JobSpec::from_json(&doc) {
         Ok(spec) => spec,
         Err(e) => {
             inner.metrics.incr("submit_rejected", 1);
-            return error_json(stream, 400, &e);
+            return error_json(stream, 400, &e, trace);
         }
     };
+    // The request's trace id follows the job: it is persisted in the spec
+    // and stamped onto the campaign's root span, so the response header, the
+    // job spec, and every span in the event stream correlate.
+    if spec.trace.is_none() {
+        spec.trace = Some(trace.to_string());
+    }
 
     // Admission control under the queue lock so capacity is exact: two
     // racing submissions cannot both squeeze into the last slot.
@@ -513,7 +631,7 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
                 stream,
                 429,
                 "application/json",
-                &[("Retry-After", retry)],
+                &[("Retry-After", retry), trace_header(trace)],
                 doc.to_string().as_bytes(),
             );
             return;
@@ -533,7 +651,12 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
         &Json::obj([
             ("id", Json::str(job.id.clone())),
             ("state", Json::str(job.phase().label())),
+            (
+                "trace",
+                Json::str(job.spec.trace.clone().unwrap_or_default()),
+            ),
         ]),
+        trace,
     );
 }
 
@@ -541,8 +664,9 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
 /// terminal phase and the log is drained (or the client goes away, or the
 /// daemon shuts down — either truncates the stream, which is the honest
 /// signal).
-fn handle_events(stream: &mut TcpStream, job: &Arc<Job>, inner: &Arc<Inner>) {
-    let mut w = match ChunkedWriter::start(stream, 200, "application/jsonl") {
+fn handle_events(stream: &mut TcpStream, job: &Arc<Job>, inner: &Arc<Inner>, trace: &str) {
+    let mut w = match ChunkedWriter::start(stream, 200, "application/jsonl", &[trace_header(trace)])
+    {
         Ok(w) => w,
         Err(_) => return,
     };
@@ -577,33 +701,88 @@ fn handle_events(stream: &mut TcpStream, job: &Arc<Job>, inner: &Arc<Inner>) {
     let _ = w.finish();
 }
 
-fn handle_result(stream: &mut TcpStream, job: &Arc<Job>) {
+fn handle_result(stream: &mut TcpStream, job: &Arc<Job>, trace: &str) {
     match job.phase() {
         JobPhase::Done => {
             let body = job.result().unwrap_or_default();
-            let _ = http::write_response(stream, 200, "application/json", &[], body.as_bytes());
+            let _ = http::write_response(
+                stream,
+                200,
+                "application/json",
+                &[trace_header(trace)],
+                body.as_bytes(),
+            );
         }
         JobPhase::Failed => {
-            error_json(stream, 500, &job.error().unwrap_or_default());
+            error_json(stream, 500, &job.error().unwrap_or_default(), trace);
         }
         JobPhase::Canceled => {
             error_json(
                 stream,
                 503,
                 "job was canceled by daemon shutdown; it resumes on restart",
+                trace,
             );
         }
         JobPhase::Queued | JobPhase::Running => {
-            respond_json(stream, 202, &job.status_json());
+            respond_json(stream, 202, &job.status_json(), trace);
         }
     }
 }
 
-fn handle_metrics(stream: &mut TcpStream, inner: &Arc<Inner>) {
-    let queue_depth = lock_recover(&inner.queue).len() as u64;
+/// `GET /metrics`: JSON snapshot by default; Prometheus text exposition
+/// (format 0.0.4) when the `Accept` header asks for `text/plain`. Both are
+/// marked `Cache-Control: no-store` — a cached scrape is a wrong scrape.
+fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trace: &str) {
+    let queue_depth;
+    let queue_age_secs;
+    {
+        let q = lock_recover(&inner.queue);
+        queue_depth = q.len() as u64;
+        queue_age_secs = q.front().map_or(0.0, |j| j.queued_for().as_secs_f64());
+    }
     let mut phases: BTreeMap<String, u64> = BTreeMap::new();
     for job in lock_recover(&inner.jobs).values() {
         *phases.entry(job.phase().label().to_string()).or_insert(0) += 1;
+    }
+    let wants_prometheus = req
+        .header("accept")
+        .is_some_and(|a| a.contains("text/plain"));
+    if wants_prometheus {
+        // Scrape-time gauges ride on a snapshot copy, not the live registry:
+        // the JSON document's metric set stays exactly what the counters
+        // recorded.
+        let mut snap = inner.metrics.snapshot();
+        snap.gauges
+            .insert("queue_depth".to_string(), queue_depth as f64);
+        snap.gauges.insert(
+            "queue_capacity".to_string(),
+            inner.cfg.queue_capacity as f64,
+        );
+        snap.gauges
+            .insert("queue_oldest_age_seconds".to_string(), queue_age_secs);
+        snap.gauges.insert(
+            "busy_workers".to_string(),
+            inner.busy.load(Ordering::SeqCst) as f64,
+        );
+        snap.gauges.insert(
+            "uptime_seconds".to_string(),
+            inner.started.elapsed().as_secs_f64(),
+        );
+        for (phase, n) in &phases {
+            snap.gauges.insert(format!("jobs_phase.{phase}"), *n as f64);
+        }
+        let _ = http::write_response(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            &[
+                ("Cache-Control", "no-store".to_string()),
+                trace_header(trace),
+            ],
+            to_prometheus(&snap).as_bytes(),
+        );
+        return;
     }
     let doc = Json::obj([
         ("metrics", inner.metrics.snapshot().to_json()),
@@ -622,5 +801,14 @@ fn handle_metrics(stream: &mut TcpStream, inner: &Arc<Inner>) {
             ),
         ),
     ]);
-    respond_json(stream, 200, &doc);
+    let _ = http::write_response(
+        stream,
+        200,
+        "application/json",
+        &[
+            ("Cache-Control", "no-store".to_string()),
+            trace_header(trace),
+        ],
+        doc.to_string().as_bytes(),
+    );
 }

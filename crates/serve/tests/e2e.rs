@@ -200,6 +200,154 @@ fn submitted_campaign_matches_in_process_run_byte_for_byte() {
 }
 
 #[test]
+fn trace_id_follows_the_job_and_spans_form_a_single_tree() {
+    let (handle, addr) = spawn(ServerConfig::default());
+
+    // Every response carries X-Hauberk-Trace; probes are uncacheable.
+    let h = get(addr, "/healthz");
+    assert_eq!(h.status, 200);
+    assert!(
+        h.header("x-hauberk-trace")
+            .is_some_and(|t| t.starts_with("ht-")),
+        "{:?}",
+        h.headers
+    );
+    assert_eq!(h.header("cache-control"), Some("no-store"));
+    let health = parse(&h.body).unwrap();
+    assert_eq!(
+        health.get("version").and_then(|v| v.as_str()),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(health.get("uptime_secs").and_then(|v| v.as_u64()).is_some());
+    assert!(health.get("workers").and_then(|v| v.as_u64()).is_some());
+    assert!(health
+        .get("queue_capacity")
+        .and_then(|v| v.as_u64())
+        .is_some());
+
+    // A client-pinned trace id is echoed verbatim on the response header.
+    let pinned = raw_request(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\nX-Hauberk-Trace: ht-pinned-42\r\n\r\n",
+    );
+    assert_eq!(pinned.header("x-hauberk-trace"), Some("ht-pinned-42"));
+
+    // Submit: the request's trace id lands in the job spec and on the 201.
+    let sub = post(addr, "/v1/campaigns", SMALL_CAMPAIGN);
+    assert_eq!(sub.status, 201, "{}", sub.body);
+    let trace = sub.header("x-hauberk-trace").unwrap().to_string();
+    assert_eq!(sub.json_field("trace"), trace);
+    let id = sub.json_field("id");
+    assert_eq!(wait_terminal(addr, &id), "done");
+
+    // Rebuild the span tree from the job's event log.
+    let ev = get(addr, &format!("/v1/campaigns/{id}/events"));
+    assert_eq!(ev.status, 200);
+    assert!(ev.header("x-hauberk-trace").is_some());
+    struct Span {
+        name: String,
+        id: u64,
+        parent: u64,
+        trace: Option<String>,
+    }
+    let spans: Vec<Span> = ev
+        .body
+        .lines()
+        .filter_map(|l| parse(l).ok())
+        .filter(|j| j.get("ev").and_then(|e| e.as_str()) == Some("span"))
+        .map(|j| Span {
+            name: j.get("name").and_then(|v| v.as_str()).unwrap().to_string(),
+            id: j.get("id").and_then(|v| v.as_u64()).unwrap(),
+            parent: j.get("parent").and_then(|v| v.as_u64()).unwrap(),
+            trace: j.get("trace").and_then(|v| v.as_str()).map(String::from),
+        })
+        .collect();
+
+    // Exactly one root: the campaign span, stamped with the request trace.
+    let roots: Vec<&Span> = spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "one rooted tree per campaign");
+    assert_eq!(roots[0].name, "campaign");
+    assert_eq!(roots[0].trace.as_deref(), Some(trace.as_str()));
+
+    // Every non-root span's parent id is another recorded span.
+    let by_id: std::collections::BTreeMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "span ids are unique");
+    for s in spans.iter().filter(|s| s.parent != 0) {
+        assert!(
+            by_id.contains_key(&s.parent),
+            "span {} has unknown parent {}",
+            s.name,
+            s.parent
+        );
+    }
+
+    // The hierarchy is campaign → stratum → unit → launch, end to end.
+    let launch = spans
+        .iter()
+        .find(|s| s.name == "launch")
+        .expect("launch spans recorded");
+    let unit = by_id[&launch.parent];
+    assert_eq!(unit.name, "unit");
+    let stratum = by_id[&unit.parent];
+    assert_eq!(stratum.name, "stratum");
+    let campaign = by_id[&stratum.parent];
+    assert_eq!(campaign.name, "campaign");
+    assert_eq!(campaign.id, roots[0].id);
+    for name in ["plan", "stratum", "unit", "launch"] {
+        assert!(spans.iter().any(|s| s.name == name), "missing {name} spans");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_is_served_on_accept_text_plain() {
+    let (handle, addr) = spawn(ServerConfig::default());
+    let sub = post(addr, "/v1/campaigns", SMALL_CAMPAIGN);
+    assert_eq!(sub.status, 201, "{}", sub.body);
+    assert_eq!(wait_terminal(addr, &sub.json_field("id")), "done");
+
+    // Default stays JSON (existing dashboards keep working).
+    let json = get(addr, "/metrics");
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    assert_eq!(json.header("cache-control"), Some("no-store"));
+    assert!(json.body.contains("\"jobs_done\":1"), "{}", json.body);
+
+    // Accept: text/plain → Prometheus 0.0.4 exposition.
+    let prom = raw_request(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n",
+    );
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.header("content-type")
+            .is_some_and(|t| t.starts_with("text/plain")),
+        "{:?}",
+        prom.headers
+    );
+    assert_eq!(prom.header("cache-control"), Some("no-store"));
+    let body = &prom.body;
+    assert!(body.contains("jobs_done_total 1"), "{body}");
+    assert!(body.contains("# TYPE queue_depth gauge"), "{body}");
+    assert!(body.contains("queue_capacity "), "{body}");
+    assert!(body.contains("busy_workers "), "{body}");
+    assert!(body.contains("uptime_seconds "), "{body}");
+    assert!(body.contains("jobs_phase_done 1"), "{body}");
+    // Per-endpoint HTTP latency histograms with a terminating +Inf bucket.
+    assert!(
+        body.contains("# TYPE http_latency_us_submit histogram"),
+        "{body}"
+    );
+    assert!(
+        body.contains("http_latency_us_submit_bucket{le=\"+Inf\"}"),
+        "{body}"
+    );
+    assert!(body.contains("http_latency_us_submit_count 1"), "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn kir_kernel_submission_runs_a_campaign() {
     let (handle, addr) = spawn(ServerConfig::default());
     let body = r#"{"kernel":"kernel scale(out: *global f32, x: *global f32, n: i32) {

@@ -10,7 +10,9 @@ use crate::outcome::{LaunchOutcome, TrapReason};
 use crate::stats::ExecStats;
 use hauberk_kir::validate::validate_kernel;
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
+use hauberk_telemetry::span::SpanGuard;
 use hauberk_telemetry::{next_launch_id, Event, Telemetry};
+use std::time::Instant;
 
 /// Launch geometry and budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +139,23 @@ impl Device {
             blocks: launch.grid.0 as u64 * launch.grid.1 as u64,
             threads: launch.total_threads(),
         });
-        let out = self.launch_inner(kernel, args, launch, runtime, &tele, launch_id);
+        // The launch span nests under whatever the caller has open (a
+        // campaign work unit, typically) and records engine-tier timing:
+        // which backend ran, prepare vs. warp-execution nanoseconds.
+        let mut span = tele.span("launch");
+        span.attr_with("kernel", || kernel.name.clone());
+        span.attr("engine", self.config.engine.name());
+        span.attr_with("launch_id", || launch_id.to_string());
+        let out = self.launch_inner(kernel, args, launch, runtime, &tele, launch_id, &mut span);
+        span.attr(
+            "outcome",
+            match &out {
+                LaunchOutcome::Completed(_) => "completed",
+                LaunchOutcome::Crash { .. } => "crash",
+                LaunchOutcome::Hang { .. } => "hang",
+            },
+        );
+        drop(span);
         tele.emit_with(|| Event::KernelExit {
             launch_id,
             kernel: kernel.name.clone(),
@@ -151,6 +169,7 @@ impl Device {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn launch_inner(
         &mut self,
         kernel: &KernelDef,
@@ -159,6 +178,7 @@ impl Device {
         runtime: &mut dyn HookRuntime,
         tele: &Telemetry,
         launch_id: u64,
+        span: &mut SpanGuard,
     ) -> LaunchOutcome {
         assert_eq!(args.len(), kernel.n_params, "kernel argument count");
         for (i, a) in args.iter().enumerate() {
@@ -187,71 +207,88 @@ impl Device {
         // relaunch the same instrumented kernel thousands of times, so the
         // caches make this a lookup.
         let backend = self.config.engine.backend();
+        let timed = span.active();
+        let t_prepare = timed.then(Instant::now);
         let prepared = backend.prepare(kernel, &self.config);
+        if let Some(t) = t_prepare {
+            span.attr_with("prepare_ns", || (t.elapsed().as_nanos() as u64).to_string());
+        }
 
         let tpb = launch.block.0 * launch.block.1;
         let warps_per_block = tpb.div_ceil(self.config.warp_width);
         let mut sm_cycles = vec![0u64; self.config.num_sms as usize];
         let mut budget = launch.cycle_budget;
+        let mut exec_ns: u64 = 0;
 
-        for by in 0..launch.grid.1 {
-            for bx in 0..launch.grid.0 {
-                let block_lin = by * launch.grid.0 + bx;
-                let mut shared = MemRegion::new(
-                    MemSpace::Shared,
-                    self.config.shared_mem_per_block,
-                    self.config.strict_memory,
-                );
-                if kernel.shared_mem_bytes > 0 {
-                    // Materialize the block's static shared allocation so
-                    // addresses 0..shared_mem_bytes are valid.
-                    shared
-                        .alloc(PrimTy::F32, kernel.shared_mem_bytes / 4)
-                        .expect("checked against device limit above");
-                }
-                let before = stats.work_cycles;
-                for warp_id in 0..warps_per_block {
-                    let geom = WarpGeom {
-                        grid: launch.grid,
-                        block_dim: launch.block,
-                        block_idx: (bx, by),
-                        warp_id,
-                    };
-                    let run_result = backend.run_warp(
-                        &prepared,
-                        kernel,
-                        WarpCtx {
-                            cfg: &self.config,
-                            global: &mut self.mem,
-                            shared: &mut shared,
-                            runtime,
-                            stats: &mut stats,
-                            budget: &mut budget,
-                            geom,
-                            args,
-                            tele,
-                            launch_id,
-                        },
+        let out = 'run: {
+            for by in 0..launch.grid.1 {
+                for bx in 0..launch.grid.0 {
+                    let block_lin = by * launch.grid.0 + bx;
+                    let mut shared = MemRegion::new(
+                        MemSpace::Shared,
+                        self.config.shared_mem_per_block,
+                        self.config.strict_memory,
                     );
-                    match run_result {
-                        Ok(()) => {}
-                        Err(ExecErr::Trap(reason)) => {
-                            finalize(&mut stats, &sm_cycles);
-                            return LaunchOutcome::Crash { reason, stats };
+                    if kernel.shared_mem_bytes > 0 {
+                        // Materialize the block's static shared allocation so
+                        // addresses 0..shared_mem_bytes are valid.
+                        shared
+                            .alloc(PrimTy::F32, kernel.shared_mem_bytes / 4)
+                            .expect("checked against device limit above");
+                    }
+                    let before = stats.work_cycles;
+                    for warp_id in 0..warps_per_block {
+                        let geom = WarpGeom {
+                            grid: launch.grid,
+                            block_dim: launch.block,
+                            block_idx: (bx, by),
+                            warp_id,
+                        };
+                        let t_warp = timed.then(Instant::now);
+                        let run_result = backend.run_warp(
+                            &prepared,
+                            kernel,
+                            WarpCtx {
+                                cfg: &self.config,
+                                global: &mut self.mem,
+                                shared: &mut shared,
+                                runtime,
+                                stats: &mut stats,
+                                budget: &mut budget,
+                                geom,
+                                args,
+                                tele,
+                                launch_id,
+                            },
+                        );
+                        if let Some(t) = t_warp {
+                            exec_ns += t.elapsed().as_nanos() as u64;
                         }
-                        Err(ExecErr::Hang) => {
-                            finalize(&mut stats, &sm_cycles);
-                            return LaunchOutcome::Hang { stats };
+                        match run_result {
+                            Ok(()) => {}
+                            Err(ExecErr::Trap(reason)) => {
+                                finalize(&mut stats, &sm_cycles);
+                                break 'run LaunchOutcome::Crash { reason, stats };
+                            }
+                            Err(ExecErr::Hang) => {
+                                finalize(&mut stats, &sm_cycles);
+                                break 'run LaunchOutcome::Hang { stats };
+                            }
                         }
                     }
+                    stats.blocks += 1;
+                    let block_cycles = stats.work_cycles - before;
+                    sm_cycles[(block_lin % self.config.num_sms) as usize] += block_cycles;
                 }
-                stats.blocks += 1;
-                let block_cycles = stats.work_cycles - before;
-                sm_cycles[(block_lin % self.config.num_sms) as usize] += block_cycles;
             }
+            finalize(&mut stats, &sm_cycles);
+            LaunchOutcome::Completed(stats)
+        };
+        if timed {
+            span.attr_with("exec_ns", || exec_ns.to_string());
+            span.attr_with("warps", || out.stats().warps.to_string());
         }
-        finalize(&mut stats, &sm_cycles);
-        LaunchOutcome::Completed(stats)
+        out
     }
 }
 

@@ -746,16 +746,14 @@ impl<'a> WarpExec<'a> {
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
         let cycles = self.stats.work_cycles;
-        if self.tele.hot_enabled() {
-            self.tele.emit(&Event::HookDispatch {
-                launch_id: self.launch_id,
-                kind: "loop_check",
-                site: loop_id as u64,
-                block: geom.block_lin(),
-                warp: geom.warp_id,
-                cycles,
-            });
-        }
+        self.tele.emit_hot_with(|| Event::HookDispatch {
+            launch_id: self.launch_id,
+            kind: "loop_check",
+            site: loop_id as u64,
+            block: geom.block_lin(),
+            warp: geom.warp_id,
+            cycles,
+        });
         {
             let iter_slot = iter_var.map(|v| &mut self.regs[v as usize]);
             let mut ctx = LoopCheckCtx {
@@ -796,16 +794,14 @@ impl<'a> WarpExec<'a> {
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
         let cycles = self.stats.work_cycles;
-        if self.tele.hot_enabled() {
-            self.tele.emit(&Event::HookDispatch {
-                launch_id: self.launch_id,
-                kind: hook_kind_name(&h.kind),
-                site: h.site as u64,
-                block: geom.block_lin(),
-                warp: geom.warp_id,
-                cycles,
-            });
-        }
+        self.tele.emit_hot_with(|| Event::HookDispatch {
+            launch_id: self.launch_id,
+            kind: hook_kind_name(&h.kind),
+            site: h.site as u64,
+            block: geom.block_lin(),
+            warp: geom.warp_id,
+            cycles,
+        });
         let target_slot = h.target.map(|v| &mut self.regs[v as usize]);
         let mut ctx = HookCtx {
             block_id: geom.block_lin(),

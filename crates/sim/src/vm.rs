@@ -679,16 +679,14 @@ impl<'a> VmExec<'a> {
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
         let cycles = self.stats.work_cycles;
-        if self.tele.hot_enabled() {
-            self.tele.emit(&Event::HookDispatch {
-                launch_id: self.launch_id,
-                kind: "loop_check",
-                site: loop_id as u64,
-                block: geom.block_lin(),
-                warp: geom.warp_id,
-                cycles,
-            });
-        }
+        self.tele.emit_hot_with(|| Event::HookDispatch {
+            launch_id: self.launch_id,
+            kind: "loop_check",
+            site: loop_id as u64,
+            block: geom.block_lin(),
+            warp: geom.warp_id,
+            cycles,
+        });
         let has_iter = iter != NO_REG;
         // Batch tier: a passive runtime neither reads nor mutates the
         // iterator or the decision mask, so materializing a typed view is
@@ -741,16 +739,14 @@ impl<'a> VmExec<'a> {
         let warp_width = self.cfg.warp_width;
         let first_thread = geom.first_thread(warp_width);
         let cycles = self.stats.work_cycles;
-        if self.tele.hot_enabled() {
-            self.tele.emit(&Event::HookDispatch {
-                launch_id: self.launch_id,
-                kind: compiled.hook_names[hook as usize],
-                site: h.site as u64,
-                block: geom.block_lin(),
-                warp: geom.warp_id,
-                cycles,
-            });
-        }
+        self.tele.emit_hot_with(|| Event::HookDispatch {
+            launch_id: self.launch_id,
+            kind: compiled.hook_names[hook as usize],
+            site: h.site as u64,
+            block: geom.block_lin(),
+            warp: geom.warp_id,
+            cycles,
+        });
         // Batch tier: a passive runtime ignores the hook entirely — skip
         // materializing argument/target views. Charges, stats, telemetry
         // (above) and the target producer invalidation (the runtime "may

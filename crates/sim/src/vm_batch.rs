@@ -8,7 +8,7 @@
 //!
 //! * [`compile_batch`] lowers a kernel, asks `hauberk_kir::batch` for the
 //!   region plan (straight-line runs of ops with an infallible lane-blocked
-//!   implementation), and builds one [`RegionExec`] per region: a micro-op
+//!   implementation), and builds one `RegionExec` per region: a micro-op
 //!   program for the data plane plus a 24-entry **charge table** for the
 //!   cycle plane;
 //! * the charge table is indexed by the only dynamic inputs the shared

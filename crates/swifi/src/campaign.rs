@@ -11,6 +11,7 @@ use crate::classify::{classify, FiOutcome, InjectionResult};
 use crate::journal::RecordedInjection;
 use crate::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
 use crate::plan::{plan_campaign, InjectionPlan, PlanConfig};
+use crate::profile::PhaseAcc;
 use hauberk::builds::{build, BuildVariant, FtOptions, Instrumented};
 use hauberk::control::{ControlBlock, NON_LOOP_DETECTOR};
 use hauberk::program::CorrectnessSpec;
@@ -24,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -190,15 +192,19 @@ impl CampaignEnv {
 
     /// Execute one planned injection and record its outcome. Deterministic:
     /// the fault, dataset, and engine are all fixed by the plan and config.
+    /// Engine time (runtime construction + simulated run) and classification
+    /// time are charged to `phases` for the campaign's phase profile.
     pub(crate) fn run_one(
         &self,
         prog: &dyn HostProgram,
         index: usize,
         tele: &Telemetry,
+        phases: &PhaseAcc,
     ) -> RecordedInjection {
         let p = &self.plans[index];
         match &self.coverage {
             None => {
+                let t_exec = Instant::now();
                 let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
                 let run = run_program_with_engine(
                     prog,
@@ -209,16 +215,21 @@ impl CampaignEnv {
                     tele,
                     self.engine,
                 );
+                phases.add_execute(t_exec.elapsed().as_nanos() as u64);
+                let t_cls = Instant::now();
                 let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, false);
-                RecordedInjection {
+                let rec = RecordedInjection {
                     index: index as u64,
                     outcome,
                     delivered: rt.arm.delivered(),
                     latency: None,
                     alarms: vec![],
-                }
+                };
+                phases.add_classify(t_cls.elapsed().as_nanos() as u64);
+                rec
             }
             Some(cov) => {
+                let t_exec = Instant::now();
                 let cb = ControlBlock::with_ranges(cov.ranges.clone())
                     .with_detector_vars(cov.det_vars.clone());
                 let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
@@ -231,6 +242,8 @@ impl CampaignEnv {
                     tele,
                     self.engine,
                 );
+                phases.add_execute(t_exec.elapsed().as_nanos() as u64);
+                let t_cls = Instant::now();
                 let alarm = rt.cb.sdc_flag;
                 let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, alarm);
                 let alarms = rt
@@ -245,13 +258,15 @@ impl CampaignEnv {
                         }
                     })
                     .collect();
-                RecordedInjection {
+                let rec = RecordedInjection {
                     index: index as u64,
                     outcome,
                     delivered: rt.arm.delivered(),
                     latency: rt.detection_latency(),
                     alarms,
-                }
+                };
+                phases.add_classify(t_cls.elapsed().as_nanos() as u64);
+                rec
             }
         }
     }

@@ -11,6 +11,7 @@
 //!  "shard_size":…, "fingerprint":…, "engine":…} // first line, identity check
 //! {"rec":"unit", "stratum":…, "chunk":…, "lo":…, "hi":…, "results":[…]}
 //! {"rec":"quarantine", "stratum":…, "chunk":…, "attempts":…, "error":…}
+//! {"rec":"profile", "plan_ns":…, "execute_ns":…, …} // trailing, optional
 //! ```
 //!
 //! Records are self-contained: each `unit` carries every per-injection field
@@ -22,6 +23,7 @@
 //! seed, same result).
 
 use crate::classify::FiOutcome;
+use crate::profile::PhaseProfile;
 use hauberk::units::{Stratum, WorkUnitId};
 use hauberk_telemetry::json::{self, Json};
 use std::collections::BTreeMap;
@@ -260,6 +262,9 @@ pub struct JournalReplay {
     pub units: BTreeMap<WorkUnitId, UnitRecord>,
     /// Quarantined units by id.
     pub quarantined: BTreeMap<WorkUnitId, QuarantineRecord>,
+    /// The latest trailing phase profile, when the journal holds one
+    /// (observational timing; never input to resume decisions).
+    pub profile: Option<PhaseProfile>,
     /// Lines dropped because they were torn or unparsable.
     pub dropped_lines: usize,
 }
@@ -299,6 +304,12 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, String> {
                     Some("quarantine") => {
                         let q = QuarantineRecord::from_json(&j)?;
                         replay.quarantined.insert(q.id, q);
+                        Some(())
+                    }
+                    Some("profile") => {
+                        // Trailing timing record; a resumed run appends a
+                        // fresh one, so the last profile wins.
+                        replay.profile = Some(PhaseProfile::from_json(&j)?);
                         Some(())
                     }
                     _ => None,
@@ -381,6 +392,18 @@ impl JournalWriter {
     /// Journal one quarantined unit.
     pub fn quarantine(&self, q: &QuarantineRecord) -> Result<(), String> {
         self.write_line(&q.to_json())
+    }
+
+    /// Journal the run's trailing phase profile. Written last (after all
+    /// units), never merged across shards, and ignored by the resume
+    /// identity check — it is timing observation, not campaign state.
+    pub fn profile(&self, p: &PhaseProfile) -> Result<(), String> {
+        let mut j = match p.to_json() {
+            Json::Obj(m) => m,
+            _ => unreachable!("profile serializes to an object"),
+        };
+        j.insert("rec".into(), Json::str("profile"));
+        self.write_line(&Json::Obj(j))
     }
 }
 

@@ -41,6 +41,7 @@ pub mod journal;
 pub mod mask;
 pub mod orchestrator;
 pub mod plan;
+pub mod profile;
 pub mod report;
 pub mod sampler;
 pub mod stats;

@@ -43,6 +43,7 @@ use crate::journal::{
     RecordedInjection, UnitRecord,
 };
 use crate::plan::InjectionPlan;
+use crate::profile::{flag_stragglers, PhaseAcc, PhaseProfile};
 use crate::report;
 use crate::sampler::{wilson_interval, AdaptiveConfig};
 use crate::stats::OutcomeCounts;
@@ -51,12 +52,14 @@ use hauberk::units::{Stratum, WorkUnitId};
 use hauberk_telemetry::json::Json;
 use hauberk_telemetry::metrics::Registry;
 use hauberk_telemetry::progress::Progress;
+use hauberk_telemetry::span::with_parent;
 use hauberk_telemetry::{Event, Telemetry};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Fault-injection hook for the orchestrator's own failure paths: force the
 /// named work unit's first `fail_attempts` execution attempts to fail, so
@@ -92,6 +95,9 @@ pub struct OrchestratorConfig {
     /// `(index, modulus)`: execute only strata with ordinal ≡ index (mod
     /// modulus). Other strata are reported as planned-but-not-owned.
     pub shard: Option<(u32, u32)>,
+    /// Correlation trace id carried on the root `campaign` span (the serve
+    /// daemon assigns one per request; `None` for plain CLI runs).
+    pub trace: Option<String>,
     /// Test-only failure injection for the retry/quarantine path.
     pub chaos: Option<ChaosConfig>,
 }
@@ -180,6 +186,10 @@ pub struct ShardedCampaignResult {
     pub resumed_injections: u64,
     /// Torn/corrupt journal lines dropped during replay.
     pub dropped_lines: u64,
+    /// Per-phase wall-time profile of this run. Like the resume statistics,
+    /// it lives on the struct and stays out of [`Self::summary_json`] /
+    /// [`Self::summarize`], whose bytes are resume-invariant.
+    pub profile: PhaseProfile,
 }
 
 impl ShardedCampaignResult {
@@ -288,7 +298,17 @@ pub fn run_orchestrated_campaign_traced(
     orch: &OrchestratorConfig,
     tele: Telemetry,
 ) -> Result<ShardedCampaignResult, String> {
-    let env = prepare_campaign(prog, &kind, cfg);
+    let t_wall = Instant::now();
+    let mut campaign_span = tele.span_traced("campaign", orch.trace.clone());
+    campaign_span.attr_with("program", || prog.name().to_string());
+    campaign_span.attr("kind", kind.label());
+
+    let t_plan = Instant::now();
+    let env = {
+        let _plan_span = tele.span("plan");
+        prepare_campaign(prog, &kind, cfg)
+    };
+    let plan_ns = t_plan.elapsed().as_nanos() as u64;
     let shard_size = orch.effective_shard_size();
     let meta = JournalMeta {
         program: prog.name().to_string(),
@@ -304,9 +324,12 @@ pub fn run_orchestrated_campaign_traced(
             .to_string(),
     };
 
+    let mut journal_ns = 0u64;
     let mut replay = JournalReplay::default();
     if let Some(path) = &orch.resume_from {
+        let t = Instant::now();
         replay = read_journal(path)?;
+        journal_ns += t.elapsed().as_nanos() as u64;
         if let Some(m) = &replay.meta {
             if *m != meta {
                 // Name the field that actually disagrees — "fingerprint
@@ -341,6 +364,7 @@ pub fn run_orchestrated_campaign_traced(
             }
         }
     }
+    let t_writer = Instant::now();
     let writer = match (&orch.resume_from, &orch.journal_path) {
         (Some(path), _) => {
             // Resumed journals already begin with a meta record unless the
@@ -354,6 +378,7 @@ pub fn run_orchestrated_campaign_traced(
         (None, Some(path)) => Some(JournalWriter::create(path, &meta)?),
         (None, None) => None,
     };
+    journal_ns += t_writer.elapsed().as_nanos() as u64;
 
     // Partition plan indices by stratum (plan order preserved inside each).
     let mut strata: BTreeMap<Stratum, Vec<usize>> = BTreeMap::new();
@@ -379,6 +404,9 @@ pub fn run_orchestrated_campaign_traced(
     let mut resumed_units = 0u64;
     let mut resumed_injections = 0u64;
     let report_z = orch.adaptive.as_ref().map_or(1.96, |a| a.z);
+    let phases = PhaseAcc::default();
+    let mut sample_decision_ns = 0u64;
+    let mut unit_walls: Vec<(String, u64)> = Vec::new();
 
     for (ordinal, (stratum, idxs)) in strata.iter().enumerate() {
         let owned = orch
@@ -396,11 +424,17 @@ pub fn run_orchestrated_campaign_traced(
             continue;
         }
 
+        let mut stratum_span = tele.span("stratum");
+        stratum_span.attr_with("stratum", || stratum.key());
+
         let mut counts = OutcomeCounts::default();
         let mut stopped_early = false;
         for (chunk, span) in idxs.chunks(shard_size).enumerate() {
             if let Some(ad) = &orch.adaptive {
-                if ad.converged(&counts) {
+                let t_ad = Instant::now();
+                let converged = ad.converged(&counts);
+                sample_decision_ns += t_ad.elapsed().as_nanos() as u64;
+                if converged {
                     stopped_early = true;
                     let skipped = (idxs.len() - chunk * shard_size) as u64;
                     let width = crate::sampler::ci_width(&counts, ad.z);
@@ -431,10 +465,20 @@ pub fn run_orchestrated_campaign_traced(
                 continue;
             }
 
-            match execute_unit(&env, prog, &tele, orch, id, span) {
+            let t_unit = Instant::now();
+            let outcome = {
+                let mut unit_span = tele.span("unit");
+                unit_span.attr_with("unit", || id.to_string());
+                unit_span.attr_with("injections", || span.len().to_string());
+                execute_unit(&env, prog, &tele, orch, id, span, &phases, unit_span.id())
+            };
+            unit_walls.push((id.to_string(), t_unit.elapsed().as_nanos() as u64));
+            match outcome {
                 Ok(unit) => {
                     if let Some(w) = &writer {
+                        let t = Instant::now();
                         w.unit(&unit)?;
+                        journal_ns += t.elapsed().as_nanos() as u64;
                     }
                     for r in &unit.results {
                         counts.add(r.outcome);
@@ -450,14 +494,19 @@ pub fn run_orchestrated_campaign_traced(
                         error: q.error.clone(),
                     });
                     if let Some(w) = &writer {
+                        let t = Instant::now();
                         w.quarantine(&q)?;
+                        journal_ns += t.elapsed().as_nanos() as u64;
                     }
                     quarantined.push(q);
                 }
             }
         }
 
+        let t_ci = Instant::now();
         let ci = wilson_interval(counts.undetected as u64, counts.total() as u64, report_z);
+        sample_decision_ns += t_ci.elapsed().as_nanos() as u64;
+        stratum_span.attr_with("samples", || counts.total().to_string());
         reports.push(StratumReport {
             stratum: *stratum,
             planned: idxs.len() as u64,
@@ -515,8 +564,29 @@ pub fn run_orchestrated_campaign_traced(
         registry.incr("quarantined_units", quarantined.len() as u64);
     }
 
+    // Assemble the phase profile and append it as the journal's trailing
+    // record. Wall time is frozen first so the profile write itself (journal
+    // work, but after the fact) cannot perturb the numbers it reports.
+    let profile = PhaseProfile {
+        plan_ns,
+        execute_ns: phases.execute_ns(),
+        journal_ns,
+        classify_ns: phases.classify_ns(),
+        sample_decision_ns,
+        wall_ns: t_wall.elapsed().as_nanos() as u64,
+        units: unit_walls.len() as u64,
+        threads: rayon::current_thread_count() as u64,
+        stragglers: flag_stragglers(&unit_walls),
+    };
+    if let Some(w) = &writer {
+        w.profile(&profile)?;
+    }
+
     finish_campaign(&tele, prog.name(), results.len());
     let executed = results.len() as u64;
+    campaign_span.attr_with("runs", || executed.to_string());
+    campaign_span.attr_with("units", || profile.units.to_string());
+    drop(campaign_span);
     Ok(ShardedCampaignResult {
         campaign: CampaignResult {
             program: prog.name(),
@@ -532,6 +602,7 @@ pub fn run_orchestrated_campaign_traced(
         resumed_units,
         resumed_injections,
         dropped_lines: replay.dropped_lines as u64,
+        profile,
     })
 }
 
@@ -540,6 +611,11 @@ pub fn run_orchestrated_campaign_traced(
 /// regardless of worker-thread count. A failed attempt re-executes the whole
 /// unit (injections are idempotent); exhausting the retry budget yields the
 /// quarantine record.
+///
+/// `parent_span` is the unit span's id: rayon workers start with empty
+/// span-parent TLS, so each per-injection closure re-establishes it with
+/// [`with_parent`] to keep launch spans attached to their unit.
+#[allow(clippy::too_many_arguments)]
 fn execute_unit(
     env: &CampaignEnv,
     prog: &dyn HostProgram,
@@ -547,6 +623,8 @@ fn execute_unit(
     orch: &OrchestratorConfig,
     id: WorkUnitId,
     span: &[usize],
+    phases: &PhaseAcc,
+    parent_span: u64,
 ) -> Result<UnitRecord, QuarantineRecord> {
     let mut attempt = 0u32;
     loop {
@@ -567,7 +645,7 @@ fn execute_unit(
                             if chaos.is_some() {
                                 panic!("chaos: injected work-unit panic");
                             }
-                            env.run_one(prog, i, tele)
+                            with_parent(parent_span, || env.run_one(prog, i, tele, phases))
                         }))
                         .map_err(panic_message)
                     })
@@ -658,6 +736,39 @@ mod tests {
         assert_eq!(orch.planned, orch.executed);
         assert_eq!(orch.resumed_units, 0);
         assert!(orch.strata.iter().all(|s| !s.stopped_early && s.owned));
+        // The phase profile rides along without touching the summary.
+        assert!(orch.profile.wall_ns > 0);
+        assert!(orch.profile.plan_ns > 0, "plan phase was timed");
+        assert!(orch.profile.execute_ns > 0, "execute phase was timed");
+        assert!(orch.profile.units > 0);
+        assert!(
+            orch.profile.phase_sum_ns() > 0 && orch.profile.plan_ns <= orch.profile.wall_ns,
+            "phases are plausible fractions of the run"
+        );
+        assert!(!orch.summary_json().to_string().contains("profile"));
+    }
+
+    #[test]
+    fn journal_carries_trailing_profile_record() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let journal = tmp("profile.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                journal_path: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let replay = crate::journal::read_journal(&journal).unwrap();
+        std::fs::remove_file(&journal).ok();
+        assert_eq!(replay.dropped_lines, 0, "profile record must parse");
+        assert_eq!(replay.profile.as_ref(), Some(&r.profile));
+        assert!(r.profile.journal_ns > 0, "journal phase was timed");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Per-phase campaign profiling: where does a campaign's wall time go?
+//!
+//! The orchestrator times five disjoint phases — **plan** (build, golden
+//! run, plan generation), **execute** (engine runs inside injections),
+//! **journal** (checkpoint reads and writes), **classify** (outcome
+//! classification inside injections), and **sample-decision** (adaptive
+//! convergence checks and Wilson intervals) — and aggregates them into a
+//! [`PhaseProfile`] carried on the campaign result, appended to the journal
+//! as a trailing `"rec":"profile"` record, and printed by
+//! `campaign --profile`.
+//!
+//! Plan, journal, and sample-decision are measured on the orchestrator
+//! thread; execute and classify are accumulated per injection on rayon
+//! workers through a shared [`PhaseAcc`]. With one worker thread the five
+//! phases tile the run, so their sum tracks wall time closely; with N
+//! workers, execute/classify sum *CPU* time across workers and may exceed
+//! wall (that is the point — it shows the parallel speedup).
+//!
+//! The profile is observational timing, never input to results: it is
+//! deliberately excluded from `summary_json`/`summarize`, whose bytes must
+//! stay identical across interrupt/resume and shard merges.
+
+use hauberk_telemetry::json::Json;
+use hauberk_telemetry::report::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe accumulator for the phases timed inside per-injection
+/// closures on rayon worker threads.
+#[derive(Debug, Default)]
+pub struct PhaseAcc {
+    execute_ns: AtomicU64,
+    classify_ns: AtomicU64,
+}
+
+impl PhaseAcc {
+    /// Add engine-execution nanoseconds.
+    pub fn add_execute(&self, ns: u64) {
+        self.execute_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Add classification nanoseconds.
+    pub fn add_classify(&self, ns: u64) {
+        self.classify_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulated engine-execution nanoseconds.
+    pub fn execute_ns(&self) -> u64 {
+        self.execute_ns.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated classification nanoseconds.
+    pub fn classify_ns(&self) -> u64 {
+        self.classify_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// A work unit whose wall duration exceeded the robust outlier threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Straggler {
+    /// Work-unit id (`"FPU/floating-point#3"`).
+    pub unit: String,
+    /// The unit's wall duration.
+    pub dur_ns: u64,
+    /// The threshold it exceeded (median + k·MAD at flag time).
+    pub threshold_ns: u64,
+}
+
+/// Robust outlier threshold over unit durations: median + 8·MAD (median
+/// absolute deviation). When MAD is 0 — common when most units are
+/// identical — half the median stands in as the spread, so a genuinely
+/// uniform stratum still needs a 5× blow-up to flag. Returns `None` below 4
+/// samples (no meaningful spread estimate).
+pub fn straggler_threshold(durs_ns: &[u64]) -> Option<u64> {
+    if durs_ns.len() < 4 {
+        return None;
+    }
+    let mut sorted = durs_ns.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let mut dev: Vec<u64> = sorted.iter().map(|v| v.abs_diff(median)).collect();
+    dev.sort_unstable();
+    let mad = dev[dev.len() / 2];
+    let spread = if mad == 0 { (median / 2).max(1) } else { mad };
+    Some(median.saturating_add(8u64.saturating_mul(spread)))
+}
+
+/// Flag stragglers among `(unit key, wall ns)` pairs.
+pub fn flag_stragglers(units: &[(String, u64)]) -> Vec<Straggler> {
+    let durs: Vec<u64> = units.iter().map(|(_, d)| *d).collect();
+    let Some(threshold) = straggler_threshold(&durs) else {
+        return Vec::new();
+    };
+    units
+        .iter()
+        .filter(|(_, d)| *d > threshold)
+        .map(|(k, d)| Straggler {
+            unit: k.clone(),
+            dur_ns: *d,
+            threshold_ns: threshold,
+        })
+        .collect()
+}
+
+/// The per-phase wall-time profile of one orchestrated campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Build + golden run + plan generation (orchestrator thread).
+    pub plan_ns: u64,
+    /// Engine execution inside injections (summed across workers).
+    pub execute_ns: u64,
+    /// Journal replay + checkpoint appends (orchestrator thread).
+    pub journal_ns: u64,
+    /// Outcome classification inside injections (summed across workers).
+    pub classify_ns: u64,
+    /// Adaptive convergence checks + Wilson intervals (orchestrator thread).
+    pub sample_decision_ns: u64,
+    /// Wall time of the whole orchestrated run.
+    pub wall_ns: u64,
+    /// Work units executed (excludes replayed units, which cost no time).
+    pub units: u64,
+    /// Worker threads the run was configured with.
+    pub threads: u64,
+    /// Units flagged by [`flag_stragglers`].
+    pub stragglers: Vec<Straggler>,
+}
+
+impl PhaseProfile {
+    /// The five phase totals in presentation order.
+    pub fn phases(&self) -> [(&'static str, u64); 5] {
+        [
+            ("plan", self.plan_ns),
+            ("execute", self.execute_ns),
+            ("journal", self.journal_ns),
+            ("classify", self.classify_ns),
+            ("sample-decision", self.sample_decision_ns),
+        ]
+    }
+
+    /// Sum of the five phase totals.
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phases().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// JSON form (also the journal `"rec":"profile"` payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("plan_ns", Json::uint(self.plan_ns)),
+            ("execute_ns", Json::uint(self.execute_ns)),
+            ("journal_ns", Json::uint(self.journal_ns)),
+            ("classify_ns", Json::uint(self.classify_ns)),
+            ("sample_decision_ns", Json::uint(self.sample_decision_ns)),
+            ("wall_ns", Json::uint(self.wall_ns)),
+            ("units", Json::uint(self.units)),
+            ("threads", Json::uint(self.threads)),
+            (
+                "stragglers",
+                Json::Arr(
+                    self.stragglers
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("unit", Json::str(s.unit.clone())),
+                                ("dur_ns", Json::uint(s.dur_ns)),
+                                ("threshold_ns", Json::uint(s.threshold_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form back (journal replay).
+    pub fn from_json(j: &Json) -> Option<PhaseProfile> {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64);
+        Some(PhaseProfile {
+            plan_ns: u("plan_ns")?,
+            execute_ns: u("execute_ns")?,
+            journal_ns: u("journal_ns")?,
+            classify_ns: u("classify_ns")?,
+            sample_decision_ns: u("sample_decision_ns")?,
+            wall_ns: u("wall_ns")?,
+            units: u("units")?,
+            threads: u("threads").unwrap_or(0),
+            stragglers: j
+                .get("stragglers")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|s| {
+                            Some(Straggler {
+                                unit: s.get("unit")?.as_str()?.to_string(),
+                                dur_ns: s.get("dur_ns")?.as_u64()?,
+                                threshold_ns: s.get("threshold_ns")?.as_u64()?,
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Phase table: one row per phase plus a wall-time row, with each
+    /// phase's share of wall time.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new("campaign profile", &["phase", "ms", "share"]);
+        let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+        let share = |ns: u64| {
+            if self.wall_ns == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", ns as f64 / self.wall_ns as f64 * 100.0)
+            }
+        };
+        for (name, ns) in self.phases() {
+            t.row(vec![name.to_string(), ms(ns), share(ns)]);
+        }
+        t.row(vec![
+            "(phase sum)".into(),
+            ms(self.phase_sum_ns()),
+            share(self.phase_sum_ns()),
+        ]);
+        t.row(vec!["wall".into(), ms(self.wall_ns), "100.0%".into()]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_is_concurrent_safe_and_additive() {
+        let acc = PhaseAcc::default();
+        acc.add_execute(5);
+        acc.add_execute(7);
+        acc.add_classify(3);
+        assert_eq!(acc.execute_ns(), 12);
+        assert_eq!(acc.classify_ns(), 3);
+    }
+
+    #[test]
+    fn straggler_threshold_needs_samples() {
+        assert_eq!(straggler_threshold(&[]), None);
+        assert_eq!(straggler_threshold(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn stragglers_flagged_by_median_mad() {
+        // 9 well-behaved units around 100, one 10× outlier.
+        let mut units: Vec<(String, u64)> =
+            (0..9).map(|i| (format!("u{i}"), 95 + i as u64)).collect();
+        units.push(("slow".into(), 1000));
+        let flagged = flag_stragglers(&units);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].unit, "slow");
+        assert!(flagged[0].threshold_ns < 1000);
+    }
+
+    #[test]
+    fn uniform_durations_flag_nothing() {
+        // MAD = 0; the median/2 fallback keeps identical units unflagged.
+        let units: Vec<(String, u64)> = (0..8).map(|i| (format!("u{i}"), 100)).collect();
+        assert!(flag_stragglers(&units).is_empty());
+        // ... and a genuine 10× blow-up still flags.
+        let mut with_outlier = units;
+        with_outlier.push(("slow".into(), 1000));
+        assert_eq!(flag_stragglers(&with_outlier).len(), 1);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let p = PhaseProfile {
+            plan_ns: 1,
+            execute_ns: 2,
+            journal_ns: 3,
+            classify_ns: 4,
+            sample_decision_ns: 5,
+            wall_ns: 20,
+            units: 6,
+            threads: 2,
+            stragglers: vec![Straggler {
+                unit: "FPU/floating-point#3".into(),
+                dur_ns: 9,
+                threshold_ns: 7,
+            }],
+        };
+        let j = hauberk_telemetry::json::parse(&p.to_json().to_string()).unwrap();
+        assert_eq!(PhaseProfile::from_json(&j), Some(p.clone()));
+        assert_eq!(p.phase_sum_ns(), 15);
+        let table = p.table().to_text();
+        assert!(table.contains("sample-decision"));
+        assert!(table.contains("wall"));
+    }
+}

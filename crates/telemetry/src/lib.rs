@@ -21,6 +21,7 @@ pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod report;
+pub mod span;
 
 use json::Json;
 use std::collections::BTreeMap;
@@ -224,6 +225,26 @@ pub enum Event {
         /// Panic/divergence message of the last attempt.
         error: String,
     },
+    /// A tracing span closed (see the [`span`] module). Emitted at close,
+    /// so children precede parents in a trace; the tree reassembles from
+    /// `id`/`parent`, and the root of a request's tree carries its trace id.
+    Span {
+        /// Static span name (`"campaign"`, `"stratum"`, `"unit"`,
+        /// `"launch"`, ...).
+        name: &'static str,
+        /// Process-unique span id (never 0).
+        id: u64,
+        /// Enclosing span's id, 0 for a root.
+        parent: u64,
+        /// Correlation trace id, carried only by the root span.
+        trace: Option<String>,
+        /// Start timestamp, microseconds since process start.
+        start_us: u64,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+        /// Small key/value attribute list (engine name, chunk index, ...).
+        attrs: Vec<(&'static str, String)>,
+    },
     /// Adaptive sampling closed a stratum: its confidence interval reached
     /// the target width, so no further work units are drawn from it.
     StratumConverged {
@@ -253,6 +274,7 @@ impl Event {
             Event::InjectionRun { .. } => "injection_run",
             Event::CampaignFinished { .. } => "campaign_finished",
             Event::UnitQuarantined { .. } => "unit_quarantined",
+            Event::Span { .. } => "span",
             Event::StratumConverged { .. } => "stratum_converged",
         }
     }
@@ -363,6 +385,31 @@ impl Event {
                 put("chunk", Json::uint(*chunk));
                 put("attempts", Json::uint(*attempts));
                 put("error", Json::str(error.clone()));
+            }
+            Event::Span {
+                name,
+                id,
+                parent,
+                trace,
+                start_us,
+                dur_ns,
+                attrs,
+            } => {
+                put("name", Json::str(*name));
+                put("id", Json::uint(*id));
+                put("parent", Json::uint(*parent));
+                if let Some(t) = trace {
+                    put("trace", Json::str(t.clone()));
+                }
+                put("start_us", Json::uint(*start_us));
+                put("dur_ns", Json::uint(*dur_ns));
+                if !attrs.is_empty() {
+                    let kv = attrs
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::str(v.clone())))
+                        .collect();
+                    put("attrs", Json::Obj(kv));
+                }
             }
             Event::StratumConverged {
                 stratum,
@@ -541,6 +588,7 @@ pub struct Telemetry {
     sink: Option<Arc<dyn TelemetrySink>>,
     enabled: bool,
     hot_events: bool,
+    spans: bool,
 }
 
 impl Telemetry {
@@ -550,13 +598,15 @@ impl Telemetry {
     }
 
     /// Telemetry feeding `sink`. High-volume events (per-hook dispatch)
-    /// stay off unless requested with [`Telemetry::with_hot_events`].
+    /// stay off unless requested with [`Telemetry::with_hot_events`];
+    /// tracing spans are on (disable with [`Telemetry::with_spans`]).
     pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
         let enabled = sink.is_enabled();
         Telemetry {
             sink: Some(sink),
             enabled,
             hot_events: false,
+            spans: true,
         }
     }
 
@@ -564,6 +614,19 @@ impl Telemetry {
     pub fn with_hot_events(mut self, on: bool) -> Self {
         self.hot_events = on;
         self
+    }
+
+    /// Enable/disable tracing spans (see the [`span`] module).
+    pub fn with_spans(mut self, on: bool) -> Self {
+        self.spans = on;
+        self
+    }
+
+    /// Whether tracing spans are requested (gate, not sink, state — see
+    /// [`Telemetry::span_enabled`] for the combined check).
+    #[inline]
+    pub fn spans(&self) -> bool {
+        self.spans
     }
 
     /// Whether events are being consumed at all.
@@ -594,6 +657,19 @@ impl Telemetry {
     #[inline]
     pub fn emit_with(&self, build: impl FnOnce() -> Event) {
         if self.enabled {
+            if let Some(s) = &self.sink {
+                s.emit(&build());
+            }
+        }
+    }
+
+    /// Emit a high-volume event lazily: the [`Telemetry::hot_enabled`]
+    /// check comes first, so on the (default) cold configuration neither
+    /// the event nor any of its fields is ever constructed. Every per-hook
+    /// dispatch site goes through here.
+    #[inline]
+    pub fn emit_hot_with(&self, build: impl FnOnce() -> Event) {
+        if self.hot_enabled() {
             if let Some(s) = &self.sink {
                 s.emit(&build());
             }

@@ -139,6 +139,8 @@ impl Histogram {
 pub struct MetricsSnapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last-set value (point-in-time, may go down).
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram name → histogram.
     pub histograms: BTreeMap<String, Histogram>,
 }
@@ -147,6 +149,11 @@ impl MetricsSnapshot {
     /// Counter value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, when set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
     }
 
     /// Histogram by name.
@@ -161,6 +168,13 @@ impl MetricsSnapshot {
             let mut t = Table::new("counters", &["counter", "value"]);
             for (k, v) in &self.counters {
                 t.row(vec![k.clone(), v.to_string()]);
+            }
+            out.push(t);
+        }
+        if !self.gauges.is_empty() {
+            let mut t = Table::new("gauges", &["gauge", "value"]);
+            for (k, v) in &self.gauges {
+                t.row(vec![k.clone(), format!("{v}")]);
             }
             out.push(t);
         }
@@ -188,7 +202,10 @@ impl MetricsSnapshot {
         out
     }
 
-    /// JSON form.
+    /// JSON form. The `"gauges"` key appears only when gauges exist, so
+    /// snapshots from gauge-free producers (campaign summaries, whose
+    /// serialized form must stay byte-identical across resume/merge) are
+    /// unchanged by the gauge feature.
     pub fn to_json(&self) -> Json {
         let counters = self
             .counters
@@ -200,11 +217,93 @@ impl MetricsSnapshot {
             .iter()
             .map(|(k, h)| (k.clone(), h.to_json()))
             .collect();
-        Json::obj([
-            ("counters", Json::Obj(counters)),
-            ("histograms", Json::Obj(histograms)),
-        ])
+        let mut doc: BTreeMap<String, Json> = BTreeMap::new();
+        doc.insert("counters".into(), Json::Obj(counters));
+        if !self.gauges.is_empty() {
+            let gauges = self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect();
+            doc.insert("gauges".into(), Json::Obj(gauges));
+        }
+        doc.insert("histograms".into(), Json::Obj(histograms));
+        Json::Obj(doc)
     }
+}
+
+/// Sanitize a metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Format a gauge value for exposition (`f64`, but whole numbers render
+/// without a trailing `.0` — both are valid Prometheus floats).
+fn prom_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format 0.0.4.
+///
+/// Counters gain the conventional `_total` suffix; histograms expose the
+/// log2 buckets as cumulative `_bucket{le="..."}` series (the `le` bound is
+/// each bucket's inclusive integer upper bound, `2^k − 1`) capped by the
+/// mandatory `le="+Inf"`, plus `_sum` and `_count`. Names are sanitized
+/// with `prom_name`; each metric carries exactly one `# HELP` and
+/// `# TYPE` line. Serve with `Content-Type: text/plain; version=0.0.4`.
+pub fn to_prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &s.counters {
+        let mut n = prom_name(k);
+        if !n.ends_with("_total") {
+            n.push_str("_total");
+        }
+        out.push_str(&format!(
+            "# HELP {n} Monotonic counter `{k}`.\n# TYPE {n} counter\n{n} {v}\n"
+        ));
+    }
+    for (k, v) in &s.gauges {
+        let n = prom_name(k);
+        out.push_str(&format!(
+            "# HELP {n} Gauge `{k}`.\n# TYPE {n} gauge\n{n} {}\n",
+            prom_value(*v)
+        ));
+    }
+    for (k, h) in &s.histograms {
+        let n = prom_name(k);
+        out.push_str(&format!(
+            "# HELP {n} Log2-bucketed histogram `{k}`.\n# TYPE {n} histogram\n"
+        ));
+        let top = h
+            .buckets
+            .iter()
+            .rposition(|b| *b > 0)
+            .map_or(0, |i| i.min(HISTOGRAM_BUCKETS - 2));
+        let mut cum = 0u64;
+        for i in 0..=top {
+            cum += h.buckets[i];
+            // Inclusive upper bound of bucket i over integer samples:
+            // bucket 0 holds {0}, bucket k holds [2^(k-1), 2^k).
+            let le = bucket_lo(i + 1).saturating_sub(1);
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
 }
 
 /// Thread-safe registry of counters and histograms.
@@ -235,6 +334,18 @@ impl Registry {
     pub fn merge_histogram(&self, name: &str, h: &Histogram) {
         let mut g = crate::lock_recover(&self.inner);
         g.histograms.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut g = crate::lock_recover(&self.inner);
+        g.gauges.insert(name.to_string(), v);
+    }
+
+    /// Add `delta` (possibly negative) to gauge `name`, creating it at 0.
+    pub fn add_gauge(&self, name: &str, delta: f64) {
+        let mut g = crate::lock_recover(&self.inner);
+        *g.gauges.entry(name.to_string()).or_insert(0.0) += delta;
     }
 
     /// Copy out the current contents.
@@ -308,6 +419,156 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is None.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        // Single sample / single bucket: every quantile is that bucket.
+        let mut one = Histogram::default();
+        one.observe(9);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(one.quantile(q), Some(8), "q={q} lands in [8,16)");
+        }
+        // All mass in bucket 0 (the value 0).
+        let mut zeros = Histogram::default();
+        for _ in 0..10 {
+            zeros.observe(0);
+        }
+        assert_eq!(zeros.quantile(0.5), Some(0));
+        assert_eq!(zeros.quantile(1.0), Some(0));
+        // Out-of-range q is clamped, not panicking.
+        assert_eq!(one.quantile(-1.0), Some(8));
+        assert_eq!(one.quantile(2.0), Some(8));
+    }
+
+    #[test]
+    fn merge_disjoint_buckets() {
+        let mut lo = Histogram::default();
+        for v in [0u64, 1, 1] {
+            lo.observe(v);
+        }
+        let mut hi = Histogram::default();
+        for v in [1u64 << 40, u64::MAX] {
+            hi.observe(v);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count, 5);
+        assert_eq!(lo.min, 0);
+        assert_eq!(lo.max, u64::MAX);
+        assert_eq!(lo.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(lo.buckets[0], 1);
+        assert_eq!(lo.buckets[1], 2);
+        assert_eq!(lo.buckets[41], 1);
+        assert_eq!(lo.buckets[64], 1);
+        // Merging an empty histogram changes nothing.
+        let before = lo.clone();
+        lo.merge(&Histogram::default());
+        assert_eq!(lo, before);
+    }
+
+    #[test]
+    fn gauge_set_and_add_semantics() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().gauge("queue_depth"), None);
+        r.set_gauge("queue_depth", 3.0);
+        r.set_gauge("queue_depth", 7.0);
+        assert_eq!(
+            r.snapshot().gauge("queue_depth"),
+            Some(7.0),
+            "last write wins"
+        );
+        r.add_gauge("busy", 2.0);
+        r.add_gauge("busy", -0.5);
+        assert_eq!(r.snapshot().gauge("busy"), Some(1.5), "add accumulates");
+        r.add_gauge("queue_depth", 1.0);
+        assert_eq!(r.snapshot().gauge("queue_depth"), Some(8.0));
+    }
+
+    #[test]
+    fn gauges_json_key_only_when_present() {
+        let r = Registry::new();
+        r.incr("runs", 1);
+        let plain = r.snapshot().to_json();
+        assert!(plain.get("gauges").is_none(), "no gauges → no key");
+        r.set_gauge("uptime_seconds", 12.0);
+        let with = r.snapshot().to_json();
+        assert_eq!(
+            with.get("gauges")
+                .unwrap()
+                .get("uptime_seconds")
+                .unwrap()
+                .as_f64(),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.incr("jobs_done", 4);
+        r.incr("outcome.masked", 2);
+        r.set_gauge("queue_depth", 3.0);
+        r.set_gauge("uptime_seconds", 1.25);
+        r.observe("latency_us", 0);
+        r.observe("latency_us", 5);
+        r.observe("latency_us", 5);
+        r.observe("latency_us", 900);
+        let text = to_prometheus(&r.snapshot());
+        // Counters get _total and exactly one HELP/TYPE pair.
+        assert!(text.contains("# TYPE jobs_done_total counter\njobs_done_total 4\n"));
+        assert!(text.contains("outcome_masked_total 2\n"), "names sanitized");
+        assert_eq!(text.matches("# TYPE jobs_done_total").count(), 1);
+        // Gauges.
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 3\n"));
+        assert!(text.contains("uptime_seconds 1.25\n"));
+        // Histogram buckets are cumulative and end at +Inf.
+        assert!(text.contains("# TYPE latency_us histogram\n"));
+        assert!(text.contains("latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(
+            text.contains("latency_us_bucket{le=\"7\"} 3\n"),
+            "0,5,5 ≤ 7"
+        );
+        assert!(text.contains("latency_us_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("latency_us_sum 910\n"));
+        assert!(text.contains("latency_us_count 4\n"));
+        // Cumulative counts never decrease across the bucket series.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("latency_us_bucket")) {
+            let c: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(c >= last, "monotone buckets: {line}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn prometheus_handles_top_bucket_and_empty_histogram() {
+        let r = Registry::new();
+        r.observe("big", u64::MAX);
+        r.observe("none_yet", 7);
+        let mut s = r.snapshot();
+        s.histograms.insert("empty".into(), Histogram::default());
+        let text = to_prometheus(&s);
+        // u64::MAX lives in bucket 64, which only +Inf covers.
+        assert!(text.contains("big_bucket{le=\"+Inf\"} 1\n"));
+        // An empty histogram still exposes the mandatory +Inf/sum/count.
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_sum 0\nempty_count 0\n"));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(
+            prom_name("stratum.FPU/floating-point.runs"),
+            "stratum_FPU_floating_point_runs"
+        );
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name(""), "_");
     }
 
     #[test]
