@@ -8,7 +8,7 @@
 //!          [--json] [--engine tree-walk|bytecode|batch] [--threads N]
 //!          [--shard-size N] [--journal PATH | --resume PATH]
 //!          [--adaptive] [--ci-width F] [--min-samples N]
-//!          [--max-retries N] [--shard I/M] [--profile]
+//!          [--max-retries N] [--shard I/M] [--profile] [--checkpoint]
 //! campaign merge-journals --out PATH <journal> [<journal> ...]
 //! ```
 //!
@@ -30,6 +30,13 @@
 //!   journal / classify / sample-decision) and any straggler work units
 //!   after the summary. The profile is also appended to the journal as a
 //!   trailing `"rec":"profile"` record when `--journal`/`--resume` is set.
+//! * `--checkpoint` shares one fault-free prefix across the campaign: a
+//!   single reference run captures a device snapshot at every block boundary
+//!   a planned fault targets, and each injection restores the snapshot
+//!   instead of re-executing from launch. The summary (and CSV) stays
+//!   byte-identical to full re-execution; the cycles-saved note goes to
+//!   stderr. Ineligible campaigns fall back to full re-execution with a
+//!   warning.
 
 use hauberk::builds::FtOptions;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
@@ -172,6 +179,7 @@ fn main() {
         resume_from: resume_from.map(Into::into),
         shard,
         trace: None,
+        checkpoint: args.iter().any(|a| a == "--checkpoint"),
         chaos: None,
     };
 
@@ -192,6 +200,23 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(ck) = &sharded.checkpoint {
+        // Savings note on stderr, like the resume statistics: stdout is the
+        // summary, whose bytes must not depend on the execution mode.
+        let full = ck.reference_cycles.saturating_mul(ck.injections);
+        let actual = ck.reference_cycles + ck.executed_cycles;
+        eprintln!(
+            "checkpoint: {} boundaries over {} section(s); {}/{} injection(s) spliced; \
+             {} cycles simulated vs {} full re-execution ({:.1}x)",
+            ck.boundaries,
+            ck.sections,
+            ck.spliced,
+            ck.injections,
+            actual,
+            full,
+            full as f64 / actual.max(1) as f64
+        );
+    }
     if sharded.resumed_units > 0 || sharded.dropped_lines > 0 {
         // Resume statistics go to stderr, not the summary: the summary must
         // stay byte-identical to an uninterrupted run.

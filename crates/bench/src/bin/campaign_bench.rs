@@ -8,6 +8,13 @@
 //! stopped early still meets the target interval width — the claim recorded
 //! in `BENCH_campaign.json`.
 //!
+//! It then prices fault-free prefix checkpointing the same way: the pinned
+//! campaign runs once with full re-execution and once from the shared
+//! checkpoint, on two paper benchmarks (CP and PNS). The standing checks are
+//! that the summaries are byte-identical and that checkpointing cuts the
+//! simulated work cycles by at least 2x; the per-benchmark ledgers land in
+//! the same `BENCH_campaign.json` under `"checkpoint"`.
+//!
 //! ```text
 //! campaign_bench [--ci-width F] [--min-samples N] [--out PATH]
 //! ```
@@ -121,6 +128,79 @@ fn main() {
         ]));
     }
 
+    // Checkpointing: full re-execution vs shared fault-free prefix, on two
+    // paper benchmarks. Byte-identity and the ≥2x cycle reduction are
+    // standing assertions, not just recorded numbers.
+    let mut checkpoint_docs = Vec::new();
+    for name in ["CP", "PNS"] {
+        let prog =
+            hauberk_benchmarks::program_by_name(name, hauberk_benchmarks::ProblemScale::Quick)
+                .expect("paper benchmark");
+        let ck_cfg = CampaignConfig {
+            plan: PlanConfig {
+                vars_per_program: 12,
+                masks_per_var: 20,
+                bit_counts: hauberk_swifi::mask::PAPER_BIT_COUNTS.to_vec(),
+                scheduler_per_mille: 60,
+                register_per_mille: 60,
+            },
+            ..Default::default()
+        };
+        let full = run_orchestrated_campaign(
+            prog.as_ref(),
+            CampaignKind::Sensitivity,
+            &ck_cfg,
+            &OrchestratorConfig::default(),
+        )
+        .expect("full re-execution campaign");
+        let ck = run_orchestrated_campaign(
+            prog.as_ref(),
+            CampaignKind::Sensitivity,
+            &ck_cfg,
+            &OrchestratorConfig {
+                checkpoint: true,
+                ..Default::default()
+            },
+        )
+        .expect("checkpointed campaign");
+        assert_eq!(
+            full.summary_json(),
+            ck.summary_json(),
+            "{name}: checkpointed summary must be byte-identical"
+        );
+        assert_eq!(full.summarize(), ck.summarize());
+        let stats = ck.checkpoint.as_ref().unwrap_or_else(|| {
+            panic!("{name}: checkpoint store must build for the paper benchmarks")
+        });
+        let cycle_reduction = full.sim_cycles as f64 / ck.sim_cycles.max(1) as f64;
+        eprintln!(
+            "{name}: full {} cycles, checkpointed {} ({} boundaries, {}/{} spliced): \
+             {cycle_reduction:.2}x reduction",
+            full.sim_cycles, ck.sim_cycles, stats.boundaries, stats.spliced, stats.injections
+        );
+        assert!(
+            cycle_reduction >= 2.0,
+            "{name}: checkpointing must at least halve the simulated cycles \
+             ({} vs {})",
+            ck.sim_cycles,
+            full.sim_cycles
+        );
+        checkpoint_docs.push(Json::obj([
+            ("program", Json::str(format!("{name} quick"))),
+            ("planned", Json::uint(full.planned)),
+            ("full_cycles", Json::uint(full.sim_cycles)),
+            ("checkpoint_cycles", Json::uint(ck.sim_cycles)),
+            ("cycle_reduction", Json::Num(cycle_reduction)),
+            ("sections", Json::uint(stats.sections)),
+            ("boundaries", Json::uint(stats.boundaries)),
+            ("injections", Json::uint(stats.injections)),
+            ("spliced", Json::uint(stats.spliced)),
+            ("reference_cycles", Json::uint(stats.reference_cycles)),
+            ("executed_cycles", Json::uint(stats.executed_cycles)),
+            ("byte_identical", Json::Bool(true)),
+        ]));
+    }
+
     let doc = Json::obj([
         ("bench", Json::str("campaign_bench")),
         ("program", Json::str("CP quick")),
@@ -133,6 +213,7 @@ fn main() {
         ("adaptive_injections", Json::uint(adapt.executed)),
         ("reduction", Json::Num(reduction)),
         ("strata", Json::Arr(strata)),
+        ("checkpoint", Json::Arr(checkpoint_docs)),
     ]);
     let rendered = format!("{doc}\n");
     match out_path {

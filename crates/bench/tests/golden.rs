@@ -95,3 +95,34 @@ fn campaign_json_snapshot() {
     );
     check_snapshot("campaign_cp_small.json", &out);
 }
+
+/// The same pinned campaign under `--checkpoint`: the stdout document is
+/// snapshotted in its own right AND must equal the plain snapshot byte for
+/// byte — checkpointing is an execution-cost optimization, never an output
+/// change. (The cycles-saved note goes to stderr, which `run` discards.)
+#[test]
+fn campaign_checkpoint_json_snapshot() {
+    let out = run(
+        env!("CARGO_BIN_EXE_campaign"),
+        &[
+            "CP",
+            "--json",
+            "--vars",
+            "2",
+            "--masks",
+            "2",
+            "--threads",
+            "1",
+            "--checkpoint",
+        ],
+    );
+    check_snapshot("campaign_cp_small_checkpoint.json", &out);
+    if std::env::var_os("UPDATE_GOLDEN").is_none() {
+        let plain = std::fs::read_to_string(golden_path("campaign_cp_small.json"))
+            .expect("plain campaign snapshot exists");
+        assert_eq!(
+            plain, out,
+            "--checkpoint must not change a single output byte"
+        );
+    }
+}

@@ -136,6 +136,44 @@ impl ControlBlock {
         self.alarms.clear();
         self.outliers.clear();
     }
+
+    /// FNV-1a fingerprint of the *mutable per-run* state: the SDC flag, the
+    /// recorded alarms, and the recorded outliers. The configured ranges and
+    /// detector labels are excluded — they are launch inputs, identical for
+    /// every run of a campaign, and immutable while a kernel executes.
+    ///
+    /// Two control blocks with equal fingerprints (and equal configuration)
+    /// drive the FT detectors identically for the remainder of a launch:
+    /// alarm deduplication and the outlier cap are functions of exactly this
+    /// state. Checkpointed campaigns compare it at reconvergence fences.
+    pub fn run_state_fingerprint(&self) -> u64 {
+        let (mut h, prime) = (0xcbf29ce484222325u64, 0x100000001b3u64);
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(prime);
+            }
+        };
+        mix(self.sdc_flag as u64);
+        mix(self.alarms.len() as u64);
+        for a in &self.alarms {
+            mix(a.detector as u64);
+            mix(a.kind.as_str().len() as u64);
+            mix(a
+                .kind
+                .as_str()
+                .as_bytes()
+                .iter()
+                .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(*b as u64)));
+            mix(a.observed.to_bits());
+        }
+        mix(self.outliers.len() as u64);
+        for (det, v) in &self.outliers {
+            mix(*det as u64);
+            mix(v.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -338,6 +338,16 @@ impl HookRuntime for FiRuntime {
         );
         hit
     }
+
+    /// The arm delivers on an exact `(site, thread, occurrence)` match and a
+    /// thread executes only inside its own block, so once the target block
+    /// has retired the arm can no longer influence the launch — its
+    /// occurrence counts for *other* threads never trigger anything. The
+    /// delivered flag and delivery cycle feed only the post-run classifier,
+    /// so the remainder-relevant state is empty.
+    fn state_fingerprint(&self) -> Option<u64> {
+        Some(0)
+    }
 }
 
 /// The FI&FT library: injects one fault *and* runs the FT detectors, for
@@ -442,6 +452,21 @@ impl HookRuntime for FiFtRuntime {
             &mut self.delivered_cycle,
         );
         hit
+    }
+
+    /// The arm is inert after the target block (see [`FiRuntime`]); what can
+    /// still influence the remainder is the FT side: the control block's
+    /// mutable state (alarm dedup and the outlier cap read it) plus the
+    /// first-alarm stamp (a later alarm only writes it if still unset). The
+    /// delivery cycle is a post-run readout and stays excluded — it is
+    /// always taken from the injection's own runtime, never spliced.
+    fn state_fingerprint(&self) -> Option<u64> {
+        let mut h = self.cb.run_state_fingerprint();
+        h ^= self
+            .first_alarm_cycle
+            .map(|c| c.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+            .unwrap_or(0);
+        Some(h)
     }
 }
 

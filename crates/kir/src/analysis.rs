@@ -17,7 +17,7 @@
 
 use crate::expr::{BinOp, Expr, VarId};
 use crate::kernel::KernelDef;
-use crate::stmt::{Block, LoopId, Stmt};
+use crate::stmt::{Block, LoopId, SiteId, Stmt};
 use crate::visit::for_each_stmt;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -707,6 +707,173 @@ impl SlotAllocator {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Section partitioning (compositional injection analysis)
+// ---------------------------------------------------------------------------
+
+/// One kernel *section*: a maximal top-level span whose interior contains no
+/// top-level loop or barrier boundary. Fault-injection sites inside a
+/// section share their dynamic window — a fault armed in the section cannot
+/// fire before the section's first statement executes — so campaigns that
+/// checkpoint at section-aligned boundaries can restore a shared fault-free
+/// prefix for every injection the section holds (FastFlip's per-section
+/// composition, applied to the orchestrator's strata).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section ordinal, in program order.
+    pub index: usize,
+    /// Stable human-readable label (`"straight@0"`, `"loop2@4"`, ...).
+    pub label: String,
+    /// Top-level statement span `[start, end)` in `kernel.body.0`.
+    pub stmts: (usize, usize),
+    /// Hook site ids anywhere inside the span (including nested blocks).
+    pub sites: Vec<SiteId>,
+    /// Loop ids anywhere inside the span (including nested loops).
+    pub loops: Vec<LoopId>,
+}
+
+/// The section decomposition of a kernel body, with site/loop → section
+/// lookup — how the SWIFI planner maps each injection's fault window to the
+/// section containing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionMap {
+    /// Sections in program order.
+    pub sections: Vec<Section>,
+}
+
+/// Partition `kernel`'s top-level statement list into [`Section`]s.
+///
+/// Splitting rules:
+/// * every top-level `for`/`while` is its own section (a loop is the unit
+///   the paper's detectors protect, and the dominant fault window);
+/// * a top-level `__syncthreads()` barrier *closes* the current section
+///   (the barrier is the last statement of the section it terminates),
+///   because a barrier is a reconvergence point: state flowing across it is
+///   exactly the state a section-boundary checkpoint captures;
+/// * maximal runs of the remaining straight-line statements form one
+///   section each.
+pub fn partition_sections(kernel: &KernelDef) -> SectionMap {
+    let stmts = &kernel.body.0;
+    let mut sections: Vec<Section> = Vec::new();
+    let mut run_start: Option<usize> = None;
+
+    let close = |sections: &mut Vec<Section>, start: usize, end: usize, kind: &str| {
+        if start >= end {
+            return;
+        }
+        let index = sections.len();
+        let mut sites = Vec::new();
+        let mut loops = Vec::new();
+        for s in &stmts[start..end] {
+            collect_windows(s, &mut sites, &mut loops);
+        }
+        let label = match kind {
+            "loop" => format!("loop{}@{start}", loops.first().copied().unwrap_or(0)),
+            _ => format!("{kind}@{start}"),
+        };
+        sections.push(Section {
+            index,
+            label,
+            stmts: (start, end),
+            sites,
+            loops,
+        });
+    };
+
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::For { .. } | Stmt::While { .. } => {
+                if let Some(start) = run_start.take() {
+                    close(&mut sections, start, i, "straight");
+                }
+                close(&mut sections, i, i + 1, "loop");
+            }
+            Stmt::SyncThreads => {
+                // The barrier terminates the current straight-line run.
+                let start = run_start.take().unwrap_or(i);
+                close(&mut sections, start, i + 1, "straight");
+            }
+            _ => {
+                run_start.get_or_insert(i);
+            }
+        }
+    }
+    if let Some(start) = run_start.take() {
+        close(&mut sections, start, stmts.len(), "straight");
+    }
+    SectionMap { sections }
+}
+
+/// Collect every hook site id and loop id inside `stmt`, nested blocks
+/// included.
+fn collect_windows(stmt: &Stmt, sites: &mut Vec<SiteId>, loops: &mut Vec<LoopId>) {
+    let mut one = |s: &Stmt| match s {
+        Stmt::Hook(h) => sites.push(h.site),
+        Stmt::For { id, .. } | Stmt::While { id, .. } => loops.push(*id),
+        _ => {}
+    };
+    one(stmt);
+    match stmt {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            for_each_stmt(then_blk, &mut one);
+            for_each_stmt(else_blk, &mut one);
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } => {
+            for_each_stmt(body, &mut one);
+        }
+        _ => {}
+    }
+}
+
+impl SectionMap {
+    /// Section containing hook site `site`, if any.
+    pub fn section_of_site(&self, site: SiteId) -> Option<usize> {
+        self.sections
+            .iter()
+            .find(|s| s.sites.contains(&site))
+            .map(|s| s.index)
+    }
+
+    /// Section containing loop `loop_id`, if any.
+    pub fn section_of_loop(&self, loop_id: LoopId) -> Option<usize> {
+        self.sections
+            .iter()
+            .find(|s| s.loops.contains(&loop_id))
+            .map(|s| s.index)
+    }
+
+    /// A stable FNV-1a hash of the partition: section spans plus the
+    /// site/loop windows each one owns. Campaign journals record it (with
+    /// the plan fingerprint and engine) as the checkpoint identity, so a
+    /// resume can refuse a journal whose checkpoints were cut against a
+    /// different section structure.
+    pub fn section_hash(&self) -> u64 {
+        let (mut h, prime) = (0xcbf29ce484222325u64, 0x100000001b3u64);
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(prime);
+            }
+        };
+        mix(self.sections.len() as u64);
+        for s in &self.sections {
+            mix(s.stmts.0 as u64);
+            mix(s.stmts.1 as u64);
+            mix(s.sites.len() as u64);
+            for site in &s.sites {
+                mix(*site as u64);
+            }
+            mix(s.loops.len() as u64);
+            for l in &s.loops {
+                mix(*l as u64);
+            }
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -960,5 +1127,120 @@ mod tests {
         // Balanced braces and quotes.
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
         assert_eq!(dot.matches('"').count() % 2, 0);
+    }
+
+    use crate::stmt::{Hook, HookKind};
+
+    /// straight / loop / straight+barrier / loop / straight, with hooks
+    /// sprinkled at distinct sites inside each region.
+    fn sectioned() -> KernelDef {
+        let mut b = KernelBuilder::new("sectioned");
+        let n = b.param("n", crate::types::Ty::I32);
+        let x = b.local("x", crate::types::Ty::I32);
+        let i = b.local("i", crate::types::Ty::I32);
+        let j = b.local("j", crate::types::Ty::I32);
+        let hook = |site| {
+            Stmt::Hook(Hook {
+                kind: HookKind::CountExec,
+                site,
+                args: vec![],
+                target: None,
+            })
+        };
+        b.assign(x, Expr::i32(0));
+        b.stmt(hook(0));
+        b.for_range(i, Expr::var(n), |b| b.stmt(hook(1)));
+        b.assign(x, Expr::var(i));
+        b.sync();
+        b.for_range(j, Expr::var(n), |b| b.stmt(hook(2)));
+        b.stmt(hook(3));
+        let mut k = b.finish();
+        k.renumber();
+        k
+    }
+
+    #[test]
+    fn partition_splits_at_loops_and_barriers() {
+        let k = sectioned();
+        let sm = partition_sections(&k);
+        let spans: Vec<(usize, usize)> = sm.sections.iter().map(|s| s.stmts).collect();
+        // [assign, hook0] [for i] [assign, sync] [for j] [hook3]
+        assert_eq!(spans, vec![(0, 2), (2, 3), (3, 5), (5, 6), (6, 7)]);
+        assert_eq!(sm.sections[0].sites, vec![0]);
+        assert_eq!(sm.sections[1].sites, vec![1]);
+        assert_eq!(sm.sections[3].sites, vec![2]);
+        assert_eq!(sm.sections[4].sites, vec![3]);
+        assert_eq!(sm.sections[1].loops.len(), 1);
+        assert_eq!(sm.sections[3].loops.len(), 1);
+        assert!(sm.sections[1].label.starts_with("loop"));
+        for (i, s) in sm.sections.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn section_lookup_maps_sites_and_loops() {
+        let k = sectioned();
+        let sm = partition_sections(&k);
+        assert_eq!(sm.section_of_site(0), Some(0));
+        assert_eq!(sm.section_of_site(1), Some(1));
+        assert_eq!(sm.section_of_site(2), Some(3));
+        assert_eq!(sm.section_of_site(3), Some(4));
+        assert_eq!(sm.section_of_site(99), None);
+        let loop_ids: Vec<LoopId> = sm.sections.iter().flat_map(|s| s.loops.clone()).collect();
+        assert_eq!(loop_ids.len(), 2);
+        assert_eq!(sm.section_of_loop(loop_ids[0]), Some(1));
+        assert_eq!(sm.section_of_loop(loop_ids[1]), Some(3));
+        assert_eq!(sm.section_of_loop(77), None);
+    }
+
+    #[test]
+    fn section_hash_is_stable_and_structure_sensitive() {
+        let k = sectioned();
+        let h1 = partition_sections(&k).section_hash();
+        let h2 = partition_sections(&k).section_hash();
+        assert_eq!(h1, h2, "hash is deterministic");
+        let (k2, _) = cp_like();
+        let other = partition_sections(&k2).section_hash();
+        assert_ne!(h1, other, "different structure, different hash");
+    }
+
+    #[test]
+    fn barrier_only_kernel_is_single_sections_per_run() {
+        // A kernel that is nothing but straight-line code forms one section.
+        let mut b = KernelBuilder::new("flat");
+        let x = b.local("x", crate::types::Ty::I32);
+        b.assign(x, Expr::i32(1));
+        b.assign(x, Expr::i32(2));
+        let sm = partition_sections(&b.finish());
+        assert_eq!(sm.sections.len(), 1);
+        assert_eq!(sm.sections[0].stmts, (0, 2));
+        // An empty body has no sections.
+        let empty = KernelBuilder::new("empty").finish();
+        assert!(partition_sections(&empty).sections.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_and_branch_hooks_belong_to_outer_section() {
+        let mut b = KernelBuilder::new("nested");
+        let n = b.param("n", crate::types::Ty::I32);
+        let i = b.local("i", crate::types::Ty::I32);
+        let j = b.local("j", crate::types::Ty::I32);
+        b.for_range(i, Expr::var(n), |b| {
+            b.for_range(j, Expr::var(n), |b| {
+                b.stmt(Stmt::Hook(Hook {
+                    kind: HookKind::CountExec,
+                    site: 5,
+                    args: vec![],
+                    target: None,
+                }));
+            });
+        });
+        let mut k = b.finish();
+        k.renumber();
+        let sm = partition_sections(&k);
+        assert_eq!(sm.sections.len(), 1);
+        assert_eq!(sm.sections[0].loops.len(), 2, "nested loop ids collected");
+        assert_eq!(sm.section_of_site(5), Some(0), "nested hook mapped");
     }
 }

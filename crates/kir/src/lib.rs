@@ -63,6 +63,7 @@ pub mod validate;
 pub mod value;
 pub mod visit;
 
+pub use analysis::{partition_sections, Section, SectionMap};
 pub use builder::KernelBuilder;
 pub use expr::{BinOp, BuiltinVar, Expr, MathFn, UnOp, VarId};
 pub use kernel::{KernelDef, VarDecl};

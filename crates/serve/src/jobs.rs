@@ -74,6 +74,11 @@ pub struct JobSpec {
     /// `"spans": false` drops the span layer for latency-critical
     /// submissions; `serve_bench` uses it to price the layer.
     pub spans: bool,
+    /// Run the campaign from a shared fault-free checkpoint (default
+    /// `false`): one reference run captures per-block snapshots and every
+    /// injection resumes from them. The result document is byte-identical
+    /// either way; ineligible campaigns fall back to full re-execution.
+    pub checkpoint: bool,
 }
 
 impl Default for JobSpec {
@@ -94,6 +99,7 @@ impl Default for JobSpec {
             engine: None,
             trace: None,
             spans: true,
+            checkpoint: false,
         }
     }
 }
@@ -132,6 +138,7 @@ impl JobSpec {
             "engine",
             "trace",
             "spans",
+            "checkpoint",
         ];
         if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
             return Err(format!("unknown field `{k}` (known: {})", KNOWN.join(", ")));
@@ -179,6 +186,9 @@ impl JobSpec {
         }
         if let Some(v) = map.get("spans") {
             spec.spans = v.as_bool().ok_or("`spans` must be a boolean")?;
+        }
+        if let Some(v) = map.get("checkpoint") {
+            spec.checkpoint = v.as_bool().ok_or("`checkpoint` must be a boolean")?;
         }
         if let Some(v) = map.get("seed") {
             spec.seed = want_u64(v, "seed")?;
@@ -315,6 +325,9 @@ impl JobSpec {
         if !self.spans {
             pairs.push(("spans", Json::Bool(false)));
         }
+        if self.checkpoint {
+            pairs.push(("checkpoint", Json::Bool(true)));
+        }
         match &self.program {
             ProgramSpec::Named(n) => pairs.push(("program", Json::str(n.clone()))),
             ProgramSpec::Kir(src) => {
@@ -401,6 +414,7 @@ impl JobSpec {
             max_retries: self.max_retries,
             chaos: self.chaos,
             trace: self.trace.clone(),
+            checkpoint: self.checkpoint,
             ..Default::default()
         }
     }
@@ -683,6 +697,23 @@ mod tests {
         assert!(!off.spans);
         let back = JobSpec::from_json(&off.to_json()).unwrap();
         assert!(!back.spans);
+    }
+
+    #[test]
+    fn checkpoint_toggle_defaults_off_and_round_trips_on() {
+        let off = JobSpec::from_json(&parse(r#"{"program":"CP"}"#).unwrap()).unwrap();
+        assert!(!off.checkpoint);
+        assert!(!off.orchestrator_config().checkpoint);
+        assert!(!off.to_json().to_string().contains("checkpoint"));
+        let on =
+            JobSpec::from_json(&parse(r#"{"program":"CP","checkpoint":true}"#).unwrap()).unwrap();
+        assert!(on.checkpoint);
+        assert!(on.orchestrator_config().checkpoint);
+        let back = JobSpec::from_json(&on.to_json()).unwrap();
+        assert!(back.checkpoint);
+        let err =
+            JobSpec::from_json(&parse(r#"{"program":"CP","checkpoint":1}"#).unwrap()).unwrap_err();
+        assert!(err.contains("`checkpoint` must be a boolean"), "{err}");
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The simulated device: global memory, launch orchestration, SM time model.
 
-use crate::backend::WarpCtx;
+use crate::backend::{ExecBackend, Prepared, WarpCtx};
 use crate::config::DeviceConfig;
 use crate::fault::MemoryBurst;
 use crate::hooks::HookRuntime;
 use crate::interp::{ExecErr, WarpGeom};
 use crate::memory::MemRegion;
 use crate::outcome::{LaunchOutcome, TrapReason};
+use crate::snapshot::{CaptureRun, Fnv1a, Snapshot, SnapshotError, Spliced};
 use crate::stats::ExecStats;
 use hauberk_kir::validate::validate_kernel;
 use hauberk_kir::{KernelDef, MemSpace, PrimTy, PtrVal, Value};
@@ -52,6 +53,17 @@ impl Launch {
     /// Total threads in the launch.
     pub fn total_threads(&self) -> u64 {
         self.grid.0 as u64 * self.grid.1 as u64 * self.block.0 as u64 * self.block.1 as u64
+    }
+
+    /// Total blocks in the grid (blocks execute in linear id order, so this
+    /// is also the count of snapshot boundaries + 1).
+    pub fn total_blocks(&self) -> u32 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.0 * self.block.1
     }
 }
 
@@ -180,26 +192,8 @@ impl Device {
         launch_id: u64,
         span: &mut SpanGuard,
     ) -> LaunchOutcome {
-        assert_eq!(args.len(), kernel.n_params, "kernel argument count");
-        for (i, a) in args.iter().enumerate() {
-            assert_eq!(
-                a.ty(),
-                kernel.vars[i].ty,
-                "argument {i} type mismatch for kernel `{}`",
-                kernel.name
-            );
-        }
-        debug_assert!(validate_kernel(kernel).is_ok(), "launching invalid kernel");
-
-        let mut stats = ExecStats::default();
-        if kernel.shared_mem_bytes > self.config.shared_mem_per_block {
-            return LaunchOutcome::Crash {
-                reason: TrapReason::SharedMemOverflow {
-                    requested: kernel.shared_mem_bytes,
-                    available: self.config.shared_mem_per_block,
-                },
-                stats,
-            };
+        if let Err(out) = self.validate_launch(kernel, args) {
+            return out;
         }
 
         // Engine selection is a backend lookup; preparation (compilation
@@ -214,81 +208,406 @@ impl Device {
             span.attr_with("prepare_ns", || (t.elapsed().as_nanos() as u64).to_string());
         }
 
-        let tpb = launch.block.0 * launch.block.1;
-        let warps_per_block = tpb.div_ceil(self.config.warp_width);
-        let mut sm_cycles = vec![0u64; self.config.num_sms as usize];
-        let mut budget = launch.cycle_budget;
+        let mut st = LaunchState::fresh(&self.config, launch);
         let mut exec_ns: u64 = 0;
-
-        let out = 'run: {
-            for by in 0..launch.grid.1 {
-                for bx in 0..launch.grid.0 {
-                    let block_lin = by * launch.grid.0 + bx;
-                    let mut shared = MemRegion::new(
-                        MemSpace::Shared,
-                        self.config.shared_mem_per_block,
-                        self.config.strict_memory,
-                    );
-                    if kernel.shared_mem_bytes > 0 {
-                        // Materialize the block's static shared allocation so
-                        // addresses 0..shared_mem_bytes are valid.
-                        shared
-                            .alloc(PrimTy::F32, kernel.shared_mem_bytes / 4)
-                            .expect("checked against device limit above");
-                    }
-                    let before = stats.work_cycles;
-                    for warp_id in 0..warps_per_block {
-                        let geom = WarpGeom {
-                            grid: launch.grid,
-                            block_dim: launch.block,
-                            block_idx: (bx, by),
-                            warp_id,
-                        };
-                        let t_warp = timed.then(Instant::now);
-                        let run_result = backend.run_warp(
-                            &prepared,
-                            kernel,
-                            WarpCtx {
-                                cfg: &self.config,
-                                global: &mut self.mem,
-                                shared: &mut shared,
-                                runtime,
-                                stats: &mut stats,
-                                budget: &mut budget,
-                                geom,
-                                args,
-                                tele,
-                                launch_id,
-                            },
-                        );
-                        if let Some(t) = t_warp {
-                            exec_ns += t.elapsed().as_nanos() as u64;
-                        }
-                        match run_result {
-                            Ok(()) => {}
-                            Err(ExecErr::Trap(reason)) => {
-                                finalize(&mut stats, &sm_cycles);
-                                break 'run LaunchOutcome::Crash { reason, stats };
-                            }
-                            Err(ExecErr::Hang) => {
-                                finalize(&mut stats, &sm_cycles);
-                                break 'run LaunchOutcome::Hang { stats };
-                            }
-                        }
-                    }
-                    stats.blocks += 1;
-                    let block_cycles = stats.work_cycles - before;
-                    sm_cycles[(block_lin % self.config.num_sms) as usize] += block_cycles;
-                }
-            }
-            finalize(&mut stats, &sm_cycles);
-            LaunchOutcome::Completed(stats)
+        let out = match self.run_block_range(
+            RunCtx {
+                kernel,
+                args,
+                launch,
+                runtime,
+                tele,
+                launch_id,
+                backend,
+                prepared: &prepared,
+            },
+            &mut st,
+            0,
+            launch.total_blocks(),
+            timed.then_some(&mut exec_ns),
+        ) {
+            Some(early) => early,
+            None => st.complete(),
         };
         if timed {
             span.attr_with("exec_ns", || exec_ns.to_string());
             span.attr_with("warps", || out.stats().warps.to_string());
         }
         out
+    }
+
+    /// Argument/shared-memory validation shared by every launch entry point.
+    /// `Err` carries the crash outcome to return.
+    fn validate_launch(&self, kernel: &KernelDef, args: &[Value]) -> Result<(), LaunchOutcome> {
+        assert_eq!(args.len(), kernel.n_params, "kernel argument count");
+        for (i, a) in args.iter().enumerate() {
+            assert_eq!(
+                a.ty(),
+                kernel.vars[i].ty,
+                "argument {i} type mismatch for kernel `{}`",
+                kernel.name
+            );
+        }
+        debug_assert!(validate_kernel(kernel).is_ok(), "launching invalid kernel");
+        if kernel.shared_mem_bytes > self.config.shared_mem_per_block {
+            return Err(LaunchOutcome::Crash {
+                reason: TrapReason::SharedMemOverflow {
+                    requested: kernel.shared_mem_bytes,
+                    available: self.config.shared_mem_per_block,
+                },
+                stats: ExecStats::default(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Execute blocks `[from, to)` in linear id order against launch state
+    /// `st`. Returns `Some(outcome)` on an early exit (trap or hang, state
+    /// finalized), `None` when the whole range ran to completion. Linear id
+    /// `b` maps to grid position `(b % grid.0, b / grid.0)` — the same
+    /// row-major order the nested grid loops always used, which is what
+    /// makes "before block `b`" a well-defined resume point.
+    fn run_block_range(
+        &mut self,
+        ctx: RunCtx<'_>,
+        st: &mut LaunchState,
+        from: u32,
+        to: u32,
+        mut exec_ns: Option<&mut u64>,
+    ) -> Option<LaunchOutcome> {
+        let kernel = ctx.kernel;
+        let launch = ctx.launch;
+        let warps_per_block = launch.threads_per_block().div_ceil(self.config.warp_width);
+        for block_lin in from..to {
+            let (bx, by) = (block_lin % launch.grid.0, block_lin / launch.grid.0);
+            let mut shared = MemRegion::new(
+                MemSpace::Shared,
+                self.config.shared_mem_per_block,
+                self.config.strict_memory,
+            );
+            if kernel.shared_mem_bytes > 0 {
+                // Materialize the block's static shared allocation so
+                // addresses 0..shared_mem_bytes are valid.
+                shared
+                    .alloc(PrimTy::F32, kernel.shared_mem_bytes / 4)
+                    .expect("checked against device limit above");
+            }
+            let before = st.stats.work_cycles;
+            for warp_id in 0..warps_per_block {
+                let geom = WarpGeom {
+                    grid: launch.grid,
+                    block_dim: launch.block,
+                    block_idx: (bx, by),
+                    warp_id,
+                };
+                let t_warp = exec_ns.is_some().then(Instant::now);
+                let run_result = ctx.backend.run_warp(
+                    ctx.prepared,
+                    kernel,
+                    WarpCtx {
+                        cfg: &self.config,
+                        global: &mut self.mem,
+                        shared: &mut shared,
+                        runtime: ctx.runtime,
+                        stats: &mut st.stats,
+                        budget: &mut st.budget,
+                        geom,
+                        args: ctx.args,
+                        tele: ctx.tele,
+                        launch_id: ctx.launch_id,
+                    },
+                );
+                if let (Some(ns), Some(t)) = (exec_ns.as_deref_mut(), t_warp) {
+                    *ns += t.elapsed().as_nanos() as u64;
+                }
+                match run_result {
+                    Ok(()) => {}
+                    Err(ExecErr::Trap(reason)) => {
+                        finalize(&mut st.stats, &st.sm_cycles);
+                        return Some(LaunchOutcome::Crash {
+                            reason,
+                            stats: st.stats.clone(),
+                        });
+                    }
+                    Err(ExecErr::Hang) => {
+                        finalize(&mut st.stats, &st.sm_cycles);
+                        return Some(LaunchOutcome::Hang {
+                            stats: st.stats.clone(),
+                        });
+                    }
+                }
+            }
+            st.stats.blocks += 1;
+            let block_cycles = st.stats.work_cycles - before;
+            st.sm_cycles[(block_lin % self.config.num_sms) as usize] += block_cycles;
+        }
+        None
+    }
+
+    /// Run `kernel` to completion like [`Device::launch`], capturing a
+    /// [`Snapshot`] before each block in `boundaries` and a state
+    /// fingerprint before each block in `fences` (boundary `b` = "block `b`
+    /// has not executed yet"; boundary `total_blocks` is the post-run
+    /// state). This is the checkpoint reference pass: one full fault-free
+    /// execution whose snapshots every injection in the campaign restores.
+    ///
+    /// Boundaries the run never reaches (trap or hang first) are absent from
+    /// the result, as are fences whose `runtime` declines
+    /// [`HookRuntime::state_fingerprint`].
+    pub fn capture_launch(
+        &mut self,
+        kernel: &KernelDef,
+        args: &[Value],
+        launch: &Launch,
+        runtime: &mut dyn HookRuntime,
+        boundaries: &[u32],
+        fences: &[u32],
+    ) -> CaptureRun {
+        if let Err(out) = self.validate_launch(kernel, args) {
+            return CaptureRun {
+                outcome: out,
+                snapshots: Vec::new(),
+                fences: Vec::new(),
+            };
+        }
+        let backend = self.config.engine.backend();
+        let prepared = backend.prepare(kernel, &self.config);
+        let tele = self.telemetry.clone();
+        let total = launch.total_blocks();
+
+        // Merge both boundary sets into one sorted stop list.
+        let mut stops: Vec<u32> = boundaries
+            .iter()
+            .chain(fences.iter())
+            .map(|b| (*b).min(total))
+            .collect();
+        stops.sort_unstable();
+        stops.dedup();
+
+        let mut st = LaunchState::fresh(&self.config, launch);
+        let mut run = CaptureRun {
+            outcome: LaunchOutcome::Completed(ExecStats::default()),
+            snapshots: Vec::new(),
+            fences: Vec::new(),
+        };
+        let mut cursor = 0u32;
+        for stop in stops.into_iter().chain(std::iter::once(total)) {
+            if let Some(early) = self.run_block_range(
+                RunCtx {
+                    kernel,
+                    args,
+                    launch,
+                    runtime: &mut *runtime,
+                    tele: &tele,
+                    launch_id: 0,
+                    backend,
+                    prepared: &prepared,
+                },
+                &mut st,
+                cursor,
+                stop,
+                None,
+            ) {
+                run.outcome = early;
+                return run;
+            }
+            cursor = stop;
+            if boundaries.contains(&stop) {
+                run.snapshots.push((stop, self.snapshot_at(&st, stop)));
+            }
+            if fences.contains(&stop) {
+                if let Some(fp) = self.state_fingerprint(&st, &*runtime) {
+                    run.fences.push((stop, fp));
+                }
+            }
+            if stop == total {
+                break;
+            }
+        }
+        run.outcome = st.complete();
+        run
+    }
+
+    /// Restore `snap` and run the remaining blocks to completion — the
+    /// resumed launch is bit-identical (outcome, stats, memory, hook
+    /// deliveries) to a full launch whose first `snap.next_block()` blocks
+    /// were fault-free, because that is exactly what the snapshot recorded.
+    pub fn resume_launch(
+        &mut self,
+        kernel: &KernelDef,
+        args: &[Value],
+        launch: &Launch,
+        runtime: &mut dyn HookRuntime,
+        snap: &Snapshot,
+    ) -> Result<LaunchOutcome, SnapshotError> {
+        self.resume_spliced(kernel, args, launch, runtime, snap, u32::MAX, 0)
+            .map(|s| match s {
+                Spliced::Ran(out) => out,
+                Spliced::Reconverged { .. } => {
+                    unreachable!("no fence below total_blocks never reconverges")
+                }
+            })
+    }
+
+    /// Restore `snap`, run blocks up to the `fence` boundary, and compare
+    /// the state fingerprint against `expected_fp` (from the reference
+    /// capture pass). On a match the remaining blocks provably replay the
+    /// fault-free reference, so execution stops and the caller splices the
+    /// reference finals ([`Spliced::Reconverged`]); otherwise the run
+    /// continues to its own completion ([`Spliced::Ran`]).
+    ///
+    /// A `fence` at or beyond the last block degrades to a plain resume.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_spliced(
+        &mut self,
+        kernel: &KernelDef,
+        args: &[Value],
+        launch: &Launch,
+        runtime: &mut dyn HookRuntime,
+        snap: &Snapshot,
+        fence: u32,
+        expected_fp: u64,
+    ) -> Result<Spliced, SnapshotError> {
+        if snap.engine != self.config.engine {
+            return Err(SnapshotError::EngineMismatch {
+                snapshot: snap.engine,
+                device: self.config.engine,
+            });
+        }
+        let total = launch.total_blocks();
+        if snap.next_block > total {
+            return Err(SnapshotError::BlockOutOfRange {
+                next_block: snap.next_block,
+                total_blocks: total,
+            });
+        }
+        if let Err(out) = self.validate_launch(kernel, args) {
+            return Ok(Spliced::Ran(out));
+        }
+        let backend = self.config.engine.backend();
+        let prepared = backend.prepare(kernel, &self.config);
+        let tele = self.telemetry.clone();
+
+        self.mem = snap.mem.clone();
+        let mut st = LaunchState {
+            stats: snap.stats.clone(),
+            sm_cycles: snap.sm_cycles.clone(),
+            budget: snap.budget,
+        };
+        macro_rules! ctx {
+            () => {
+                RunCtx {
+                    kernel,
+                    args,
+                    launch,
+                    runtime: &mut *runtime,
+                    tele: &tele,
+                    launch_id: 0,
+                    backend,
+                    prepared: &prepared,
+                }
+            };
+        }
+
+        let splice_at = (fence < total).then_some(fence.max(snap.next_block));
+        if let Some(f) = splice_at {
+            if let Some(early) = self.run_block_range(ctx!(), &mut st, snap.next_block, f, None) {
+                return Ok(Spliced::Ran(early));
+            }
+            if self.state_fingerprint(&st, &*runtime) == Some(expected_fp) {
+                return Ok(Spliced::Reconverged {
+                    executed_cycles: st.stats.work_cycles - snap.stats.work_cycles,
+                });
+            }
+            if let Some(early) = self.run_block_range(ctx!(), &mut st, f, total, None) {
+                return Ok(Spliced::Ran(early));
+            }
+        } else if let Some(early) =
+            self.run_block_range(ctx!(), &mut st, snap.next_block, total, None)
+        {
+            return Ok(Spliced::Ran(early));
+        }
+        Ok(Spliced::Ran(st.complete()))
+    }
+
+    /// Snapshot the current launch state at boundary `next_block`.
+    fn snapshot_at(&self, st: &LaunchState, next_block: u32) -> Snapshot {
+        Snapshot {
+            engine: self.config.engine,
+            next_block,
+            mem: self.mem.clone(),
+            stats: st.stats.clone(),
+            sm_cycles: st.sm_cycles.clone(),
+            budget: st.budget,
+        }
+    }
+
+    /// Fingerprint everything that can influence the rest of the launch:
+    /// global memory (backed extent + brk — unbacked reads are a pure
+    /// function of the address), cumulative stats, per-SM tallies, the
+    /// remaining budget, and the runtime's own suffix-observable state.
+    /// `None` when the runtime opts out of fingerprinting.
+    fn state_fingerprint(&self, st: &LaunchState, runtime: &dyn HookRuntime) -> Option<u64> {
+        let rt = runtime.state_fingerprint()?;
+        let mut h = Fnv1a::new();
+        for w in self.mem.backed_words() {
+            h.write(&w.to_le_bytes());
+        }
+        h.write_u64(self.mem.allocated() as u64);
+        h.write_u64(st.stats.work_cycles);
+        h.write_u64(st.stats.loop_cycles);
+        for c in st.stats.class_counts {
+            h.write_u64(c);
+        }
+        h.write_u64(st.stats.paired_ops);
+        h.write_u64(st.stats.mem_segments);
+        h.write_u64(st.stats.blocks);
+        h.write_u64(st.stats.warps);
+        h.write_u64(st.stats.syncs);
+        h.write_u64(st.stats.hooks);
+        for c in &st.sm_cycles {
+            h.write_u64(*c);
+        }
+        h.write_u64(st.budget);
+        h.write_u64(rt);
+        Some(h.finish())
+    }
+}
+
+/// Everything immutable a block-range execution needs (per-call view; the
+/// runtime is the one mutable guest).
+struct RunCtx<'a> {
+    kernel: &'a KernelDef,
+    args: &'a [Value],
+    launch: &'a Launch,
+    runtime: &'a mut dyn HookRuntime,
+    tele: &'a Telemetry,
+    launch_id: u64,
+    backend: &'a dyn ExecBackend,
+    prepared: &'a Prepared,
+}
+
+/// The launch-wide mutable state threaded through the block loop — exactly
+/// what a [`Snapshot`] captures alongside global memory.
+struct LaunchState {
+    stats: ExecStats,
+    sm_cycles: Vec<u64>,
+    budget: u64,
+}
+
+impl LaunchState {
+    fn fresh(config: &DeviceConfig, launch: &Launch) -> LaunchState {
+        LaunchState {
+            stats: ExecStats::default(),
+            sm_cycles: vec![0u64; config.num_sms as usize],
+            budget: launch.cycle_budget,
+        }
+    }
+
+    /// Finalize after all blocks completed.
+    fn complete(mut self) -> LaunchOutcome {
+        finalize(&mut self.stats, &self.sm_cycles);
+        LaunchOutcome::Completed(self.stats)
     }
 }
 

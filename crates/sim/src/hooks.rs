@@ -126,6 +126,22 @@ pub trait HookRuntime {
     fn is_passive(&self) -> bool {
         false
     }
+
+    /// A stable fingerprint of the runtime state that can still influence
+    /// the *remainder* of the launch — the part a reconvergence check must
+    /// compare before splicing a reference suffix onto a resumed run
+    /// ([`crate::device::Device::resume_spliced`]).
+    ///
+    /// Two runs whose device state and `state_fingerprint` agree at a block
+    /// boundary must behave identically from that boundary on. State that
+    /// only feeds *post-run* readouts (a delivered-fault flag read by the
+    /// classifier, say) must be excluded, or equivalent runs would never
+    /// fingerprint equal. The default `None` opts out: a runtime that cannot
+    /// make this guarantee never reconverges and splice attempts fall back
+    /// to full re-execution.
+    fn state_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A runtime that ignores all events (baseline executions).
@@ -137,6 +153,11 @@ impl HookRuntime for NullRuntime {
 
     fn is_passive(&self) -> bool {
         true
+    }
+
+    /// Stateless, so any two null runtimes are interchangeable.
+    fn state_fingerprint(&self) -> Option<u64> {
+        Some(0)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod hooks;
 pub mod interp;
 pub mod memory;
 pub mod outcome;
+pub mod snapshot;
 pub mod stats;
 pub mod vm;
 pub mod vm_batch;
@@ -64,5 +65,6 @@ pub use device::{Device, Launch};
 pub use fault::{ArmedFault, FaultSite, MemoryBurst};
 pub use hooks::{HookCtx, HookRuntime, LoopCheckCtx, NullRuntime, RegCorruption};
 pub use outcome::{LaunchOutcome, TrapReason};
+pub use snapshot::{CaptureRun, Snapshot, SnapshotError, Spliced};
 pub use stats::{ExecStats, OpClass};
 pub use vm_batch::{compile_batch, compile_batch_cached, BatchCompiled, BatchKernel};

@@ -29,7 +29,12 @@ use hauberk_kir::{MemSpace, PrimTy, PtrVal, Value};
 /// backed — permissive mode synthesizes deterministic garbage for loads and
 /// drops stores there, strict mode traps — so a fresh multi-megabyte device
 /// costs nothing until kernels actually allocate.
-#[derive(Debug, Clone)]
+/// Two regions compare equal iff every observable read agrees: the backed
+/// words, the allocation extent, and the protection mode. Reads beyond `brk`
+/// are a pure function of the address, so word+extent equality covers the
+/// whole address space — this is what makes [`crate::snapshot::Snapshot`]
+/// round trips bit-exact without materializing the unbacked tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemRegion {
     space: MemSpace,
     words: Vec<u32>,
@@ -72,6 +77,14 @@ impl MemRegion {
     /// Bytes allocated so far.
     pub fn allocated(&self) -> u32 {
         self.brk
+    }
+
+    /// The backed words (the allocated extent `[0, brk)`, padded to the
+    /// alignment granule). Together with [`MemRegion::allocated`] this is
+    /// the region's entire observable state — reads beyond it are a pure
+    /// function of the address — so it is what snapshot fingerprints hash.
+    pub fn backed_words(&self) -> &[u32] {
+        &self.words
     }
 
     /// Allocate `n` elements of `elem`, zero-initialized, 256-byte aligned.

@@ -177,9 +177,20 @@ pub(crate) struct CampaignEnv {
     pub(crate) coverage: Option<CoverageEnv>,
     pub(crate) dataset: u64,
     pub(crate) engine: Option<hauberk_sim::ExecEngine>,
+    /// Work cycles simulated by the injection runs (plus, in checkpointed
+    /// campaigns, the one shared reference run) — the quantity prefix
+    /// checkpointing reduces. Observational only: surfaced on
+    /// [`crate::orchestrator::ShardedCampaignResult`], never in summaries.
+    pub(crate) sim_cycles: std::sync::atomic::AtomicU64,
 }
 
 impl CampaignEnv {
+    /// Charge simulated work cycles to the campaign's ledger.
+    pub(crate) fn add_sim_cycles(&self, cycles: u64) {
+        self.sim_cycles
+            .fetch_add(cycles, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Loop detectors placed in the build under test (0 for sensitivity —
     /// the FI build has none wired up).
     pub(crate) fn detectors(&self) -> usize {
@@ -215,24 +226,17 @@ impl CampaignEnv {
                     tele,
                     self.engine,
                 );
+                self.add_sim_cycles(run.outcome.stats().work_cycles);
                 phases.add_execute(t_exec.elapsed().as_nanos() as u64);
                 let t_cls = Instant::now();
-                let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, false);
-                let rec = RecordedInjection {
-                    index: index as u64,
-                    outcome,
-                    delivered: rt.arm.delivered(),
-                    latency: None,
-                    alarms: vec![],
-                };
+                let rec = self.record_sensitivity(index, &run.outcome, run.output(), &rt);
                 phases.add_classify(t_cls.elapsed().as_nanos() as u64);
                 rec
             }
             Some(cov) => {
                 let t_exec = Instant::now();
-                let cb = ControlBlock::with_ranges(cov.ranges.clone())
-                    .with_detector_vars(cov.det_vars.clone());
-                let mut rt = FiFtRuntime::new(Some(p.fault), cb).with_telemetry(tele.clone());
+                let mut rt = FiFtRuntime::new(Some(p.fault), self.control_block(cov))
+                    .with_telemetry(tele.clone());
                 let run = run_program_with_engine(
                     prog,
                     &self.build.kernel,
@@ -242,32 +246,112 @@ impl CampaignEnv {
                     tele,
                     self.engine,
                 );
+                self.add_sim_cycles(run.outcome.stats().work_cycles);
                 phases.add_execute(t_exec.elapsed().as_nanos() as u64);
                 let t_cls = Instant::now();
-                let alarm = rt.cb.sdc_flag;
-                let outcome = classify(&run.outcome, run.output(), &self.golden, &self.spec, alarm);
-                let alarms = rt
-                    .cb
-                    .alarms
-                    .iter()
-                    .map(|a| {
-                        if a.detector == NON_LOOP_DETECTOR {
-                            "nl".to_string()
-                        } else {
-                            a.detector.to_string()
-                        }
-                    })
-                    .collect();
-                let rec = RecordedInjection {
-                    index: index as u64,
-                    outcome,
-                    delivered: rt.arm.delivered(),
-                    latency: rt.detection_latency(),
-                    alarms,
-                };
+                let rec = self.record_coverage(index, &run.outcome, run.output(), &rt);
                 phases.add_classify(t_cls.elapsed().as_nanos() as u64);
                 rec
             }
+        }
+    }
+
+    /// [`Self::run_one`] against a shared fault-free checkpoint: restore the
+    /// snapshot of the fault's target block instead of re-executing the
+    /// prefix, splice the reference tail on reconvergence, and classify with
+    /// exactly the same code — byte-identical outcomes are the contract
+    /// (`tests/checkpoint_differential.rs`). Falls back to full execution
+    /// for the rare plan whose target thread the store does not cover.
+    pub(crate) fn run_one_checkpointed(
+        &self,
+        prog: &dyn HostProgram,
+        index: usize,
+        tele: &Telemetry,
+        phases: &PhaseAcc,
+        store: &crate::checkpoint::CheckpointStore,
+    ) -> RecordedInjection {
+        let p = &self.plans[index];
+        if !store.covers(p.fault.thread) {
+            return self.run_one(prog, index, tele, phases);
+        }
+        match &self.coverage {
+            None => {
+                let t_exec = Instant::now();
+                let mut rt = FiRuntime::new(Some(p.fault)).with_telemetry(tele.clone());
+                let run = store.run_injection(self, prog, p.fault.thread, &mut rt, tele);
+                phases.add_execute(t_exec.elapsed().as_nanos() as u64);
+                let t_cls = Instant::now();
+                let rec = self.record_sensitivity(index, &run.outcome, run.output.as_deref(), &rt);
+                phases.add_classify(t_cls.elapsed().as_nanos() as u64);
+                rec
+            }
+            Some(cov) => {
+                let t_exec = Instant::now();
+                let mut rt = FiFtRuntime::new(Some(p.fault), self.control_block(cov))
+                    .with_telemetry(tele.clone());
+                let run = store.run_injection(self, prog, p.fault.thread, &mut rt, tele);
+                phases.add_execute(t_exec.elapsed().as_nanos() as u64);
+                let t_cls = Instant::now();
+                let rec = self.record_coverage(index, &run.outcome, run.output.as_deref(), &rt);
+                phases.add_classify(t_cls.elapsed().as_nanos() as u64);
+                rec
+            }
+        }
+    }
+
+    /// Fresh control block for one coverage injection.
+    fn control_block(&self, cov: &CoverageEnv) -> ControlBlock {
+        ControlBlock::with_ranges(cov.ranges.clone()).with_detector_vars(cov.det_vars.clone())
+    }
+
+    /// Classify a sensitivity run. Alarms never fire (no detectors wired);
+    /// delivery is read from the injection's own runtime.
+    fn record_sensitivity(
+        &self,
+        index: usize,
+        outcome: &hauberk_sim::LaunchOutcome,
+        output: Option<&[f64]>,
+        rt: &FiRuntime,
+    ) -> RecordedInjection {
+        let outcome = classify(outcome, output, &self.golden, &self.spec, false);
+        RecordedInjection {
+            index: index as u64,
+            outcome,
+            delivered: rt.arm.delivered(),
+            latency: None,
+            alarms: vec![],
+        }
+    }
+
+    /// Classify a coverage run from the injection's own runtime state
+    /// (alarm flag, fired detectors, detection latency, delivery).
+    fn record_coverage(
+        &self,
+        index: usize,
+        outcome: &hauberk_sim::LaunchOutcome,
+        output: Option<&[f64]>,
+        rt: &FiFtRuntime,
+    ) -> RecordedInjection {
+        let alarm = rt.cb.sdc_flag;
+        let outcome = classify(outcome, output, &self.golden, &self.spec, alarm);
+        let alarms = rt
+            .cb
+            .alarms
+            .iter()
+            .map(|a| {
+                if a.detector == NON_LOOP_DETECTOR {
+                    "nl".to_string()
+                } else {
+                    a.detector.to_string()
+                }
+            })
+            .collect();
+        RecordedInjection {
+            index: index as u64,
+            outcome,
+            delivered: rt.arm.delivered(),
+            latency: rt.detection_latency(),
+            alarms,
         }
     }
 }
@@ -300,6 +384,7 @@ pub(crate) fn prepare_campaign(
                 coverage: None,
                 dataset: cfg.dataset,
                 engine: cfg.engine,
+                sim_cycles: std::sync::atomic::AtomicU64::new(0),
             }
         }
         CampaignKind::Coverage(ft) => {
@@ -335,6 +420,7 @@ pub(crate) fn prepare_campaign(
                 coverage: Some(CoverageEnv { ranges, det_vars }),
                 dataset: cfg.dataset,
                 engine: cfg.engine,
+                sim_cycles: std::sync::atomic::AtomicU64::new(0),
             }
         }
     }

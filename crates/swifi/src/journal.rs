@@ -9,6 +9,7 @@
 //! ```text
 //! {"rec":"meta", "program":…, "kind":…, "seed":…, "plan_len":…,
 //!  "shard_size":…, "fingerprint":…, "engine":…} // first line, identity check
+//! {"rec":"ckpt", "identity":…, "sections":…, "boundaries":…, "engine":…}
 //! {"rec":"unit", "stratum":…, "chunk":…, "lo":…, "hi":…, "results":[…]}
 //! {"rec":"quarantine", "stratum":…, "chunk":…, "attempts":…, "error":…}
 //! {"rec":"profile", "plan_ns":…, "execute_ns":…, …} // trailing, optional
@@ -33,8 +34,10 @@ use std::path::Path;
 use std::sync::Mutex;
 
 /// Journal format version; bumped on incompatible record changes.
-/// Version 2 added the `engine` field to the meta record.
-pub const JOURNAL_VERSION: u64 = 2;
+/// Version 2 added the `engine` field to the meta record; version 3 added
+/// the `sections`/`checkpoint` identity fields and the optional `ckpt`
+/// record.
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// Campaign identity, written as the journal's first record and checked on
 /// resume: resuming a journal written by a different campaign (program,
@@ -59,6 +62,17 @@ pub struct JournalMeta {
     /// mixed-engine journal can no longer certify which tier produced the
     /// results, so resume and merge refuse the mix instead.
     pub engine: String,
+    /// Number of kernel sections the partitioner found (version 3) — part of
+    /// the campaign identity: a different section structure means different
+    /// code, even if the plan fingerprint happened to collide.
+    pub sections: u64,
+    /// Checkpoint identity (version 3): `"off"` for a plain campaign, or the
+    /// 16-hex-digit hash of (plan fingerprint, section hash, engine) when
+    /// the campaign ran from a shared fault-free checkpoint. Checkpointed
+    /// and plain campaigns produce byte-identical summaries, but the journal
+    /// certifies which mode produced its records, so resume refuses a mode
+    /// mismatch like it refuses an engine mismatch.
+    pub checkpoint: String,
 }
 
 impl JournalMeta {
@@ -78,6 +92,8 @@ impl JournalMeta {
                 Json::str(format!("{:016x}", self.fingerprint)),
             ),
             ("engine", Json::str(self.engine.clone())),
+            ("sections", Json::uint(self.sections)),
+            ("checkpoint", Json::str(self.checkpoint.clone())),
         ])
     }
 
@@ -94,6 +110,11 @@ impl JournalMeta {
             // recording it — refuse to parse instead (the meta drops and the
             // orchestrator reports the journal as unusable).
             engine: j.get("engine")?.as_str()?.to_string(),
+            // Absent before version 3 — same policy: refuse to parse rather
+            // than guess whether the journal's records came from a
+            // checkpointed run.
+            sections: j.get("sections")?.as_u64()?,
+            checkpoint: j.get("checkpoint")?.as_str()?.to_string(),
         })
     }
 }
@@ -245,6 +266,44 @@ impl QuarantineRecord {
     }
 }
 
+/// Checkpoint-identity record (version 3): written right after the meta of
+/// a checkpointed campaign. Where the meta's `checkpoint` field carries only
+/// the identity hash, this record spells the identity out for inspection and
+/// lets a resume verify the journal's checkpoint provenance even if the meta
+/// healed from a fresh rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// 16-hex-digit identity hash — same value as the meta's `checkpoint`.
+    pub identity: String,
+    /// Kernel sections the partitioner found.
+    pub sections: u64,
+    /// Distinct block boundaries the store snapshotted.
+    pub boundaries: u64,
+    /// Engine the checkpoints were captured on.
+    pub engine: String,
+}
+
+impl CheckpointRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rec", Json::str("ckpt")),
+            ("identity", Json::str(self.identity.clone())),
+            ("sections", Json::uint(self.sections)),
+            ("boundaries", Json::uint(self.boundaries)),
+            ("engine", Json::str(self.engine.clone())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<CheckpointRecord> {
+        Some(CheckpointRecord {
+            identity: j.get("identity")?.as_str()?.to_string(),
+            sections: j.get("sections")?.as_u64()?,
+            boundaries: j.get("boundaries")?.as_u64()?,
+            engine: j.get("engine")?.as_str()?.to_string(),
+        })
+    }
+}
+
 fn unit_id_from_json(j: &Json) -> Option<WorkUnitId> {
     Some(WorkUnitId {
         stratum: Stratum::parse_key(j.get("stratum")?.as_str()?)?,
@@ -265,6 +324,10 @@ pub struct JournalReplay {
     /// The latest trailing phase profile, when the journal holds one
     /// (observational timing; never input to resume decisions).
     pub profile: Option<PhaseProfile>,
+    /// The checkpoint-identity record of a checkpointed campaign, when
+    /// present and untorn (a resume of a checkpointed campaign rewrites a
+    /// missing one).
+    pub ckpt: Option<CheckpointRecord>,
     /// Lines dropped because they were torn or unparsable.
     pub dropped_lines: usize,
 }
@@ -310,6 +373,10 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalReplay, String> {
                         // Trailing timing record; a resumed run appends a
                         // fresh one, so the last profile wins.
                         replay.profile = Some(PhaseProfile::from_json(&j)?);
+                        Some(())
+                    }
+                    Some("ckpt") => {
+                        replay.ckpt = Some(CheckpointRecord::from_json(&j)?);
                         Some(())
                     }
                     _ => None,
@@ -394,6 +461,14 @@ impl JournalWriter {
         self.write_line(&q.to_json())
     }
 
+    /// Journal the checkpoint-identity record of a checkpointed campaign.
+    /// Written right after the meta; a resume whose replay found none (torn
+    /// mid-record, say) appends a fresh copy — the record is identity, not
+    /// state, so duplicates are harmless and the last parse wins.
+    pub fn ckpt(&self, c: &CheckpointRecord) -> Result<(), String> {
+        self.write_line(&c.to_json())
+    }
+
     /// Journal the run's trailing phase profile. Written last (after all
     /// units), never merged across shards, and ignored by the resume
     /// identity check — it is timing observation, not campaign state.
@@ -420,6 +495,7 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[impl AsRef<Path>]) -> Res
         return Err("merge-journals: no input journals given".into());
     }
     let mut meta: Option<JournalMeta> = None;
+    let mut ckpt: Option<CheckpointRecord> = None;
     let mut units: BTreeMap<WorkUnitId, UnitRecord> = BTreeMap::new();
     let mut quarantined: BTreeMap<WorkUnitId, QuarantineRecord> = BTreeMap::new();
     for input in inputs {
@@ -442,6 +518,11 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[impl AsRef<Path>]) -> Res
             }
             Some(_) => {}
         }
+        // Checkpoint identity: the meta equality above already proved every
+        // shard shares one, so keep the first spelled-out record we see.
+        if ckpt.is_none() {
+            ckpt = replay.ckpt;
+        }
         for (id, u) in replay.units {
             units.entry(id).or_insert(u);
         }
@@ -457,6 +538,9 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[impl AsRef<Path>]) -> Res
     let mut w = BufWriter::new(f);
     let meta = meta.expect("nonempty inputs");
     writeln!(w, "{}", meta.to_json()).map_err(|e| e.to_string())?;
+    if let Some(c) = &ckpt {
+        writeln!(w, "{}", c.to_json()).map_err(|e| e.to_string())?;
+    }
     for u in units.values() {
         writeln!(w, "{}", u.to_json()).map_err(|e| e.to_string())?;
     }
@@ -488,6 +572,8 @@ mod tests {
             shard_size: 8,
             fingerprint: 0xDEADBEEF,
             engine: "bytecode".into(),
+            sections: 3,
+            checkpoint: "off".into(),
         }
     }
 
@@ -554,6 +640,40 @@ mod tests {
         assert_eq!(u, &unit(0, 0));
         assert_eq!(u.results[1].latency, Some(512));
         assert_eq!(u.results[1].alarms, vec!["nl".to_string(), "0".into()]);
+    }
+
+    #[test]
+    fn ckpt_record_round_trips_and_survives_merge() {
+        let path = tmp("ckpt.jsonl");
+        let out = tmp("ckpt-merged.jsonl");
+        for p in [&path, &out] {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut m = meta();
+        m.checkpoint = "00ff00ff00ff00ff".into();
+        let c = CheckpointRecord {
+            identity: m.checkpoint.clone(),
+            sections: m.sections,
+            boundaries: 5,
+            engine: m.engine.clone(),
+        };
+        let w = JournalWriter::append(&path, Some(&m)).unwrap();
+        w.ckpt(&c).unwrap();
+        w.unit(&unit(0, 0)).unwrap();
+        drop(w);
+
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.ckpt, Some(c.clone()));
+        assert_eq!(replay.dropped_lines, 0);
+
+        // The merged journal preserves the checkpoint-identity record.
+        merge_journals(&out, &[&path]).unwrap();
+        let merged = read_journal(&out).unwrap();
+        assert_eq!(merged.ckpt, Some(c));
+        assert_eq!(merged.units.len(), 1);
+        for p in [&path, &out] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

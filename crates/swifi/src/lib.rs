@@ -14,6 +14,12 @@
 //! * **parallel campaign execution** ([`campaign`]) — each experiment runs
 //!   the program once on a fresh device with exactly one armed fault
 //!   (Rayon-parallel across experiments, deterministic per experiment);
+//! * **fault-free prefix checkpointing** ([`checkpoint`]) — one shared
+//!   fault-free run captures device snapshots at every block boundary a
+//!   planned fault targets; each injection restores the snapshot and
+//!   executes only its own block (splicing the reference tail when it
+//!   reconverges), producing byte-identical summaries for a small fraction
+//!   of the simulated cycles;
 //! * **sharded orchestration** ([`orchestrator`]) — campaigns decomposed
 //!   into per-stratum work units with checkpoint journaling and resume
 //!   ([`journal`]), Wilson-interval adaptive early stopping ([`sampler`]),
@@ -35,6 +41,7 @@
 //!   (the file-based analogue of the paper's GUI controller).
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod classify;
 pub mod cpu_study;
 pub mod journal;
@@ -50,6 +57,7 @@ pub mod value_impact;
 pub use campaign::{
     run_coverage_campaign, run_sensitivity_campaign, CampaignConfig, CampaignKind, CampaignResult,
 };
+pub use checkpoint::{CheckpointStats, SectionOutcome};
 pub use classify::{FiOutcome, InjectionResult};
 pub use journal::{merge_journals, read_journal, JournalMeta, QuarantineRecord, UnitRecord};
 pub use orchestrator::{

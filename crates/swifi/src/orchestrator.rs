@@ -37,10 +37,11 @@ use crate::campaign::{
     campaign_telemetry, finish_campaign, prepare_campaign, record_injection, CampaignConfig,
     CampaignEnv, CampaignKind, CampaignResult,
 };
+use crate::checkpoint::{CheckpointStats, CheckpointStore, SectionOutcome};
 use crate::classify::InjectionResult;
 use crate::journal::{
-    read_journal, Fnv1a, JournalMeta, JournalReplay, JournalWriter, QuarantineRecord,
-    RecordedInjection, UnitRecord,
+    read_journal, CheckpointRecord, Fnv1a, JournalMeta, JournalReplay, JournalWriter,
+    QuarantineRecord, RecordedInjection, UnitRecord,
 };
 use crate::plan::InjectionPlan;
 use crate::profile::{flag_stragglers, PhaseAcc, PhaseProfile};
@@ -98,6 +99,13 @@ pub struct OrchestratorConfig {
     /// Correlation trace id carried on the root `campaign` span (the serve
     /// daemon assigns one per request; `None` for plain CLI runs).
     pub trace: Option<String>,
+    /// Execute injections from a shared fault-free checkpoint
+    /// ([`crate::checkpoint`]): one reference run captures per-block
+    /// snapshots, each injection restores and executes only its own block.
+    /// Summaries are byte-identical either way; only simulated cycles drop.
+    /// Falls back to full re-execution (with a stderr warning) when the
+    /// campaign is ineligible.
+    pub checkpoint: bool,
     /// Test-only failure injection for the retry/quarantine path.
     pub chaos: Option<ChaosConfig>,
 }
@@ -190,6 +198,20 @@ pub struct ShardedCampaignResult {
     /// it lives on the struct and stays out of [`Self::summary_json`] /
     /// [`Self::summarize`], whose bytes are resume-invariant.
     pub profile: PhaseProfile,
+    /// Work cycles this process actually simulated (golden/reference runs
+    /// excluded for plain campaigns, included once for checkpointed ones;
+    /// journal-replayed units simulated nothing). Observational, like the
+    /// profile: checkpointing changes this number and nothing in the
+    /// summaries.
+    pub sim_cycles: u64,
+    /// Checkpoint savings ledger, when the campaign ran from a shared
+    /// fault-free checkpoint (struct-only, never serialized).
+    pub checkpoint: Option<CheckpointStats>,
+    /// Per-section outcome tallies: the executed injections grouped by the
+    /// kernel section their fault window falls in. Composing these recovers
+    /// the campaign totals exactly (every plan maps to at most one section).
+    /// Struct-only, like the profile.
+    pub section_outcomes: Vec<SectionOutcome>,
 }
 
 impl ShardedCampaignResult {
@@ -310,18 +332,55 @@ pub fn run_orchestrated_campaign_traced(
     };
     let plan_ns = t_plan.elapsed().as_nanos() as u64;
     let shard_size = orch.effective_shard_size();
+    let sections = hauberk_kir::partition_sections(&env.build.kernel);
+    let engine_name = cfg
+        .engine
+        .unwrap_or_else(hauberk_sim::default_engine)
+        .name()
+        .to_string();
+
+    // Build the shared checkpoint store before the journal meta: whether the
+    // build succeeds decides the campaign's checkpoint identity. Ineligible
+    // campaigns degrade to full re-execution rather than failing.
+    let store = if orch.checkpoint {
+        match CheckpointStore::build(&env, prog) {
+            Ok(s) => {
+                // The one shared reference run is real simulation work;
+                // charge it once so the cycle ledger stays honest.
+                env.add_sim_cycles(s.reference_cycles);
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpointing ineligible for this campaign \
+                     ({e}); falling back to full re-execution"
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let fingerprint = fingerprint_plans(&env.plans);
+    let checkpoint_id = store.as_ref().map(|_| {
+        // Identity of the checkpointed execution mode: the plan, the kernel's
+        // section structure, and the engine the snapshots were captured on.
+        let mut h = Fnv1a::default();
+        h.write(&fingerprint.to_le_bytes());
+        h.write(&sections.section_hash().to_le_bytes());
+        h.write(engine_name.as_bytes());
+        format!("{:016x}", h.finish())
+    });
     let meta = JournalMeta {
         program: prog.name().to_string(),
         kind: kind.label().to_string(),
         seed: cfg.seed,
         plan_len: env.plans.len() as u64,
         shard_size: shard_size as u64,
-        fingerprint: fingerprint_plans(&env.plans),
-        engine: cfg
-            .engine
-            .unwrap_or_else(hauberk_sim::default_engine)
-            .name()
-            .to_string(),
+        fingerprint,
+        engine: engine_name.clone(),
+        sections: sections.sections.len() as u64,
+        checkpoint: checkpoint_id.clone().unwrap_or_else(|| "off".into()),
     };
 
     let mut journal_ns = 0u64;
@@ -351,6 +410,12 @@ pub fn run_orchestrated_campaign_traced(
                         format!("{:016x}", meta.fingerprint),
                     ),
                     ("engine", m.engine.clone(), meta.engine.clone()),
+                    (
+                        "sections",
+                        m.sections.to_string(),
+                        meta.sections.to_string(),
+                    ),
+                    ("checkpoint", m.checkpoint.clone(), meta.checkpoint.clone()),
                 ]
                 .into_iter()
                 .filter(|(_, a, b)| a != b)
@@ -378,6 +443,20 @@ pub fn run_orchestrated_campaign_traced(
         (None, Some(path)) => Some(JournalWriter::create(path, &meta)?),
         (None, None) => None,
     };
+    // Spell the checkpoint identity out right after the meta. A fresh
+    // journal never holds one yet; a resumed journal normally does, unless
+    // the original record was torn away — either way, write it iff the
+    // replay recovered none.
+    if let (Some(w), Some(s), Some(id)) = (&writer, &store, &checkpoint_id) {
+        if replay.ckpt.is_none() {
+            w.ckpt(&CheckpointRecord {
+                identity: id.clone(),
+                sections: sections.sections.len() as u64,
+                boundaries: s.boundaries(),
+                engine: engine_name.clone(),
+            })?;
+        }
+    }
     journal_ns += t_writer.elapsed().as_nanos() as u64;
 
     // Partition plan indices by stratum (plan order preserved inside each).
@@ -470,7 +549,17 @@ pub fn run_orchestrated_campaign_traced(
                 let mut unit_span = tele.span("unit");
                 unit_span.attr_with("unit", || id.to_string());
                 unit_span.attr_with("injections", || span.len().to_string());
-                execute_unit(&env, prog, &tele, orch, id, span, &phases, unit_span.id())
+                execute_unit(
+                    &env,
+                    prog,
+                    &tele,
+                    orch,
+                    id,
+                    span,
+                    &phases,
+                    unit_span.id(),
+                    store.as_ref(),
+                )
             };
             unit_walls.push((id.to_string(), t_unit.elapsed().as_nanos() as u64));
             match outcome {
@@ -534,6 +623,30 @@ pub fn run_orchestrated_campaign_traced(
                 delivered: r.delivered,
                 outcome: r.outcome,
             }
+        })
+        .collect();
+
+    // Compose per-section outcome maps: each plan's fault window falls in at
+    // most one section, so the section tallies partition the campaign totals
+    // (the compositionality the differential suite asserts).
+    let mut by_section: BTreeMap<Option<usize>, OutcomeCounts> = BTreeMap::new();
+    for r in &recs {
+        let sec = match env.plans[r.index as usize].fault.site {
+            hauberk_sim::FaultSite::HookTarget { site }
+            | hauberk_sim::FaultSite::RegisterLive { site, .. } => sections.section_of_site(site),
+            hauberk_sim::FaultSite::LoopIterator { loop_id }
+            | hauberk_sim::FaultSite::LoopDecision { loop_id } => sections.section_of_loop(loop_id),
+        };
+        by_section.entry(sec).or_default().add(r.outcome);
+    }
+    let section_outcomes: Vec<SectionOutcome> = by_section
+        .into_iter()
+        .map(|(section, counts)| SectionOutcome {
+            section,
+            label: section
+                .map(|i| sections.sections[i].label.clone())
+                .unwrap_or_default(),
+            counts,
         })
         .collect();
 
@@ -603,6 +716,16 @@ pub fn run_orchestrated_campaign_traced(
         resumed_injections,
         dropped_lines: replay.dropped_lines as u64,
         profile,
+        sim_cycles: env.sim_cycles.load(std::sync::atomic::Ordering::Relaxed),
+        checkpoint: store.as_ref().map(|s| CheckpointStats {
+            sections: sections.sections.len() as u64,
+            boundaries: s.boundaries(),
+            injections: s.injections.load(std::sync::atomic::Ordering::Relaxed),
+            spliced: s.spliced.load(std::sync::atomic::Ordering::Relaxed),
+            reference_cycles: s.reference_cycles,
+            executed_cycles: s.executed_cycles.load(std::sync::atomic::Ordering::Relaxed),
+        }),
+        section_outcomes,
     })
 }
 
@@ -625,6 +748,7 @@ fn execute_unit(
     span: &[usize],
     phases: &PhaseAcc,
     parent_span: u64,
+    store: Option<&CheckpointStore>,
 ) -> Result<UnitRecord, QuarantineRecord> {
     let mut attempt = 0u32;
     loop {
@@ -645,7 +769,10 @@ fn execute_unit(
                             if chaos.is_some() {
                                 panic!("chaos: injected work-unit panic");
                             }
-                            with_parent(parent_span, || env.run_one(prog, i, tele, phases))
+                            with_parent(parent_span, || match store {
+                                Some(s) => env.run_one_checkpointed(prog, i, tele, phases, s),
+                                None => env.run_one(prog, i, tele, phases),
+                            })
                         }))
                         .map_err(panic_message)
                     })
@@ -991,6 +1118,135 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&journal).ok();
         assert!(err.contains("engine bytecode, expected batch"), "{err}");
+    }
+
+    /// The headline equivalence: a checkpointed campaign produces summaries
+    /// byte-identical to full re-execution while simulating fewer cycles,
+    /// for both campaign kinds.
+    #[test]
+    fn checkpointed_campaign_is_byte_identical_and_cheaper() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        for kind in [
+            CampaignKind::Sensitivity,
+            CampaignKind::Coverage(FtOptions::default()),
+        ] {
+            let full = run_orchestrated_campaign(&prog, kind, &cfg, &OrchestratorConfig::default())
+                .unwrap();
+            let ck = run_orchestrated_campaign(
+                &prog,
+                kind,
+                &cfg,
+                &OrchestratorConfig {
+                    checkpoint: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(full.summary_json(), ck.summary_json());
+            assert_eq!(full.summarize(), ck.summarize());
+            assert_eq!(report::to_csv(&full.campaign), report::to_csv(&ck.campaign));
+            let stats = ck.checkpoint.as_ref().expect("store was built");
+            assert_eq!(stats.injections, ck.executed, "all plans in-grid for CP");
+            assert!(stats.boundaries > 0);
+            assert!(
+                ck.sim_cycles < full.sim_cycles,
+                "checkpointing must save cycles: {} vs {}",
+                ck.sim_cycles,
+                full.sim_cycles
+            );
+            // Section outcomes compose back to the campaign totals.
+            let total: usize = ck.section_outcomes.iter().map(|s| s.counts.total()).sum();
+            assert_eq!(total, ck.executed as usize);
+            assert!(ck.section_outcomes.iter().all(|s| s.section.is_some()));
+            // The plain run carries sections but no checkpoint ledger.
+            assert!(full.checkpoint.is_none());
+        }
+    }
+
+    /// A journal written by a checkpointed campaign refuses to resume in
+    /// plain mode (and vice versa), naming the checkpoint field.
+    #[test]
+    fn checkpoint_mode_mismatch_refuses_resume() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let journal = tmp("ckpt-mode.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let r = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                journal_path: Some(journal.clone()),
+                checkpoint: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.checkpoint.is_some());
+        // The journal spells the identity out in a ckpt record.
+        let replay = crate::journal::read_journal(&journal).unwrap();
+        let ck = replay.ckpt.expect("ckpt record written");
+        assert_eq!(
+            Some(&ck.identity),
+            replay.meta.as_ref().map(|m| &m.checkpoint)
+        );
+        assert_eq!(ck.boundaries, r.checkpoint.as_ref().unwrap().boundaries);
+
+        let err = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                resume_from: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        std::fs::remove_file(&journal).ok();
+        assert!(err.contains("checkpoint"), "{err}");
+        assert!(err.contains("expected off"), "{err}");
+    }
+
+    /// Checkpointed journals resume like plain ones: interrupt, resume with
+    /// checkpointing still on, and the summary matches an undisturbed run.
+    #[test]
+    fn checkpointed_resume_is_byte_identical() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let orch = |journal: Option<PathBuf>, resume: Option<PathBuf>| OrchestratorConfig {
+            shard_size: 8,
+            journal_path: journal,
+            resume_from: resume,
+            checkpoint: true,
+            ..Default::default()
+        };
+        let journal = tmp("ckpt-resume.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let full =
+            run_orchestrated_campaign(&prog, CampaignKind::Sensitivity, &cfg, &orch(None, None))
+                .unwrap();
+        run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &orch(Some(journal.clone()), None),
+        )
+        .unwrap();
+        // Drop the trailing records to simulate an interruption mid-campaign.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let keep: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&journal, format!("{}\n", keep.join("\n"))).unwrap();
+        let resumed = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &orch(None, Some(journal.clone())),
+        )
+        .unwrap();
+        std::fs::remove_file(&journal).ok();
+        assert!(resumed.resumed_units > 0, "some units replayed");
+        assert_eq!(full.summary_json(), resumed.summary_json());
     }
 
     #[test]
