@@ -181,6 +181,7 @@ fn main() {
         trace: None,
         checkpoint: args.iter().any(|a| a == "--checkpoint"),
         chaos: None,
+        stop: None,
     };
 
     let kind = if sensitivity {

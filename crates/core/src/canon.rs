@@ -1,0 +1,74 @@
+//! Canonical content hashing for campaign identity.
+//!
+//! Several layers of the stack need to answer "is this the same campaign?"
+//! from bytes alone: the journal fingerprints its injection plan so a stale
+//! checkpoint file is rejected instead of mis-replayed, the checkpoint store
+//! derives its identity from (plan, section structure, engine), and the
+//! serve daemon keys its content-addressed result cache by the canonical
+//! submission spec. All of them hash with the same primitive — FNV-1a over a
+//! canonical byte serialization — so equality of hashes means equality of
+//! the canonical form, with one implementation to audit.
+//!
+//! FNV-1a is not cryptographic; it is used here for *identity*, not
+//! integrity: colliding on purpose buys an attacker nothing they could not
+//! get by submitting the colliding spec directly.
+
+/// Incremental FNV-1a over a byte stream (64-bit, offset basis
+/// `0xcbf29ce484222325`, prime `0x100000001b3`).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+}
+
+impl Fnv1a {
+    /// Fold bytes into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of `bytes`, formatted as the 16-hex-digit form used for
+/// journal checkpoint identities and serve cache keys. Hex rather than a raw
+/// `u64` because the full 64 bits do not survive an f64-backed JSON number
+/// round-trip.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h = Fnv1a::default();
+    h.write(bytes);
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors (64-bit).
+        let mut h = Fnv1a::default();
+        assert_eq!(h.finish(), 0xcbf29ce484222325, "offset basis");
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn hex_form_is_stable_and_order_sensitive() {
+        assert_eq!(fnv1a_hex(b""), format!("{:016x}", 0xcbf29ce484222325u64));
+        assert_ne!(fnv1a_hex(b"ab"), fnv1a_hex(b"ba"));
+        let mut h = Fnv1a::default();
+        h.write(b"ab");
+        assert_eq!(fnv1a_hex(b"ab"), format!("{:016x}", h.finish()));
+    }
+}

@@ -82,6 +82,7 @@
 //! structured event stream.
 
 pub mod builds;
+pub mod canon;
 pub mod control;
 pub mod pipeline;
 pub mod program;

@@ -3,12 +3,19 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7070] [--workers N] [--queue N]
 //!       [--state-dir DIR] [--max-body BYTES] [--read-timeout-ms MS]
+//!       [--peer HOST:PORT]... [--peers-file FILE] [--client-quota N]
 //! ```
+//!
+//! Any `--peer` (repeatable) or `--peers-file` (one `host:port` per line,
+//! `#` comments) makes this daemon a fleet coordinator: submissions are
+//! split across the peers and merged back byte-identically (DESIGN §18).
+//! `--client-quota N` caps concurrent non-terminal jobs per `client` value.
 //!
 //! SIGINT/SIGTERM drain in-flight jobs and flush journals before exit;
 //! queued-but-unstarted jobs are canceled (and, with `--state-dir`,
 //! re-queued by the next start).
 
+use hauberk_serve::fleet::{parse_peers_file, validate_peer};
 use hauberk_serve::{Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -46,9 +53,40 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--state-dir DIR] [--max-body BYTES] [--read-timeout-ms MS]"
+         [--state-dir DIR] [--max-body BYTES] [--read-timeout-ms MS] \
+         [--peer HOST:PORT]... [--peers-file FILE] [--client-quota N]"
     );
     std::process::exit(2);
+}
+
+/// Every `--peer` value plus the `--peers-file` contents, validated.
+fn peer_args(args: &[String]) -> Vec<String> {
+    let mut peers = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--peer" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("serve: --peer needs a HOST:PORT value");
+                usage()
+            };
+            match validate_peer(v) {
+                Ok(p) => peers.push(p),
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    usage()
+                }
+            }
+        }
+    }
+    if let Some(path) = arg_value(args, "--peers-file") {
+        match parse_peers_file(std::path::Path::new(&path)) {
+            Ok(mut p) => peers.append(&mut p),
+            Err(e) => {
+                eprintln!("serve: {e}");
+                usage()
+            }
+        }
+    }
+    peers
 }
 
 fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -79,6 +117,15 @@ fn main() {
         cfg.read_timeout.as_millis() as u64,
     ));
     cfg.state_dir = arg_value(&args, "--state-dir").map(Into::into);
+    cfg.peers = peer_args(&args);
+    cfg.client_quota = parsed(&args, "--client-quota", cfg.client_quota);
+    if !cfg.peers.is_empty() {
+        eprintln!(
+            "serve: fleet coordinator over {} peer(s): {}",
+            cfg.peers.len(),
+            cfg.peers.join(", ")
+        );
+    }
 
     install_signal_handlers();
     let server = match Server::bind(cfg) {

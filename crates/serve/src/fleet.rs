@@ -1,0 +1,400 @@
+//! Fleet coordination: split one campaign across peer daemons and merge
+//! the pieces back into a byte-identical result.
+//!
+//! A daemon started with `--peer` flags (or `--peers-file`) becomes a
+//! *coordinator*: a plain `POST /v1/campaigns` is split into `M = peers + 1`
+//! shard jobs over the orchestrator's round-robin stratum partition
+//! (`ordinal % M == i`). Shard 0 runs locally on the coordinator's own
+//! worker thread; shards `1..M` are dispatched to peer daemons over the
+//! same public HTTP API a human client uses — `POST` the shard spec, poll
+//! status (long-poll), then read the shard's orchestrator journal back out
+//! of the existing `/events` stream (`emit_journal` makes the worker push
+//! one `{"ev":"journal","line":…}` event per journal record). The
+//! coordinator heals the received lines into per-shard journal files,
+//! merges them with [`merge_journals`], and finalizes by *resume-replaying*
+//! the merged journal under the full un-sharded spec: zero re-execution,
+//! and — because adaptive stopping depends only on a stratum's own unit
+//! prefix — a summary document byte-identical to a single-daemon run.
+//!
+//! Failure policy per remote shard: one transport retry against the same
+//! peer, then re-dispatch around the ring of remaining peers, then local
+//! fallback on the coordinator itself. A `429` from a saturated worker is
+//! honored (sleep, bounded) and its `Retry-After` is recorded so the
+//! coordinator's *own* backpressure responses never advertise a shorter
+//! horizon than the fleet's. Cancellation propagates: a `DELETE` on the
+//! coordinator job sets the shared stop flag, which the dispatch threads
+//! observe between polls (forwarding the `DELETE` to their peer) and the
+//! local shards observe at work-unit boundaries.
+
+use crate::http::client_call;
+use crate::jobs::{Job, JobEventSink, JobPhase, JobSpec, Priority};
+use hauberk_swifi::journal::{merge_journals, write_journal_lines};
+use hauberk_swifi::orchestrator::{run_orchestrated_campaign_traced, CANCELED};
+use hauberk_telemetry::json::{parse_with_limits, ParseLimits};
+use hauberk_telemetry::metrics::Registry;
+use hauberk_telemetry::{Event, Telemetry, TelemetrySink};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a coordinator needs beyond the job itself. Borrowed from the
+/// daemon's shared state; a test can also construct one directly.
+pub struct FleetEnv<'a> {
+    /// Worker daemon addresses (`host:port`), in ring order.
+    pub peers: &'a [String],
+    /// Directory for the per-shard and merged journal files of one job.
+    pub scratch: PathBuf,
+    /// The daemon's metric registry (`fleet_*` counters).
+    pub metrics: &'a Registry,
+    /// Running maximum of `Retry-After` seconds seen from backpressuring
+    /// workers; the daemon folds it into its own 429 responses.
+    pub worker_retry_after: &'a AtomicU64,
+    /// Per-request socket timeout for peer calls.
+    pub http_timeout: Duration,
+}
+
+/// Parse a peers file: one `host:port` per line, blank lines and `#`
+/// comments ignored.
+pub fn parse_peers_file(path: &Path) -> Result<Vec<String>, String> {
+    let raw =
+        std::fs::read_to_string(path).map_err(|e| format!("peers file {}: {e}", path.display()))?;
+    let mut peers = Vec::new();
+    for line in raw.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        peers.push(validate_peer(line)?);
+    }
+    Ok(peers)
+}
+
+/// Validate one peer address (`host:port`, printable ASCII).
+pub fn validate_peer(addr: &str) -> Result<String, String> {
+    let addr = addr.trim();
+    if addr.is_empty()
+        || addr.len() > 256
+        || !addr.contains(':')
+        || !addr.chars().all(|c| c.is_ascii_graphic())
+    {
+        return Err(format!("peer address `{addr}` is not a host:port"));
+    }
+    Ok(addr.to_string())
+}
+
+/// The spec a shard job runs under: same campaign identity, restricted to
+/// the strata `index` owns, journal streamed back over `/events`. Shards
+/// ride the high-priority lane on workers — they execute on behalf of a
+/// campaign the fleet already admitted, so they must not starve behind a
+/// worker's own batch backlog. Observational/cache fields are reset: the
+/// shard result is an internal intermediate, never cached or re-sharded.
+fn shard_spec(spec: &JobSpec, index: u32, modulus: u32) -> JobSpec {
+    JobSpec {
+        shard: Some((index, modulus)),
+        emit_journal: true,
+        cache: false,
+        spans: false,
+        priority: Priority::High,
+        client: None,
+        ..spec.clone()
+    }
+}
+
+/// Run one campaign across the fleet; returns the final summary document
+/// (byte-identical to a single-daemon run of the same spec).
+pub fn run_fleet_campaign(job: &Arc<Job>, env: &FleetEnv) -> Result<String, String> {
+    let modulus = u32::try_from(env.peers.len() + 1)
+        .unwrap_or(u32::MAX)
+        .min(64);
+    std::fs::create_dir_all(&env.scratch)
+        .map_err(|e| format!("fleet scratch {}: {e}", env.scratch.display()))?;
+    let shard_path = |i: u32| env.scratch.join(format!("shard-{i}.jsonl"));
+
+    // Shard 0 runs inline on this worker thread while the dispatch threads
+    // drive shards 1..M on the peers; the scope is the barrier.
+    let remote: Vec<Result<(), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..modulus)
+            .map(|i| {
+                let path = shard_path(i);
+                s.spawn(move || dispatch_shard(job, env, i, modulus, &path))
+            })
+            .collect();
+        let local = run_local_shard(job, 0, modulus, &shard_path(0));
+        let mut results = vec![local];
+        results.extend(handles.into_iter().map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err("shard dispatch thread panicked".to_string()))
+        }));
+        results
+    });
+    if let Some(err) = remote.into_iter().find_map(Result::err) {
+        return Err(err);
+    }
+    if job.stop_requested() {
+        return Err(CANCELED.to_string());
+    }
+
+    // Merge the shard journals and finalize by resume-replay: every work
+    // unit is already recorded, so this executes zero injections and emits
+    // the same summary bytes a single daemon would have.
+    let merged = env.scratch.join("merged.jsonl");
+    let paths: Vec<PathBuf> = (0..modulus).map(shard_path).collect();
+    merge_journals(&merged, &paths)?;
+    let prog = job.spec.build_program()?;
+    let cfg = job.spec.campaign_config();
+    let mut orch = job.spec.orchestrator_config();
+    orch.journal_path = Some(merged.clone());
+    orch.resume_from = Some(merged);
+    orch.stop = Some(job.stop_flag());
+    let tele = Telemetry::new(Arc::new(JobEventSink::new(job.clone()))).with_spans(job.spec.spans);
+    let res = run_orchestrated_campaign_traced(
+        prog.as_ref(),
+        job.spec.campaign_kind(),
+        &cfg,
+        &orch,
+        tele,
+    )?;
+    env.metrics.incr("fleet_campaigns_done", 1);
+    Ok(res.summary_json().to_string())
+}
+
+/// Execute one shard locally (shard 0, and any shard whose peers are all
+/// down). Span events are suppressed — shard telemetry is progress noise
+/// inside the coordinator job's event log, not a trace of its own.
+fn run_local_shard(job: &Arc<Job>, index: u32, modulus: u32, path: &Path) -> Result<(), String> {
+    let spec = shard_spec(&job.spec, index, modulus);
+    let prog = spec.build_program()?;
+    let cfg = spec.campaign_config();
+    let mut orch = spec.orchestrator_config();
+    orch.journal_path = Some(path.to_path_buf());
+    orch.resume_from = Some(path.to_path_buf()).filter(|p| p.exists());
+    orch.stop = Some(job.stop_flag());
+    let tele = Telemetry::new(Arc::new(JobEventSink::new(job.clone()))).with_spans(false);
+    run_orchestrated_campaign_traced(prog.as_ref(), spec.campaign_kind(), &cfg, &orch, tele)
+        .map(|_| ())
+}
+
+/// Drive one remote shard to a journal file on disk: ring of peers starting
+/// at `index - 1`, one transport retry per peer, local fallback last.
+fn dispatch_shard(
+    job: &Arc<Job>,
+    env: &FleetEnv,
+    index: u32,
+    modulus: u32,
+    path: &Path,
+) -> Result<(), String> {
+    let sink = JobEventSink::new(job.clone());
+    let spec_json = shard_spec(&job.spec, index, modulus).to_json().to_string();
+    let n = env.peers.len();
+    for k in 0..n {
+        if job.stop_requested() {
+            return Err(CANCELED.to_string());
+        }
+        let peer = &env.peers[(index as usize - 1 + k) % n];
+        sink.emit(&Event::ShardDispatched {
+            shard: index as u64,
+            total: modulus as u64,
+            peer: peer.clone(),
+        });
+        env.metrics.incr("fleet_shards_dispatched", 1);
+        match run_on_peer(job, env, peer, &spec_json, path) {
+            Ok(()) => return Ok(()),
+            Err(e) if e == CANCELED => return Err(e),
+            Err(reason) => {
+                env.metrics.incr("fleet_shard_redispatches", 1);
+                sink.emit(&Event::ShardRedispatched {
+                    shard: index as u64,
+                    peer: peer.clone(),
+                    reason,
+                });
+            }
+        }
+    }
+    // Every peer declined or died: the coordinator executes the shard
+    // itself, so a fleet degrades to a single daemon rather than failing.
+    sink.emit(&Event::ShardDispatched {
+        shard: index as u64,
+        total: modulus as u64,
+        peer: "local".to_string(),
+    });
+    env.metrics.incr("fleet_local_fallbacks", 1);
+    run_local_shard(job, index, modulus, path)
+}
+
+/// Submit a shard to one peer, wait for it, and write its journal lines to
+/// `path`. Any error here means "try the next peer".
+fn run_on_peer(
+    job: &Arc<Job>,
+    env: &FleetEnv,
+    peer: &str,
+    spec_json: &str,
+    path: &Path,
+) -> Result<(), String> {
+    let headers = [("Content-Type", "application/json".to_string())];
+    let mut id: Option<String> = None;
+    for attempt in 0..2u32 {
+        if job.stop_requested() {
+            return Err(CANCELED.to_string());
+        }
+        match client_call(
+            peer,
+            "POST",
+            "/v1/campaigns",
+            &headers,
+            spec_json.as_bytes(),
+            env.http_timeout,
+        ) {
+            Ok(resp) if resp.status == 201 => {
+                let doc = parse_with_limits(&resp.text(), ParseLimits::default())
+                    .map_err(|e| format!("peer {peer}: unparseable submit response: {e}"))?;
+                id = doc.get("id").and_then(|i| i.as_str()).map(String::from);
+                break;
+            }
+            Ok(resp) if resp.status == 429 => {
+                // A saturated worker: honor (bounded) and record its horizon
+                // so the coordinator's own 429s stay coherent with the
+                // fleet's. The sleep counts as the retry.
+                let secs: u64 = resp
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(1);
+                env.worker_retry_after.fetch_max(secs, Ordering::SeqCst);
+                if attempt == 0 {
+                    std::thread::sleep(Duration::from_millis((secs * 1000).min(2_000)));
+                }
+            }
+            Ok(resp) => {
+                return Err(format!(
+                    "peer {peer} answered {} to the shard submit",
+                    resp.status
+                ))
+            }
+            Err(e) => {
+                if attempt == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                } else {
+                    return Err(format!("peer {peer} unreachable: {e}"));
+                }
+            }
+        }
+    }
+    let Some(id) = id else {
+        return Err(format!("peer {peer} kept backpressuring the shard"));
+    };
+
+    // Long-poll the shard to a terminal phase; forward cancellation.
+    let mut seen = "queued".to_string();
+    loop {
+        if job.stop_requested() {
+            let _ = client_call(
+                peer,
+                "DELETE",
+                &format!("/v1/campaigns/{id}"),
+                &[],
+                b"",
+                env.http_timeout,
+            );
+            return Err(CANCELED.to_string());
+        }
+        let resp = client_call(
+            peer,
+            "GET",
+            &format!("/v1/campaigns/{id}?watch={seen}&timeout_ms=500"),
+            &[],
+            b"",
+            env.http_timeout,
+        )
+        .map_err(|e| format!("peer {peer} lost mid-shard: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("peer {peer} answered {} to status", resp.status));
+        }
+        let doc = parse_with_limits(&resp.text(), ParseLimits::default())
+            .map_err(|e| format!("peer {peer}: unparseable status: {e}"))?;
+        let state = doc
+            .get("state")
+            .and_then(|s| s.as_str())
+            .unwrap_or("")
+            .to_string();
+        match JobPhase::parse_label(&state) {
+            Some(p) if p.terminal() => {
+                if p != JobPhase::Done {
+                    let err = doc
+                        .get("error")
+                        .and_then(|e| e.as_str())
+                        .unwrap_or("no detail");
+                    return Err(format!("peer {peer} shard ended {state}: {err}"));
+                }
+                break;
+            }
+            Some(_) => seen = state,
+            None => return Err(format!("peer {peer} reported unknown state `{state}`")),
+        }
+    }
+
+    // The finished worker has already pushed its whole journal into the
+    // event log, so this read returns promptly with the complete stream.
+    let resp = client_call(
+        peer,
+        "GET",
+        &format!("/v1/campaigns/{id}/events"),
+        &[],
+        b"",
+        env.http_timeout,
+    )
+    .map_err(|e| format!("peer {peer} died before the journal transfer: {e}"))?;
+    let mut lines: Vec<String> = Vec::new();
+    for line in resp.text().lines() {
+        let Ok(doc) = parse_with_limits(line, ParseLimits::default()) else {
+            continue;
+        };
+        if doc.get("ev").and_then(|e| e.as_str()) == Some("journal") {
+            if let Some(l) = doc.get("line").and_then(|l| l.as_str()) {
+                lines.push(l.to_string());
+            }
+        }
+    }
+    if lines.is_empty() {
+        return Err(format!("peer {peer} returned no journal lines"));
+    }
+    let (written, _dropped) = write_journal_lines(path, lines.iter().map(String::as_str))?;
+    if written == 0 {
+        return Err(format!("peer {peer}: every journal line was invalid"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peers_file_parses_and_validates() {
+        let dir = std::env::temp_dir().join(format!("hauberk-peers-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peers.txt");
+        std::fs::write(&path, "# fleet\n127.0.0.1:7001\n\n  127.0.0.1:7002  \n").unwrap();
+        assert_eq!(
+            parse_peers_file(&path).unwrap(),
+            vec!["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()]
+        );
+        std::fs::write(&path, "not an address\n").unwrap();
+        assert!(parse_peers_file(&path).unwrap_err().contains("host:port"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_spec_keeps_identity_and_strips_observational_fields() {
+        let spec = JobSpec {
+            cache: true,
+            client: Some("alice".into()),
+            ..JobSpec::default()
+        };
+        let s = shard_spec(&spec, 2, 3);
+        assert_eq!(s.shard, Some((2, 3)));
+        assert!(s.emit_journal && !s.cache && !s.spans);
+        assert_eq!(s.priority, Priority::High);
+        assert_eq!(s.client, None);
+        assert_eq!(s.seed, spec.seed, "campaign identity is preserved");
+    }
+}

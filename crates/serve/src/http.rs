@@ -43,6 +43,9 @@ pub struct Request {
     pub method: String,
     /// Request target with any query string stripped.
     pub path: String,
+    /// Query-string `key=value` pairs, in request order (no percent
+    /// decoding: the daemon's parameters are plain ASCII tokens).
+    pub query: Vec<(String, String)>,
     /// Header name/value pairs, names lowercased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was given).
@@ -56,6 +59,14 @@ impl Request {
         self.headers
             .iter()
             .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query-string value by exact name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
 }
@@ -161,10 +172,22 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         }
     }
 
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
     Ok(Request {
         method: method.to_string(),
         path,
+        query,
         headers,
         body,
     })
@@ -211,6 +234,132 @@ pub fn write_response(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
+}
+
+/// One parsed response, as read by the fleet dispatch client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, de-chunked when the response was chunked.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — a hostile peer cannot poison the coordinator
+    /// with invalid bytes, only with wrong text, which the JSON layer then
+    /// rejects).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one request to a peer daemon and read the complete `Connection:
+/// close` response. This is the coordinator's half of the wire protocol:
+/// like the server side it is hand-rolled on `std::net` (offline workspace)
+/// and defensive — the peer's response is read under `timeout` per socket
+/// read and de-chunked tolerantly (a truncated chunked stream yields the
+/// bytes that did arrive, which is the honest signal for a peer that died
+/// mid-stream).
+pub fn client_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    timeout: std::time::Duration,
+) -> Result<ClientResponse, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("{addr}: connect: {e}"))?;
+    let _ = s.set_read_timeout(Some(timeout));
+    let _ = s.set_write_timeout(Some(timeout));
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (k, v) in headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    if !body.is_empty() {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    s.write_all(head.as_bytes())
+        .and_then(|_| s.write_all(body))
+        .map_err(|e| format!("{addr}: send: {e}"))?;
+
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        match s.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if is_timeout(&e) => return Err(format!("{addr}: read timed out")),
+            // A peer that rejects mid-upload closes with bytes in flight;
+            // treat the reset as end-of-stream and parse what arrived.
+            Err(_) => break,
+        }
+    }
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: truncated response head"))?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| format!("{addr}: response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("{addr}: bad status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let mut body = buf[head_end + 4..].to_vec();
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v == "chunked")
+    {
+        body = dechunk(&body);
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Decode a chunked body; a truncated stream yields the bytes that arrived.
+fn dechunk(mut b: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let Some(eol) = b.windows(2).position(|w| w == b"\r\n") else {
+            return out;
+        };
+        let Ok(size) = std::str::from_utf8(&b[..eol])
+            .map(str::trim)
+            .map_err(|_| ())
+            .and_then(|s| usize::from_str_radix(s, 16).map_err(|_| ()))
+        else {
+            return out;
+        };
+        if size == 0 || b.len() < eol + 2 + size {
+            return out;
+        }
+        out.extend_from_slice(&b[eol + 2..eol + 2 + size]);
+        b = b.get(eol + 2 + size + 2..).unwrap_or(&[]);
+    }
 }
 
 /// An in-progress `Transfer-Encoding: chunked` response (the progress
@@ -288,8 +437,22 @@ mod tests {
         let r = read_request(&mut s, &Limits::default()).unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/v1/campaigns");
+        assert_eq!(r.query_param("x"), Some("1"));
         assert_eq!(r.header("host"), Some("h"));
         assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn query_strings_parse_into_pairs() {
+        let (mut c, mut s) = pair();
+        c.write_all(b"GET /v1/campaigns/cj-1?watch=queued&timeout_ms=250&flag HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let r = read_request(&mut s, &Limits::default()).unwrap();
+        assert_eq!(r.path, "/v1/campaigns/cj-1");
+        assert_eq!(r.query_param("watch"), Some("queued"));
+        assert_eq!(r.query_param("timeout_ms"), Some("250"));
+        assert_eq!(r.query_param("flag"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
     }
 
     #[test]

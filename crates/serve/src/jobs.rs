@@ -20,9 +20,54 @@ use hauberk_swifi::plan::PlanConfig;
 use hauberk_swifi::sampler::AdaptiveConfig;
 use hauberk_telemetry::json::Json;
 use hauberk_telemetry::{lock_recover, Event, TelemetrySink};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Queue priority lane of a submission. The bounded queue holds one lane
+/// per level and workers always drain the highest non-empty lane first, so
+/// an interactive `high` submission overtakes a backlog of `low` batch
+/// sweeps without preempting the job already running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive lane: drained before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Batch lane: drained only when the other lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// Stable wire label (`"high"`, `"normal"`, `"low"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Queue lane index, highest priority first.
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
 
 /// What to execute: a registered benchmark or ad-hoc kernel text.
 #[derive(Debug, Clone)]
@@ -79,6 +124,30 @@ pub struct JobSpec {
     /// injection resumes from them. The result document is byte-identical
     /// either way; ineligible campaigns fall back to full re-execution.
     pub checkpoint: bool,
+    /// `(index, modulus)`: execute only the strata this shard owns (the
+    /// orchestrator's round-robin partition). The fleet coordinator sets
+    /// this on the shard jobs it dispatches to worker daemons; a client may
+    /// also shard by hand across independent daemons.
+    pub shard: Option<(u32, u32)>,
+    /// Queue priority lane (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Client identity for per-client quotas: with `--client-quota N`, at
+    /// most N non-terminal jobs per `client` value are admitted at once
+    /// (anonymous submissions share one bucket).
+    pub client: Option<String>,
+    /// Push the finished orchestrator journal into the job's event log, one
+    /// `{"ev":"journal","line":…}` event per record (default `false`). The
+    /// fleet coordinator sets this on shard jobs so worker journals stream
+    /// back over the existing `/events` endpoint — no extra transfer
+    /// endpoint to secure or cache.
+    pub emit_journal: bool,
+    /// Opt into the content-addressed result cache (default `false`): on
+    /// completion the result document is stored under the spec's
+    /// [`JobSpec::cache_key`], and a later identical submission with
+    /// `"cache": true` returns the stored bytes instantly without
+    /// re-executing. Sound because campaigns are deterministic per
+    /// canonical spec.
+    pub cache: bool,
 }
 
 impl Default for JobSpec {
@@ -100,6 +169,11 @@ impl Default for JobSpec {
             trace: None,
             spans: true,
             checkpoint: false,
+            shard: None,
+            priority: Priority::Normal,
+            client: None,
+            emit_journal: false,
+            cache: false,
         }
     }
 }
@@ -139,6 +213,11 @@ impl JobSpec {
             "trace",
             "spans",
             "checkpoint",
+            "shard",
+            "priority",
+            "client",
+            "emit_journal",
+            "cache",
         ];
         if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
             return Err(format!("unknown field `{k}` (known: {})", KNOWN.join(", ")));
@@ -189,6 +268,42 @@ impl JobSpec {
         }
         if let Some(v) = map.get("checkpoint") {
             spec.checkpoint = v.as_bool().ok_or("`checkpoint` must be a boolean")?;
+        }
+        if let Some(v) = map.get("shard") {
+            let index = v
+                .get("index")
+                .and_then(|i| i.as_u64())
+                .ok_or("`shard.index` must be a non-negative integer")?;
+            let modulus = v
+                .get("modulus")
+                .and_then(|m| m.as_u64())
+                .ok_or("`shard.modulus` must be a positive integer")?;
+            if !(1..=64).contains(&modulus) {
+                return Err("`shard.modulus` must be in 1..=64".to_string());
+            }
+            if index >= modulus {
+                return Err("`shard.index` must be < `shard.modulus`".to_string());
+            }
+            spec.shard = Some((index as u32, modulus as u32));
+        }
+        if let Some(v) = map.get("priority") {
+            let label = v.as_str().ok_or("`priority` must be a string")?;
+            spec.priority = Priority::parse(label).ok_or_else(|| {
+                format!("`priority` must be \"high\", \"normal\" or \"low\" (got `{label}`)")
+            })?;
+        }
+        if let Some(v) = map.get("client") {
+            let c = v.as_str().ok_or("`client` must be a string")?;
+            if c.is_empty() || c.len() > 64 || !c.chars().all(|ch| ch.is_ascii_graphic()) {
+                return Err("`client` must be 1..=64 printable ASCII characters".to_string());
+            }
+            spec.client = Some(c.to_string());
+        }
+        if let Some(v) = map.get("emit_journal") {
+            spec.emit_journal = v.as_bool().ok_or("`emit_journal` must be a boolean")?;
+        }
+        if let Some(v) = map.get("cache") {
+            spec.cache = v.as_bool().ok_or("`cache` must be a boolean")?;
         }
         if let Some(v) = map.get("seed") {
             spec.seed = want_u64(v, "seed")?;
@@ -328,6 +443,27 @@ impl JobSpec {
         if self.checkpoint {
             pairs.push(("checkpoint", Json::Bool(true)));
         }
+        if let Some((index, modulus)) = self.shard {
+            pairs.push((
+                "shard",
+                Json::obj([
+                    ("index", Json::uint(index as u64)),
+                    ("modulus", Json::uint(modulus as u64)),
+                ]),
+            ));
+        }
+        if self.priority != Priority::Normal {
+            pairs.push(("priority", Json::str(self.priority.label())));
+        }
+        if let Some(c) = &self.client {
+            pairs.push(("client", Json::str(c.clone())));
+        }
+        if self.emit_journal {
+            pairs.push(("emit_journal", Json::Bool(true)));
+        }
+        if self.cache {
+            pairs.push(("cache", Json::Bool(true)));
+        }
         match &self.program {
             ProgramSpec::Named(n) => pairs.push(("program", Json::str(n.clone()))),
             ProgramSpec::Kir(src) => {
@@ -364,6 +500,30 @@ impl JobSpec {
             ));
         }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Content-address of the result this spec deterministically produces:
+    /// FNV-1a (16-hex, via [`hauberk::canon::fnv1a_hex`]) over the canonical
+    /// JSON form with the observational fields stripped. Two specs share a
+    /// key exactly when they produce byte-identical result documents, so the
+    /// key set excludes everything that only shapes scheduling or telemetry
+    /// (`trace`, `spans`, `priority`, `client`, `emit_journal`, `cache`) and
+    /// includes everything result-affecting (program, kind, seed, sizing,
+    /// engine, checkpoint, shard, ...).
+    pub fn cache_key(&self) -> String {
+        const OBSERVATIONAL: &[&str] = &[
+            "trace",
+            "spans",
+            "priority",
+            "client",
+            "emit_journal",
+            "cache",
+        ];
+        let mut doc = self.to_json();
+        if let Json::Obj(map) = &mut doc {
+            map.retain(|k, _| !OBSERVATIONAL.contains(&k.as_str()));
+        }
+        hauberk::canon::fnv1a_hex(doc.to_string().as_bytes())
     }
 
     /// Instantiate the program under test.
@@ -415,6 +575,7 @@ impl JobSpec {
             chaos: self.chaos,
             trace: self.trace.clone(),
             checkpoint: self.checkpoint,
+            shard: self.shard,
             ..Default::default()
         }
     }
@@ -452,6 +613,19 @@ impl JobPhase {
     pub fn terminal(&self) -> bool {
         matches!(self, JobPhase::Done | JobPhase::Failed | JobPhase::Canceled)
     }
+
+    /// Inverse of [`JobPhase::label`] (used by the fleet coordinator to
+    /// interpret worker status documents).
+    pub fn parse_label(s: &str) -> Option<JobPhase> {
+        match s {
+            "queued" => Some(JobPhase::Queued),
+            "running" => Some(JobPhase::Running),
+            "done" => Some(JobPhase::Done),
+            "failed" => Some(JobPhase::Failed),
+            "canceled" => Some(JobPhase::Canceled),
+            _ => None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -482,6 +656,7 @@ pub struct Job {
     planned: AtomicU64,
     injections: AtomicU64,
     queued_at: std::time::Instant,
+    stop: Arc<AtomicBool>,
 }
 
 /// Retained event lines per job; beyond this the log counts drops instead
@@ -504,6 +679,7 @@ impl Job {
             planned: AtomicU64::new(0),
             injections: AtomicU64::new(0),
             queued_at: std::time::Instant::now(),
+            stop: Arc::new(AtomicBool::new(false)),
         });
         job.push_lifecycle("queued");
         job
@@ -587,10 +763,40 @@ impl Job {
         self.push_lifecycle("failed");
     }
 
-    /// Transition to `Canceled` (daemon shutdown before execution).
+    /// Transition to `Canceled` (daemon shutdown before execution, or a
+    /// client `DELETE` honored at a work-unit boundary).
     pub fn cancel(&self) {
         lock_recover(&self.state).phase = JobPhase::Canceled;
         self.push_lifecycle("canceled");
+    }
+
+    /// Request cooperative cancellation: a queued job is dropped by the
+    /// worker that pops it; a running job observes the flag at its next
+    /// work-unit boundary and stops there. Already-completed work stays in
+    /// the journal, so re-submitting resumes rather than restarts.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The shared stop flag, for wiring into `OrchestratorConfig::stop`:
+    /// the orchestrator holds only the flag, not the whole job, and sees
+    /// every later [`Job::request_stop`].
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Push one raw orchestrator-journal line into the event log as a
+    /// `{"ev":"journal","line":…}` event — the `emit_journal` transport a
+    /// fleet coordinator reads shard journals back through.
+    pub fn push_journal_line(&self, line: &str) {
+        let ev = Json::obj([("ev", Json::str("journal")), ("line", Json::str(line))]);
+        self.push_line(ev.to_string());
     }
 
     fn push_lifecycle(&self, state: &str) {
@@ -608,6 +814,31 @@ impl Job {
             }
         }
         self.wake.notify_all();
+    }
+
+    /// Long-poll helper for `GET /v1/campaigns/:id?watch=<state>`: block
+    /// until the phase differs from `seen` or `wait` elapses, returning the
+    /// phase observed at wake-up. Piggybacks on the event-log condvar —
+    /// every lifecycle transition pushes an event line, so a phase change
+    /// always notifies.
+    pub fn wait_phase_change(&self, seen: JobPhase, wait: Duration) -> JobPhase {
+        let deadline = Instant::now() + wait;
+        let mut buf = lock_recover(&self.events);
+        loop {
+            let phase = lock_recover(&self.state).phase;
+            if phase != seen {
+                return phase;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return phase;
+            }
+            let (b, _timeout) = self
+                .wake
+                .wait_timeout(buf, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            buf = b;
+        }
     }
 
     /// Event lines after `from`, blocking up to `wait` for new ones.
@@ -741,6 +972,103 @@ mod tests {
             let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");
         }
+    }
+
+    #[test]
+    fn fleet_fields_parse_validate_and_round_trip() {
+        let doc = parse(
+            r#"{"program":"CP","shard":{"index":1,"modulus":3},"priority":"high",
+                "client":"ci-bot","emit_journal":true,"cache":true}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.shard, Some((1, 3)));
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.client.as_deref(), Some("ci-bot"));
+        assert!(spec.emit_journal && spec.cache);
+        assert_eq!(spec.orchestrator_config().shard, Some((1, 3)));
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.to_json(), spec.to_json());
+        // Defaults stay off the wire.
+        let plain = JobSpec::from_json(&parse(r#"{"program":"CP"}"#).unwrap()).unwrap();
+        let s = plain.to_json().to_string();
+        for absent in ["shard", "priority", "client", "emit_journal", "cache"] {
+            assert!(
+                !s.contains(&format!("\"{absent}\":")),
+                "default `{absent}` must not serialize"
+            );
+        }
+        for (body, needle) in [
+            (
+                r#"{"program":"CP","shard":{"index":3,"modulus":3}}"#,
+                "`shard.index` must be <",
+            ),
+            (
+                r#"{"program":"CP","shard":{"index":0,"modulus":65}}"#,
+                "`shard.modulus` must be in 1..=64",
+            ),
+            (
+                r#"{"program":"CP","priority":"urgent"}"#,
+                "`priority` must be",
+            ),
+            (r#"{"program":"CP","client":""}"#, "`client` must be"),
+        ] {
+            let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_observational_fields_only() {
+        let base = JobSpec::from_json(&parse(r#"{"program":"CP","seed":9}"#).unwrap()).unwrap();
+        let dressed = JobSpec::from_json(
+            &parse(
+                r#"{"program":"CP","seed":9,"trace":"ht-1","spans":false,
+                    "priority":"low","client":"alice","emit_journal":true,"cache":true}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            base.cache_key(),
+            dressed.cache_key(),
+            "observational fields must not change result identity"
+        );
+        let other = JobSpec::from_json(&parse(r#"{"program":"CP","seed":10}"#).unwrap()).unwrap();
+        assert_ne!(base.cache_key(), other.cache_key());
+        let sharded = JobSpec::from_json(
+            &parse(r#"{"program":"CP","seed":9,"shard":{"index":0,"modulus":2}}"#).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(
+            base.cache_key(),
+            sharded.cache_key(),
+            "a shard produces a different (partial) result document"
+        );
+        assert_eq!(base.cache_key().len(), 16, "16-hex FNV-1a form");
+    }
+
+    #[test]
+    fn stop_flag_is_shared_and_phase_wait_wakes() {
+        let job = Job::new("cj-9".into(), JobSpec::default());
+        let flag = job.stop_flag();
+        assert!(!flag.load(Ordering::SeqCst));
+        job.request_stop();
+        assert!(flag.load(Ordering::SeqCst), "orchestrator sees the DELETE");
+        assert!(job.stop_requested());
+        // Phase long-poll: returns immediately on a changed phase, times out
+        // (returning the unchanged phase) otherwise.
+        assert_eq!(
+            job.wait_phase_change(JobPhase::Running, Duration::from_millis(1)),
+            JobPhase::Queued
+        );
+        assert_eq!(
+            job.wait_phase_change(JobPhase::Queued, Duration::from_millis(1)),
+            JobPhase::Queued,
+            "timeout returns the still-current phase"
+        );
+        assert_eq!(JobPhase::parse_label("done"), Some(JobPhase::Done));
+        assert_eq!(JobPhase::parse_label("nope"), None);
     }
 
     #[test]

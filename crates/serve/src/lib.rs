@@ -13,7 +13,15 @@
 //! * `GET /v1/campaigns/:id/result` — the final summary document, exactly
 //!   the bytes `ShardedCampaignResult::summary_json()` produced (the e2e
 //!   test asserts byte-equality against an in-process run).
+//! * `DELETE /v1/campaigns/:id` — cooperative cancellation: queued jobs are
+//!   dropped, running jobs stop at their next work-unit boundary, and the
+//!   journal keeps what already ran.
 //! * `GET /metrics`, `GET /healthz` — operational surface.
+//!
+//! A daemon started with `--peer` flags is a fleet *coordinator* ([`fleet`]):
+//! one submission is split into per-daemon shard jobs, the shard journals
+//! stream back over `/events`, and the merged result is byte-identical to a
+//! single-daemon run — see `DESIGN.md` §18.
 //!
 //! The workspace is offline, so the HTTP layer ([`http`]) is hand-rolled on
 //! `std::net` with explicit limits everywhere: head/body caps, read/write
@@ -22,9 +30,11 @@
 //! daemon produces a summary byte-identical to the same campaign run
 //! in-process — see `DESIGN.md` §14.
 
+pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod server;
 
-pub use jobs::{Job, JobPhase, JobSpec, ProgramSpec};
+pub use fleet::{parse_peers_file, run_fleet_campaign, FleetEnv};
+pub use jobs::{Job, JobPhase, JobSpec, Priority, ProgramSpec};
 pub use server::{Server, ServerConfig, ServerHandle};

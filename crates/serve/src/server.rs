@@ -13,9 +13,10 @@
 //! a restarted daemon serves finished results immediately and resumes
 //! interrupted jobs from their journals.
 
+use crate::fleet::{run_fleet_campaign, FleetEnv};
 use crate::http::{self, ChunkedWriter, Limits, RecvError, Request};
 use crate::jobs::{Job, JobEventSink, JobPhase, JobSpec};
-use hauberk_swifi::orchestrator::run_orchestrated_campaign_traced;
+use hauberk_swifi::orchestrator::{run_orchestrated_campaign_traced, CANCELED};
 use hauberk_telemetry::json::{parse_with_limits, Json, ParseLimits};
 use hauberk_telemetry::metrics::{to_prometheus, Registry};
 use hauberk_telemetry::{lock_recover, Telemetry};
@@ -50,6 +51,14 @@ pub struct ServerConfig {
     /// Start with the worker pool paused (tests use this to fill the queue
     /// deterministically); release with [`ServerHandle::resume`].
     pub start_paused: bool,
+    /// Peer daemon addresses. Non-empty makes this daemon a fleet
+    /// coordinator: plain submissions are split into `peers + 1` shard jobs
+    /// and dispatched (see [`crate::fleet`]).
+    pub peers: Vec<String>,
+    /// Per-client admission cap: at most this many non-terminal jobs per
+    /// `client` value at once (`0` = unlimited). Anonymous submissions
+    /// share one bucket.
+    pub client_quota: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,7 +74,44 @@ impl Default for ServerConfig {
             state_dir: None,
             retry_after_secs: 2,
             start_paused: false,
+            peers: Vec::new(),
+            client_quota: 0,
         }
+    }
+}
+
+/// The bounded submission queue: one FIFO lane per [`crate::jobs::Priority`]
+/// level, drained highest lane first. The capacity bound spans all lanes —
+/// priority changes *order*, never admission.
+#[derive(Debug, Default)]
+struct Lanes {
+    lanes: [VecDeque<Arc<Job>>; 3],
+}
+
+impl Lanes {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    fn push(&mut self, job: Arc<Job>) {
+        self.lanes[job.spec.priority.lane()].push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<Arc<Job>> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    fn drain_all(&mut self) -> Vec<Arc<Job>> {
+        self.lanes.iter_mut().flat_map(|l| l.drain(..)).collect()
+    }
+
+    /// Age of the stalest queued job across all lanes (the queue-age gauge).
+    fn oldest_age_secs(&self) -> f64 {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.front())
+            .map(|j| j.queued_for().as_secs_f64())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -73,7 +119,7 @@ impl Default for ServerConfig {
 struct Inner {
     cfg: ServerConfig,
     jobs: Mutex<BTreeMap<String, Arc<Job>>>,
-    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue: Mutex<Lanes>,
     /// Wakes workers on enqueue, pause-release, and shutdown.
     work: Condvar,
     shutdown: AtomicBool,
@@ -89,7 +135,22 @@ struct Inner {
     next_trace: AtomicU64,
     /// Process-unique salt so trace ids differ across daemon restarts.
     trace_seed: u64,
+    /// Content-addressed result cache: [`JobSpec::cache_key`] → the exact
+    /// result bytes. Only `"cache": true` submissions read or write it.
+    cache: Mutex<BTreeMap<String, String>>,
+    /// Max `Retry-After` seconds seen from backpressuring workers; folded
+    /// into this daemon's own 429s so the advertised horizon is coherent
+    /// across the fleet.
+    worker_retry_after: AtomicU64,
+    /// Process-wide daemon ordinal. Job ids restart at `cj-1` per daemon,
+    /// so anything keyed on (pid, job id) — the temp journal paths — must
+    /// also mix this in when several daemons share one process (tests,
+    /// loopback fleets).
+    instance: u64,
 }
+
+/// Source of [`Inner::instance`].
+static INSTANCES: AtomicU64 = AtomicU64::new(0);
 
 impl Inner {
     fn job(&self, id: &str) -> Option<Arc<Job>> {
@@ -128,11 +189,20 @@ impl Inner {
     }
 
     fn enqueue(&self, job: Arc<Job>) {
-        lock_recover(&self.queue).push_back(job);
+        lock_recover(&self.queue).push(job);
         self.work.notify_all();
     }
 
+    /// The `Retry-After` this daemon advertises on 429: never shorter than
+    /// what its own workers last advertised to it (fleet coherence).
+    fn retry_after(&self) -> u64 {
+        self.cfg
+            .retry_after_secs
+            .max(self.worker_retry_after.load(Ordering::SeqCst))
+    }
+
     /// Worker loop: pop → run → record, until shutdown drains the queue.
+    /// A job canceled while still queued is skipped here, not executed.
     fn worker_loop(&self) {
         loop {
             let job = {
@@ -142,7 +212,7 @@ impl Inner {
                         return;
                     }
                     if !self.paused.load(Ordering::SeqCst) {
-                        if let Some(job) = q.pop_front() {
+                        if let Some(job) = q.pop() {
                             break job;
                         }
                     }
@@ -153,6 +223,9 @@ impl Inner {
                     q = g;
                 }
             };
+            if job.phase().terminal() {
+                continue; // canceled while queued
+            }
             self.busy.fetch_add(1, Ordering::SeqCst);
             self.run_job(&job);
             self.busy.fetch_sub(1, Ordering::SeqCst);
@@ -161,33 +234,102 @@ impl Inner {
 
     /// Execute one campaign. Panics inside the campaign (hostile kernel,
     /// simulator divergence past the retry budget) are caught here so the
-    /// worker — and the daemon — outlive the job.
+    /// worker — and the daemon — outlive the job. A coordinator daemon
+    /// (non-empty `peers`) runs un-sharded submissions through the fleet
+    /// fabric instead of its own orchestrator.
     fn run_job(&self, job: &Arc<Job>) {
+        if job.stop_requested() {
+            // DELETE raced the worker pop: honor it without starting.
+            job.cancel();
+            self.metrics.incr("jobs_canceled", 1);
+            return;
+        }
         job.start();
         self.metrics.incr("jobs_started", 1);
-        let tele =
-            Telemetry::new(Arc::new(JobEventSink::new(job.clone()))).with_spans(job.spec.spans);
-        let journal = self.state_path(&job.id, "journal.jsonl");
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if !self.cfg.peers.is_empty() && job.spec.shard.is_none() {
+                let scratch = self.state_path(&job.id, "fleet").unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!(
+                        "hauberk-fleet-{}-{}-{}",
+                        std::process::id(),
+                        self.instance,
+                        job.id
+                    ))
+                });
+                return run_fleet_campaign(
+                    job,
+                    &FleetEnv {
+                        peers: &self.cfg.peers,
+                        scratch,
+                        metrics: &self.metrics,
+                        worker_retry_after: &self.worker_retry_after,
+                        http_timeout: self.cfg.read_timeout.max(Duration::from_secs(2)),
+                    },
+                );
+            }
+            // `emit_journal` needs a journal file even on a stateless
+            // daemon; a temp path (cleaned up below) serves the transport.
+            let journal = self.state_path(&job.id, "journal.jsonl").or_else(|| {
+                job.spec.emit_journal.then(|| {
+                    std::env::temp_dir().join(format!(
+                        "hauberk-{}-{}-{}.journal.jsonl",
+                        std::process::id(),
+                        self.instance,
+                        job.id
+                    ))
+                })
+            });
+            let tele =
+                Telemetry::new(Arc::new(JobEventSink::new(job.clone()))).with_spans(job.spec.spans);
             let prog = job.spec.build_program()?;
             let cfg = job.spec.campaign_config();
             let mut orch = job.spec.orchestrator_config();
             orch.journal_path = journal.clone();
             orch.resume_from = journal.clone().filter(|p| p.exists());
-            run_orchestrated_campaign_traced(
+            orch.stop = Some(job.stop_flag());
+            let summary = run_orchestrated_campaign_traced(
                 prog.as_ref(),
                 job.spec.campaign_kind(),
                 &cfg,
                 &orch,
                 tele,
             )
-            .map(|res| res.summary_json().to_string())
+            .map(|res| res.summary_json().to_string())?;
+            // Journal transport: push the finished journal into the event
+            // log *before* the job turns terminal, so a coordinator that
+            // sees "done" is guaranteed the complete stream.
+            if job.spec.emit_journal {
+                if let Some(path) = &journal {
+                    if let Ok(raw) = std::fs::read_to_string(path) {
+                        for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+                            job.push_journal_line(line);
+                        }
+                    }
+                    if self.cfg.state_dir.is_none() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+            Ok(summary)
         }));
         match outcome {
             Ok(Ok(summary)) => {
                 self.persist(&job.id, "result.json", &summary);
+                if job.spec.cache {
+                    let key = job.spec.cache_key();
+                    self.persist(&key, "cache.json", &summary);
+                    lock_recover(&self.cache).insert(key, summary.clone());
+                    self.metrics.incr("cache_stored", 1);
+                }
                 job.finish(summary);
                 self.metrics.incr("jobs_done", 1);
+            }
+            Ok(Err(err)) if err.contains(CANCELED) => {
+                // Cancellation is not failure: no `failed.json` is written,
+                // so a restarted daemon re-queues the job and its journal
+                // resumes from the units that already ran.
+                job.cancel();
+                self.metrics.incr("jobs_canceled", 1);
             }
             Ok(Err(err)) => {
                 self.record_failure(job, err);
@@ -244,6 +386,12 @@ impl ServerHandle {
         self.inner.work.notify_all();
     }
 
+    /// Pause the worker pool again: running jobs finish, queued jobs wait.
+    /// Tests use resume/pause pairs to stage the queue deterministically.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::SeqCst);
+    }
+
     /// Request shutdown and wait for in-flight jobs to drain.
     pub fn shutdown(self) {
         self.inner.request_shutdown();
@@ -260,7 +408,7 @@ impl Inner {
         // Jobs still queued will not run in this process lifetime; their
         // specs are on disk (when persistence is on), so a restart re-queues
         // them. Mark them so clients polling status see a truthful state.
-        let canceled: Vec<Arc<Job>> = lock_recover(&self.queue).drain(..).collect();
+        let canceled: Vec<Arc<Job>> = lock_recover(&self.queue).drain_all();
         for job in canceled {
             job.cancel();
         }
@@ -276,7 +424,7 @@ impl Server {
             paused: AtomicBool::new(cfg.start_paused),
             cfg,
             jobs: Mutex::new(BTreeMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Lanes::default()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
@@ -290,6 +438,9 @@ impl Server {
                 .map(|d| d.as_nanos() as u64)
                 .unwrap_or(0)
                 ^ (std::process::id() as u64) << 32,
+            cache: Mutex::new(BTreeMap::new()),
+            worker_retry_after: AtomicU64::new(0),
+            instance: INSTANCES.fetch_add(1, Ordering::SeqCst),
         });
         recover_state(&inner);
         Ok(Server { listener, inner })
@@ -381,6 +532,21 @@ fn recover_state(inner: &Arc<Inner>) {
         return;
     };
     let _ = std::fs::create_dir_all(&dir);
+    // Cache entries persist as `<fnv1a-key>.cache.json`; reloading them
+    // lets a restarted daemon keep answering hits without re-execution.
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            let Some(key) = name.strip_suffix(".cache.json") else {
+                continue;
+            };
+            if key.len() == 16 && key.chars().all(|c| c.is_ascii_hexdigit()) {
+                if let Ok(body) = std::fs::read_to_string(entry.path()) {
+                    lock_recover(&inner.cache).insert(key.to_string(), body);
+                }
+            }
+        }
+    }
     let mut max_id = 0u64;
     let mut specs: Vec<(u64, String, PathBuf)> = Vec::new();
     if let Ok(entries) = std::fs::read_dir(&dir) {
@@ -528,10 +694,17 @@ fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trace: &str)
         }
         ("GET", ["v1", "campaigns", id]) => {
             match inner.job(id) {
-                Some(job) => respond_json(stream, 200, &job.status_json(), trace),
+                Some(job) => handle_status(stream, req, &job, inner, trace),
                 None => error_json(stream, 404, "no such campaign", trace),
             }
             "status"
+        }
+        ("DELETE", ["v1", "campaigns", id]) => {
+            match inner.job(id) {
+                Some(job) => handle_cancel(stream, &job, inner, trace),
+                None => error_json(stream, 404, "no such campaign", trace),
+            }
+            "cancel"
         }
         ("GET", ["v1", "campaigns", id, "events"]) => {
             match inner.job(id) {
@@ -578,6 +751,7 @@ fn handle_healthz(stream: &mut TcpStream, inner: &Arc<Inner>, trace: &str) {
             "queue_capacity",
             Json::uint(inner.cfg.queue_capacity as u64),
         ),
+        ("peers", Json::uint(inner.cfg.peers.len() as u64)),
     ]);
     let _ = http::write_response(
         stream,
@@ -618,6 +792,72 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trac
         spec.trace = Some(trace.to_string());
     }
 
+    // Content-addressed cache: an identical opted-in spec already ran, so
+    // answer with the stored bytes as an instantly-done job — no queue slot,
+    // no execution. Soundness rests on campaign determinism (DESIGN §18).
+    if spec.cache {
+        let key = spec.cache_key();
+        let hit = lock_recover(&inner.cache).get(&key).cloned();
+        if let Some(body) = hit {
+            inner.metrics.incr("cache_hits", 1);
+            let id = format!("cj-{}", inner.next_id.fetch_add(1, Ordering::SeqCst));
+            let job = Job::new(id, spec);
+            inner.persist(&job.id, "spec.json", &job.spec.to_json().to_string());
+            inner.persist(&job.id, "result.json", &body);
+            job.finish(body);
+            lock_recover(&inner.jobs).insert(job.id.clone(), job.clone());
+            inner.metrics.incr("submit_accepted", 1);
+            return respond_json(
+                stream,
+                201,
+                &Json::obj([
+                    ("id", Json::str(job.id.clone())),
+                    ("state", Json::str(job.phase().label())),
+                    ("cached", Json::Bool(true)),
+                    (
+                        "trace",
+                        Json::str(job.spec.trace.clone().unwrap_or_default()),
+                    ),
+                ]),
+                trace,
+            );
+        }
+        inner.metrics.incr("cache_misses", 1);
+    }
+
+    // Per-client quota: bound how much of the daemon one identity can hold
+    // at once (non-terminal jobs; anonymous submissions share a bucket).
+    if inner.cfg.client_quota > 0 {
+        let bucket = spec.client.clone().unwrap_or_default();
+        let held = lock_recover(&inner.jobs)
+            .values()
+            .filter(|j| {
+                j.spec.client.clone().unwrap_or_default() == bucket && !j.phase().terminal()
+            })
+            .count();
+        if held >= inner.cfg.client_quota {
+            inner.metrics.incr("submit_quota_rejected", 1);
+            let doc = Json::obj([(
+                "error",
+                Json::str(format!(
+                    "client quota reached ({} active jobs); retry later",
+                    inner.cfg.client_quota
+                )),
+            )]);
+            let _ = http::write_response(
+                stream,
+                429,
+                "application/json",
+                &[
+                    ("Retry-After", inner.retry_after().to_string()),
+                    trace_header(trace),
+                ],
+                doc.to_string().as_bytes(),
+            );
+            return;
+        }
+    }
+
     // Admission control under the queue lock so capacity is exact: two
     // racing submissions cannot both squeeze into the last slot.
     let job = {
@@ -625,7 +865,7 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trac
         if q.len() >= inner.cfg.queue_capacity {
             inner.metrics.incr("submit_backpressured", 1);
             drop(q);
-            let retry = inner.cfg.retry_after_secs.to_string();
+            let retry = inner.retry_after().to_string();
             let doc = Json::obj([("error", Json::str("job queue is full; retry later"))]);
             let _ = http::write_response(
                 stream,
@@ -638,7 +878,7 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trac
         }
         let id = format!("cj-{}", inner.next_id.fetch_add(1, Ordering::SeqCst));
         let job = Job::new(id, spec);
-        q.push_back(job.clone());
+        q.push(job.clone());
         job
     };
     inner.work.notify_all();
@@ -657,6 +897,78 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trac
             ),
         ]),
         trace,
+    );
+}
+
+/// `GET /v1/campaigns/:id[?watch=<state>&timeout_ms=<n>]`: status counters,
+/// optionally long-polling — with `watch`, the response is deferred until
+/// the phase differs from the given label or the timeout (default 10 s,
+/// capped at 30 s) elapses. Status is always `Cache-Control: no-store`: a
+/// cached "running" is a wrong "running".
+fn handle_status(
+    stream: &mut TcpStream,
+    req: &Request,
+    job: &Arc<Job>,
+    inner: &Arc<Inner>,
+    trace: &str,
+) {
+    if let Some(watch) = req.query_param("watch") {
+        let Some(seen) = JobPhase::parse_label(watch) else {
+            return error_json(
+                stream,
+                400,
+                "`watch` must be a job state label (queued, running, ...)",
+                trace,
+            );
+        };
+        let timeout_ms = req
+            .query_param("timeout_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(10_000)
+            .min(30_000);
+        inner.metrics.incr("status_longpolls", 1);
+        job.wait_phase_change(seen, Duration::from_millis(timeout_ms));
+    }
+    let _ = http::write_response(
+        stream,
+        200,
+        "application/json",
+        &[
+            ("Cache-Control", "no-store".to_string()),
+            trace_header(trace),
+        ],
+        job.status_json().to_string().as_bytes(),
+    );
+}
+
+/// `DELETE /v1/campaigns/:id`: cooperative cancellation. A queued job is
+/// canceled immediately; a running one gets its stop flag set and stops at
+/// the next work-unit boundary (202 — the cancel is underway, poll status).
+/// Terminal jobs answer 200 with their (unchanged) state. Responses carry
+/// `Cache-Control: no-store` — cancellation state must never be stale.
+fn handle_cancel(stream: &mut TcpStream, job: &Arc<Job>, inner: &Arc<Inner>, trace: &str) {
+    let phase = job.phase();
+    let status = if phase.terminal() {
+        200
+    } else {
+        job.request_stop();
+        if phase == JobPhase::Queued {
+            // Cancel in place; the worker pop skips terminal jobs.
+            job.cancel();
+        }
+        inner.metrics.incr("jobs_cancel_requested", 1);
+        inner.work.notify_all();
+        202
+    };
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &[
+            ("Cache-Control", "no-store".to_string()),
+            trace_header(trace),
+        ],
+        job.status_json().to_string().as_bytes(),
     );
 }
 
@@ -739,8 +1051,9 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
     {
         let q = lock_recover(&inner.queue);
         queue_depth = q.len() as u64;
-        queue_age_secs = q.front().map_or(0.0, |j| j.queued_for().as_secs_f64());
+        queue_age_secs = q.oldest_age_secs();
     }
+    let cache_entries = lock_recover(&inner.cache).len() as u64;
     let mut phases: BTreeMap<String, u64> = BTreeMap::new();
     for job in lock_recover(&inner.jobs).values() {
         *phases.entry(job.phase().label().to_string()).or_insert(0) += 1;
@@ -769,6 +1082,10 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
             "uptime_seconds".to_string(),
             inner.started.elapsed().as_secs_f64(),
         );
+        snap.gauges
+            .insert("fleet_peers".to_string(), inner.cfg.peers.len() as f64);
+        snap.gauges
+            .insert("cache_entries".to_string(), cache_entries as f64);
         for (phase, n) in &phases {
             snap.gauges.insert(format!("jobs_phase.{phase}"), *n as f64);
         }
@@ -791,6 +1108,8 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
             "queue_capacity",
             Json::uint(inner.cfg.queue_capacity as u64),
         ),
+        ("fleet_peers", Json::uint(inner.cfg.peers.len() as u64)),
+        ("cache_entries", Json::uint(cache_entries)),
         (
             "jobs",
             Json::Obj(

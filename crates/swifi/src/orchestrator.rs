@@ -108,7 +108,20 @@ pub struct OrchestratorConfig {
     pub checkpoint: bool,
     /// Test-only failure injection for the retry/quarantine path.
     pub chaos: Option<ChaosConfig>,
+    /// Cooperative cancellation flag, checked at work-unit boundaries: once
+    /// set, the campaign stops before drawing its next unit and returns an
+    /// error containing [`CANCELED`]. Everything journaled so far stays
+    /// valid — a later resume replays it — so cancellation loses at most
+    /// the unit in flight. The serve daemon wires `DELETE
+    /// /v1/campaigns/:id` to this flag.
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
+
+/// Marker substring of the error [`run_orchestrated_campaign`] returns when
+/// [`OrchestratorConfig::stop`] cancels the campaign. Callers that need to
+/// distinguish "canceled on request" from real failures (the serve daemon
+/// maps the former to a `canceled` job phase, not `failed`) match on this.
+pub const CANCELED: &str = "campaign canceled at a work-unit boundary";
 
 impl OrchestratorConfig {
     /// Default injections per work unit.
@@ -509,6 +522,16 @@ pub fn run_orchestrated_campaign_traced(
         let mut counts = OutcomeCounts::default();
         let mut stopped_early = false;
         for (chunk, span) in idxs.chunks(shard_size).enumerate() {
+            if orch
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(std::sync::atomic::Ordering::SeqCst))
+            {
+                // The journal (if any) already holds every finished unit —
+                // flushed line by line — so the cancellation point needs no
+                // cleanup and a resume picks up exactly here.
+                return Err(CANCELED.to_string());
+            }
             if let Some(ad) = &orch.adaptive {
                 let t_ad = Instant::now();
                 let converged = ad.converged(&counts);
@@ -1049,6 +1072,49 @@ mod tests {
             "panic payload survives: {}",
             r.quarantined[0].error
         );
+    }
+
+    #[test]
+    fn stop_flag_cancels_at_unit_boundary_and_resume_completes() {
+        let prog = Cp::new(ProblemScale::Quick);
+        let cfg = small_cfg();
+        let journal = tmp("cancel.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let err = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                journal_path: Some(journal.clone()),
+                stop: Some(stop),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains(CANCELED), "{err}");
+        // Cancellation is not corruption: the journal holds the campaign
+        // identity plus every finished unit, so a resume (stop flag clear)
+        // completes the run byte-identical to an undisturbed one.
+        let full = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig::default(),
+        )
+        .unwrap();
+        let resumed = run_orchestrated_campaign(
+            &prog,
+            CampaignKind::Sensitivity,
+            &cfg,
+            &OrchestratorConfig {
+                resume_from: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        std::fs::remove_file(&journal).ok();
+        assert_eq!(full.summary_json(), resumed.summary_json());
     }
 
     #[test]

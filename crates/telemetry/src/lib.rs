@@ -257,6 +257,26 @@ pub enum Event {
         /// Planned samples that were skipped by stopping early.
         skipped: u64,
     },
+    /// A fleet coordinator handed one shard of a campaign to an executor —
+    /// a peer daemon, or itself (`peer` = `"local"`).
+    ShardDispatched {
+        /// Shard index (`0..total`).
+        shard: u64,
+        /// Shard modulus: how many ways the campaign was split.
+        total: u64,
+        /// Peer address the shard went to, or `"local"`.
+        peer: String,
+    },
+    /// A dispatched shard failed on its executor and was re-routed — to the
+    /// next peer in the ring, or to local execution as the final fallback.
+    ShardRedispatched {
+        /// Shard index.
+        shard: u64,
+        /// New executor (peer address or `"local"`).
+        peer: String,
+        /// Why the previous executor lost the shard.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -276,6 +296,8 @@ impl Event {
             Event::UnitQuarantined { .. } => "unit_quarantined",
             Event::Span { .. } => "span",
             Event::StratumConverged { .. } => "stratum_converged",
+            Event::ShardDispatched { .. } => "shard_dispatched",
+            Event::ShardRedispatched { .. } => "shard_redispatched",
         }
     }
 
@@ -421,6 +443,20 @@ impl Event {
                 put("samples", Json::uint(*samples));
                 put("ci_width", Json::Num(*ci_width));
                 put("skipped", Json::uint(*skipped));
+            }
+            Event::ShardDispatched { shard, total, peer } => {
+                put("shard", Json::uint(*shard));
+                put("total", Json::uint(*total));
+                put("peer", Json::str(peer.clone()));
+            }
+            Event::ShardRedispatched {
+                shard,
+                peer,
+                reason,
+            } => {
+                put("shard", Json::uint(*shard));
+                put("peer", Json::str(peer.clone()));
+                put("reason", Json::str(reason.clone()));
             }
         }
         Json::Obj(obj)
