@@ -10,6 +10,10 @@
 //!          [--adaptive] [--ci-width F] [--min-samples N]
 //!          [--max-retries N] [--shard I/M] [--profile] [--checkpoint]
 //! campaign merge-journals --out PATH <journal> [<journal> ...]
+//! campaign harden <program> [--budget F] [--budgets F,F,...] [--iterations N]
+//!          [--plan-out PATH] [--plan-in PATH] [--front-out PATH]
+//!          [--baseline-journal PATH] [--vars N] [--masks N] [--alpha F]
+//!          [--engine E] [--threads N] [--json]
 //! ```
 //!
 //! Orchestration flags:
@@ -37,10 +41,21 @@
 //!   byte-identical to full re-execution; the cycles-saved note goes to
 //!   stderr. Ineligible campaigns fall back to full re-execution with a
 //!   warning.
+//!
+//! The `harden` subcommand closes the campaign → translator loop: it runs
+//! (or ingests, with `--baseline-journal`) a baseline sensitivity campaign,
+//! ranks placeable detectors by measured vulnerability, sweeps the
+//! `--budgets` ladder into a coverage-vs-overhead Pareto front, and emits
+//! the plan fitted under `--budget` (default 0.5) to `--plan-out`.
+//! `--plan-in` instead evaluates a previously emitted plan: it measures the
+//! plan's fault-free overhead and re-runs the coverage campaign under it.
+//! Output is deterministic: same inputs, byte-identical plan and front.
 
 use hauberk::builds::FtOptions;
+use hauberk::translator::select::HardeningPlan;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
 use hauberk_swifi::campaign::{CampaignConfig, CampaignKind};
+use hauberk_swifi::harden::{evaluate_placement, harden, HardenConfig};
 use hauberk_swifi::journal::merge_journals;
 use hauberk_swifi::mask::PAPER_BIT_COUNTS;
 use hauberk_swifi::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
@@ -80,10 +95,181 @@ fn merge_main(args: &[String]) {
     }
 }
 
+/// `campaign harden <program> [--budget F] ...` — see the module docs.
+fn harden_main(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let name = args
+        .iter()
+        .skip(1) // the subcommand itself
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "CP".to_string());
+    let engine = arg_value(args, "--engine").map(|v| {
+        hauberk_sim::ExecEngine::parse(&v)
+            .unwrap_or_else(|| panic!("unknown engine `{v}` (try tree-walk, bytecode, or batch)"))
+    });
+    if let Some(e) = engine {
+        hauberk_sim::set_default_engine(e);
+    }
+    if let Some(n) = arg_value(args, "--threads").and_then(|v| v.parse().ok()) {
+        rayon::set_thread_count(n);
+    }
+    let vars: usize = arg_value(args, "--vars")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let masks: usize = arg_value(args, "--masks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let alpha: f64 = arg_value(args, "--alpha")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let budget: f64 = arg_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    let budgets: Vec<f64> = arg_value(args, "--budgets")
+        .map(|v| {
+            v.split(',')
+                .map(|b| {
+                    b.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--budgets: bad fraction `{b}`"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let iterations: usize = arg_value(args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let prog = program_by_name(&name, ProblemScale::Quick)
+        .unwrap_or_else(|| panic!("unknown program `{name}` (try CP, MRI-Q, SAD, ...)"));
+    let cfg = HardenConfig {
+        budget,
+        budgets,
+        iterations,
+        campaign: CampaignConfig {
+            plan: PlanConfig {
+                vars_per_program: vars,
+                masks_per_var: masks,
+                bit_counts: PAPER_BIT_COUNTS.to_vec(),
+                scheduler_per_mille: 60,
+                register_per_mille: 60,
+            },
+            alpha,
+            engine,
+            ..Default::default()
+        },
+        baseline_journal: arg_value(args, "--baseline-journal").map(Into::into),
+        ..Default::default()
+    };
+    let mut em = Emitter::new(json);
+
+    if let Some(path) = arg_value(args, "--plan-in") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read plan {path}: {e}"));
+        let plan = HardeningPlan::parse(&text).unwrap_or_else(|e| panic!("bad plan {path}: {e}"));
+        em.text(format!(
+            "evaluating plan {path} ({} detector(s)) on {name}...",
+            plan.selection.len()
+        ));
+        let point = match evaluate_placement(prog.as_ref(), &plan, &cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("harden: {e}");
+                std::process::exit(1);
+            }
+        };
+        em.text(format!(
+            "plan @ budget {}: {} detector(s), overhead {} cycles ({:.2}%), \
+             coverage {:.4}, sdc {:.4}",
+            point.budget,
+            point.selected,
+            point.overhead_cycles,
+            100.0 * point.overhead_frac,
+            point.coverage,
+            point.sdc_ratio
+        ));
+        em.json_section(
+            "placement",
+            Json::obj([
+                ("budget", Json::Num(point.budget)),
+                ("selected", Json::uint(point.selected as u64)),
+                ("overhead_cycles", Json::uint(point.overhead_cycles)),
+                ("overhead_frac", Json::Num(point.overhead_frac)),
+                ("coverage", Json::Num(point.coverage)),
+                ("sdc_ratio", Json::Num(point.sdc_ratio)),
+            ]),
+        );
+        em.finish();
+        return;
+    }
+
+    em.text(format!(
+        "hardening {name} (budget {budget}, {iterations} iteration(s))..."
+    ));
+    let report = match harden(prog.as_ref(), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("harden: {e}");
+            std::process::exit(1);
+        }
+    };
+    em.text(format!(
+        "{}: {} candidate(s), full overhead {} cycles, full coverage {:.4}, \
+         baseline sdc {:.4} over {} injection(s); {} round(s), {}",
+        report.program,
+        report.candidates.len(),
+        report.full_overhead_cycles,
+        report.full_coverage,
+        report.baseline_sdc,
+        report.baseline_injections,
+        report.iterations_run,
+        if report.converged {
+            "ranking converged"
+        } else {
+            "round budget exhausted"
+        }
+    ));
+    for p in &report.front {
+        em.text(format!(
+            "  budget {:>5}: {:>2} detector(s), overhead {:>8} cycles ({:>6.2}%), \
+             coverage {:.4}, sdc {:.4}",
+            p.budget,
+            p.selected,
+            p.overhead_cycles,
+            100.0 * p.overhead_frac,
+            p.coverage,
+            p.sdc_ratio
+        ));
+    }
+    em.json_section("harden", report.to_json());
+    if let Some(path) = arg_value(args, "--plan-out") {
+        std::fs::write(&path, report.plan.to_json_string()).expect("write plan");
+        em.text(format!(
+            "wrote plan ({} detector(s) @ budget {}) to {path}",
+            report.plan.selection.len(),
+            report.plan.budget
+        ));
+        em.json_section("plan_path", Json::str(path));
+    }
+    if let Some(path) = arg_value(args, "--front-out") {
+        std::fs::write(&path, report.front_csv()).expect("write front CSV");
+        em.text(format!(
+            "wrote {}-point Pareto front to {path}",
+            report.front.len()
+        ));
+        em.json_section("front_path", Json::str(path));
+    }
+    em.finish();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("merge-journals") {
         merge_main(&args);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("harden") {
+        harden_main(&args);
         return;
     }
     let name = args

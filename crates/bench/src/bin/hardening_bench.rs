@@ -1,0 +1,192 @@
+//! `hardening_bench` — the standing coverage-vs-overhead Pareto benchmark
+//! of closed-loop selective hardening, on two paper benchmarks (CP and
+//! PNS).
+//!
+//! For each program the bench runs the full optimizer loop
+//! ([`hauberk_swifi::harden()`]): baseline sensitivity campaign →
+//! vulnerability ranking → greedy-prefix overhead sweep → coverage re-runs
+//! over the default budget ladder. Two claims are asserted on every run,
+//! not just recorded:
+//!
+//! * **selective is cheap**: the budget-0.5 placement reaches at least 80%
+//!   of the full-protection coverage at at most 50% of its detector
+//!   overhead (the overhead half holds by construction; the coverage half
+//!   is measured);
+//! * **the front is monotone**: walking the budget ladder upward, measured
+//!   coverage never decreases (detectors only observe, and budgets map to
+//!   nested prefixes of one ranking).
+//!
+//! The per-program ledgers land in `BENCH_hardening.json`; `--front-dir`
+//! additionally writes one `hardening_front_<program>.csv` per program
+//! (the artifact CI uploads).
+//!
+//! ```text
+//! hardening_bench [--vars N] [--masks N] [--out PATH] [--front-dir DIR]
+//! ```
+
+use hauberk_swifi::campaign::CampaignConfig;
+use hauberk_swifi::harden::{harden, HardenConfig};
+use hauberk_swifi::plan::PlanConfig;
+use hauberk_telemetry::json::Json;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let vars: usize = arg_value(&args, "--vars")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let masks: usize = arg_value(&args, "--masks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let out_path = arg_value(&args, "--out");
+    let front_dir = arg_value(&args, "--front-dir");
+
+    let mut docs = Vec::new();
+    for name in ["CP", "PNS"] {
+        let prog =
+            hauberk_benchmarks::program_by_name(name, hauberk_benchmarks::ProblemScale::Quick)
+                .expect("paper benchmark");
+        let cfg = HardenConfig {
+            budget: 0.5,
+            campaign: CampaignConfig {
+                plan: PlanConfig {
+                    vars_per_program: vars,
+                    masks_per_var: masks,
+                    bit_counts: hauberk_swifi::mask::PAPER_BIT_COUNTS.to_vec(),
+                    scheduler_per_mille: 60,
+                    register_per_mille: 60,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = harden(prog.as_ref(), &cfg).expect("harden");
+        eprintln!(
+            "{name}: {} candidate(s), full overhead {} cycles, full coverage {:.4}",
+            report.candidates.len(),
+            report.full_overhead_cycles,
+            report.full_coverage
+        );
+        for p in &report.front {
+            eprintln!(
+                "  budget {:>5}: {:>2} detector(s), {:>8} cycles, coverage {:.4}",
+                p.budget, p.selected, p.overhead_cycles, p.coverage
+            );
+        }
+
+        // Standing claim 1: the front is monotone — more budget never
+        // costs coverage (nested prefixes, observation-only detectors).
+        for w in report.front.windows(2) {
+            assert!(
+                w[1].coverage >= w[0].coverage - 1e-12,
+                "{name}: coverage dropped along the front: {} @ budget {} vs {} @ budget {}",
+                w[1].coverage,
+                w[1].budget,
+                w[0].coverage,
+                w[0].budget
+            );
+            assert!(w[1].overhead_cycles >= w[0].overhead_cycles);
+        }
+
+        // Standing claim 2: the budget-0.5 placement keeps ≥80% of the
+        // full-protection coverage at ≤50% of its detector overhead.
+        let half = report
+            .front
+            .iter()
+            .find(|p| p.budget == 0.5)
+            .expect("budget 0.5 is on the default ladder");
+        assert!(
+            half.overhead_cycles * 2 <= report.full_overhead_cycles,
+            "{name}: budget-0.5 overhead {} exceeds half of full {}",
+            half.overhead_cycles,
+            report.full_overhead_cycles
+        );
+        assert!(
+            half.coverage >= 0.8 * report.full_coverage,
+            "{name}: selective coverage {} < 80% of full {}",
+            half.coverage,
+            report.full_coverage
+        );
+
+        if let Some(dir) = &front_dir {
+            std::fs::create_dir_all(dir).expect("create front dir");
+            let path = format!("{dir}/hardening_front_{name}.csv");
+            std::fs::write(&path, report.front_csv()).expect("write front CSV");
+            eprintln!("wrote {path}");
+        }
+
+        docs.push(Json::obj([
+            ("program", Json::str(format!("{name} quick"))),
+            ("golden_cycles", Json::uint(report.golden_cycles)),
+            ("baseline_sdc", Json::Num(report.baseline_sdc)),
+            (
+                "baseline_injections",
+                Json::uint(report.baseline_injections),
+            ),
+            (
+                "full_overhead_cycles",
+                Json::uint(report.full_overhead_cycles),
+            ),
+            ("full_coverage", Json::Num(report.full_coverage)),
+            ("candidates", Json::uint(report.candidates.len() as u64)),
+            (
+                "selective_coverage_at_half_budget",
+                Json::Num(half.coverage),
+            ),
+            (
+                "selective_overhead_at_half_budget",
+                Json::uint(half.overhead_cycles),
+            ),
+            (
+                "coverage_retention",
+                Json::Num(if report.full_coverage > 0.0 {
+                    half.coverage / report.full_coverage
+                } else {
+                    1.0
+                }),
+            ),
+            (
+                "front",
+                Json::Arr(
+                    report
+                        .front
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("budget", Json::Num(p.budget)),
+                                ("selected", Json::uint(p.selected as u64)),
+                                ("overhead_cycles", Json::uint(p.overhead_cycles)),
+                                ("overhead_frac", Json::Num(p.overhead_frac)),
+                                ("coverage", Json::Num(p.coverage)),
+                                ("sdc_ratio", Json::Num(p.sdc_ratio)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("monotone_front", Json::Bool(true)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("hardening_bench")),
+        ("vars", Json::uint(vars as u64)),
+        ("masks", Json::uint(masks as u64)),
+        ("budget_ladder_points", Json::uint(7)),
+        ("programs", Json::Arr(docs)),
+    ]);
+    let rendered = format!("{doc}\n");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write bench output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

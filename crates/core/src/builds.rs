@@ -2,9 +2,10 @@
 //! (Fig. 7) plus the comparison baselines.
 
 use crate::translator::fi::{instrument_fi, FiPassOptions};
-use crate::translator::loops::{instrument_loops, LoopPassOptions};
-use crate::translator::nonloop::instrument_nonloop;
+use crate::translator::loops::{instrument_loops_selected, LoopPassOptions};
+use crate::translator::nonloop::instrument_nonloop_selected;
 use crate::translator::rscatter::instrument_rscatter;
+use crate::translator::select::HardeningSelection;
 use crate::translator::{FiMap, LoopDetectorSpec};
 use hauberk_kir::validate::{validate_kernel, ValidateError};
 use hauberk_kir::KernelDef;
@@ -95,22 +96,46 @@ pub struct Instrumented {
 /// The input and the instrumented output are both validated — a translator
 /// bug that produces ill-typed code is caught here, not at launch.
 pub fn build(kernel: &KernelDef, variant: BuildVariant) -> Result<Instrumented, ValidateError> {
+    build_selected(kernel, variant, None)
+}
+
+/// [`build`] restricted to a [`HardeningSelection`]: the FT passes of the
+/// Profiler/Ft/FiFt variants instrument only the selected sites. `None`
+/// reproduces [`build`] exactly. A selection with an empty NL (or loop)
+/// component skips that pass entirely — no checksum variable, no
+/// kernel-exit check (or no counters) — so an empty selection is the
+/// baseline build with zero detector overhead. The FI surface is *not*
+/// filtered: the fault-injection pass instruments only original-program
+/// variables in original statement order, so FI site numbering — and with it
+/// campaign plans, fingerprints, and journals — is identical across
+/// selections, which is what makes a hardened coverage campaign
+/// index-comparable to its baseline.
+pub fn build_selected(
+    kernel: &KernelDef,
+    variant: BuildVariant,
+    selection: Option<&HardeningSelection>,
+) -> Result<Instrumented, ValidateError> {
     validate_kernel(kernel)?;
     let orig_vars = kernel.vars.len();
     let mut k = kernel.clone();
     let mut detectors = Vec::new();
     let mut fi = FiMap::default();
+    let want_nl = selection.is_none_or(|s| !s.nonloop_vars.is_empty());
+    let want_loops = selection.is_none_or(|s| !s.loop_detectors.is_empty());
 
     match variant {
         BuildVariant::Baseline => {}
         BuildVariant::Profiler(opts) => {
-            detectors = instrument_loops(
-                &mut k,
-                LoopPassOptions {
-                    max_var: opts.max_var,
-                    profile_mode: true,
-                },
-            );
+            if want_loops {
+                detectors = instrument_loops_selected(
+                    &mut k,
+                    LoopPassOptions {
+                        max_var: opts.max_var,
+                        profile_mode: true,
+                    },
+                    selection,
+                );
+            }
             fi = instrument_fi(
                 &mut k,
                 FiPassOptions {
@@ -121,16 +146,17 @@ pub fn build(kernel: &KernelDef, variant: BuildVariant) -> Result<Instrumented, 
             );
         }
         BuildVariant::Ft(opts) => {
-            if opts.nonloop {
-                instrument_nonloop(&mut k);
+            if opts.nonloop && want_nl {
+                instrument_nonloop_selected(&mut k, selection);
             }
-            if opts.loops {
-                detectors = instrument_loops(
+            if opts.loops && want_loops {
+                detectors = instrument_loops_selected(
                     &mut k,
                     LoopPassOptions {
                         max_var: opts.max_var,
                         profile_mode: false,
                     },
+                    selection,
                 );
             }
         }
@@ -145,16 +171,17 @@ pub fn build(kernel: &KernelDef, variant: BuildVariant) -> Result<Instrumented, 
             );
         }
         BuildVariant::FiFt(opts) => {
-            if opts.nonloop {
-                instrument_nonloop(&mut k);
+            if opts.nonloop && want_nl {
+                instrument_nonloop_selected(&mut k, selection);
             }
-            if opts.loops {
-                detectors = instrument_loops(
+            if opts.loops && want_loops {
+                detectors = instrument_loops_selected(
                     &mut k,
                     LoopPassOptions {
                         max_var: opts.max_var,
                         profile_mode: false,
                     },
+                    selection,
                 );
             }
             fi = instrument_fi(
@@ -254,5 +281,63 @@ mod tests {
     #[test]
     fn r_naive_doubles() {
         assert_eq!(r_naive_cycles(1000), 2000);
+    }
+
+    #[test]
+    fn empty_selection_is_the_baseline_build() {
+        let k = base();
+        let sel = HardeningSelection::default();
+        let b = build_selected(&k, BuildVariant::Ft(FtOptions::default()), Some(&sel)).unwrap();
+        let plain = build(&k, BuildVariant::Baseline).unwrap();
+        assert_eq!(b.kernel, plain.kernel, "no detectors → no code changes");
+        assert!(b.detectors.is_empty());
+    }
+
+    #[test]
+    fn fi_surface_is_invariant_across_selections() {
+        // The closed-loop contract: campaign plans are derived from the FI
+        // map, so the map must not depend on which detectors are placed.
+        let k = base();
+        let full = build(&k, BuildVariant::FiFt(FtOptions::default())).unwrap();
+        let sel = HardeningSelection {
+            nonloop_vars: vec!["acc".into()],
+            loop_detectors: full
+                .detectors
+                .iter()
+                .map(|d| (d.loop_id, d.var_name.clone()))
+                .collect(),
+            trip_checks: vec![],
+        };
+        for s in [None, Some(&sel), Some(&HardeningSelection::default())] {
+            let b = build_selected(&k, BuildVariant::FiFt(FtOptions::default()), s).unwrap();
+            assert_eq!(b.fi, full.fi, "selection {s:?} perturbed the FI map");
+        }
+        let fi_only = build(&k, BuildVariant::Fi).unwrap();
+        assert_eq!(fi_only.fi, full.fi);
+    }
+
+    #[test]
+    fn selected_profiler_matches_selected_ft_layout() {
+        let k = base();
+        let full = build(&k, BuildVariant::Ft(FtOptions::default())).unwrap();
+        let sel = HardeningSelection {
+            nonloop_vars: vec![],
+            loop_detectors: full
+                .detectors
+                .iter()
+                .map(|d| (d.loop_id, d.var_name.clone()))
+                .collect(),
+            trip_checks: full.detectors.iter().map(|d| d.loop_id).collect(),
+        };
+        let p =
+            build_selected(&k, BuildVariant::Profiler(FtOptions::default()), Some(&sel)).unwrap();
+        let f = build_selected(&k, BuildVariant::Ft(FtOptions::default()), Some(&sel)).unwrap();
+        assert_eq!(p.detectors.len(), f.detectors.len());
+        for (a, b) in p.detectors.iter().zip(&f.detectors) {
+            assert_eq!(
+                (a.id, a.loop_id, &a.var_name),
+                (b.id, b.loop_id, &b.var_name)
+            );
+        }
     }
 }

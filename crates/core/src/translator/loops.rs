@@ -19,6 +19,7 @@
 //! hook; everything else is identical, so the profiled value is exactly the
 //! value the FT build later checks.
 
+use crate::translator::select::HardeningSelection;
 use crate::translator::LoopDetectorSpec;
 use hauberk_kir::analysis::{derive_trip_count, select_protection_targets, LoopDataflow};
 use hauberk_kir::expr::{Expr, MathFn, VarId};
@@ -51,10 +52,37 @@ struct LoopPlan {
     self_acc: Vec<bool>,
     trip: Option<Expr>,
     iterator: Option<VarId>,
+    /// Emit the per-iteration counter. Always true classically; a selective
+    /// build elides it when the trip check is deselected and the trip count
+    /// is derivable (the range check then divides by the expected trip).
+    use_counter: bool,
+    /// Emit the post-loop `CheckEqual` trip invariant (FT mode, derivable
+    /// trip, and — under a selection — the loop's trip check is selected).
+    trip_check: bool,
 }
 
 /// Apply the loop-detector pass in place; returns the placed detectors.
 pub fn instrument_loops(k: &mut KernelDef, opts: LoopPassOptions) -> Vec<LoopDetectorSpec> {
+    instrument_loops_selected(k, opts, None)
+}
+
+/// [`instrument_loops`] restricted to a [`HardeningSelection`]: only the
+/// `(loop, variable)` pairs the selection lists get a detector. A loop whose
+/// every analysis target is deselected is left entirely untouched — no
+/// counter, no accumulator, no trip check — so an unselected loop costs
+/// nothing. The trip-count invariant is selectable separately
+/// ([`HardeningSelection::trip_checks`]): when it is deselected and the
+/// trip count is derivable, the per-iteration counter is elided and the
+/// range check divides by the precomputed expected trip instead (identical
+/// fault-free, so profiled ranges stay valid). Detector ids stay dense over
+/// the placed subset (the control block's range table has one slot per
+/// *placed* detector), and a profiler build under the same selection
+/// produces the identical layout.
+pub fn instrument_loops_selected(
+    k: &mut KernelDef,
+    opts: LoopPassOptions,
+    sel: Option<&HardeningSelection>,
+) -> Vec<LoopDetectorSpec> {
     // Analysis phase on a pristine snapshot.
     let snapshot = k.clone();
     let mut plans: Vec<LoopPlan> = Vec::new();
@@ -65,18 +93,34 @@ pub fn instrument_loops(k: &mut KernelDef, opts: LoopPassOptions) -> Vec<LoopDet
             Stmt::While { id, .. } => (*id, None),
             _ => unreachable!("collect_outermost_loops yields loops"),
         };
-        let targets = select_protection_targets(&snapshot, &df, iterator, opts.max_var);
+        let mut targets = select_protection_targets(&snapshot, &df, iterator, opts.max_var);
+        if let Some(s) = sel {
+            targets.retain(|t| s.selects_loop(loop_id, &snapshot.vars[*t as usize].name));
+            if targets.is_empty() {
+                // Nothing selected in this loop: leave it verbatim. (Without
+                // a selection an empty target list still instruments the
+                // counter/trip check, as always.)
+                return;
+            }
+        }
         let self_acc = targets
             .iter()
             .map(|t| df.self_accumulating.contains(t))
             .collect();
         let trip = derive_trip_count(loop_stmt);
+        // Classic builds (no selection) always carry the counter and, when
+        // derivable, the trip check — bit-identical to the historical pass.
+        let trip_selected = sel.is_none_or(|s| s.selects_trip(loop_id));
+        let trip_check = trip.is_some() && trip_selected;
+        let use_counter = trip.is_none() || trip_selected;
         plans.push(LoopPlan {
             loop_id,
             targets,
             self_acc,
             trip,
             iterator,
+            use_counter,
+            trip_check,
         });
     });
 
@@ -170,9 +214,13 @@ fn instrument_one_loop(
     out: &mut Vec<Stmt>,
 ) {
     let n = specs.len();
-    // Shared iteration counter.
-    let cnt = k.add_local(format!("__cnt_{n}"), Ty::I32);
-    out.push(Stmt::assign(cnt, Expr::i32(0)));
+    // Shared iteration counter (elided when the range check can divide by
+    // the statically expected trip instead).
+    let cnt = plan.use_counter.then(|| {
+        let cnt = k.add_local(format!("__cnt_{n}"), Ty::I32);
+        out.push(Stmt::assign(cnt, Expr::i32(0)));
+        cnt
+    });
 
     // Per-target accumulators.
     let mut accs: Vec<(VarId, VarId, bool)> = Vec::new(); // (target, acc, self_acc)
@@ -193,6 +241,8 @@ fn instrument_one_loop(
     }
 
     // Expected trip count (evaluated before the loop; loop-invariant).
+    // Needed by the trip check and, when the counter is elided, as the
+    // range check's divisor.
     let expect = plan.trip.as_ref().map(|tc| {
         let e = k.add_local(format!("__exp_{n}"), Ty::I32);
         out.push(Stmt::assign(e, tc.clone()));
@@ -208,7 +258,10 @@ fn instrument_one_loop(
             _ => unreachable!("instrument_one_loop requires a loop"),
         };
         let taken = std::mem::take(body);
-        let mut new_body = vec![Stmt::assign(cnt, Expr::add(Expr::var(cnt), Expr::i32(1)))];
+        let mut new_body = match cnt {
+            Some(cnt) => vec![Stmt::assign(cnt, Expr::add(Expr::var(cnt), Expr::i32(1)))],
+            None => vec![],
+        };
         // Find the index of the last top-level statement that (recursively)
         // defines each non-self-accumulating target.
         let mut acc_after: Vec<Option<usize>> = accs
@@ -244,13 +297,19 @@ fn instrument_one_loop(
     for (ti, (target, acc, self_acc)) in accs.iter().enumerate() {
         let det = specs.len();
         first_det_for_loop.get_or_insert(det);
-        // averaged = acc / max(cnt, 1)   (as f32; guards empty loops)
+        // averaged = acc / max(divisor, 1)   (as f32; guards empty loops).
+        // The divisor is the dynamic counter when one exists, otherwise the
+        // statically expected trip — identical fault-free, so the profiled
+        // ranges configure either form.
+        let divisor = cnt
+            .or(expect)
+            .expect("counter-less loops have a derivable trip");
         let avg = Expr::div(
             as_f32(k, *acc),
             Expr::call(
                 MathFn::Max,
                 vec![
-                    Expr::Cast(PrimTy::F32, Box::new(Expr::var(cnt))),
+                    Expr::Cast(PrimTy::F32, Box::new(Expr::var(divisor))),
                     Expr::f32(1.0),
                 ],
             ),
@@ -283,14 +342,14 @@ fn instrument_one_loop(
     }
 
     // Trip-count invariant (FT mode only; it needs no profiling).
-    if let (Some(e), false) = (expect, opts.profile_mode) {
+    if let (true, Some(c), Some(e), false) = (plan.trip_check, cnt, expect, opts.profile_mode) {
         let det = first_det_for_loop.unwrap_or(specs.len().saturating_sub(1));
         out.push(Stmt::Hook(Hook {
             kind: HookKind::CheckEqual {
                 detector: det as u32,
             },
             site: *next_site,
-            args: vec![Expr::var(cnt), Expr::var(e)],
+            args: vec![Expr::var(c), Expr::var(e)],
             target: None,
         }));
         *next_site += 1;
@@ -449,6 +508,90 @@ mod tests {
         assert_eq!(p.matches("@check_range").count(), 1);
         assert_eq!(p.matches("let __cnt_").count(), 1, "one counter:\n{p}");
         assert_eq!(p.matches("__cnt_0 = __cnt_0 + 1;").count(), 1);
+    }
+
+    #[test]
+    fn selection_places_only_named_loop_detectors() {
+        let src = r#"kernel t(out: *global f32, x: *global f32, n: i32) {
+            let a: f32 = 0.0;
+            for (i = 0; i < n; i = i + 1) {
+                a = a + load(x, i);
+            }
+            let b: f32 = 0.0;
+            for (j = 0; j < n; j = j + 1) {
+                b = b + load(x, j) * load(x, j);
+            }
+            store(out, 0, a + b);
+        }"#;
+        // Discover both loops' detectors from an unrestricted pass first.
+        let mut probe = parse_kernel(src).unwrap();
+        let all = instrument_loops(&mut probe, LoopPassOptions::default());
+        assert_eq!(all.len(), 2);
+        // Keep only the second loop's detector, with its trip check.
+        let sel = HardeningSelection {
+            nonloop_vars: vec![],
+            loop_detectors: vec![(all[1].loop_id, all[1].var_name.clone())],
+            trip_checks: vec![all[1].loop_id],
+        };
+        let mut k = parse_kernel(src).unwrap();
+        let specs = instrument_loops_selected(&mut k, LoopPassOptions::default(), Some(&sel));
+        k.renumber();
+        validate_kernel(&k).expect("selected kernel must validate");
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].id, 0, "ids stay dense over the placed subset");
+        assert_eq!(specs[0].loop_id, all[1].loop_id);
+        assert_eq!(specs[0].var_name, all[1].var_name);
+        let p = print_kernel(&k);
+        // The unselected loop carries no counter and no checks at all.
+        assert_eq!(p.matches("let __cnt_").count(), 1, "one counter:\n{p}");
+        assert_eq!(p.matches("@check_range").count(), 1);
+        assert_eq!(p.matches("@check_equal").count(), 1);
+    }
+
+    #[test]
+    fn deselected_trip_check_elides_the_counter() {
+        // Same detector as the unrestricted pass, but no trip check: the
+        // per-iteration counter disappears and the range check divides by
+        // the precomputed expected trip.
+        let mut probe = parse_kernel(DOT).unwrap();
+        let all = instrument_loops(&mut probe, LoopPassOptions::default());
+        let sel = HardeningSelection {
+            nonloop_vars: vec![],
+            loop_detectors: vec![(all[0].loop_id, all[0].var_name.clone())],
+            trip_checks: vec![],
+        };
+        let mut k = parse_kernel(DOT).unwrap();
+        let specs = instrument_loops_selected(&mut k, LoopPassOptions::default(), Some(&sel));
+        k.renumber();
+        validate_kernel(&k).expect("counter-less kernel must validate");
+        assert_eq!(specs.len(), 1);
+        let p = print_kernel(&k);
+        assert!(!p.contains("__cnt_"), "counter elided:\n{p}");
+        assert!(!p.contains("@check_equal"), "no trip check:\n{p}");
+        assert!(p.contains("__exp_0"), "expected trip is the divisor:\n{p}");
+        assert_eq!(p.matches("@check_range").count(), 1);
+        // A while loop's trip is not derivable: the counter must survive
+        // even with the trip check deselected (it is the only divisor).
+        let wsrc = r#"kernel t(out: *global i32, n: i32) {
+            let c: i32 = 0;
+            while (c < n) {
+                c = c + 1;
+            }
+            store(out, 0, c);
+        }"#;
+        let mut probe = parse_kernel(wsrc).unwrap();
+        let wall = instrument_loops(&mut probe, LoopPassOptions::default());
+        let wsel = HardeningSelection {
+            nonloop_vars: vec![],
+            loop_detectors: vec![(wall[0].loop_id, wall[0].var_name.clone())],
+            trip_checks: vec![],
+        };
+        let mut wk = parse_kernel(wsrc).unwrap();
+        instrument_loops_selected(&mut wk, LoopPassOptions::default(), Some(&wsel));
+        wk.renumber();
+        validate_kernel(&wk).unwrap();
+        let wp = print_kernel(&wk);
+        assert!(wp.contains("__cnt_0"), "while keeps its counter:\n{wp}");
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //!   emit execution-count hooks that enumerate and weight injection targets.
 //! * [`rscatter`] — the R-Scatter comparison baseline: full statement
 //!   duplication inside the kernel, doubling shared-memory use.
+//! * [`select`] — selective placement: the serializable [`select::HardeningPlan`]
+//!   / [`select::HardeningSelection`] that restrict the NL/L passes to a
+//!   vulnerability-ranked subset of sites (closed-loop hardening).
 
 pub mod fi;
 pub mod loops;
 pub mod nonloop;
 pub mod rscatter;
+pub mod select;
 
 use hauberk_kir::stmt::{LoopId, SiteId};
 use hauberk_kir::types::DataClass;

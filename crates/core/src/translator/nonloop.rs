@@ -28,6 +28,7 @@
 //! loop detectors instead). Kernel parameters are folded at entry and again
 //! at exit (unmodified) or right before their first redefinition.
 
+use crate::translator::select::HardeningSelection;
 use hauberk_kir::expr::{BinOp, Expr, UnOp, VarId};
 use hauberk_kir::stmt::{Block, Hook, HookKind, Stmt};
 use hauberk_kir::{KernelDef, Ty};
@@ -53,8 +54,22 @@ fn xor_fold(chk: VarId, v: VarId) -> Stmt {
     )
 }
 
-/// Apply the non-loop detector pass in place.
+/// Apply the non-loop detector pass in place (protect everything).
 pub fn instrument_nonloop(k: &mut KernelDef) -> NlReport {
+    instrument_nonloop_selected(k, None)
+}
+
+/// Apply the non-loop detector pass restricted to a [`HardeningSelection`]:
+/// only definitions (and parameters) whose variable name the selection lists
+/// get the duplication + checksum triplet; everything else is left verbatim.
+/// `None` protects everything. The single `__chk` checksum variable and the
+/// kernel-exit check are still placed (callers that want literally zero NL
+/// code skip the pass for an empty selection — see
+/// [`crate::builds::build_selected`]).
+pub fn instrument_nonloop_selected(
+    k: &mut KernelDef,
+    sel: Option<&HardeningSelection>,
+) -> NlReport {
     let mut report = NlReport::default();
     let chk = k.add_local(k.fresh_name("__chk"), Ty::U32);
     let body = std::mem::take(&mut k.body);
@@ -66,6 +81,9 @@ pub fn instrument_nonloop(k: &mut KernelDef) -> NlReport {
     let mut prologue: Vec<Stmt> = vec![Stmt::assign(chk, Expr::u32(0))];
     let mut open_params: Vec<VarId> = Vec::new();
     for p in 0..k.n_params as VarId {
+        if !var_selected(k, sel, p) {
+            continue;
+        }
         prologue.push(xor_fold(chk, p));
         open_params.push(p);
         report.protected_params += 1;
@@ -75,6 +93,7 @@ pub fn instrument_nonloop(k: &mut KernelDef) -> NlReport {
         k,
         chk,
         body,
+        sel,
         &mut next_site,
         &mut next_dup,
         &mut report,
@@ -97,12 +116,19 @@ pub fn instrument_nonloop(k: &mut KernelDef) -> NlReport {
     report
 }
 
+/// Whether the selection (if any) lists variable `v` for NL protection.
+fn var_selected(k: &KernelDef, sel: Option<&HardeningSelection>, v: VarId) -> bool {
+    sel.is_none_or(|s| s.selects_nl(&k.vars[v as usize].name))
+}
+
 /// Process one non-loop block. `open_params` is only threaded at the top
 /// level (parameter folds close before their first redefinition anywhere).
+#[allow(clippy::too_many_arguments)]
 fn process_block(
     k: &mut KernelDef,
     chk: VarId,
     block: Block,
+    sel: Option<&HardeningSelection>,
     next_site: &mut u32,
     next_dup: &mut usize,
     report: &mut NlReport,
@@ -120,6 +146,9 @@ fn process_block(
             continue;
         };
         let var = *var;
+        if !var_selected(k, sel, var) {
+            continue;
+        }
         let mut placed = false;
         let mut last_use: usize = i;
         for (j, later) in stmts.iter().enumerate().skip(i + 1) {
@@ -166,7 +195,7 @@ fn process_block(
     for (i, s) in stmts.into_iter().enumerate() {
         out.append(&mut fold_before[i]);
         match s {
-            Stmt::Assign { var, value } => {
+            Stmt::Assign { var, value } if var_selected(k, sel, var) => {
                 report.protected_defs += 1;
                 let dup_ty = k.var_ty(var);
                 let dup = k.add_local(format!("__dup_{}", *next_dup), dup_ty);
@@ -196,8 +225,10 @@ fn process_block(
                 else_blk,
             } => {
                 // Non-loop code inside conditionals is protected too.
-                let then_blk = process_block(k, chk, then_blk, next_site, next_dup, report, None);
-                let else_blk = process_block(k, chk, else_blk, next_site, next_dup, report, None);
+                let then_blk =
+                    process_block(k, chk, then_blk, sel, next_site, next_dup, report, None);
+                let else_blk =
+                    process_block(k, chk, else_blk, sel, next_site, next_dup, report, None);
                 out.push(Stmt::If {
                     cond,
                     then_blk,
@@ -340,6 +371,32 @@ mod tests {
         assert_eq!(r.protected_defs, 0);
         let printed = print_kernel(&k);
         assert!(!printed.contains("__dup"));
+        assert!(printed.contains("@checksum_check"));
+    }
+
+    #[test]
+    fn selection_restricts_protection_to_named_vars() {
+        let src = r#"kernel t(p: *global f32, n: i32) {
+                let a: f32 = 2.0;
+                let b: f32 = a * 3.0;
+                store(p, 0, b);
+            }"#;
+        let mut k = parse_kernel(src).unwrap();
+        let sel = HardeningSelection {
+            nonloop_vars: vec!["b".into()],
+            loop_detectors: vec![],
+            trip_checks: vec![],
+        };
+        let r = instrument_nonloop_selected(&mut k, Some(&sel));
+        k.renumber();
+        validate_kernel(&k).expect("selected kernel must validate");
+        assert_eq!(r.protected_defs, 1, "only `b` gets a triplet");
+        assert_eq!(r.protected_params, 0, "params not in the selection");
+        let printed = print_kernel(&k);
+        assert_eq!(printed.matches("__dup_0").count(), 2, "one dup pair");
+        assert!(!printed.contains("bits(a)"), "`a` unfolded:\n{printed}");
+        assert_eq!(printed.matches("__chk = __chk ^ bits(b)").count(), 2);
+        // The exit check still validates the (b-only) checksum.
         assert!(printed.contains("@checksum_check"));
     }
 

@@ -1,0 +1,296 @@
+//! Selective detector placement: the translator side of closed-loop
+//! hardening.
+//!
+//! The campaign side (`hauberk-swifi`'s `harden` module) ranks variables and
+//! loop detectors by measured vulnerability and emits a [`HardeningPlan`];
+//! this module defines the plan format and the [`HardeningSelection`] filter
+//! the instrumentation passes consume. A selection restricts the all-or-
+//! nothing FT passes to exactly the named sites:
+//!
+//! * [`crate::translator::nonloop`] protects only the virtual variables (and
+//!   parameters) named in [`HardeningSelection::nonloop_vars`];
+//! * [`crate::translator::loops`] places only the loop detectors named in
+//!   [`HardeningSelection::loop_detectors`] (a `(loop, variable)` pair); a
+//!   loop with no selected target is left entirely untouched — no counter,
+//!   no trip check, zero overhead;
+//! * the loop trip-count invariant is selectable separately
+//!   ([`HardeningSelection::trip_checks`]): when a loop's trip count is
+//!   statically derivable and its trip check is *not* selected, the range
+//!   check divides the accumulator by the precomputed expected trip
+//!   instead of a dynamic counter, eliding the per-iteration counter
+//!   increment — the dominant cost of a loop detector.
+//!
+//! Selections compose with the build variants through
+//! [`crate::builds::build_selected`]; `None` means "everything", reproducing
+//! the classic full-protection builds bit for bit.
+//!
+//! Serialization is byte-stable: a [`HardeningSelection`] is normalized
+//! (sorted, deduplicated) before it is written, object keys serialize in
+//! sorted order, and every field round-trips through
+//! [`hauberk_telemetry::json`] — so "same journal in, byte-identical plan
+//! out" holds across engines and thread counts.
+
+use hauberk_kir::stmt::LoopId;
+use hauberk_telemetry::json::{self, Json};
+
+/// Which detector sites a selective FT build places. An empty component
+/// means "place none of that detector family"; use `Option<&Selection>` =
+/// `None` at the build layer for the classic protect-everything behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HardeningSelection {
+    /// Virtual-variable (or parameter) names protected by Hauberk-NL
+    /// duplication + checksum. Sorted and deduplicated.
+    pub nonloop_vars: Vec<String>,
+    /// `(loop, protected variable)` pairs protected by a Hauberk-L range
+    /// detector. Sorted and deduplicated.
+    pub loop_detectors: Vec<(LoopId, String)>,
+    /// Loops whose trip-count invariant (per-iteration counter +
+    /// `CheckEqual` against the derived trip) is placed. Only meaningful
+    /// for loops that also have a selected range detector; loops with a
+    /// non-derivable trip count keep their counter regardless (the range
+    /// check needs it as divisor). Sorted and deduplicated.
+    pub trip_checks: Vec<LoopId>,
+}
+
+impl HardeningSelection {
+    /// Sort and deduplicate both components, making the selection canonical
+    /// (and its serialization byte-stable).
+    pub fn normalize(&mut self) {
+        self.nonloop_vars.sort();
+        self.nonloop_vars.dedup();
+        self.loop_detectors.sort();
+        self.loop_detectors.dedup();
+        self.trip_checks.sort_unstable();
+        self.trip_checks.dedup();
+    }
+
+    /// Whether the selection places no detectors at all.
+    pub fn is_empty(&self) -> bool {
+        self.nonloop_vars.is_empty()
+            && self.loop_detectors.is_empty()
+            && self.trip_checks.is_empty()
+    }
+
+    /// Total number of selected placements.
+    pub fn len(&self) -> usize {
+        self.nonloop_vars.len() + self.loop_detectors.len() + self.trip_checks.len()
+    }
+
+    /// Whether the non-loop pass should protect variable `name`.
+    pub fn selects_nl(&self, name: &str) -> bool {
+        self.nonloop_vars.iter().any(|v| v == name)
+    }
+
+    /// Whether the loop pass should place the detector for `name` in `loop_id`.
+    pub fn selects_loop(&self, loop_id: LoopId, name: &str) -> bool {
+        self.loop_detectors
+            .iter()
+            .any(|(l, v)| *l == loop_id && v == name)
+    }
+
+    /// Whether the loop pass should place `loop_id`'s trip-count check.
+    pub fn selects_trip(&self, loop_id: LoopId) -> bool {
+        self.trip_checks.contains(&loop_id)
+    }
+
+    /// Serialize (canonical form; callers should [`Self::normalize`] first).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "nonloop_vars",
+                Json::Arr(self.nonloop_vars.iter().map(Json::str).collect()),
+            ),
+            (
+                "loop_detectors",
+                Json::Arr(
+                    self.loop_detectors
+                        .iter()
+                        .map(|(l, v)| {
+                            Json::obj([("loop", Json::uint(*l as u64)), ("var", Json::str(v))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "trip_checks",
+                Json::Arr(
+                    self.trip_checks
+                        .iter()
+                        .map(|l| Json::uint(*l as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a selection object (the inverse of [`Self::to_json`]). The
+    /// parsed selection is normalized.
+    pub fn from_json(j: &Json) -> Option<HardeningSelection> {
+        let nonloop_vars = j
+            .get("nonloop_vars")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let loop_detectors = j
+            .get("loop_detectors")?
+            .as_arr()?
+            .iter()
+            .map(|d| {
+                Some((
+                    u32::try_from(d.get("loop")?.as_u64()?).ok()?,
+                    d.get("var")?.as_str()?.to_string(),
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let trip_checks = j
+            .get("trip_checks")?
+            .as_arr()?
+            .iter()
+            .map(|l| u32::try_from(l.as_u64()?).ok())
+            .collect::<Option<Vec<_>>>()?;
+        let mut sel = HardeningSelection {
+            nonloop_vars,
+            loop_detectors,
+            trip_checks,
+        };
+        sel.normalize();
+        Some(sel)
+    }
+}
+
+/// Version of the serialized plan format; bumped on incompatible changes.
+pub const PLAN_VERSION: u64 = 1;
+
+/// A serializable detector placement: the artifact the optimizer emits and
+/// the translator (via [`crate::builds::build_selected`]) consumes. Carries
+/// enough provenance to refuse application to the wrong program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HardeningPlan {
+    /// Program the plan was derived for.
+    pub program: String,
+    /// Budget the selection was fitted under, as a fraction of the
+    /// full-protection detector overhead (`1.0` = allow everything).
+    pub budget: f64,
+    /// 16-hex-digit FNV-1a fingerprint of the baseline campaign plan the
+    /// ranking was measured on (the journal's `fingerprint` field).
+    pub fingerprint: String,
+    /// The placement itself.
+    pub selection: HardeningSelection,
+}
+
+impl HardeningPlan {
+    /// Serialize to a canonical JSON object (keys sorted, selection
+    /// normalized by construction).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("plan", Json::str("hardening")),
+            ("version", Json::uint(PLAN_VERSION)),
+            ("program", Json::str(self.program.clone())),
+            ("budget", Json::Num(self.budget)),
+            ("fingerprint", Json::str(self.fingerprint.clone())),
+            ("selection", self.selection.to_json()),
+        ])
+    }
+
+    /// The byte-stable single-line serialization written by `--plan-out`.
+    pub fn to_json_string(&self) -> String {
+        format!("{}\n", self.to_json())
+    }
+
+    /// Parse a plan document, rejecting unknown kinds/versions.
+    pub fn from_json(j: &Json) -> Result<HardeningPlan, String> {
+        if j.get("plan").and_then(|p| p.as_str()) != Some("hardening") {
+            return Err("not a hardening plan (missing `\"plan\":\"hardening\"`)".into());
+        }
+        match j.get("version").and_then(|v| v.as_u64()) {
+            Some(PLAN_VERSION) => {}
+            Some(v) => return Err(format!("unsupported plan version {v}")),
+            None => return Err("plan has no version field".into()),
+        }
+        let get_str = |k: &str| {
+            j.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("plan missing `{k}`"))
+        };
+        Ok(HardeningPlan {
+            program: get_str("program")?,
+            budget: j
+                .get("budget")
+                .and_then(|b| b.as_f64())
+                .ok_or("plan missing `budget`")?,
+            fingerprint: get_str("fingerprint")?,
+            selection: j
+                .get("selection")
+                .and_then(HardeningSelection::from_json)
+                .ok_or("plan missing or malformed `selection`")?,
+        })
+    }
+
+    /// Parse the textual form written by [`Self::to_json_string`].
+    pub fn parse(text: &str) -> Result<HardeningPlan, String> {
+        let j = json::parse(text.trim()).map_err(|e| e.to_string())?;
+        HardeningPlan::from_json(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HardeningPlan {
+        let mut selection = HardeningSelection {
+            nonloop_vars: vec!["scale".into(), "acc".into(), "scale".into()],
+            loop_detectors: vec![(2, "acc".into()), (0, "acc".into())],
+            trip_checks: vec![2, 0, 2],
+        };
+        selection.normalize();
+        HardeningPlan {
+            program: "CP".into(),
+            budget: 0.5,
+            fingerprint: "00ff00ff00ff00ff".into(),
+            selection,
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let p = sample();
+        assert_eq!(p.selection.nonloop_vars, vec!["acc", "scale"]);
+        assert_eq!(
+            p.selection.loop_detectors,
+            vec![(0, "acc".to_string()), (2, "acc".to_string())]
+        );
+        assert!(p.selection.selects_nl("acc"));
+        assert!(!p.selection.selects_nl("other"));
+        assert!(p.selection.selects_loop(2, "acc"));
+        assert!(!p.selection.selects_loop(1, "acc"));
+        assert_eq!(p.selection.trip_checks, vec![0, 2]);
+        assert!(p.selection.selects_trip(0));
+        assert!(!p.selection.selects_trip(1));
+        assert_eq!(p.selection.len(), 6);
+    }
+
+    #[test]
+    fn plan_round_trips_byte_identically() {
+        let p = sample();
+        let text = p.to_json_string();
+        let back = HardeningPlan::parse(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.to_json_string(), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        assert!(HardeningPlan::parse("{}").is_err());
+        assert!(HardeningPlan::parse("{\"plan\":\"hardening\"}").is_err());
+        let mut j = match sample().to_json() {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        j.insert("version".into(), Json::uint(99));
+        let err = HardeningPlan::parse(&Json::Obj(j).to_string()).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+    }
+}

@@ -4,6 +4,7 @@
 //! serve [--addr 127.0.0.1:7070] [--workers N] [--queue N]
 //!       [--state-dir DIR] [--max-body BYTES] [--read-timeout-ms MS]
 //!       [--peer HOST:PORT]... [--peers-file FILE] [--client-quota N]
+//!       [--cache-entries N] [--cache-bytes BYTES]
 //! ```
 //!
 //! Any `--peer` (repeatable) or `--peers-file` (one `host:port` per line,
@@ -54,7 +55,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--state-dir DIR] [--max-body BYTES] [--read-timeout-ms MS] \
-         [--peer HOST:PORT]... [--peers-file FILE] [--client-quota N]"
+         [--peer HOST:PORT]... [--peers-file FILE] [--client-quota N] \
+         [--cache-entries N] [--cache-bytes BYTES]"
     );
     std::process::exit(2);
 }
@@ -119,6 +121,8 @@ fn main() {
     cfg.state_dir = arg_value(&args, "--state-dir").map(Into::into);
     cfg.peers = peer_args(&args);
     cfg.client_quota = parsed(&args, "--client-quota", cfg.client_quota);
+    cfg.cache_max_entries = parsed(&args, "--cache-entries", cfg.cache_max_entries);
+    cfg.cache_max_bytes = parsed(&args, "--cache-bytes", cfg.cache_max_bytes);
     if !cfg.peers.is_empty() {
         eprintln!(
             "serve: fleet coordinator over {} peer(s): {}",

@@ -2,9 +2,13 @@
 //! the pieces back into a byte-identical result.
 //!
 //! A daemon started with `--peer` flags (or `--peers-file`) becomes a
-//! *coordinator*: a plain `POST /v1/campaigns` is split into `M = peers + 1`
-//! shard jobs over the orchestrator's round-robin stratum partition
-//! (`ordinal % M == i`). Shard 0 runs locally on the coordinator's own
+//! *coordinator*: a plain `POST /v1/campaigns` is split into at most
+//! `M = peers + 1` shard jobs over the orchestrator's round-robin stratum
+//! partition (`ordinal % M == i`). Splitting is size-aware: a campaign
+//! planning fewer than [`MIN_UNITS_PER_SHARD`] injections per shard gets
+//! fewer shards — a small job degenerates to the coordinator running it
+//! alone, because shipping journals around costs more than the shard saves.
+//! Shard 0 runs locally on the coordinator's own
 //! worker thread; shards `1..M` are dispatched to peer daemons over the
 //! same public HTTP API a human client uses — `POST` the shard spec, poll
 //! status (long-poll), then read the shard's orchestrator journal back out
@@ -16,9 +20,11 @@
 //! and — because adaptive stopping depends only on a stratum's own unit
 //! prefix — a summary document byte-identical to a single-daemon run.
 //!
-//! Failure policy per remote shard: one transport retry against the same
-//! peer, then re-dispatch around the ring of remaining peers, then local
-//! fallback on the coordinator itself. A `429` from a saturated worker is
+//! Failure policy per remote shard: a `GET /healthz` probe gates every
+//! dispatch (a dead peer is skipped with a `shard_skipped_unhealthy` event
+//! instead of burning a submit timeout), then one transport retry against
+//! the same peer, then re-dispatch around the ring of remaining peers, then
+//! local fallback on the coordinator itself. A `429` from a saturated worker is
 //! honored (sleep, bounded) and its `Retry-After` is recorded so the
 //! coordinator's *own* backpressure responses never advertise a shorter
 //! horizon than the fleet's. Cancellation propagates: a `DELETE` on the
@@ -101,12 +107,27 @@ fn shard_spec(spec: &JobSpec, index: u32, modulus: u32) -> JobSpec {
     }
 }
 
+/// Minimum planned injections a shard must be worth before the coordinator
+/// splits it out to a peer: below this, journal transfer and resume-replay
+/// dominate the shard's own execution time, so small campaigns run on fewer
+/// shards — down to the coordinator alone.
+pub const MIN_UNITS_PER_SHARD: u64 = 16;
+
+/// How many ways to split a campaign of `units` planned injections across
+/// `peers` workers: never more shards than keep each one at
+/// [`MIN_UNITS_PER_SHARD`] units, never fewer than 1 (coordinator-only),
+/// and never more than the 64 the journal merge is specified for.
+fn shard_modulus(peers: usize, units: u64) -> u32 {
+    let by_peers = u32::try_from(peers + 1).unwrap_or(u32::MAX);
+    let by_units = u32::try_from((units / MIN_UNITS_PER_SHARD).max(1)).unwrap_or(u32::MAX);
+    by_peers.min(by_units).min(64)
+}
+
 /// Run one campaign across the fleet; returns the final summary document
 /// (byte-identical to a single-daemon run of the same spec).
 pub fn run_fleet_campaign(job: &Arc<Job>, env: &FleetEnv) -> Result<String, String> {
-    let modulus = u32::try_from(env.peers.len() + 1)
-        .unwrap_or(u32::MAX)
-        .min(64);
+    let modulus = shard_modulus(env.peers.len(), job.spec.planned_units_hint());
+    env.metrics.incr("fleet_shards_planned", modulus as u64);
     std::fs::create_dir_all(&env.scratch)
         .map_err(|e| format!("fleet scratch {}: {e}", env.scratch.display()))?;
     let shard_path = |i: u32| env.scratch.join(format!("shard-{i}.jsonl"));
@@ -192,6 +213,18 @@ fn dispatch_shard(
             return Err(CANCELED.to_string());
         }
         let peer = &env.peers[(index as usize - 1 + k) % n];
+        // Probe before dispatch: a dead peer fails in one cheap round-trip
+        // here instead of a full submit + retry cycle, and the skip is
+        // visible in the event log rather than disguised as a transport
+        // error.
+        if !peer_healthy(env, peer) {
+            env.metrics.incr("fleet_shards_skipped_unhealthy", 1);
+            sink.emit(&Event::ShardSkippedUnhealthy {
+                shard: index as u64,
+                peer: peer.clone(),
+            });
+            continue;
+        }
         sink.emit(&Event::ShardDispatched {
             shard: index as u64,
             total: modulus as u64,
@@ -220,6 +253,14 @@ fn dispatch_shard(
     });
     env.metrics.incr("fleet_local_fallbacks", 1);
     run_local_shard(job, index, modulus, path)
+}
+
+/// One `GET /healthz` round-trip: anything but a 200 within the timeout
+/// means the peer is not worth offering a shard to right now.
+fn peer_healthy(env: &FleetEnv, peer: &str) -> bool {
+    client_call(peer, "GET", "/healthz", &[], b"", env.http_timeout)
+        .map(|resp| resp.status == 200)
+        .unwrap_or(false)
 }
 
 /// Submit a shard to one peer, wait for it, and write its journal lines to
@@ -381,6 +422,21 @@ mod tests {
         std::fs::write(&path, "not an address\n").unwrap();
         assert!(parse_peers_file(&path).unwrap_err().contains("host:port"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_modulus_scales_with_planned_units() {
+        // Plenty of work: every peer gets a shard (capped at 64).
+        assert_eq!(shard_modulus(3, 10_000), 4);
+        assert_eq!(shard_modulus(100, 1_000_000), 64);
+        // 48 units over MIN_UNITS_PER_SHARD=16 → only 3 shards are worth
+        // their transfer cost, even with 7 peers idle.
+        assert_eq!(shard_modulus(7, 48), 3);
+        // Tiny campaign: coordinator-only, no matter the fleet size.
+        assert_eq!(shard_modulus(7, 10), 1);
+        assert_eq!(shard_modulus(7, 0), 1);
+        // No peers: always exactly one shard.
+        assert_eq!(shard_modulus(0, 1 << 20), 1);
     }
 
     #[test]

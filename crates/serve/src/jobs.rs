@@ -11,6 +11,7 @@
 use hauberk::builds::FtOptions;
 use hauberk::program::HostProgram;
 use hauberk::textprog::{TextOptions, TextProgram};
+use hauberk::translator::select::HardeningSelection;
 use hauberk::units::Stratum;
 use hauberk_benchmarks::{program_by_name, ProblemScale};
 use hauberk_swifi::campaign::{CampaignConfig, CampaignKind};
@@ -141,6 +142,12 @@ pub struct JobSpec {
     /// back over the existing `/events` endpoint — no extra transfer
     /// endpoint to secure or cache.
     pub emit_journal: bool,
+    /// Selective detector placement for coverage campaigns: the
+    /// `selection` object of a [`mod@hauberk_swifi::harden`] plan. `None`
+    /// (the default) keeps the classic protect-everything build; a
+    /// selection restricts the FT passes to exactly the named sites, so a
+    /// daemon can re-measure a hardened placement without local tooling.
+    pub hardening: Option<HardeningSelection>,
     /// Opt into the content-addressed result cache (default `false`): on
     /// completion the result document is stored under the spec's
     /// [`JobSpec::cache_key`], and a later identical submission with
@@ -173,6 +180,7 @@ impl Default for JobSpec {
             priority: Priority::Normal,
             client: None,
             emit_journal: false,
+            hardening: None,
             cache: false,
         }
     }
@@ -217,6 +225,7 @@ impl JobSpec {
             "priority",
             "client",
             "emit_journal",
+            "hardening",
             "cache",
         ];
         if let Some(k) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
@@ -301,6 +310,12 @@ impl JobSpec {
         }
         if let Some(v) = map.get("emit_journal") {
             spec.emit_journal = v.as_bool().ok_or("`emit_journal` must be a boolean")?;
+        }
+        if let Some(v) = map.get("hardening") {
+            spec.hardening = Some(HardeningSelection::from_json(v).ok_or(
+                "`hardening` must be a selection object with `nonloop_vars`, \
+                 `loop_detectors` and `trip_checks` (a hardening plan's `selection` field)",
+            )?);
         }
         if let Some(v) = map.get("cache") {
             spec.cache = v.as_bool().ok_or("`cache` must be a boolean")?;
@@ -461,6 +476,9 @@ impl JobSpec {
         if self.emit_journal {
             pairs.push(("emit_journal", Json::Bool(true)));
         }
+        if let Some(sel) = &self.hardening {
+            pairs.push(("hardening", sel.to_json()));
+        }
         if self.cache {
             pairs.push(("cache", Json::Bool(true)));
         }
@@ -561,8 +579,20 @@ impl JobSpec {
             seed: self.seed,
             alpha: self.alpha,
             engine: self.engine,
+            hardening: self.hardening.clone(),
             ..Default::default()
         }
+    }
+
+    /// Upper bound on the injections this spec plans: `vars × masks`
+    /// variable experiments plus the 6% scheduler and 6% register-file
+    /// riders [`Self::campaign_config`] adds on top. The real plan can only
+    /// be smaller (kernels with fewer variables than `vars`), so the fleet
+    /// coordinator uses this as its shard-sizing hint without having to
+    /// profile the program first.
+    pub fn planned_units_hint(&self) -> u64 {
+        let base = (self.vars as u64).saturating_mul(self.masks as u64);
+        base.saturating_mul(1000 + 60 + 60) / 1000
     }
 
     /// The orchestrator knobs this spec maps to (journal paths are the
@@ -1016,6 +1046,37 @@ mod tests {
             let err = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{body} -> {err}");
         }
+    }
+
+    #[test]
+    fn hardening_selection_parses_round_trips_and_keys_the_cache() {
+        let doc = parse(
+            r#"{"program":"CP","kind":"coverage","hardening":{
+                "nonloop_vars":["xidx"],
+                "loop_detectors":[{"loop":0,"var":"energyx2"}],
+                "trip_checks":[0]}}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        let sel = spec.hardening.as_ref().expect("parsed selection");
+        assert!(sel.selects_nl("xidx"));
+        assert!(sel.selects_loop(0, "energyx2"));
+        assert!(sel.selects_trip(0));
+        assert_eq!(
+            spec.campaign_config().hardening.as_ref(),
+            Some(sel),
+            "selection reaches the campaign config"
+        );
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.to_json(), spec.to_json());
+        // The placement changes the result document, so it must key the cache.
+        let plain =
+            JobSpec::from_json(&parse(r#"{"program":"CP","kind":"coverage"}"#).unwrap()).unwrap();
+        assert_ne!(spec.cache_key(), plain.cache_key());
+        assert!(!plain.to_json().to_string().contains("hardening"));
+        let err =
+            JobSpec::from_json(&parse(r#"{"program":"CP","hardening":7}"#).unwrap()).unwrap_err();
+        assert!(err.contains("`hardening` must be"), "{err}");
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct ServerConfig {
     /// `client` value at once (`0` = unlimited). Anonymous submissions
     /// share one bucket.
     pub client_quota: usize,
+    /// Result-cache entry cap (`0` = uncapped). Beyond it the least
+    /// recently *hit* entry is evicted, and its persisted
+    /// `<key>.cache.json` is removed from the state directory.
+    pub cache_max_entries: usize,
+    /// Result-cache byte cap over stored result bodies (`0` = uncapped);
+    /// same LRU eviction as [`ServerConfig::cache_max_entries`].
+    pub cache_max_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,7 +83,88 @@ impl Default for ServerConfig {
             start_paused: false,
             peers: Vec::new(),
             client_quota: 0,
+            cache_max_entries: 256,
+            cache_max_bytes: 16 << 20,
         }
+    }
+}
+
+/// One cached result document with its LRU stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    body: String,
+    last_hit: u64,
+}
+
+/// The content-addressed result cache behind `"cache": true` submissions,
+/// bounded by an entry-count and a byte cap. Eviction is LRU by last hit
+/// (a hit refreshes the stamp); evicted keys are returned to the caller,
+/// which owns deleting the persisted `<key>.cache.json` files.
+#[derive(Debug, Default)]
+struct ResultCache {
+    entries: BTreeMap<String, CacheEntry>,
+    bytes: usize,
+    clock: u64,
+}
+
+impl ResultCache {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Look up a key, refreshing its LRU stamp on a hit.
+    fn get(&mut self, key: &str) -> Option<String> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|e| {
+            e.last_hit = clock;
+            e.body.clone()
+        })
+    }
+
+    /// Store a result body and evict down to the caps (`0` = uncapped),
+    /// returning the evicted keys (possibly including the one just stored,
+    /// if it alone exceeds the byte cap).
+    fn insert(
+        &mut self,
+        key: String,
+        body: String,
+        max_entries: usize,
+        max_bytes: usize,
+    ) -> Vec<String> {
+        self.clock += 1;
+        let entry = CacheEntry {
+            body,
+            last_hit: self.clock,
+        };
+        self.bytes += entry.body.len();
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.bytes -= old.body.len();
+        }
+        let mut evicted = Vec::new();
+        let over = |c: &ResultCache| {
+            (max_entries > 0 && c.entries.len() > max_entries)
+                || (max_bytes > 0 && c.bytes > max_bytes)
+        };
+        while over(self) {
+            let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_hit)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&lru) {
+                self.bytes -= e.body.len();
+            }
+            evicted.push(lru);
+        }
+        evicted
     }
 }
 
@@ -137,7 +225,7 @@ struct Inner {
     trace_seed: u64,
     /// Content-addressed result cache: [`JobSpec::cache_key`] → the exact
     /// result bytes. Only `"cache": true` submissions read or write it.
-    cache: Mutex<BTreeMap<String, String>>,
+    cache: Mutex<ResultCache>,
     /// Max `Retry-After` seconds seen from backpressuring workers; folded
     /// into this daemon's own 429s so the advertised horizon is coherent
     /// across the fleet.
@@ -184,6 +272,26 @@ impl Inner {
             let tmp = path.with_extension("tmp");
             if std::fs::write(&tmp, contents).is_ok() {
                 let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    /// Insert into the result cache under the configured caps, deleting the
+    /// persisted `<key>.cache.json` of anything the insert evicted so a
+    /// restart cannot resurrect entries the caps already expelled.
+    fn cache_store(&self, key: String, body: String) {
+        let evicted = lock_recover(&self.cache).insert(
+            key,
+            body,
+            self.cfg.cache_max_entries,
+            self.cfg.cache_max_bytes,
+        );
+        if !evicted.is_empty() {
+            self.metrics.incr("cache_evicted", evicted.len() as u64);
+            for k in evicted {
+                if let Some(path) = self.state_path(&k, "cache.json") {
+                    let _ = std::fs::remove_file(path);
+                }
             }
         }
     }
@@ -318,7 +426,7 @@ impl Inner {
                 if job.spec.cache {
                     let key = job.spec.cache_key();
                     self.persist(&key, "cache.json", &summary);
-                    lock_recover(&self.cache).insert(key, summary.clone());
+                    self.cache_store(key, summary.clone());
                     self.metrics.incr("cache_stored", 1);
                 }
                 job.finish(summary);
@@ -438,7 +546,7 @@ impl Server {
                 .map(|d| d.as_nanos() as u64)
                 .unwrap_or(0)
                 ^ (std::process::id() as u64) << 32,
-            cache: Mutex::new(BTreeMap::new()),
+            cache: Mutex::new(ResultCache::default()),
             worker_retry_after: AtomicU64::new(0),
             instance: INSTANCES.fetch_add(1, Ordering::SeqCst),
         });
@@ -534,6 +642,8 @@ fn recover_state(inner: &Arc<Inner>) {
     let _ = std::fs::create_dir_all(&dir);
     // Cache entries persist as `<fnv1a-key>.cache.json`; reloading them
     // lets a restarted daemon keep answering hits without re-execution.
+    // Reloading goes through `cache_store` so a cap lowered across the
+    // restart immediately trims the persisted backlog.
     if let Ok(entries) = std::fs::read_dir(&dir) {
         for entry in entries.flatten() {
             let name = entry.file_name().to_string_lossy().to_string();
@@ -542,7 +652,7 @@ fn recover_state(inner: &Arc<Inner>) {
             };
             if key.len() == 16 && key.chars().all(|c| c.is_ascii_hexdigit()) {
                 if let Ok(body) = std::fs::read_to_string(entry.path()) {
-                    lock_recover(&inner.cache).insert(key.to_string(), body);
+                    inner.cache_store(key.to_string(), body);
                 }
             }
         }
@@ -797,7 +907,9 @@ fn handle_submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, trac
     // no execution. Soundness rests on campaign determinism (DESIGN §18).
     if spec.cache {
         let key = spec.cache_key();
-        let hit = lock_recover(&inner.cache).get(&key).cloned();
+        // `get` refreshes the entry's LRU stamp, keeping hot entries alive
+        // under the entry-count / byte caps.
+        let hit = lock_recover(&inner.cache).get(&key);
         if let Some(body) = hit {
             inner.metrics.incr("cache_hits", 1);
             let id = format!("cj-{}", inner.next_id.fetch_add(1, Ordering::SeqCst));
@@ -1053,7 +1165,10 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
         queue_depth = q.len() as u64;
         queue_age_secs = q.oldest_age_secs();
     }
-    let cache_entries = lock_recover(&inner.cache).len() as u64;
+    let (cache_entries, cache_bytes) = {
+        let c = lock_recover(&inner.cache);
+        (c.len() as u64, c.bytes() as u64)
+    };
     let mut phases: BTreeMap<String, u64> = BTreeMap::new();
     for job in lock_recover(&inner.jobs).values() {
         *phases.entry(job.phase().label().to_string()).or_insert(0) += 1;
@@ -1086,6 +1201,8 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
             .insert("fleet_peers".to_string(), inner.cfg.peers.len() as f64);
         snap.gauges
             .insert("cache_entries".to_string(), cache_entries as f64);
+        snap.gauges
+            .insert("cache_bytes".to_string(), cache_bytes as f64);
         for (phase, n) in &phases {
             snap.gauges.insert(format!("jobs_phase.{phase}"), *n as f64);
         }
@@ -1110,6 +1227,7 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
         ),
         ("fleet_peers", Json::uint(inner.cfg.peers.len() as u64)),
         ("cache_entries", Json::uint(cache_entries)),
+        ("cache_bytes", Json::uint(cache_bytes)),
         (
             "jobs",
             Json::Obj(
@@ -1130,4 +1248,52 @@ fn handle_metrics(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>, tra
         ],
         doc.to_string().as_bytes(),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ResultCache;
+
+    #[test]
+    fn result_cache_evicts_lru_by_last_hit_under_the_entry_cap() {
+        let mut c = ResultCache::default();
+        assert!(c.insert("a".into(), "1".into(), 2, 0).is_empty());
+        assert!(c.insert("b".into(), "2".into(), 2, 0).is_empty());
+        // Hitting `a` makes `b` the least recently used entry.
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        let evicted = c.insert("c".into(), "3".into(), 2, 0);
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn result_cache_byte_cap_tracks_body_sizes_and_replacements() {
+        let mut c = ResultCache::default();
+        assert!(c.insert("a".into(), "xxxx".into(), 0, 10).is_empty());
+        assert_eq!(c.bytes(), 4);
+        // Replacing a body must not double-count its bytes.
+        assert!(c.insert("a".into(), "xxxxxx".into(), 0, 10).is_empty());
+        assert_eq!(c.bytes(), 6);
+        // 6 + 6 = 12 > 10: the older entry goes.
+        let evicted = c.insert("b".into(), "yyyyyy".into(), 0, 10);
+        assert_eq!(evicted, vec!["a".to_string()]);
+        assert_eq!(c.bytes(), 6);
+        // A single over-cap body evicts everything, itself included.
+        let evicted = c.insert("big".into(), "z".repeat(11), 0, 10);
+        assert_eq!(evicted, vec!["b".to_string(), "big".to_string()]);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn result_cache_zero_caps_mean_uncapped() {
+        let mut c = ResultCache::default();
+        for i in 0..64 {
+            assert!(c.insert(format!("k{i}"), "v".repeat(64), 0, 0).is_empty());
+        }
+        assert_eq!(c.len(), 64);
+    }
 }

@@ -200,6 +200,52 @@ fn submitted_campaign_matches_in_process_run_byte_for_byte() {
 }
 
 #[test]
+fn hardened_coverage_job_runs_selectively_and_matches_in_process() {
+    let (handle, addr) = spawn(ServerConfig::default());
+
+    // A coverage campaign under a selective placement (one NL variable, one
+    // loop detector with its trip check) — the `"hardening"` field carries a
+    // `HardeningPlan`'s `selection` object verbatim.
+    let base = r#""program":"CP","kind":"coverage","vars":6,"masks":8,"bit_counts":[1]"#;
+    let hardened_spec = format!(
+        r#"{{{base},"hardening":{{"nonloop_vars":["xidx"],"loop_detectors":[{{"loop":0,"var":"energyx2"}}],"trip_checks":[0]}}}}"#
+    );
+    let sub = post(addr, "/v1/campaigns", &hardened_spec);
+    assert_eq!(sub.status, 201, "{}", sub.body);
+    let id = sub.json_field("id");
+    assert_eq!(wait_terminal(addr, &id), "done");
+    let res = get(addr, &format!("/v1/campaigns/{id}/result"));
+    assert_eq!(res.status, 200, "{}", res.body);
+
+    // Byte-identical to the same hardened spec run in-process.
+    let spec = JobSpec::from_json(&parse(&hardened_spec).unwrap()).unwrap();
+    let prog = spec.build_program().unwrap();
+    let local = run_orchestrated_campaign(
+        prog.as_ref(),
+        spec.campaign_kind(),
+        &spec.campaign_config(),
+        &spec.orchestrator_config(),
+    )
+    .unwrap();
+    assert_eq!(res.body, local.summary_json().to_string());
+
+    // The placement is load-bearing: full protection (no `hardening`)
+    // produces a different result document for the same campaign identity.
+    let full_spec = format!("{{{base}}}");
+    let sub2 = post(addr, "/v1/campaigns", &full_spec);
+    assert_eq!(sub2.status, 201, "{}", sub2.body);
+    let id2 = sub2.json_field("id");
+    assert_eq!(wait_terminal(addr, &id2), "done");
+    let res2 = get(addr, &format!("/v1/campaigns/{id2}/result"));
+    assert_ne!(
+        res.body, res2.body,
+        "selective placement must change measured coverage"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn trace_id_follows_the_job_and_spans_form_a_single_tree() {
     let (handle, addr) = spawn(ServerConfig::default());
 

@@ -295,6 +295,70 @@ fn fleet_survives_a_worker_killed_mid_campaign() {
 }
 
 #[test]
+fn tiny_campaign_runs_coordinator_only() {
+    let (wa, wa_addr) = spawn_worker();
+    let (coord, addr) = spawn(coordinator_cfg(&[wa_addr]));
+
+    // 2 vars × 4 masks plans ~9 injections — under MIN_UNITS_PER_SHARD,
+    // so the size-aware split degenerates to one local shard and the peer
+    // is never bothered.
+    let tiny = r#"{"program":"CP","vars":2,"masks":4,"bit_counts":[1]}"#;
+    let sub = post(addr, "/v1/campaigns", tiny);
+    assert_eq!(sub.status, 201, "{}", sub.body);
+    let id = sub.json_field("id");
+    assert_eq!(wait_terminal(addr, &id), "done");
+    let res = get(addr, &format!("/v1/campaigns/{id}/result"));
+    assert_eq!(
+        res.body,
+        in_process_summary(tiny),
+        "coordinator-only fleet run must match the in-process bytes"
+    );
+    assert_eq!(
+        metric(wa_addr, "submit_accepted"),
+        0,
+        "no shard may reach the worker for a sub-threshold campaign"
+    );
+
+    coord.shutdown();
+    wa.shutdown();
+}
+
+#[test]
+fn dead_peer_is_skipped_by_the_health_probe() {
+    let (wa, wa_addr) = spawn_worker();
+    let (wb, wb_addr) = spawn_worker();
+    // Kill B before the coordinator ever dispatches: its address stays in
+    // the peer list but `/healthz` no longer answers.
+    wb.shutdown();
+    let (coord, addr) = spawn(coordinator_cfg(&[wa_addr, wb_addr]));
+
+    let sub = post(addr, "/v1/campaigns", SMALL_CAMPAIGN);
+    assert_eq!(sub.status, 201, "{}", sub.body);
+    let id = sub.json_field("id");
+    assert_eq!(wait_terminal(addr, &id), "done");
+    let res = get(addr, &format!("/v1/campaigns/{id}/result"));
+    assert_eq!(
+        res.body,
+        in_process_summary(SMALL_CAMPAIGN),
+        "losing a peer must not perturb the merged bytes"
+    );
+
+    // The dead peer was skipped by the probe — visible as telemetry and a
+    // counter — and its shard ran elsewhere without a submit-and-fail cycle.
+    assert!(metric(addr, "fleet_shards_skipped_unhealthy") >= 1);
+    assert_eq!(metric(addr, "fleet_shard_redispatches"), 0);
+    let ev = get(addr, &format!("/v1/campaigns/{id}/events"));
+    assert!(
+        ev.body.contains("\"ev\":\"shard_skipped_unhealthy\""),
+        "the probe skip must be visible in the event log: {}",
+        ev.body
+    );
+
+    coord.shutdown();
+    wa.shutdown();
+}
+
+#[test]
 fn delete_cancels_with_no_store_and_the_worker_skips_the_corpse() {
     let (handle, addr) = spawn(ServerConfig {
         start_paused: true,

@@ -94,6 +94,23 @@ impl ExecStats {
     pub fn total_ops(&self) -> u64 {
         self.class_counts.iter().sum()
     }
+
+    /// Detector overhead in kernel cycles against a baseline run of the
+    /// uninstrumented kernel. Saturating: engine-equivalent builds can in
+    /// principle tie, and a tie must read as zero overhead, not wrap.
+    pub fn overhead_vs(&self, baseline_kernel_cycles: u64) -> u64 {
+        self.kernel_cycles.saturating_sub(baseline_kernel_cycles)
+    }
+
+    /// [`Self::overhead_vs`] as a fraction of the baseline (0.0 when the
+    /// baseline is degenerate).
+    pub fn overhead_frac_vs(&self, baseline_kernel_cycles: u64) -> f64 {
+        if baseline_kernel_cycles == 0 {
+            0.0
+        } else {
+            self.overhead_vs(baseline_kernel_cycles) as f64 / baseline_kernel_cycles as f64
+        }
+    }
 }
 
 impl From<&ExecStats> for hauberk_telemetry::ExecSnapshot {
@@ -144,6 +161,18 @@ mod tests {
             ..Default::default()
         };
         assert!((s.loop_fraction() - 0.87).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_accounting_saturates() {
+        let s = ExecStats {
+            kernel_cycles: 1500,
+            ..Default::default()
+        };
+        assert_eq!(s.overhead_vs(1000), 500);
+        assert_eq!(s.overhead_vs(2000), 0, "faster than baseline reads as 0");
+        assert!((s.overhead_frac_vs(1000) - 0.5).abs() < 1e-12);
+        assert_eq!(s.overhead_frac_vs(0), 0.0);
     }
 
     #[test]

@@ -12,12 +12,13 @@ use crate::journal::RecordedInjection;
 use crate::orchestrator::{run_orchestrated_campaign, OrchestratorConfig};
 use crate::plan::{plan_campaign, InjectionPlan, PlanConfig};
 use crate::profile::PhaseAcc;
-use hauberk::builds::{build, BuildVariant, FtOptions, Instrumented};
+use hauberk::builds::{build, build_selected, BuildVariant, FtOptions, Instrumented};
 use hauberk::control::{ControlBlock, NON_LOOP_DETECTOR};
 use hauberk::program::CorrectnessSpec;
 use hauberk::program::{golden_run, run_program, run_program_with_engine, HostProgram};
 use hauberk::ranges::{profile_ranges, RangeSet};
 use hauberk::runtime::{FiFtRuntime, FiRuntime, ProfilerRuntime};
+use hauberk::translator::select::HardeningSelection;
 use hauberk_telemetry::metrics::MetricsSnapshot;
 use hauberk_telemetry::progress::Progress;
 use hauberk_telemetry::{Event, JsonlSink, Telemetry};
@@ -56,6 +57,14 @@ pub struct CampaignConfig {
     /// default). The differential suite runs the same campaign under both
     /// engines and asserts identical outcome tallies.
     pub engine: Option<hauberk_sim::ExecEngine>,
+    /// Selective detector placement for coverage campaigns (`None` = full
+    /// protection, the classic behavior). The profiler and FI&FT builds are
+    /// both restricted to the selection, keeping their detector layouts
+    /// aligned. Because the FI surface is selection-invariant, plans and
+    /// journal fingerprints do not change — a hardened campaign is
+    /// index-comparable with its full-protection baseline. Ignored by
+    /// sensitivity campaigns (no detectors to select).
+    pub hardening: Option<HardeningSelection>,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +79,7 @@ impl Default for CampaignConfig {
             progress_every: 0,
             trace_path: None,
             engine: None,
+            hardening: None,
         }
     }
 }
@@ -389,8 +399,10 @@ pub(crate) fn prepare_campaign(
         }
         CampaignKind::Coverage(ft) => {
             // The profiler's detector layout must match the FT build it
-            // configures.
-            let profiler_build = build(&base, BuildVariant::Profiler(*ft)).expect("profiler build");
+            // configures — both receive the same hardening selection.
+            let sel = cfg.hardening.as_ref();
+            let profiler_build =
+                build_selected(&base, BuildVariant::Profiler(*ft), sel).expect("profiler build");
             let mut train = cfg.training_datasets.clone();
             if train.is_empty() {
                 train.push(cfg.dataset); // paper Fig. 14: same set for train and test
@@ -406,7 +418,7 @@ pub(crate) fn prepare_campaign(
                     *r = r.apply_alpha(cfg.alpha);
                 }
             }
-            let fift = build(&base, BuildVariant::FiFt(*ft)).expect("FI&FT build");
+            let fift = build_selected(&base, BuildVariant::FiFt(*ft), sel).expect("FI&FT build");
             let mut rng = SmallRng::seed_from_u64(cfg.seed);
             let plans = plan_campaign(&fift.fi, &pr, &cfg.plan, &mut rng);
             let det_vars = fift.detectors.iter().map(|d| d.var_name.clone()).collect();

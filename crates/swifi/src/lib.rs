@@ -25,6 +25,11 @@
 //!   ([`journal`]), Wilson-interval adaptive early stopping ([`sampler`]),
 //!   retry/quarantine of panicking units, and round-robin multi-process
 //!   sharding whose journals merge back into one;
+//! * **closed-loop selective hardening** ([`mod@harden`]) — vulnerability-
+//!   ranked detector placement: a baseline campaign's escapes are
+//!   attributed to placeable detectors, ranked by Wilson-bounded SDC rate
+//!   × exposure, fitted to an overhead budget as a serializable plan, and
+//!   re-measured, producing the coverage-vs-overhead Pareto front;
 //! * **outcome classification** ([`classify`]) — the paper's five-way
 //!   taxonomy (§VIII): failure / masked / detected & masked / detected /
 //!   undetected, driven by each program's output-correctness spec and a
@@ -44,6 +49,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod classify;
 pub mod cpu_study;
+pub mod harden;
 pub mod journal;
 pub mod mask;
 pub mod orchestrator;
@@ -59,6 +65,9 @@ pub use campaign::{
 };
 pub use checkpoint::{CheckpointStats, SectionOutcome};
 pub use classify::{FiOutcome, InjectionResult};
+pub use harden::{
+    evaluate_placement, harden, HardenConfig, HardenReport, ParetoPoint, RankedCandidate,
+};
 pub use journal::{merge_journals, read_journal, JournalMeta, QuarantineRecord, UnitRecord};
 pub use orchestrator::{
     run_orchestrated_campaign, ChaosConfig, OrchestratorConfig, ShardedCampaignResult,

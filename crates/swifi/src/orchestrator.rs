@@ -225,6 +225,11 @@ pub struct ShardedCampaignResult {
     /// the campaign totals exactly (every plan maps to at most one section).
     /// Struct-only, like the profile.
     pub section_outcomes: Vec<SectionOutcome>,
+    /// The raw per-injection records in plan order — what a journal would
+    /// hold. The hardening optimizer joins these against the plan list to
+    /// attribute each undetected SDC to a candidate site. Struct-only, never
+    /// serialized (the journal is the on-disk form).
+    pub records: Vec<RecordedInjection>,
 }
 
 impl ShardedCampaignResult {
@@ -718,6 +723,7 @@ pub fn run_orchestrated_campaign_traced(
         w.profile(&profile)?;
     }
 
+    let records: Vec<RecordedInjection> = recs.iter().map(|r| (*r).clone()).collect();
     finish_campaign(&tele, prog.name(), results.len());
     let executed = results.len() as u64;
     campaign_span.attr_with("runs", || executed.to_string());
@@ -749,6 +755,7 @@ pub fn run_orchestrated_campaign_traced(
             executed_cycles: s.executed_cycles.load(std::sync::atomic::Ordering::Relaxed),
         }),
         section_outcomes,
+        records,
     })
 }
 

@@ -277,6 +277,14 @@ pub enum Event {
         /// Why the previous executor lost the shard.
         reason: String,
     },
+    /// A coordinator's pre-dispatch `/healthz` probe failed, so the peer
+    /// was skipped without ever being offered the shard.
+    ShardSkippedUnhealthy {
+        /// Shard index.
+        shard: u64,
+        /// The unhealthy peer's address.
+        peer: String,
+    },
 }
 
 impl Event {
@@ -298,6 +306,7 @@ impl Event {
             Event::StratumConverged { .. } => "stratum_converged",
             Event::ShardDispatched { .. } => "shard_dispatched",
             Event::ShardRedispatched { .. } => "shard_redispatched",
+            Event::ShardSkippedUnhealthy { .. } => "shard_skipped_unhealthy",
         }
     }
 
@@ -457,6 +466,10 @@ impl Event {
                 put("shard", Json::uint(*shard));
                 put("peer", Json::str(peer.clone()));
                 put("reason", Json::str(reason.clone()));
+            }
+            Event::ShardSkippedUnhealthy { shard, peer } => {
+                put("shard", Json::uint(*shard));
+                put("peer", Json::str(peer.clone()));
             }
         }
         Json::Obj(obj)
